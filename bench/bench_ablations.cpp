@@ -1,0 +1,136 @@
+// Ablation studies for NFP's design choices (DESIGN.md §7):
+//  A. Dirty Memory Reusing (OP#1) on/off — copy necessity across the
+//     deployment-weighted NF pairs and latency on a concrete graph.
+//  B. Header-Only vs full-packet copying (OP#2) — copy volume and latency.
+//  C. Copy-accepting vs zero-copy compilation (CompilerOptions) — the
+//     latency/overhead trade-off on the west-east chain.
+//  D. Merger instance count 1/2/4 — the §6.3.3 bottleneck.
+//  E. Nil-packet drop signalling: merger completeness under heavy drops.
+#include "bench_util.hpp"
+#include "orch/compiler.hpp"
+#include "orch/pair_stats.hpp"
+#include "policy/policy.hpp"
+
+using namespace nfp;
+using namespace nfp::bench;
+
+namespace {
+
+ServiceGraph compile_we(const CompilerOptions& opt) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  auto g = compile_policy(
+      Policy::from_sequential_chain("we", {"ids", "monitor", "lb"}), table,
+      opt);
+  return std::move(g).take();
+}
+
+}  // namespace
+
+int main() {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+
+  print_header("Ablation A: Dirty Memory Reusing (OP#1)");
+  {
+    const PairStats on = compute_pair_stats(table, true, true);
+    AnalysisOptions off_opt;
+    off_opt.dirty_memory_reusing = false;
+    const PairStats off = compute_pair_stats(table, true, true, off_opt);
+    std::printf("no-copy pair share:   OP#1 on %.1f%%   off %.1f%%\n",
+                on.no_copy * 100, off.no_copy * 100);
+    std::printf("with-copy pair share: OP#1 on %.1f%%   off %.1f%%\n",
+                on.with_copy * 100, off.with_copy * 100);
+
+    CompilerOptions con;
+    CompilerOptions coff;
+    coff.analysis.dirty_memory_reusing = false;
+    const auto traffic = latency_traffic(64);
+    const Measurement m_on = run_nfp(compile_we(con), traffic);
+    const Measurement m_off = run_nfp(compile_we(coff), traffic);
+    std::printf("west-east chain:      OP#1 on %.1fus/%zu copies   off "
+                "%.1fus/%llu header-copies\n",
+                m_on.mean_latency_us, compile_we(con).copies_per_packet(),
+                m_off.mean_latency_us,
+                static_cast<unsigned long long>(
+                    m_off.stats.copies_header / std::max<u64>(
+                        m_off.stats.injected, 1)));
+  }
+
+  print_header("Ablation B: Header-Only Copying (OP#2) vs full copies");
+  {
+    TrafficConfig traffic;
+    traffic.size_model = SizeModel::kDataCenter;
+    traffic.rate_pps = 20'000;
+    traffic.packets = 4'000;
+    // Same 2-NF parallel stage, once with a header copy, once forcing a
+    // full copy of version 2.
+    ServiceGraph header_graph = parallel_stage("firewall", 2, true, false);
+    ServiceGraph full_graph = parallel_stage("firewall", 2, true, true);
+    const Measurement header = run_nfp(header_graph, traffic);
+    const Measurement full = run_nfp(full_graph, traffic);
+    const double bytes = TrafficGenerator::dc_mean_frame_size() * 4'000;
+    std::printf("header-only: %.1f us, overhead %.1f%%\n",
+                header.mean_latency_us,
+                static_cast<double>(header.stats.copy_bytes) / bytes * 100);
+    std::printf("full copies: %.1f us, overhead %.1f%%\n",
+                full.mean_latency_us,
+                static_cast<double>(full.stats.copy_bytes) / bytes * 100);
+  }
+
+  print_header(
+      "Ablation C: copy-accepting vs zero-copy compilation (west-east)");
+  {
+    CompilerOptions with_copy;
+    CompilerOptions zero_copy;
+    zero_copy.parallelize_with_copy = false;
+    const ServiceGraph g1 = compile_we(with_copy);
+    const ServiceGraph g2 = compile_we(zero_copy);
+    const auto traffic = latency_traffic(64);
+    const Measurement m1 = run_nfp(g1, traffic);
+    const Measurement m2 = run_nfp(g2, traffic);
+    std::printf("accept copies: graph %s (len %zu) -> %.1f us\n",
+                g1.structure().c_str(), g1.equivalent_length(),
+                m1.mean_latency_us);
+    std::printf("zero copies:   graph %s (len %zu) -> %.1f us\n",
+                g2.structure().c_str(), g2.equivalent_length(),
+                m2.mean_latency_us);
+  }
+
+  print_header("Ablation D: merger instances (degree-4 firewall stage)");
+  for (const std::size_t mergers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    DataplaneConfig cfg;
+    cfg.merger_instances = mergers;
+    const Measurement m = run_nfp(parallel_stage("firewall", 4, false),
+                                  saturation_traffic(64, 30'000), cfg);
+    std::printf("%zu merger instance(s): %.2f Mpps\n", mergers, m.rate_mpps);
+  }
+
+  print_header("Ablation E: nil-packet signalling under heavy drops");
+  {
+    DataplaneConfig cfg;
+    cfg.factory = [](const StageNf& nf) -> std::unique_ptr<NetworkFunction> {
+      if (nf.name == "firewall") {
+        AclTable acl;
+        acl.set_default_action(AclAction::kDrop);  // drops everything
+        return std::make_unique<Firewall>(std::move(acl));
+      }
+      return make_builtin_nf(nf.name);
+    };
+    const ActionTable t2 = ActionTable::with_builtin_nfs();
+    auto g = compile_policy(
+        Policy::from_sequential_chain("mf", {"monitor", "firewall"}), t2);
+    sim::Simulator sim;
+    NfpDataplane dp(sim, std::move(g).take(), std::move(cfg));
+    TrafficConfig traffic;
+    traffic.packets = 20'000;
+    traffic.rate_pps = 1e6;
+    TrafficGenerator gen(sim, dp.pool(), traffic);
+    gen.start([&](Packet* p) { dp.inject(p); });
+    sim.run();
+    std::printf("injected %llu, dropped %llu, pool leak: %zu buffers\n",
+                static_cast<unsigned long long>(dp.stats().injected),
+                static_cast<unsigned long long>(dp.stats().dropped_by_nf),
+                dp.pool().in_use());
+  }
+  return 0;
+}

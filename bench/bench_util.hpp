@@ -1,0 +1,151 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§6): it builds the relevant service graphs, replays seeded
+// traffic through the simulated dataplanes, and prints the same rows/series
+// the paper reports. See EXPERIMENTS.md for paper-vs-measured values.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/onv_dataplane.hpp"
+#include "baseline/rtc_dataplane.hpp"
+#include "dataplane/nfp_dataplane.hpp"
+#include "nfs/firewall.hpp"
+#include "nfs/misc_nfs.hpp"
+#include "trafficgen/latency_recorder.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp::bench {
+
+// NF factory for performance benches: firewalls with an empty pass-all ACL
+// (no traffic-dependent drops perturbing the measurements) and DelayNf
+// instances with the requested busy-loop cycles.
+inline NfFactory perf_factory(u32 delay_cycles = 300) {
+  return [delay_cycles](const StageNf& nf)
+             -> std::unique_ptr<NetworkFunction> {
+    if (nf.name == "firewall") {
+      AclTable acl;
+      acl.set_default_action(AclAction::kPass);
+      return std::make_unique<Firewall>(std::move(acl));
+    }
+    if (nf.name == "delaynf") return std::make_unique<DelayNf>(delay_cycles);
+    return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
+  };
+}
+
+struct Measurement {
+  double mean_latency_us = 0;
+  double p99_latency_us = 0;
+  double rate_mpps = 0;
+  DataplaneStats stats;
+};
+
+inline TrafficConfig latency_traffic(std::size_t frame_size, u64 packets = 2000) {
+  TrafficConfig t;
+  t.size_model = SizeModel::kFixed;
+  t.fixed_size = frame_size;
+  t.rate_pps = 10'000;  // low load: pure path latency
+  t.packets = packets;
+  t.flows = 32;
+  return t;
+}
+
+inline TrafficConfig saturation_traffic(std::size_t frame_size,
+                                        u64 packets = 30'000) {
+  TrafficConfig t;
+  t.size_model = SizeModel::kFixed;
+  t.fixed_size = frame_size;
+  t.rate_pps = 40e6;  // far above any capacity: measures the bottleneck
+  t.packets = packets;
+  t.flows = 2048;  // enough flows for even RSS spread across RTC replicas
+  return t;
+}
+
+// Generic runner over any dataplane exposing inject/set_sink/pool().
+template <typename Dataplane>
+Measurement run(Dataplane& dp, sim::Simulator& sim,
+                const TrafficConfig& traffic) {
+  LatencyRecorder lat;
+  dp.set_sink([&](Packet* p, SimTime t) {
+    lat.record(p->inject_time(), t);
+    dp.pool().release(p);
+  });
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* p) { dp.inject(p); });
+  sim.run();
+  Measurement m;
+  m.mean_latency_us = lat.mean_us();
+  m.p99_latency_us = lat.p99_us();
+  m.rate_mpps = lat.rate_mpps();
+  m.stats = dp.stats();
+  return m;
+}
+
+inline Measurement run_nfp(const ServiceGraph& graph,
+                           const TrafficConfig& traffic,
+                           DataplaneConfig cfg = {}) {
+  if (!cfg.factory) cfg.factory = perf_factory(cfg.delaynf_cycles);
+  sim::Simulator sim;
+  NfpDataplane dp(sim, graph, std::move(cfg));
+  return run(dp, sim, traffic);
+}
+
+inline Measurement run_onv(const std::vector<std::string>& chain,
+                           const TrafficConfig& traffic,
+                           DataplaneConfig cfg = {}) {
+  if (!cfg.factory) cfg.factory = perf_factory(cfg.delaynf_cycles);
+  sim::Simulator sim;
+  baseline::OnvDataplane dp(sim, chain, std::move(cfg));
+  return run(dp, sim, traffic);
+}
+
+inline Measurement run_rtc(const std::vector<std::string>& chain,
+                           std::size_t cores, const TrafficConfig& traffic,
+                           DataplaneConfig cfg = {}) {
+  if (!cfg.factory) cfg.factory = perf_factory(cfg.delaynf_cycles);
+  sim::Simulator sim;
+  baseline::RtcDataplane dp(sim, chain, cores, std::move(cfg));
+  return run(dp, sim, traffic);
+}
+
+// --- graph builders for the bench setups (paper Fig 10 / Fig 14) -------------
+
+// N instances of `type` in one parallel stage. `with_copy` assigns each
+// instance its own packet version (the paper's "NFP-parallel-copy" setup);
+// otherwise all instances share version 1 ("NFP-parallel-no copy").
+inline ServiceGraph parallel_stage(const std::string& type, std::size_t n,
+                                   bool with_copy,
+                                   bool payload_heavy = false) {
+  ServiceGraph g("par-" + type);
+  Segment seg;
+  seg.mid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 version = with_copy ? static_cast<u8>(i + 1) : u8{1};
+    seg.nfs.push_back(StageNf{type, static_cast<int>(i), version,
+                              static_cast<int>(i), false});
+    if (with_copy && version > 1 && payload_heavy) {
+      seg.full_copy_mask |= static_cast<u16>(1u << version);
+    }
+  }
+  seg.num_versions = with_copy ? static_cast<u8>(n) : u8{1};
+  seg.merge.total_count = static_cast<u32>(n);
+  g.segments().push_back(std::move(seg));
+  return g;
+}
+
+inline std::vector<std::string> repeat(const std::string& type,
+                                       std::size_t n) {
+  return std::vector<std::string>(n, type);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace nfp::bench

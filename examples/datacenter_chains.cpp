@@ -1,0 +1,104 @@
+// The paper's real-world scenario (§6.4): the north-south and west-east
+// data-center service chains, compared across three deployments:
+//   - OpenNetVM-style sequential chain behind a centralized switch,
+//   - the compiled NFP service graph with parallel NFs,
+//   - a BESS-style run-to-completion consolidation (for context, §7).
+//
+// Prints per-chain latency/throughput and the NFP resource overhead.
+#include <cstdio>
+
+#include "baseline/onv_dataplane.hpp"
+#include "baseline/rtc_dataplane.hpp"
+#include "dataplane/nfp_dataplane.hpp"
+#include "orch/compiler.hpp"
+#include "policy/policy.hpp"
+#include "trafficgen/latency_recorder.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace {
+
+using namespace nfp;
+
+struct Numbers {
+  double mean_us;
+  double p99_us;
+  u64 delivered;
+};
+
+template <typename Dataplane>
+Numbers measure(sim::Simulator& sim, Dataplane& dp, u64 packets) {
+  LatencyRecorder lat;
+  dp.set_sink([&](Packet* p, SimTime t) {
+    lat.record(p->inject_time(), t);
+    dp.pool().release(p);
+  });
+  TrafficConfig traffic;
+  traffic.size_model = SizeModel::kDataCenter;
+  traffic.packets = packets;
+  traffic.rate_pps = 20'000;
+  traffic.flows = 128;
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* p) { dp.inject(p); });
+  sim.run();
+  return {lat.mean_us(), lat.p99_us(), static_cast<u64>(lat.count())};
+}
+
+void run_chain(const char* name, const std::vector<std::string>& chain) {
+  std::printf("\n=== %s chain: ", name);
+  for (const auto& nf : chain) std::printf("%s ", nf.c_str());
+  std::printf("===\n");
+
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  auto graph = compile_policy(
+      Policy::from_sequential_chain(name, chain), table);
+  if (!graph) {
+    std::printf("compile error: %s\n", graph.error().c_str());
+    return;
+  }
+  std::printf("NFP graph: %s (equivalent length %zu, %zu copies/pkt)\n",
+              graph.value().structure().c_str(),
+              graph.value().equivalent_length(),
+              graph.value().copies_per_packet());
+
+  constexpr u64 kPackets = 5'000;
+  Numbers onv{}, nfp{}, rtc{};
+  u64 copy_bytes = 0;
+  {
+    sim::Simulator sim;
+    baseline::OnvDataplane dp(sim, chain);
+    onv = measure(sim, dp, kPackets);
+  }
+  {
+    sim::Simulator sim;
+    NfpDataplane dp(sim, graph.value());
+    nfp = measure(sim, dp, kPackets);
+    copy_bytes = dp.stats().copy_bytes;
+  }
+  {
+    sim::Simulator sim;
+    baseline::RtcDataplane dp(sim, chain, chain.size() + 2);
+    rtc = measure(sim, dp, kPackets);
+  }
+
+  std::printf("%-22s %12s %12s %12s\n", "", "OpenNetVM", "NFP", "BESS/RTC");
+  std::printf("%-22s %10.1fus %10.1fus %10.1fus\n", "mean latency",
+              onv.mean_us, nfp.mean_us, rtc.mean_us);
+  std::printf("%-22s %10.1fus %10.1fus %10.1fus\n", "p99 latency", onv.p99_us,
+              nfp.p99_us, rtc.p99_us);
+  std::printf("NFP latency reduction vs OpenNetVM: %.1f%%\n",
+              (onv.mean_us - nfp.mean_us) / onv.mean_us * 100);
+  const double traffic_bytes =
+      TrafficGenerator::dc_mean_frame_size() * static_cast<double>(kPackets);
+  std::printf("NFP resource overhead: %.1f%% (%llu copy bytes)\n",
+              static_cast<double>(copy_bytes) / traffic_bytes * 100,
+              static_cast<unsigned long long>(copy_bytes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Real-world data-center service chains (paper Fig 13)\n");
+  run_chain("north-south", {"vpn", "monitor", "firewall", "lb"});
+  run_chain("west-east", {"ids", "monitor", "lb"});
+  return 0;
+}

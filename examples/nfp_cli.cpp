@@ -1,0 +1,101 @@
+// nfp_cli: command-line front end to the orchestrator.
+//
+//   nfp_cli compile <policy-file>         compile and print the graph
+//   nfp_cli tables <policy-file>          print the Fig-4 dataplane tables
+//   nfp_cli dot <policy-file>             print Graphviz for the graph
+//   nfp_cli plan <policy-file> [cores]    partition across servers (§7)
+//   nfp_cli stats                         print the §4.3 pair statistics
+//
+// Policy files use the text format of src/policy/parser.hpp.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/partition.hpp"
+#include "orch/compiler.hpp"
+#include "orch/pair_stats.hpp"
+#include "orch/table_gen.hpp"
+#include "policy/parser.hpp"
+
+namespace {
+
+using namespace nfp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nfp_cli compile|tables|dot|plan <policy-file> "
+               "[cores]\n       nfp_cli stats\n");
+  return 2;
+}
+
+Result<ServiceGraph> load_and_compile(const std::string& path,
+                                      CompileReport* report) {
+  std::ifstream in(path);
+  if (!in) {
+    return Result<ServiceGraph>::error("cannot read '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto policy = parse_policy(buffer.str());
+  if (!policy) return Result<ServiceGraph>::error(policy.error());
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  return compile_policy(policy.value(), table, {}, report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "stats") {
+    const ActionTable table = ActionTable::with_builtin_nfs();
+    const PairStats stats = compute_pair_stats(table);
+    std::printf("%s", pair_stats_table(stats).c_str());
+    return 0;
+  }
+
+  if (argc < 3) return usage();
+  CompileReport report;
+  auto graph = load_and_compile(argv[2], &report);
+  if (!graph) {
+    std::fprintf(stderr, "error: %s\n", graph.error().c_str());
+    return 1;
+  }
+  for (const auto& warning : report.warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+
+  if (command == "compile") {
+    std::printf("%s", graph.value().to_string().c_str());
+    for (const auto& d : report.decisions) {
+      std::printf("  %s | %s -> %s\n", d.nf1.c_str(), d.nf2.c_str(),
+                  std::string(pair_parallelism_name(d.verdict)).c_str());
+    }
+    return 0;
+  }
+  if (command == "tables") {
+    std::printf("%s", tables_to_string(generate_tables(graph.value())).c_str());
+    return 0;
+  }
+  if (command == "dot") {
+    std::printf("%s", graph.value().to_dot().c_str());
+    return 0;
+  }
+  if (command == "plan") {
+    cluster::PartitionOptions options;
+    if (argc > 3) {
+      options.cores_per_server =
+          static_cast<std::size_t>(std::stoul(argv[3]));
+    }
+    const auto plan = cluster::partition_graph(graph.value(), options);
+    if (!plan) {
+      std::fprintf(stderr, "error: %s\n", plan.error().c_str());
+      return 1;
+    }
+    std::printf("%s", cluster::plan_to_string(graph.value(), plan.value()).c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,60 @@
+#include "acl/acl.hpp"
+
+#include "common/rng.hpp"
+
+namespace nfp {
+
+namespace {
+
+bool prefix_match(u32 addr, u32 prefix, u8 len) noexcept {
+  if (len == 0) return true;
+  const u32 mask = len >= 32 ? 0xFFFFFFFFu : (0xFFFFFFFFu << (32 - len));
+  return (addr & mask) == (prefix & mask);
+}
+
+}  // namespace
+
+bool AclRule::matches(const FiveTuple& t) const noexcept {
+  if (!prefix_match(t.src_ip, src_prefix, src_prefix_len)) return false;
+  if (!prefix_match(t.dst_ip, dst_prefix, dst_prefix_len)) return false;
+  if (t.src_port < src_port_lo || t.src_port > src_port_hi) return false;
+  if (t.dst_port < dst_port_lo || t.dst_port > dst_port_hi) return false;
+  if (proto && *proto != t.proto) return false;
+  return true;
+}
+
+AclAction AclTable::evaluate(const FiveTuple& t) const noexcept {
+  for (const AclRule& rule : rules_) {
+    if (rule.matches(t)) return rule.action;
+  }
+  return default_action_;
+}
+
+AclTable AclTable::with_synthetic_rules(std::size_t count,
+                                        double drop_fraction, u64 seed) {
+  AclTable table;
+  table.set_default_action(AclAction::kPass);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    AclRule rule;
+    // Keep prefixes wide enough that arbitrary traffic exercises the rules
+    // (a fully random /24 would virtually never match).
+    if (rng.uniform() < 0.5) {
+      rule.src_prefix = static_cast<u32>(rng.next());
+      rule.src_prefix_len = static_cast<u8>(rng.range(1, 8));
+    }
+    rule.dst_prefix = static_cast<u32>(rng.next());
+    rule.dst_prefix_len = static_cast<u8>(rng.range(3, 10));
+    if (rng.uniform() < 0.3) {
+      const u16 port = static_cast<u16>(rng.range(1, 60000));
+      rule.dst_port_lo = port;
+      rule.dst_port_hi = static_cast<u16>(port + rng.bounded(5000));
+    }
+    rule.action =
+        rng.uniform() < drop_fraction ? AclAction::kDrop : AclAction::kPass;
+    table.add(rule);
+  }
+  return table;
+}
+
+}  // namespace nfp

@@ -1,0 +1,58 @@
+// Access control list: first-match rule evaluation over the 5-tuple.
+//
+// Substrate for the Firewall NF (paper §6.1: "passes or drops packets
+// according to the Access Control List (ACL) containing 100 rules",
+// similar to the Click IPFilter element).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace nfp {
+
+enum class AclAction : u8 { kPass, kDrop };
+
+struct AclRule {
+  u32 src_prefix = 0;
+  u8 src_prefix_len = 0;  // 0 = any
+  u32 dst_prefix = 0;
+  u8 dst_prefix_len = 0;
+  u16 src_port_lo = 0;
+  u16 src_port_hi = 0xffff;
+  u16 dst_port_lo = 0;
+  u16 dst_port_hi = 0xffff;
+  std::optional<u8> proto;  // nullopt = any
+  AclAction action = AclAction::kPass;
+
+  bool matches(const FiveTuple& t) const noexcept;
+};
+
+class AclTable {
+ public:
+  AclTable() = default;
+  explicit AclTable(std::vector<AclRule> rules, AclAction default_action)
+      : rules_(std::move(rules)), default_action_(default_action) {}
+
+  void add(AclRule rule) { rules_.push_back(rule); }
+  void set_default_action(AclAction action) { default_action_ = action; }
+
+  // First matching rule wins; the default action applies otherwise.
+  AclAction evaluate(const FiveTuple& t) const noexcept;
+
+  std::size_t size() const noexcept { return rules_.size(); }
+
+  // Deterministic synthetic ACL in the spirit of the paper's evaluation:
+  // `count` rules, a `drop_fraction` of which drop, default pass.
+  static AclTable with_synthetic_rules(std::size_t count,
+                                       double drop_fraction = 0.5,
+                                       u64 seed = 2);
+
+ private:
+  std::vector<AclRule> rules_;
+  AclAction default_action_ = AclAction::kPass;
+};
+
+}  // namespace nfp

@@ -1,0 +1,63 @@
+// NF action model (paper §4.1, Table 2).
+//
+// An NF's externally visible behaviour on a packet is a set of actions:
+// Read(field), Write(field), AddRm (insert/remove a header) and Drop.
+// The orchestrator reasons about pairs of actions to decide whether two NFs
+// may run in parallel and whether they need separate packet copies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/fields.hpp"
+
+namespace nfp {
+
+enum class ActionType : u8 {
+  kRead = 0,
+  kWrite,
+  kAddRm,  // header addition/removal (field identifies the header)
+  kDrop,
+};
+
+constexpr std::string_view action_type_name(ActionType t) {
+  switch (t) {
+    case ActionType::kRead: return "read";
+    case ActionType::kWrite: return "write";
+    case ActionType::kAddRm: return "add/rm";
+    case ActionType::kDrop: return "drop";
+  }
+  return "?";
+}
+
+struct Action {
+  ActionType type = ActionType::kRead;
+  // For kRead/kWrite: the field touched. For kAddRm: the header involved.
+  // For kDrop: unused.
+  Field field = Field::kCount;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+inline std::string action_to_string(const Action& a) {
+  std::string out{action_type_name(a.type)};
+  if (a.type != ActionType::kDrop) {
+    out += '(';
+    out += field_name(a.field);
+    out += ')';
+  }
+  return out;
+}
+
+// A pair of conflicting actions between two NFs; its presence in Algorithm 1
+// output indicates that a packet copy is required (paper §4.3).
+struct ActionConflict {
+  Action first;   // action of NF1
+  Action second;  // action of NF2
+
+  friend bool operator==(const ActionConflict&, const ActionConflict&) = default;
+};
+
+}  // namespace nfp

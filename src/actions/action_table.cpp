@@ -1,0 +1,160 @@
+#include "actions/action_table.hpp"
+
+#include <stdexcept>
+
+namespace nfp {
+
+void ActionTable::register_nf(std::string name, ActionProfile profile,
+                              double deployment_share) {
+  auto [it, inserted] = types_.try_emplace(name);
+  it->second = NfTypeInfo{name, std::move(profile), deployment_share};
+  if (inserted) order_.push_back(name);
+}
+
+bool ActionTable::contains(const std::string& name) const {
+  return types_.contains(name);
+}
+
+const NfTypeInfo* ActionTable::find(const std::string& name) const {
+  const auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+const ActionProfile& ActionTable::profile(const std::string& name) const {
+  const NfTypeInfo* info = find(name);
+  if (info == nullptr) {
+    throw std::out_of_range("ActionTable: unknown NF type '" + name + "'");
+  }
+  return info->profile;
+}
+
+std::vector<const NfTypeInfo*> ActionTable::all() const {
+  std::vector<const NfTypeInfo*> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.push_back(&types_.at(name));
+  return out;
+}
+
+ActionTable ActionTable::with_builtin_nfs() {
+  // Paper Table 2. Cells the text dump renders ambiguously are reconstructed
+  // (see DESIGN.md §4) and marked below.
+  ActionTable at;
+
+  {  // Firewall (iptables, 26%): reads the 5-tuple, may drop.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_drop();
+    at.register_nf("firewall", p, 0.26);
+  }
+  {  // NIDS (NIDS cluster, 20%): reads 5-tuple + payload; detection only.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kPayload);
+    at.register_nf("nids", p, 0.20);
+  }
+  {  // Gateway (Cisco MGX, 19%): reads src/dst addresses.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    at.register_nf("gateway", p, 0.19);
+  }
+  {  // Load Balancer (F5/A10, 10%): rewrites addresses, reads ports.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_write(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_write(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    at.register_nf("lb", p, 0.10);
+  }
+  {  // Caching (nginx, 10%). Reconstructed cells: reads dst address, dst
+     // port and payload (cache key + content).
+    ActionProfile p;
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kPayload);
+    at.register_nf("caching", p, 0.10);
+  }
+  {  // VPN (OpenVPN, 7%): reads addresses, encrypts payload, adds AH.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kPayload);
+    p.add_write(Field::kPayload);
+    p.add_add_rm(Field::kAhHeader);
+    at.register_nf("vpn", p, 0.07);
+  }
+  {  // NAT (iptables): rewrites the whole 5-tuple (no deployment share).
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_write(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_write(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_write(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_write(Field::kDstPort);
+    at.register_nf("nat", p, 0.0);
+  }
+  {  // Proxy (squid): rewrites src/dst addresses. Reconstructed cells.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_write(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_write(Field::kDstIp);
+    at.register_nf("proxy", p, 0.0);
+  }
+  {  // Compression (Cisco IOS): rewrites the payload.
+    ActionProfile p;
+    p.add_read(Field::kPayload);
+    p.add_write(Field::kPayload);
+    at.register_nf("compression", p, 0.0);
+  }
+  {  // Traffic shaper (linux tc): delays packets; touches nothing.
+    at.register_nf("shaper", ActionProfile{}, 0.0);
+  }
+  {  // Monitor (NetFlow): reads the 5-tuple.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    at.register_nf("monitor", p, 0.0);
+  }
+
+  // Additional NFs from the paper's evaluation (§6.1) not in Table 2.
+  {  // L3 forwarder: LPM lookup on the destination address.
+    ActionProfile p;
+    p.add_read(Field::kDstIp);
+    at.register_nf("l3fwd", p, 0.0);
+  }
+  {  // IDS (Snort-like signature matching; same footprint as NIDS).
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kPayload);
+    at.register_nf("ids", p, 0.0);
+  }
+  {  // IPS: IDS that can drop (used by the Priority rule example, §3).
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kPayload);
+    p.add_drop();
+    at.register_nf("ips", p, 0.0);
+  }
+  return at;
+}
+
+}  // namespace nfp

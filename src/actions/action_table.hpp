@@ -1,0 +1,51 @@
+// The NF action table (AT) of the orchestrator — paper Table 2.
+//
+// Maps NF type names to their action profiles plus the deployment share in
+// enterprise networks (used to weight the pairwise parallelism statistics
+// of §4.3: "53.8% NF pairs can work in parallel, 41.5% without copy").
+//
+// New NFs are registered either manually or with the profile produced by
+// the dynamic inspector (src/inspector), mirroring §5.4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "actions/profile.hpp"
+
+namespace nfp {
+
+struct NfTypeInfo {
+  std::string name;
+  ActionProfile profile;
+  // Fraction of enterprise deployments running this NF (Table 2 "%" column);
+  // 0 when the paper gives no number.
+  double deployment_share = 0.0;
+};
+
+class ActionTable {
+ public:
+  // Registers (or replaces) an NF type.
+  void register_nf(std::string name, ActionProfile profile,
+                   double deployment_share = 0.0);
+
+  bool contains(const std::string& name) const;
+  const NfTypeInfo* find(const std::string& name) const;
+  // Throws std::out_of_range for unknown NFs (programming error: the
+  // orchestrator validates names at policy-load time).
+  const ActionProfile& profile(const std::string& name) const;
+
+  std::vector<const NfTypeInfo*> all() const;
+  std::size_t size() const noexcept { return types_.size(); }
+
+  // The built-in table pre-populated with the 11 NF types of paper Table 2.
+  static ActionTable with_builtin_nfs();
+
+ private:
+  std::unordered_map<std::string, NfTypeInfo> types_;
+  std::vector<std::string> order_;  // registration order, for stable output
+};
+
+}  // namespace nfp

@@ -1,0 +1,71 @@
+// Action dependency analysis — paper Table 3 and Algorithm 1.
+//
+// Given Order(NF1, before, NF2), decides whether the two NFs may execute in
+// parallel and whether parallel execution needs a packet copy. The decision
+// follows the paper's *result correctness principle*: parallel execution
+// must produce the same processed packet and NF internal state as the
+// sequential composition.
+//
+// See DESIGN.md §3 for the full reconstruction of Table 3 with per-cell
+// justifications from the paper text.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "actions/profile.hpp"
+
+namespace nfp {
+
+enum class PairParallelism : u8 {
+  kNoCopy = 0,          // parallelizable, same packet copy (green cell)
+  kWithCopy,            // parallelizable with a packet copy (orange cell)
+  kNotParallelizable,   // must stay sequential (gray cell)
+};
+
+constexpr std::string_view pair_parallelism_name(PairParallelism p) {
+  switch (p) {
+    case PairParallelism::kNoCopy: return "parallel-no-copy";
+    case PairParallelism::kWithCopy: return "parallel-with-copy";
+    case PairParallelism::kNotParallelizable: return "sequential";
+  }
+  return "?";
+}
+
+// Toggles for the resource-overhead optimizations of §4.2; both default to
+// the paper's configuration. Disabling them is used by the ablation benches.
+struct AnalysisOptions {
+  // OP#1 Dirty Memory Reusing: two NFs touching *different* fields share one
+  // packet copy. When off, every read-write / write-write pair copies.
+  bool dirty_memory_reusing = true;
+  // OP#2 Header-Only Copying: copies carry only the 64-byte header region,
+  // so NFs that modify the payload cannot be satisfied by a copy and are
+  // sequenced instead ("multiple NFs that modify the payload will be
+  // executed in sequence", §4.2). When off, full-packet copies are made and
+  // payload writers may parallelize with a copy.
+  bool header_only_copying = true;
+};
+
+// Table 3: parallelism class for one ordered action pair.
+PairParallelism action_pair_parallelism(const Action& a1, const Action& a2,
+                                        const AnalysisOptions& opt = {});
+
+// Output of Algorithm 1.
+struct PairAnalysis {
+  bool parallelizable = true;
+  std::vector<ActionConflict> conflicts;  // non-empty => copy required
+
+  bool needs_copy() const noexcept { return !conflicts.empty(); }
+  PairParallelism verdict() const noexcept {
+    if (!parallelizable) return PairParallelism::kNotParallelizable;
+    return needs_copy() ? PairParallelism::kWithCopy
+                        : PairParallelism::kNoCopy;
+  }
+};
+
+// Algorithm 1 (NF Parallelism Identification): exhaustively checks every
+// action pair of NF1 × NF2 against the dependency table.
+PairAnalysis analyze_pair(const ActionProfile& nf1, const ActionProfile& nf2,
+                          const AnalysisOptions& opt = {});
+
+}  // namespace nfp

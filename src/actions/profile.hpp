@@ -1,0 +1,94 @@
+// ActionProfile: the full set of packet actions an NF performs.
+//
+// Profiles come from two sources: the built-in action table (paper Table 2)
+// and the dynamic inspector (§5.4), which derives a profile by replaying
+// instrumented packets through an NF.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "actions/action.hpp"
+
+namespace nfp {
+
+class ActionProfile {
+ public:
+  ActionProfile() = default;
+  explicit ActionProfile(std::vector<Action> actions)
+      : actions_(std::move(actions)) {
+    normalize();
+  }
+
+  void add(Action a) {
+    actions_.push_back(a);
+    normalize();
+  }
+  void add_read(Field f) { add({ActionType::kRead, f}); }
+  void add_write(Field f) { add({ActionType::kWrite, f}); }
+  void add_add_rm(Field f) { add({ActionType::kAddRm, f}); }
+  void add_drop() { add({ActionType::kDrop, Field::kCount}); }
+
+  const std::vector<Action>& actions() const noexcept { return actions_; }
+  bool empty() const noexcept { return actions_.empty(); }
+
+  bool reads(Field f) const { return has(ActionType::kRead, f); }
+  bool writes(Field f) const { return has(ActionType::kWrite, f); }
+  bool adds_removes() const {
+    return std::any_of(actions_.begin(), actions_.end(), [](const Action& a) {
+      return a.type == ActionType::kAddRm;
+    });
+  }
+  bool drops() const {
+    return std::any_of(actions_.begin(), actions_.end(), [](const Action& a) {
+      return a.type == ActionType::kDrop;
+    });
+  }
+
+  FieldSet read_set() const { return field_set(ActionType::kRead); }
+  FieldSet write_set() const { return field_set(ActionType::kWrite); }
+
+  std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += action_to_string(actions_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+  friend bool operator==(const ActionProfile&, const ActionProfile&) = default;
+
+ private:
+  bool has(ActionType t, Field f) const {
+    return std::any_of(actions_.begin(), actions_.end(), [&](const Action& a) {
+      return a.type == t && a.field == f;
+    });
+  }
+
+  FieldSet field_set(ActionType t) const {
+    FieldSet set;
+    for (const Action& a : actions_) {
+      if (a.type == t) set.insert(a.field);
+    }
+    return set;
+  }
+
+  // Sort + dedup so profiles compare structurally regardless of the order in
+  // which the inspector observed accesses.
+  void normalize() {
+    const auto key = [](const Action& a) {
+      return (static_cast<int>(a.type) << 8) | static_cast<int>(a.field);
+    };
+    std::sort(actions_.begin(), actions_.end(),
+              [&](const Action& x, const Action& y) { return key(x) < key(y); });
+    actions_.erase(std::unique(actions_.begin(), actions_.end()),
+                   actions_.end());
+  }
+
+  std::vector<Action> actions_;
+};
+
+}  // namespace nfp

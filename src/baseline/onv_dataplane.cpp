@@ -1,0 +1,88 @@
+#include "baseline/onv_dataplane.hpp"
+
+namespace nfp::baseline {
+
+OnvDataplane::OnvDataplane(sim::Simulator& sim,
+                           std::vector<std::string> chain,
+                           DataplaneConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      pool_(std::make_unique<PacketPool>(config_.pool_packets)) {
+  int id = 0;
+  for (auto& type : chain) {
+    NfInstance inst;
+    inst.type = type;
+    if (config_.factory) {
+      StageNf meta{type, id, 1, 0, false};
+      inst.impl = config_.factory(meta);
+    } else {
+      inst.impl = make_builtin_nf(type, static_cast<u64>(id) + 1);
+    }
+    ++id;
+    nfs_.push_back(std::move(inst));
+  }
+}
+
+void OnvDataplane::inject(Packet* pkt) {
+  ++stats_.injected;
+  pkt->set_inject_time(sim_.now());
+  const SimTime link_free =
+      rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
+  const SimTime ready = link_free + config_.costs.nic_delay_ns;
+  sim_.schedule_at(ready, [this, pkt, ready] {
+    switch_forward(pkt, 0, ready, /*first_crossing=*/true);
+  });
+}
+
+void OnvDataplane::switch_forward(Packet* pkt, std::size_t next_nf, SimTime t,
+                                  bool first_crossing) {
+  const sim::OpCost crossing = config_.costs.switch_crossing;
+  SimTime occ = crossing.occ;
+  if (first_crossing) occ += config_.costs.switch_manager.occ;
+  const SimTime free = switch_core_.execute(t, occ);
+  const SimTime done = free + crossing.delay;
+
+  if (next_nf >= nfs_.size()) {
+    sim_.schedule_at(done, [this, pkt] { output(pkt, sim_.now()); });
+    return;
+  }
+  sim_.schedule_at(done, [this, next_nf, pkt, done] {
+    run_nf(next_nf, pkt, done);
+  });
+}
+
+void OnvDataplane::run_nf(std::size_t idx, Packet* pkt, SimTime ready) {
+  NfInstance& inst = nfs_[idx];
+  const sim::OpCost deq = config_.costs.nf_dequeue;
+  const sim::OpCost nf_cost = config_.costs.nf_cost(
+      inst.type, pkt->length(), config_.delaynf_cycles);
+
+  PacketView view(*pkt);
+  NfVerdict verdict = NfVerdict::kPass;
+  if (view.valid()) verdict = inst.impl->process(view);
+
+  const SimTime free = inst.core.execute(ready, deq.occ + nf_cost.occ);
+  const SimTime done = inst.out.stamp(free + deq.delay + nf_cost.delay);
+  if (verdict == NfVerdict::kDrop) {
+    ++stats_.dropped_by_nf;
+    pool_->release(pkt);
+    return;
+  }
+  sim_.schedule_at(done, [this, idx, pkt, done] {
+    switch_forward(pkt, idx + 1, done, /*first_crossing=*/false);
+  });
+}
+
+void OnvDataplane::output(Packet* pkt, SimTime t) {
+  const SimTime done =
+      tx_link_.execute(t, config_.costs.wire_ns(pkt->length())) +
+      config_.costs.nic_delay_ns;
+  ++stats_.delivered;
+  if (sink_) {
+    sink_(pkt, done);
+  } else {
+    pool_->release(pkt);
+  }
+}
+
+}  // namespace nfp::baseline

@@ -1,0 +1,63 @@
+// OpenNetVM-style baseline: a sequential service chain steered by a
+// centralized virtual switch (paper §6's comparison system).
+//
+// Every packet crosses the switch core n+1 times for a chain of n NFs
+// (NIC -> switch -> NF1 -> switch -> ... -> NFn -> switch -> NIC). The
+// switch core's occupancy is the system bottleneck, which is exactly the
+// "packet queuing in this centralized switch" effect the paper calls out.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/nfp_dataplane.hpp"  // DataplaneConfig / NfFactory / stats
+#include "nfs/nf.hpp"
+#include "packet/packet_pool.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace nfp::baseline {
+
+class OnvDataplane {
+ public:
+  using Sink = std::function<void(Packet*, SimTime out_time)>;
+
+  OnvDataplane(sim::Simulator& sim, std::vector<std::string> chain,
+               DataplaneConfig config = {});
+
+  void inject(Packet* pkt);
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  PacketPool& pool() noexcept { return *pool_; }
+  const DataplaneStats& stats() const noexcept { return stats_; }
+  NetworkFunction* nf(std::size_t index) { return nfs_.at(index).impl.get(); }
+  SimTime switch_busy_ns() const { return switch_core_.busy_time(); }
+
+ private:
+  struct NfInstance {
+    std::string type;
+    std::unique_ptr<NetworkFunction> impl;
+    sim::SimCore core;
+    sim::FifoChannel out;
+  };
+
+  void switch_forward(Packet* pkt, std::size_t next_nf, SimTime t,
+                      bool first_crossing);
+  void run_nf(std::size_t idx, Packet* pkt, SimTime ready);
+  void output(Packet* pkt, SimTime t);
+
+  sim::Simulator& sim_;
+  DataplaneConfig config_;
+  std::unique_ptr<PacketPool> pool_;
+  Sink sink_;
+  DataplaneStats stats_;
+
+  sim::SimCore rx_link_;
+  sim::SimCore tx_link_;
+  sim::SimCore switch_core_;
+  std::vector<NfInstance> nfs_;
+};
+
+}  // namespace nfp::baseline

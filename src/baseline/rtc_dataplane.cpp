@@ -1,0 +1,92 @@
+#include "baseline/rtc_dataplane.hpp"
+
+#include "common/hash.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp::baseline {
+
+RtcDataplane::RtcDataplane(sim::Simulator& sim, std::vector<std::string> chain,
+                           std::size_t cores, DataplaneConfig config)
+    : sim_(sim),
+      chain_(std::move(chain)),
+      config_(std::move(config)),
+      pool_(std::make_unique<PacketPool>(config_.pool_packets)) {
+  replicas_.resize(cores == 0 ? 1 : cores);
+  int id = 0;
+  for (Replica& replica : replicas_) {
+    for (const std::string& type : chain_) {
+      if (config_.factory) {
+        StageNf meta{type, id, 1, 0, false};
+        replica.nfs.push_back(config_.factory(meta));
+      } else {
+        replica.nfs.push_back(
+            make_builtin_nf(type, static_cast<u64>(id) + 1));
+      }
+      ++id;
+    }
+  }
+}
+
+void RtcDataplane::inject(Packet* pkt) {
+  ++stats_.injected;
+  pkt->set_inject_time(sim_.now());
+  const SimTime ready =
+      rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
+
+  // NIC RSS: flows hash onto replicas.
+  PacketView view(*pkt);
+  const std::size_t replica =
+      view.valid()
+          ? static_cast<std::size_t>(hash_five_tuple(view.five_tuple()) %
+                                     replicas_.size())
+          : 0;
+  sim_.schedule_at(ready, [this, replica, pkt, ready] {
+    run_chain(replica, pkt, ready);
+  });
+}
+
+void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
+                             SimTime ready) {
+  Replica& replica = replicas_[replica_idx];
+
+  // The replica core runs RX, every NF, and TX back-to-back.
+  SimTime occ = config_.costs.rtc_rx.occ;
+  SimTime delay = config_.costs.rtc_rx.delay;
+  NfVerdict verdict = NfVerdict::kPass;
+  for (std::size_t i = 0; i < replica.nfs.size(); ++i) {
+    const sim::OpCost nf_cost = config_.costs.nf_cost(
+        chain_[i], pkt->length(), config_.delaynf_cycles);
+    // Run-to-completion executes the NF logic in place: the compute cost is
+    // the occupancy (which already contributes to latency); pipelining-mode
+    // batching delays do not apply.
+    occ += nf_cost.occ + config_.costs.rtc_call_ns;
+    PacketView view(*pkt);
+    if (view.valid() && verdict == NfVerdict::kPass) {
+      verdict = replica.nfs[i]->process(view);
+    }
+    if (verdict == NfVerdict::kDrop) break;
+  }
+  occ += config_.costs.rtc_tx.occ;
+  delay += config_.costs.rtc_tx.delay;
+
+  const SimTime done = replica.core.execute(ready, occ) + delay;
+  if (verdict == NfVerdict::kDrop) {
+    ++stats_.dropped_by_nf;
+    pool_->release(pkt);
+    return;
+  }
+  sim_.schedule_at(done, [this, pkt] { output(pkt, sim_.now()); });
+}
+
+void RtcDataplane::output(Packet* pkt, SimTime t) {
+  const SimTime done =
+      tx_link_.execute(t, config_.costs.wire_ns(pkt->length()));
+  ++stats_.delivered;
+  if (sink_) {
+    sink_(pkt, done);
+  } else {
+    pool_->release(pkt);
+  }
+}
+
+}  // namespace nfp::baseline

@@ -1,0 +1,61 @@
+// BESS-style run-to-completion baseline (paper §7, Table 4).
+//
+// The whole service chain is consolidated as function calls on one core;
+// given k cores, k chain replicas run side by side and the NIC's RSS
+// hashing splits flows across them. No rings, no copies, no merging —
+// maximum throughput, minimum latency, but none of NFV's per-NF elasticity
+// (the trade-off §7 discusses).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/nfp_dataplane.hpp"
+#include "nfs/nf.hpp"
+#include "packet/packet_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace nfp::baseline {
+
+class RtcDataplane {
+ public:
+  using Sink = std::function<void(Packet*, SimTime out_time)>;
+
+  // `cores`: number of chain replicas (the paper gives each system n+2
+  // cores for a chain of n NFs; BESS uses all of them for replicas).
+  RtcDataplane(sim::Simulator& sim, std::vector<std::string> chain,
+               std::size_t cores, DataplaneConfig config = {});
+
+  void inject(Packet* pkt);
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  PacketPool& pool() noexcept { return *pool_; }
+  const DataplaneStats& stats() const noexcept { return stats_; }
+  NetworkFunction* nf(std::size_t replica, std::size_t index) {
+    return replicas_.at(replica).nfs.at(index).get();
+  }
+
+ private:
+  struct Replica {
+    std::vector<std::unique_ptr<NetworkFunction>> nfs;
+    sim::SimCore core;
+  };
+
+  void run_chain(std::size_t replica, Packet* pkt, SimTime ready);
+  void output(Packet* pkt, SimTime t);
+
+  sim::Simulator& sim_;
+  std::vector<std::string> chain_;
+  DataplaneConfig config_;
+  std::unique_ptr<PacketPool> pool_;
+  Sink sink_;
+  DataplaneStats stats_;
+
+  sim::SimCore rx_link_;
+  sim::SimCore tx_link_;
+  std::vector<Replica> replicas_;
+};
+
+}  // namespace nfp::baseline

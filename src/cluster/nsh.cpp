@@ -1,0 +1,85 @@
+#include "cluster/nsh.hpp"
+
+#include <cstring>
+
+#include "packet/endian.hpp"
+#include "packet/headers.hpp"
+
+namespace nfp::cluster {
+
+namespace {
+
+constexpr u8 kNshVersion = 0x1;
+constexpr u8 kFlagHasContext = 0x01;
+
+}  // namespace
+
+bool is_nsh(const Packet& pkt) {
+  if (pkt.length() < kEthHeaderLen) return false;
+  return load_be16(pkt.data() + 12) == kEtherTypeNsh;
+}
+
+bool nsh_encap(Packet& pkt, const NshInfo& info) {
+  if (pkt.length() < kEthHeaderLen) return false;
+  const std::size_t shim_len =
+      kNshBaseLen + (info.pid ? kNshContextLen : 0);
+  if (pkt.headroom() < shim_len) return false;
+
+  EthView eth(pkt.data());
+  const u16 inner_type = eth.ether_type();
+
+  u8* shim = pkt.insert(kEthHeaderLen, shim_len);
+  std::memset(shim, 0, shim_len);
+  shim[0] = kNshVersion;
+  shim[1] = info.pid ? kFlagHasContext : 0;
+  shim[2] = static_cast<u8>(info.next_mid >> 16);
+  shim[3] = static_cast<u8>(info.next_mid >> 8);
+  shim[4] = static_cast<u8>(info.next_mid);
+  // shim[5..6] reserved; shim[7] records the inner ethertype's low byte is
+  // not enough — store the full inner type in reserved bytes 5..6.
+  store_be16(shim + 5, inner_type);
+
+  if (info.pid) {
+    for (int i = 0; i < 8; ++i) {
+      shim[kNshBaseLen + static_cast<std::size_t>(i)] =
+          static_cast<u8>(*info.pid >> (56 - 8 * i));
+    }
+  }
+
+  EthView new_eth(pkt.data());
+  new_eth.set_ether_type(kEtherTypeNsh);
+  return true;
+}
+
+std::optional<NshInfo> nsh_decap(Packet& pkt) {
+  if (!is_nsh(pkt)) return std::nullopt;
+  if (pkt.length() < kEthHeaderLen + kNshBaseLen) return std::nullopt;
+
+  const u8* shim = pkt.data() + kEthHeaderLen;
+  if (shim[0] != kNshVersion) return std::nullopt;
+
+  NshInfo info;
+  info.next_mid = (static_cast<u32>(shim[2]) << 16) |
+                  (static_cast<u32>(shim[3]) << 8) | shim[4];
+  const u16 inner_type = load_be16(shim + 5);
+  const bool has_context = (shim[1] & kFlagHasContext) != 0;
+  std::size_t shim_len = kNshBaseLen;
+  if (has_context) {
+    if (pkt.length() < kEthHeaderLen + kNshBaseLen + kNshContextLen) {
+      return std::nullopt;
+    }
+    u64 pid = 0;
+    for (int i = 0; i < 8; ++i) {
+      pid = (pid << 8) | shim[kNshBaseLen + static_cast<std::size_t>(i)];
+    }
+    info.pid = pid;
+    shim_len += kNshContextLen;
+  }
+
+  pkt.erase(kEthHeaderLen, shim_len);
+  EthView eth(pkt.data());
+  eth.set_ether_type(inner_type);
+  return info;
+}
+
+}  // namespace nfp::cluster

@@ -1,0 +1,48 @@
+// Network Service Header encapsulation for cross-server delivery (§7).
+//
+// The paper points to NSH [51] / FlowTags [16] for steering packets between
+// NFP servers. We implement an NSH-style shim carrying exactly the state
+// the next server needs: the service path (the graph), the next segment's
+// MID, and the NFP packet metadata (PID and version survive the hop, so a
+// downstream merger keeps accumulating correctly).
+//
+// Layout (8 bytes, inserted between the Ethernet and IP headers, signalled
+// by a dedicated EtherType):
+//   0      : version (0x1)
+//   1      : flags
+//   2..4   : service path = next segment MID (24 bits, holds the 20-bit MID)
+//   5..7   : reserved / service index
+// The original NFP metadata word travels out-of-band in the paper (packet
+// descriptor); across servers we re-tag it from the shim + a fresh PID
+// namespace per hop is avoided by carrying the PID in an 8-byte context
+// extension when `with_context` is set.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace nfp::cluster {
+
+inline constexpr u16 kEtherTypeNsh = 0x894F;  // IETF-assigned NSH ethertype
+inline constexpr std::size_t kNshBaseLen = 8;
+inline constexpr std::size_t kNshContextLen = 8;
+
+struct NshInfo {
+  u32 next_mid = 0;        // segment MID on the next server
+  std::optional<u64> pid;  // NFP packet id carried across the hop
+};
+
+// Encapsulates `pkt` (an Ethernet/IPv4 frame) with the NSH shim; returns
+// false when the packet has no room or is too short for a frame header.
+bool nsh_encap(Packet& pkt, const NshInfo& info);
+
+// Removes the shim and returns its contents; nullopt if `pkt` is not
+// NSH-encapsulated.
+std::optional<NshInfo> nsh_decap(Packet& pkt);
+
+// True when the frame carries the NSH ethertype.
+bool is_nsh(const Packet& pkt);
+
+}  // namespace nfp::cluster

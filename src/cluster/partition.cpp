@@ -1,0 +1,76 @@
+#include "cluster/partition.hpp"
+
+#include <sstream>
+
+namespace nfp::cluster {
+
+Result<std::vector<ServerPlan>> partition_graph(
+    const ServiceGraph& graph, const PartitionOptions& options) {
+  using R = Result<std::vector<ServerPlan>>;
+  if (options.cores_per_server <= options.infra_cores) {
+    return R::error("cores_per_server must exceed infra_cores");
+  }
+  const std::size_t nf_capacity =
+      options.cores_per_server - options.infra_cores;
+
+  std::vector<ServerPlan> plan;
+  ServerPlan current;
+  current.infra_cores = options.infra_cores;
+
+  const auto& segments = graph.segments();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::size_t nfs = segments[i].nfs.size();
+    if (nfs > nf_capacity) {
+      return R::error("segment " + std::to_string(i) + " needs " +
+                      std::to_string(nfs) + " NF cores; a server offers " +
+                      std::to_string(nf_capacity));
+    }
+    if (current.nf_cores + nfs > nf_capacity) {
+      current.egress_mid = segments[i].mid;
+      plan.push_back(std::move(current));
+      current = ServerPlan{};
+      current.infra_cores = options.infra_cores;
+    }
+    current.segments.push_back(i);
+    current.nf_cores += nfs;
+  }
+  if (!current.segments.empty()) plan.push_back(std::move(current));
+  if (plan.empty()) return R::error("graph has no segments");
+  return plan;
+}
+
+std::string plan_to_string(const ServiceGraph& graph,
+                           const std::vector<ServerPlan>& plan) {
+  std::ostringstream out;
+  out << "deployment of graph '" << graph.name() << "' across " << plan.size()
+      << " server(s):\n";
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    const ServerPlan& server = plan[s];
+    out << "  server " << s << " (" << server.nf_cores << " NF cores + "
+        << server.infra_cores << " infra): ";
+    for (const std::size_t idx : server.segments) {
+      const Segment& seg = graph.segments()[idx];
+      out << "[";
+      for (std::size_t k = 0; k < seg.nfs.size(); ++k) {
+        if (k > 0) out << "|";
+        out << seg.nfs[k].name;
+      }
+      out << "] ";
+    }
+    if (s + 1 < plan.size()) {
+      out << "--NSH mid=" << server.egress_mid << "--> server " << s + 1;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+double inter_server_copies_per_packet(const ServiceGraph& graph,
+                                      const std::vector<ServerPlan>& plan) {
+  (void)graph;
+  // Cuts are only made at segment boundaries, where the merger has already
+  // collapsed all versions into one packet.
+  return plan.size() > 1 ? 1.0 : 0.0;
+}
+
+}  // namespace nfp::cluster

@@ -1,0 +1,52 @@
+// Cross-server NF parallelism (paper §7, "NFP Scalability").
+//
+// When a service graph has too many NFs for one server, NFP must partition
+// it across machines while keeping the bandwidth overhead at zero: "each
+// server sends only one copy of a packet to the next server". Segment
+// boundaries have exactly that property — every parallel stage ends at the
+// merger, which emits a single merged packet — so the partitioner cuts the
+// compiled graph *between segments*, never inside one.
+//
+// Inter-server delivery is tagged NSH-style: each hand-off carries the next
+// server's first MID, mirroring the paper's pointer to Flowtags/NSH.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/service_graph.hpp"
+
+namespace nfp::cluster {
+
+struct ServerPlan {
+  std::vector<std::size_t> segments;  // indices into the graph's segments
+  std::size_t nf_cores = 0;           // cores running NFs
+  std::size_t infra_cores = 0;        // classifier/agent/mergers
+  // MID the next server expects on ingress (NSH service-path tag);
+  // 0 on the last server.
+  u32 egress_mid = 0;
+};
+
+struct PartitionOptions {
+  std::size_t cores_per_server = 20;  // the paper's testbed: 2x10 cores
+  // Infrastructure cores per server: classifier + merger agent + mergers.
+  std::size_t infra_cores = 4;
+};
+
+// Packs consecutive segments onto servers, never splitting a segment.
+// Fails when one parallel stage alone exceeds a server's NF capacity.
+Result<std::vector<ServerPlan>> partition_graph(
+    const ServiceGraph& graph, const PartitionOptions& options = {});
+
+// Human-readable deployment plan.
+std::string plan_to_string(const ServiceGraph& graph,
+                           const std::vector<ServerPlan>& plan);
+
+// Packets crossing a server boundary carry one copy only; this computes the
+// inter-server bandwidth amplification of a plan (always 1.0 by
+// construction — exposed so tests and benches can assert the §7 property).
+double inter_server_copies_per_packet(const ServiceGraph& graph,
+                                      const std::vector<ServerPlan>& plan);
+
+}  // namespace nfp::cluster

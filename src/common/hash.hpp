@@ -1,0 +1,66 @@
+// Small non-cryptographic hashes used for flow classification and the
+// merger agent's PID-based load balancing (§5.3 of the paper).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+// 64-bit FNV-1a over arbitrary bytes.
+constexpr u64 fnv1a64(std::span<const u8> bytes) noexcept {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (u8 b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr u64 fnv1a64(std::string_view s) noexcept {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Stafford mix13 finalizer: turns a counter-like value (e.g. a packet ID)
+// into a well-distributed hash. Used by the merger agent so consecutive PIDs
+// spread evenly across merger instances.
+constexpr u64 mix64(u64 x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hash of an IPv4 5-tuple; the canonical key for per-flow state (monitor
+// counters, ECMP load balancing, classification).
+struct FiveTuple {
+  u32 src_ip = 0;
+  u32 dst_ip = 0;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u8 proto = 0;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+constexpr u64 hash_five_tuple(const FiveTuple& t) noexcept {
+  u64 a = (static_cast<u64>(t.src_ip) << 32) | t.dst_ip;
+  u64 b = (static_cast<u64>(t.src_port) << 24) |
+          (static_cast<u64>(t.dst_port) << 8) | t.proto;
+  return mix64(a ^ mix64(b));
+}
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(hash_five_tuple(t));
+  }
+};
+
+}  // namespace nfp

@@ -1,0 +1,72 @@
+// Minimal leveled logger. Benchmarks print their own tables; the logger is
+// for diagnostics from the orchestrator and dataplane.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace nfp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, std::string_view msg) {
+    if (level < level_) return;
+    const std::scoped_lock lock(mu_);
+    std::clog << "[" << name(level) << "] " << msg << '\n';
+  }
+
+ private:
+  static std::string_view name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < Logger::instance().level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  Logger::instance().log(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace nfp

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generation and load balancing in the simulator must be
+// reproducible bit-for-bit, so we use a self-contained xoshiro256** stream
+// seeded through SplitMix64 rather than std::random_device.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+// SplitMix64: used to expand a single 64-bit seed into a full xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) noexcept : state_(seed) {}
+
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+// xoshiro256**: fast, high-quality generator for simulation workloads.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit constexpr Rng(u64 seed = kDefaultSeed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr u64 kDefaultSeed = 0xA11CE;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<u64>::max();
+  }
+
+  constexpr u64 operator()() noexcept { return next(); }
+
+  constexpr u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift reduction.
+  constexpr u64 bounded(u64 bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<u64>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr u64 range(u64 lo, u64 hi) noexcept {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace nfp

@@ -1,0 +1,64 @@
+// Lightweight Status / Result types for recoverable errors (policy parsing,
+// configuration validation). Programming errors use assertions/exceptions.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nfp {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return {}; }
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool is_ok() const noexcept { return !message_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+// Result<T>: either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Result error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const T& value() const& {
+    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+    return *value_;
+  }
+  T& value() & {
+    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+    return *value_;
+  }
+  T&& take() && {
+    if (!value_) throw std::logic_error("Result::take() on error: " + error_);
+    return std::move(*value_);
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace nfp

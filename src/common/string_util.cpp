@@ -1,0 +1,91 @@
+#include "common/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ipv4_to_string(unsigned int addr) {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((addr >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+bool parse_ipv4(std::string_view text, unsigned int& out) {
+  u32 addr = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (octets < 4) {
+    std::size_t end = text.find('.', pos);
+    std::string_view part = (end == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, end - pos);
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || value > 255) {
+      return false;
+    }
+    addr = (addr << 8) | value;
+    ++octets;
+    if (end == std::string_view::npos) break;
+    pos = end + 1;
+  }
+  if (octets != 4) return false;
+  out = addr;
+  return true;
+}
+
+}  // namespace nfp

@@ -1,0 +1,21 @@
+// Small string helpers used by the policy parser and table renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfp {
+
+std::string_view trim(std::string_view s);
+std::vector<std::string> split(std::string_view s, char delim);
+std::string to_lower(std::string_view s);
+bool iequals(std::string_view a, std::string_view b);
+
+// Formats an IPv4 address in host byte order as dotted quad.
+std::string ipv4_to_string(unsigned int addr);
+
+// Parses "a.b.c.d" into a host-byte-order address; returns false on error.
+bool parse_ipv4(std::string_view text, unsigned int& out);
+
+}  // namespace nfp

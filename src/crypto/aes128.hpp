@@ -1,0 +1,40 @@
+// AES-128 block cipher (FIPS-197) with a CTR-mode stream helper.
+//
+// Substrate for the VPN NF (paper §6.1: "encrypts a packet based on the AES
+// algorithm and wraps it with an AH header"). Table-based implementation;
+// validated against the FIPS-197 appendix vectors in the tests.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class Aes128 {
+ public:
+  using Block = std::array<u8, 16>;
+  using Key = std::array<u8, 16>;
+
+  explicit Aes128(const Key& key) { expand_key(key); }
+
+  void encrypt_block(const u8 in[16], u8 out[16]) const noexcept;
+  void decrypt_block(const u8 in[16], u8 out[16]) const noexcept;
+
+  // CTR mode: XORs the keystream for (nonce, counter0...) over `data`
+  // in place. Symmetric: applying it twice restores the plaintext.
+  void ctr_crypt(u64 nonce, std::span<u8> data) const noexcept;
+
+  // 96-bit integrity check value over `data` (AES-CBC-MAC truncated to 12
+  // bytes) — fills the AH ICV field.
+  std::array<u8, 12> icv(std::span<const u8> data) const noexcept;
+
+ private:
+  void expand_key(const Key& key) noexcept;
+
+  // 11 round keys of 16 bytes each.
+  std::array<u8, 176> round_keys_{};
+};
+
+}  // namespace nfp

@@ -1,0 +1,302 @@
+#include "dataplane/live_pipeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "dataplane/merge_ops.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp {
+
+namespace {
+
+constexpr std::size_t kRingDepth = 256;
+constexpr std::size_t kPoolSize = 4096;
+
+}  // namespace
+
+LivePipeline::LivePipeline(
+    ServiceGraph graph,
+    std::function<std::unique_ptr<NetworkFunction>(const StageNf&)> factory)
+    : graph_(std::move(graph)), pool_(kPoolSize) {
+  int instance = 0;
+  for (Segment& seg : graph_.segments()) {
+    std::vector<LiveNf> nfs;
+    for (StageNf& meta : seg.nfs) {
+      meta.instance_id = instance++;
+      LiveNf nf;
+      nf.meta = meta;
+      nf.impl = factory ? factory(meta)
+                        : make_builtin_nf(
+                              meta.name,
+                              static_cast<u64>(meta.instance_id) + 1);
+      if (nf.impl == nullptr) nf.impl = make_builtin_nf("monitor");
+      nf.in = std::make_unique<SpscRing<Packet*>>(kRingDepth);
+      nf.out = std::make_unique<SpscRing<Packet*>>(kRingDepth);
+      nfs.push_back(std::move(nf));
+    }
+    segments_.push_back(std::move(nfs));
+  }
+}
+
+LivePipeline::~LivePipeline() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& seg : segments_) {
+    for (auto& nf : seg) {
+      if (nf.thread.joinable()) nf.thread.join();
+    }
+  }
+  if (merger_thread_.joinable()) merger_thread_.join();
+}
+
+Packet* LivePipeline::alloc_copy(const Packet& src, bool full) {
+  const std::scoped_lock lock(pool_mu_);
+  return full ? pool_.clone_full(src) : pool_.clone_header_only(src);
+}
+
+void LivePipeline::release(Packet* pkt) {
+  const std::scoped_lock lock(pool_mu_);
+  pool_.release(pkt);
+}
+
+void LivePipeline::add_ref(Packet* pkt) {
+  const std::scoped_lock lock(pool_mu_);
+  pool_.add_ref(pkt);
+}
+
+bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt) {
+  const Segment& seg = graph_.segments()[seg_idx];
+  auto& nfs = segments_[seg_idx];
+  pkt->meta().set_mid(seg.mid);
+  pkt->meta().set_version(1);
+  pkt->set_nil(false);
+
+  std::vector<Packet*> version_pkt(
+      static_cast<std::size_t>(seg.num_versions) + 1, nullptr);
+  version_pkt[1] = pkt;
+  for (u8 v = 2; v <= seg.num_versions; ++v) {
+    Packet* copy = alloc_copy(*pkt, seg.version_needs_full_copy(v));
+    if (copy == nullptr) {
+      for (u8 w = 2; w < v; ++w) release(version_pkt[w]);
+      release(pkt);
+      return false;
+    }
+    copy->meta().set_version(v);
+    copy->set_nil(false);
+    version_pkt[v] = copy;
+  }
+  for (u8 v = 1; v <= seg.num_versions; ++v) {
+    const auto consumers = static_cast<std::size_t>(std::count_if(
+        seg.nfs.begin(), seg.nfs.end(),
+        [v](const StageNf& nf) { return nf.version == v; }));
+    if (consumers == 0) {
+      if (v > 1) release(version_pkt[v]);
+      continue;
+    }
+    for (std::size_t extra = 1; extra < consumers; ++extra) {
+      add_ref(version_pkt[v]);
+    }
+  }
+  for (std::size_t k = 0; k < nfs.size(); ++k) {
+    Packet* version = version_pkt[seg.nfs[k].version];
+    while (!nfs[k].in->push(version)) std::this_thread::yield();
+  }
+  return true;
+}
+
+void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
+  const Segment& seg = graph_.segments()[seg_idx];
+  LiveNf& self = segments_[seg_idx][nf_idx];
+  const bool parallel = seg.is_parallel();
+  const bool last_segment = seg_idx + 1 == graph_.segments().size();
+
+  for (;;) {
+    Packet* pkt = nullptr;
+    if (!self.in->pop(pkt)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+      continue;
+    }
+
+    PacketView view(*pkt);
+    NfVerdict verdict = NfVerdict::kPass;
+    if (view.valid()) verdict = self.impl->process(view);
+
+    if (parallel) {
+      // Nil-packet mechanism (§5.2): the drop intention travels to the
+      // merger on the packet itself.
+      pkt->set_nil(verdict == NfVerdict::kDrop);
+      while (!self.out->push(pkt)) std::this_thread::yield();
+      continue;
+    }
+
+    if (verdict == NfVerdict::kDrop) {
+      release(pkt);
+      const std::scoped_lock lock(result_mu_);
+      ++result_.dropped;
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (last_segment) {
+      {
+        const std::scoped_lock lock(result_mu_);
+        result_.outputs.emplace_back(pkt->data(), pkt->data() + pkt->length());
+      }
+      release(pkt);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (!enter_segment(seg_idx + 1, pkt)) {
+      const std::scoped_lock lock(result_mu_);
+      ++result_.dropped;
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void LivePipeline::merger_loop() {
+  // (segment, pid) -> arrivals with the sender NF's stage metadata.
+  struct Arrival {
+    Packet* pkt;
+    u8 version;
+    bool drop_intent;
+    int priority;
+    bool can_drop;
+  };
+  std::map<std::pair<std::size_t, u64>, std::vector<Arrival>> at;
+
+  for (;;) {
+    bool idle = true;
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const Segment& seg = graph_.segments()[s];
+      if (!seg.is_parallel()) continue;
+      for (std::size_t k = 0; k < segments_[s].size(); ++k) {
+        LiveNf& nf = segments_[s][k];
+        Packet* pkt = nullptr;
+        while (nf.out->pop(pkt)) {
+          idle = false;
+          const u64 pid = pkt->meta().pid();
+          auto& arrivals = at[{s, pid}];
+          arrivals.push_back(Arrival{pkt, nf.meta.version, pkt->is_nil(),
+                                     nf.meta.priority, nf.meta.can_drop});
+          if (arrivals.size() < seg.merge.total_count) continue;
+
+          // Complete: resolve drops, merge, forward.
+          bool dropped = false;
+          if (seg.merge.drop_resolution == DropResolution::kAnyDrop) {
+            for (const Arrival& a : arrivals) dropped |= a.drop_intent;
+          } else {
+            int best = -1;
+            for (const Arrival& a : arrivals) {
+              if (a.can_drop && a.priority > best) {
+                best = a.priority;
+                dropped = a.drop_intent;
+              }
+            }
+          }
+
+          Packet* merged = nullptr;
+          if (!dropped) {
+            std::vector<std::pair<Packet*, u8>> pairs;
+            pairs.reserve(arrivals.size());
+            for (const Arrival& a : arrivals) {
+              pairs.emplace_back(a.pkt, a.version);
+            }
+            merged = apply_merge_operations(seg, pairs);
+          }
+          bool kept_one = false;
+          for (const Arrival& a : arrivals) {
+            if (a.pkt == merged && !kept_one) {
+              kept_one = true;
+              continue;
+            }
+            release(a.pkt);
+          }
+          at.erase({s, pid});
+
+          if (merged == nullptr) {
+            const std::scoped_lock lock(result_mu_);
+            ++result_.dropped;
+            in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+          } else if (s + 1 == segments_.size()) {
+            {
+              const std::scoped_lock lock(result_mu_);
+              result_.outputs.emplace_back(merged->data(),
+                                           merged->data() + merged->length());
+            }
+            merged->set_nil(false);
+            release(merged);
+            in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+          } else {
+            merged->set_nil(false);
+            if (!enter_segment(s + 1, merged)) {
+              const std::scoped_lock lock(result_mu_);
+              ++result_.dropped;
+              in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+            }
+          }
+        }
+      }
+    }
+    if (idle) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
+  // Spin up the workers.
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    for (std::size_t k = 0; k < segments_[s].size(); ++k) {
+      segments_[s][k].thread =
+          std::thread([this, s, k] { nf_loop(s, k); });
+    }
+  }
+  merger_thread_ = std::thread([this] { merger_loop(); });
+
+  u64 pid = 0;
+  for (const auto& frame : frames) {
+    // Bound the in-flight window well below the ring depth so a full ring
+    // can never wedge the merger-thread against an NF thread (the merger
+    // re-enters segments and would otherwise spin on a ring an NF cannot
+    // drain because its own output ring is full).
+    while (in_flight_.load(std::memory_order_acquire) >= kRingDepth / 4) {
+      std::this_thread::yield();
+    }
+    Packet* pkt = nullptr;
+    for (;;) {
+      {
+        const std::scoped_lock lock(pool_mu_);
+        pkt = pool_.alloc(frame.size());
+      }
+      if (pkt != nullptr) break;
+      std::this_thread::yield();
+    }
+    std::memcpy(pkt->data(), frame.data(), frame.size());
+    pkt->meta().set_pid(pid++ & Metadata::kMaxPid);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (!enter_segment(0, pkt)) {
+      const std::scoped_lock lock(result_mu_);
+      ++result_.dropped;
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& seg : segments_) {
+    for (auto& nf : seg) {
+      if (nf.thread.joinable()) nf.thread.join();
+    }
+  }
+  if (merger_thread_.joinable()) merger_thread_.join();
+
+  const std::scoped_lock lock(result_mu_);
+  return std::move(result_);
+}
+
+}  // namespace nfp

@@ -1,0 +1,23 @@
+// Byte-level application of a segment's merge operations (paper §5.3,
+// Fig 6). Shared by the simulated-time dataplane and the live threaded
+// pipeline.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/service_graph.hpp"
+#include "packet/packet.hpp"
+
+namespace nfp {
+
+// `arrivals` lists (packet, version) pairs received by the merger; several
+// arrivals may reference the same packet. Applies the segment's merge
+// operations onto the version-1 packet and returns it; nullptr when no
+// version-1 packet is present (malformed hand-built graph).
+// Checksums are left exactly as the winning NFs wrote them so the merged
+// packet is byte-identical to the sequential execution (§6.4).
+Packet* apply_merge_operations(
+    const Segment& seg, const std::vector<std::pair<Packet*, u8>>& arrivals);
+
+}  // namespace nfp

@@ -1,0 +1,371 @@
+#include "dataplane/nfp_dataplane.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "dataplane/merge_ops.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp {
+
+namespace {
+
+std::unique_ptr<NetworkFunction> default_factory(const StageNf& nf) {
+  return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
+}
+
+}  // namespace
+
+NfpDataplane::NfpDataplane(sim::Simulator& sim, ServiceGraph graph,
+                           DataplaneConfig config)
+    : NfpDataplane(sim,
+                   [&] {
+                     std::vector<ServiceGraph> graphs;
+                     graphs.push_back(std::move(graph));
+                     return graphs;
+                   }(),
+                   std::move(config)) {}
+
+NfpDataplane::NfpDataplane(sim::Simulator& sim,
+                           std::vector<ServiceGraph> graphs,
+                           DataplaneConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      pool_(std::make_unique<PacketPool>(config_.pool_packets)),
+      merger_cores_(config_.merger_instances),
+      merger_out_(config_.merger_instances),
+      at_(config_.merger_instances) {
+  assert(!graphs.empty());
+  const NfFactory& factory =
+      config_.factory ? config_.factory : NfFactory(default_factory);
+
+  u32 next_mid = 0;
+  int next_instance = 0;
+  for (ServiceGraph& graph : graphs) {
+    GraphRuntime runtime;
+    runtime.graph = std::move(graph);
+    for (Segment& seg : runtime.graph.segments()) {
+      seg.mid = next_mid++ & Metadata::kMaxMid;  // globally unique MIDs
+      std::vector<NfInstance> instances;
+      for (StageNf& nf : seg.nfs) {
+        nf.instance_id = next_instance++;
+        NfInstance inst;
+        inst.meta = nf;
+        inst.impl = factory(nf);
+        if (inst.impl == nullptr) {
+          // Unknown NF type: fall back to a pass-through monitor so the
+          // graph still runs; cost accounting uses the type name regardless.
+          log_warn("no implementation for NF type '", nf.name,
+                   "'; using monitor as a stand-in");
+          inst.impl = make_builtin_nf("monitor");
+        }
+        instances.push_back(std::move(inst));
+      }
+      runtime.segments.push_back(std::move(instances));
+    }
+    graphs_.push_back(std::move(runtime));
+  }
+}
+
+NfpDataplane::~NfpDataplane() = default;
+
+NetworkFunction* NfpDataplane::nf_in(std::size_t graph_index,
+                                     std::size_t segment, std::size_t index) {
+  return graphs_.at(graph_index).segments.at(segment).at(index).impl.get();
+}
+
+void NfpDataplane::add_flow_rule(const FiveTuple& flow,
+                                 std::size_t graph_index) {
+  assert(graph_index < graphs_.size());
+  ct_[flow] = graph_index;
+}
+
+void NfpDataplane::inject(Packet* pkt) {
+  ++stats_.injected;
+  pkt->set_inject_time(sim_.now());
+  // RX link: wire serialization occupies the link; NIC/driver adds delay.
+  const SimTime link_free =
+      rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
+  sim_.schedule_at(link_free + config_.costs.nic_delay_ns,
+                   [this, pkt] { classify(pkt); });
+}
+
+void NfpDataplane::classify(Packet* pkt) {
+  const SimTime free =
+      classifier_core_.execute(sim_.now(), config_.costs.classifier.occ);
+  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  pkt->meta().set_version(1);
+
+  // Classification Table lookup (§5.1): exact flow match, default graph 0.
+  std::size_t g = 0;
+  if (!ct_.empty()) {
+    PacketView view(*pkt);
+    if (view.valid()) {
+      const auto it = ct_.find(view.five_tuple());
+      if (it != ct_.end()) g = it->second;
+    }
+  }
+  enter_segment(g, 0, pkt, free, &classifier_core_,
+                config_.costs.classifier.delay, &classifier_out_);
+}
+
+// `t` is when the entry core can start the segment's entry actions;
+// `carry_delay` is packet latency accumulated on this core that applies to
+// the hand-off into the segment's NFs.
+void NfpDataplane::enter_segment(std::size_t g, std::size_t seg_idx,
+                                 Packet* pkt, SimTime t,
+                                 sim::SimCore* entry_core,
+                                 SimTime carry_delay,
+                                 sim::FifoChannel* channel) {
+  GraphRuntime& runtime = graphs_[g];
+  const Segment& seg = runtime.graph.segments()[seg_idx];
+  auto& instances = runtime.segments[seg_idx];
+  pkt->meta().set_mid(seg.mid);
+  pkt->meta().set_version(1);
+
+  if (!seg.is_parallel()) {
+    const SimTime free =
+        entry_core->execute(t, config_.costs.ring_enqueue.occ);
+    const SimTime handoff = channel->stamp(
+        free + carry_delay + config_.costs.ring_enqueue.delay);
+    sim_.schedule_at(handoff, [this, g, seg_idx, pkt, handoff] {
+      run_nf(g, seg_idx, 0, pkt, handoff);
+    });
+    return;
+  }
+
+  // Create the packet copies for versions 2..num_versions on the entry core
+  // (paper §5.2 `copy` action; memory comes from the pre-allocated pool).
+  std::vector<Packet*> version_pkt(
+      static_cast<std::size_t>(seg.num_versions) + 1, nullptr);
+  version_pkt[1] = pkt;
+  SimTime free = t;
+  SimTime copy_delay = 0;
+  for (u8 v = 2; v <= seg.num_versions; ++v) {
+    const bool full = seg.version_needs_full_copy(v);
+    Packet* copy =
+        full ? pool_->clone_full(*pkt) : pool_->clone_header_only(*pkt);
+    if (copy == nullptr) {
+      ++stats_.dropped_pool;
+      for (u8 w = 2; w < v; ++w) pool_->release(version_pkt[w]);
+      pool_->release(pkt);
+      return;
+    }
+    copy->meta().set_version(v);
+    version_pkt[v] = copy;
+    SimTime occ = config_.costs.copy_header.occ;
+    if (full) {
+      ++stats_.copies_full;
+      occ += static_cast<SimTime>(config_.costs.copy_full_per_byte_occ *
+                                  static_cast<double>(copy->length()));
+    } else {
+      ++stats_.copies_header;
+    }
+    stats_.copy_bytes += copy->length();
+    free = entry_core->execute(free, occ);
+    copy_delay += config_.costs.copy_header.delay;
+  }
+
+  // Reference counting: each version is consumed by every NF on it.
+  for (u8 v = 1; v <= seg.num_versions; ++v) {
+    const auto consumers = static_cast<std::size_t>(std::count_if(
+        seg.nfs.begin(), seg.nfs.end(),
+        [v](const StageNf& nf) { return nf.version == v; }));
+    if (consumers == 0) {
+      if (v > 1) pool_->release(version_pkt[v]);  // defensive: unused version
+      continue;
+    }
+    for (std::size_t extra = 1; extra < consumers; ++extra) {
+      pool_->add_ref(version_pkt[v]);
+    }
+  }
+
+  // Distributed delivery: one reference write per target NF.
+  const SimTime handoff_delay =
+      carry_delay + copy_delay + config_.costs.ring_enqueue.delay;
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    Packet* version = version_pkt[seg.nfs[k].version];
+    free = entry_core->execute(free, config_.costs.ring_enqueue.occ);
+    const SimTime handoff = channel->stamp(free + handoff_delay);
+    sim_.schedule_at(handoff, [this, g, seg_idx, k, version, handoff] {
+      run_nf(g, seg_idx, k, version, handoff);
+    });
+  }
+}
+
+void NfpDataplane::run_nf(std::size_t g, std::size_t seg_idx,
+                          std::size_t nf_idx, Packet* pkt, SimTime ready) {
+  GraphRuntime& runtime = graphs_[g];
+  const Segment& seg = runtime.graph.segments()[seg_idx];
+  NfInstance& inst = runtime.segments[seg_idx][nf_idx];
+
+  const sim::OpCost deq = config_.costs.nf_dequeue;
+  const sim::OpCost nf_cost = config_.costs.nf_cost(
+      inst.meta.name, pkt->length(), config_.delaynf_cycles);
+
+  // Real packet processing.
+  PacketView view(*pkt);
+  NfVerdict verdict = NfVerdict::kPass;
+  if (view.valid()) {
+    verdict = inst.impl->process(view);
+  }
+
+  const SimTime free = inst.core.execute(ready, deq.occ + nf_cost.occ);
+  const SimTime latency = deq.delay + nf_cost.delay;
+
+  if (!seg.is_parallel()) {
+    if (verdict == NfVerdict::kDrop) {
+      ++stats_.dropped_by_nf;
+      pool_->release(pkt);
+      return;
+    }
+    // The NF's outbound FIFO channel keeps hand-offs ordered: a small
+    // packet's shorter processing latency cannot let it overtake an earlier
+    // packet on the same ring.
+    leave_segment(g, seg_idx, pkt, free, &inst.core, latency, &inst.out);
+    return;
+  }
+
+  // Parallel stage: forward to the merger (nil packets signal drops, §5.2).
+  MergeItem item;
+  item.pkt = pkt;
+  item.version = inst.meta.version;
+  item.drop_intent = verdict == NfVerdict::kDrop;
+  item.priority = inst.meta.priority;
+  item.can_drop = inst.meta.can_drop;
+  const SimTime enq_free =
+      inst.core.execute(free, config_.costs.ring_enqueue.occ);
+  const SimTime handoff = inst.out.stamp(enq_free + latency +
+                                         config_.costs.ring_enqueue.delay);
+  sim_.schedule_at(handoff, [this, g, seg_idx, item, handoff] {
+    to_merger(g, seg_idx, item, handoff);
+  });
+}
+
+void NfpDataplane::to_merger(std::size_t g, std::size_t seg_idx,
+                             MergeItem item, SimTime t) {
+  // Merger agent: hash the immutable PID and steer to an instance (§5.3).
+  const SimTime free = agent_core_.execute(t, config_.costs.merger_agent.occ);
+  const std::size_t instance = static_cast<std::size_t>(
+      mix64(item.pkt->meta().pid()) % merger_cores_.size());
+  const SimTime handoff = free + config_.costs.merger_agent.delay;
+  sim_.schedule_at(handoff, [this, g, seg_idx, instance, item, handoff] {
+    merger_arrival(g, seg_idx, instance, item, handoff);
+  });
+}
+
+void NfpDataplane::merger_arrival(std::size_t g, std::size_t seg_idx,
+                                  std::size_t instance, MergeItem item,
+                                  SimTime t) {
+  const Segment& seg = graphs_[g].graph.segments()[seg_idx];
+  const SimTime free =
+      merger_cores_[instance].execute(t, config_.costs.merge_arrival.occ);
+
+  const u64 pid = item.pkt->meta().pid();
+  const AtKey key{g, seg_idx, pid};
+  MergeState& state = at_[instance][key];
+  state.items.push_back(item);
+  if (state.items.size() < seg.merge.total_count) return;
+
+  MergeState complete = std::move(state);
+  at_[instance].erase(key);
+  complete_merge(g, seg_idx, instance, std::move(complete),
+                 free + config_.costs.merge_arrival.delay);
+}
+
+void NfpDataplane::drop_all(MergeState& state) {
+  for (const MergeItem& item : state.items) pool_->release(item.pkt);
+  state.items.clear();
+}
+
+Packet* NfpDataplane::apply_merge_ops(const Segment& seg, MergeState& state) {
+  std::vector<std::pair<Packet*, u8>> arrivals;
+  arrivals.reserve(state.items.size());
+  for (const MergeItem& item : state.items) {
+    arrivals.emplace_back(item.pkt, item.version);
+  }
+  return apply_merge_operations(seg, arrivals);
+}
+
+void NfpDataplane::complete_merge(std::size_t g, std::size_t seg_idx,
+                                  std::size_t instance, MergeState state,
+                                  SimTime t) {
+  const Segment& seg = graphs_[g].graph.segments()[seg_idx];
+
+  // Drop resolution (§5.2/§5.3 nil packets; DESIGN.md).
+  bool dropped = false;
+  if (seg.merge.drop_resolution == DropResolution::kAnyDrop) {
+    dropped = std::any_of(state.items.begin(), state.items.end(),
+                          [](const MergeItem& i) { return i.drop_intent; });
+  } else {
+    int best_priority = -1;
+    for (const MergeItem& item : state.items) {
+      if (item.can_drop && item.priority > best_priority) {
+        best_priority = item.priority;
+        dropped = item.drop_intent;
+      }
+    }
+  }
+
+  const SimTime ops_occ = config_.costs.merge_per_op_ns * seg.merge.ops.size();
+  const SimTime free = merger_cores_[instance].execute(
+      t, config_.costs.merge_final.occ + ops_occ);
+  const SimTime latency =
+      config_.costs.merge_final.delay +
+      config_.costs.merge_per_arrival_delay_ns * seg.merge.total_count;
+  ++stats_.merges;
+
+  if (dropped) {
+    ++stats_.dropped_by_nf;
+    drop_all(state);
+    return;
+  }
+
+  Packet* merged = apply_merge_ops(seg, state);
+  if (merged == nullptr) {
+    drop_all(state);
+    return;
+  }
+  // Release every reference except one to the output packet.
+  bool kept_one = false;
+  for (const MergeItem& item : state.items) {
+    if (item.pkt == merged && !kept_one) {
+      kept_one = true;
+      continue;
+    }
+    pool_->release(item.pkt);
+  }
+
+  leave_segment(g, seg_idx, merged, free, &merger_cores_[instance], latency,
+                &merger_out_[instance]);
+}
+
+void NfpDataplane::leave_segment(std::size_t g, std::size_t seg_idx,
+                                 Packet* pkt, SimTime t, sim::SimCore* core,
+                                 SimTime carry_delay,
+                                 sim::FifoChannel* channel) {
+  if (seg_idx + 1 < graphs_[g].graph.segments().size()) {
+    enter_segment(g, seg_idx + 1, pkt, t, core, carry_delay, channel);
+    return;
+  }
+  const SimTime free = core->execute(t, config_.costs.output_queue.occ);
+  const SimTime handoff = channel->stamp(
+      free + carry_delay + config_.costs.output_queue.delay);
+  sim_.schedule_at(handoff, [this, pkt] { output(pkt, sim_.now()); });
+}
+
+void NfpDataplane::output(Packet* pkt, SimTime t) {
+  const SimTime free =
+      tx_link_.execute(t, config_.costs.wire_ns(pkt->length()));
+  const SimTime done = free + config_.costs.nic_delay_ns;
+  ++stats_.delivered;
+  if (sink_) {
+    sink_(pkt, done);
+  } else {
+    pool_->release(pkt);
+  }
+}
+
+}  // namespace nfp

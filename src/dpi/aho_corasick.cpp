@@ -1,0 +1,89 @@
+#include "dpi/aho_corasick.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace nfp {
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  nodes_.emplace_back();  // root
+
+  // Phase 1: trie construction.
+  for (std::size_t id = 0; id < patterns.size(); ++id) {
+    const std::string& pattern = patterns[id];
+    if (pattern.empty()) continue;
+    i32 node = 0;
+    for (const char c : pattern) {
+      const auto byte = static_cast<u8>(c);
+      if (nodes_[static_cast<std::size_t>(node)].next[byte] < 0) {
+        nodes_[static_cast<std::size_t>(node)].next[byte] =
+            static_cast<i32>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      node = nodes_[static_cast<std::size_t>(node)].next[byte];
+    }
+    nodes_[static_cast<std::size_t>(node)].outputs.push_back(id);
+    ++pattern_count_;
+  }
+
+  // Phase 2: BFS failure links, resolving transitions into a full DFA so
+  // matching is a single table walk per byte.
+  std::queue<i32> queue;
+  for (int c = 0; c < 256; ++c) {
+    const i32 child = nodes_[0].next[static_cast<std::size_t>(c)];
+    if (child < 0) {
+      nodes_[0].next[static_cast<std::size_t>(c)] = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(child)].fail = 0;
+      queue.push(child);
+    }
+  }
+  while (!queue.empty()) {
+    const i32 node = queue.front();
+    queue.pop();
+    Node& n = nodes_[static_cast<std::size_t>(node)];
+    const Node& fail_node = nodes_[static_cast<std::size_t>(n.fail)];
+    n.any_output = !n.outputs.empty() || fail_node.any_output;
+    for (int c = 0; c < 256; ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      const i32 child = n.next[cu];
+      if (child < 0) {
+        n.next[cu] = fail_node.next[cu];
+      } else {
+        nodes_[static_cast<std::size_t>(child)].fail = fail_node.next[cu];
+        queue.push(child);
+      }
+    }
+  }
+}
+
+bool AhoCorasick::contains(std::span<const u8> text) const noexcept {
+  i32 state = 0;
+  for (const u8 byte : text) {
+    state = nodes_[static_cast<std::size_t>(state)].next[byte];
+    if (nodes_[static_cast<std::size_t>(state)].any_output) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> AhoCorasick::find_all(
+    std::span<const u8> text) const {
+  std::vector<std::size_t> hits;
+  i32 state = 0;
+  for (const u8 byte : text) {
+    state = nodes_[static_cast<std::size_t>(state)].next[byte];
+    if (!nodes_[static_cast<std::size_t>(state)].any_output) continue;
+    // Walk the fail chain collecting outputs.
+    for (i32 n = state; n != 0; n = nodes_[static_cast<std::size_t>(n)].fail) {
+      for (const std::size_t id : nodes_[static_cast<std::size_t>(n)].outputs) {
+        hits.push_back(id);
+      }
+      if (!nodes_[static_cast<std::size_t>(n)].any_output) break;
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+}  // namespace nfp

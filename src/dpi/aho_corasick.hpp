@@ -1,0 +1,49 @@
+// Aho–Corasick multi-pattern matcher.
+//
+// Substrate for signature-based deep packet inspection: matches all
+// signatures in a single pass over the payload, the way Snort's core
+// matcher works (vs the naive per-signature scan). Used by the IDS/IPS NFs
+// and benchmarked against the naive scan in bench_micro_components.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class AhoCorasick {
+ public:
+  // Builds the automaton over `patterns` (indices into this vector are the
+  // pattern ids reported by match callbacks). Empty patterns are ignored.
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  // Returns true iff any pattern occurs in `text`.
+  bool contains(std::span<const u8> text) const noexcept;
+
+  // Returns the ids of all patterns occurring in `text` (deduplicated,
+  // ascending).
+  std::vector<std::size_t> find_all(std::span<const u8> text) const;
+
+  std::size_t pattern_count() const noexcept { return pattern_count_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::array<i32, 256> next;  // goto + failure-resolved transitions
+    i32 fail = 0;
+    std::vector<std::size_t> outputs;  // pattern ids ending here
+    bool any_output = false;           // outputs here or on the fail chain
+
+    Node() { next.fill(-1); }
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t pattern_count_ = 0;
+};
+
+}  // namespace nfp

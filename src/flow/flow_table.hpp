@@ -1,0 +1,86 @@
+// Bounded per-flow state table with LRU eviction.
+//
+// Generic substrate behind stateful NFs (monitor counters, NAT bindings).
+// Real middleboxes bound their flow state and evict least-recently-used
+// entries under pressure; the unordered_map + intrusive LRU list here gives
+// O(1) lookup/insert/evict and makes eviction observable for tests.
+#pragma once
+
+#include <cassert>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace nfp {
+
+template <typename Value>
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity = 65536) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  // Returns the entry for `key`, creating it (possibly evicting the LRU
+  // entry) when absent. The returned reference is valid until the next
+  // mutation of the table.
+  Value& get_or_create(const FiveTuple& key) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    if (map_.size() >= capacity_) {
+      const auto& victim = lru_.back();
+      map_.erase(victim.first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.emplace_front(key, Value{});
+    map_[key] = lru_.begin();
+    return lru_.begin()->second;
+  }
+
+  // Lookup without touching LRU order; nullptr when absent.
+  const Value* peek(const FiveTuple& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  bool erase(const FiveTuple& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  u64 evictions() const noexcept { return evictions_; }
+
+  // Iteration in most-recently-used order (state export).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, value] : lru_) fn(key, value);
+  }
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+ private:
+  using Entry = std::pair<FiveTuple, Value>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<FiveTuple, typename std::list<Entry>::iterator,
+                     FiveTupleHash>
+      map_;
+  u64 evictions_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,119 @@
+#include "graph/service_graph.hpp"
+
+#include <algorithm>
+
+namespace nfp {
+
+std::size_t ServiceGraph::nf_count() const {
+  std::size_t n = 0;
+  for (const Segment& s : segments_) n += s.nfs.size();
+  return n;
+}
+
+std::size_t ServiceGraph::copies_per_packet() const {
+  std::size_t n = 0;
+  for (const Segment& s : segments_) n += s.copies();
+  return n;
+}
+
+bool ServiceGraph::is_sequential() const {
+  return std::all_of(segments_.begin(), segments_.end(),
+                     [](const Segment& s) { return !s.is_parallel(); });
+}
+
+std::string ServiceGraph::structure() const {
+  std::string out;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (i > 0) out += '+';
+    out += std::to_string(segments_[i].nfs.size());
+  }
+  return out;
+}
+
+std::string ServiceGraph::to_string() const {
+  std::string out = "graph " + name_ + " (len=" +
+                    std::to_string(equivalent_length()) +
+                    ", copies=" + std::to_string(copies_per_packet()) + ")\n";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    out += "  [" + std::to_string(i) + "] ";
+    if (!s.is_parallel()) {
+      out += s.nfs.empty() ? "(empty)" : s.nfs.front().name;
+    } else {
+      out += "{ ";
+      for (std::size_t j = 0; j < s.nfs.size(); ++j) {
+        if (j > 0) out += " | ";
+        out += s.nfs[j].name + ":v" + std::to_string(s.nfs[j].version);
+      }
+      out += " } -> merge(" + std::to_string(s.merge.total_count) + ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ServiceGraph::to_dot() const {
+  std::string out = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n"
+                    "  node [shape=box];\n  classifier [shape=oval];\n"
+                    "  output [shape=oval];\n";
+  const auto node_id = [](const StageNf& nf) {
+    return nf.name + "_" + std::to_string(nf.instance_id);
+  };
+  std::vector<std::string> prev = {"classifier"};
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& seg = segments_[s];
+    std::vector<std::string> current;
+    for (const StageNf& nf : seg.nfs) {
+      const std::string id = node_id(nf);
+      out += "  " + id + " [label=\"" + nf.name + "\\nv" +
+             std::to_string(nf.version) + "\"];\n";
+      for (const auto& p : prev) out += "  " + p + " -> " + id + ";\n";
+      current.push_back(id);
+    }
+    if (seg.is_parallel()) {
+      const std::string merger = "merger_" + std::to_string(s);
+      out += "  " + merger + " [shape=diamond, label=\"merge\"];\n";
+      for (const auto& c : current) out += "  " + c + " -> " + merger + ";\n";
+      prev = {merger};
+    } else {
+      prev = std::move(current);
+    }
+  }
+  for (const auto& p : prev) out += "  " + p + " -> output;\n";
+  out += "}\n";
+  return out;
+}
+
+ServiceGraph ServiceGraph::sequential(std::string name,
+                                      const std::vector<std::string>& chain) {
+  ServiceGraph g(std::move(name));
+  int id = 0;
+  for (const auto& nf : chain) {
+    Segment seg;
+    seg.nfs.push_back(StageNf{nf, id++, 1, 0, false});
+    g.segments_.push_back(std::move(seg));
+  }
+  return g;
+}
+
+ServiceGraph ServiceGraph::parallel(std::string name,
+                                    const std::vector<std::string>& nfs,
+                                    const std::vector<u8>& versions,
+                                    std::vector<MergeOp> ops) {
+  ServiceGraph g(std::move(name));
+  Segment seg;
+  u8 max_version = 1;
+  for (std::size_t i = 0; i < nfs.size(); ++i) {
+    const u8 v = i < versions.size() ? versions[i] : u8{1};
+    max_version = std::max(max_version, v);
+    seg.nfs.push_back(
+        StageNf{nfs[i], static_cast<int>(i), v, static_cast<int>(i), false});
+  }
+  seg.num_versions = max_version;
+  seg.merge.total_count = static_cast<u32>(nfs.size());
+  seg.merge.ops = std::move(ops);
+  g.segments_.push_back(std::move(seg));
+  return g;
+}
+
+}  // namespace nfp

@@ -1,0 +1,122 @@
+// Compiled service graph.
+//
+// The orchestrator compiles a policy into a sequence of *segments*. Each
+// segment is either a single NF (sequential hop) or a parallel stage of NFs.
+// Within a parallel stage every NF is assigned a packet *version*: NFs that
+// may share one packet copy (no conflicting actions, §4.2 OP#1) share a
+// version; each extra version is one Header-Only copy. A parallel stage ends
+// at the merger, which combines versions using the segment's merge
+// operations (paper §5.3) and forwards the result to the next segment.
+//
+// The *equivalent chain length* of the graph — the quantity the paper's
+// latency model is built on — is the number of segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "actions/action.hpp"
+#include "packet/fields.hpp"
+
+namespace nfp {
+
+// One NF instance inside a segment.
+struct StageNf {
+  std::string name;     // NF type name (key into the action table / registry)
+  int instance_id = 0;  // unique within the graph; names NF instances
+  u8 version = 1;       // packet version this NF processes (1 = original)
+  int priority = 0;     // merge priority; higher wins conflicting fields
+  bool can_drop = false;
+};
+
+// Merge operations (paper §5.3, Fig 6). The base of the merged output is
+// version 1; operations graft data from other versions onto it.
+struct MergeOp {
+  enum class Kind : u8 {
+    kModify,  // overwrite field of v1 with the field from src_version
+    // Align v1's AH header with src_version: insert the AH carried by
+    // src_version after v1's IP header (paper Fig 6 "add(v2.AH, after,
+    // v1.IP)"), or remove v1's AH if src_version's NF removed it.
+    kSyncAh,
+  };
+  Kind kind = Kind::kModify;
+  u8 src_version = 1;
+  Field field = Field::kCount;
+
+  friend bool operator==(const MergeOp&, const MergeOp&) = default;
+};
+
+// How parallel drop verdicts combine (see DESIGN.md): Order-derived
+// parallelism preserves sequential semantics with "any drop wins";
+// explicit Priority rules let the highest-priority drop-capable NF decide.
+enum class DropResolution : u8 { kAnyDrop, kPriority };
+
+struct MergeSpec {
+  u32 total_count = 0;  // packet arrivals the merger expects per PID
+  std::vector<MergeOp> ops;
+  DropResolution drop_resolution = DropResolution::kAnyDrop;
+};
+
+struct Segment {
+  std::vector<StageNf> nfs;  // one entry => sequential hop, no merger
+  u8 num_versions = 1;       // copies made on segment entry = num_versions-1
+  MergeSpec merge;           // meaningful when nfs.size() > 1
+  u32 mid = 0;               // Match ID tagged on packets in this segment
+  // Bit v set => version v must be a full-packet copy because an NF on that
+  // version reads or writes the payload (Header-Only copies carry none).
+  u16 full_copy_mask = 0;
+
+  bool is_parallel() const noexcept { return nfs.size() > 1; }
+  std::size_t copies() const noexcept { return num_versions - 1u; }
+  bool version_needs_full_copy(u8 v) const noexcept {
+    return (full_copy_mask & (1u << v)) != 0;
+  }
+};
+
+class ServiceGraph {
+ public:
+  ServiceGraph() = default;
+  explicit ServiceGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::vector<Segment>& segments() noexcept { return segments_; }
+  const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+  // The paper's "equivalent chain length": sequential hops on the packet path.
+  std::size_t equivalent_length() const noexcept { return segments_.size(); }
+
+  // Total NF instances in the graph.
+  std::size_t nf_count() const;
+  // Header copies made per packet across all segments.
+  std::size_t copies_per_packet() const;
+  // True when no segment runs NFs in parallel.
+  bool is_sequential() const;
+
+  // Structure string in the style of paper Fig 14, e.g. "1+2+1" for a graph
+  // with a single NF, then two parallel NFs, then a single NF.
+  std::string structure() const;
+
+  // Multi-line human-readable rendering (used by examples and logs).
+  std::string to_string() const;
+
+  // Graphviz rendering: classifier -> segments (parallel stages as
+  // clusters feeding a merger node) -> output.
+  std::string to_dot() const;
+
+  // Convenience constructors for benches/tests that need a specific shape
+  // without going through the policy compiler.
+  static ServiceGraph sequential(std::string name,
+                                 const std::vector<std::string>& chain);
+  // One parallel stage; `versions[i]` gives the version of stage NF i
+  // (pass {} for all-version-1 / no-copy parallelism).
+  static ServiceGraph parallel(std::string name,
+                               const std::vector<std::string>& nfs,
+                               const std::vector<u8>& versions = {},
+                               std::vector<MergeOp> ops = {});
+
+ private:
+  std::string name_ = "graph";
+  std::vector<Segment> segments_;
+};
+
+}  // namespace nfp

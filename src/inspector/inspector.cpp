@@ -1,0 +1,87 @@
+#include "inspector/inspector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "packet/builder.hpp"
+#include "packet/packet_pool.hpp"
+
+namespace nfp {
+
+namespace {
+
+class ProfileRecorder final : public ActionRecorder {
+ public:
+  void on_read(Field field) override { profile.add_read(field); }
+  void on_write(Field field) override { profile.add_write(field); }
+  void on_add_remove(Field field) override { profile.add_add_rm(field); }
+
+  ActionProfile profile;
+};
+
+}  // namespace
+
+ActionProfile inspect_nf(NetworkFunction& nf,
+                         const InspectionOptions& options) {
+  PacketPool pool(8);
+  Rng rng(options.seed);
+  ProfileRecorder recorder;
+  bool saw_drop = false;
+
+  for (std::size_t i = 0; i < options.sample_packets; ++i) {
+    PacketSpec spec;
+    spec.tuple.src_ip = static_cast<u32>(rng.next());
+    spec.tuple.dst_ip = static_cast<u32>(rng.next());
+    spec.tuple.src_port = static_cast<u16>(rng.range(1, 65535));
+    spec.tuple.dst_port = static_cast<u16>(rng.range(1, 65535));
+    spec.tuple.proto = rng.uniform() < 0.7 ? kProtoTcp : kProtoUdp;
+    spec.frame_size = rng.range(64, 1400);
+    spec.payload_byte = static_cast<u8>(rng.bounded(256));
+
+    Packet* pkt = build_packet(pool, spec);
+    if (pkt == nullptr) break;
+    PacketView view(*pkt, &recorder);
+    if (view.valid()) {
+      if (nf.process(view) == NfVerdict::kDrop) saw_drop = true;
+    }
+    pool.release(pkt);
+  }
+
+  // The checksum field is maintained by the framework, not an NF intent;
+  // exclude it from the behavioural profile.
+  std::vector<Action> actions;
+  for (const Action& a : recorder.profile.actions()) {
+    if (a.field != Field::kChecksum) actions.push_back(a);
+  }
+  ActionProfile profile(std::move(actions));
+  if (saw_drop) profile.add_drop();
+  return profile;
+}
+
+void register_inspected_nf(ActionTable& table, NetworkFunction& nf,
+                           double deployment_share,
+                           const InspectionOptions& options) {
+  table.register_nf(std::string(nf.type_name()), inspect_nf(nf, options),
+                    deployment_share);
+}
+
+std::vector<std::string> diff_profiles(const ActionProfile& observed,
+                                       const ActionProfile& declared) {
+  std::vector<std::string> out;
+  for (const Action& a : observed.actions()) {
+    if (std::find(declared.actions().begin(), declared.actions().end(), a) ==
+        declared.actions().end()) {
+      out.push_back("undeclared action observed: " + action_to_string(a));
+    }
+  }
+  for (const Action& a : declared.actions()) {
+    if (std::find(observed.actions().begin(), observed.actions().end(), a) ==
+        observed.actions().end()) {
+      out.push_back("declared action unobserved: " + action_to_string(a));
+    }
+  }
+  return out;
+}
+
+}  // namespace nfp

@@ -1,0 +1,45 @@
+// The NF action inspector (paper §5.4).
+//
+// "NFP provides an inspection tool for operators that can inspect NF codes
+// to find the usage of interfaces that operate on packets, including
+// reading, writing, dropping and adding/removing bits. Operators can run
+// the inspector against their NF code to automatically generate an action
+// profile, which can be registered into NFP."
+//
+// Our packets are accessed exclusively through PacketView, so the inspector
+// instruments the view with an ActionRecorder and replays a battery of
+// deterministic sample packets (mixed sizes, protocols and 5-tuples)
+// through the NF, unioning the observed actions. Drops are observed from
+// the returned verdicts.
+#pragma once
+
+#include "actions/action_table.hpp"
+#include "actions/profile.hpp"
+#include "nfs/nf.hpp"
+
+namespace nfp {
+
+struct InspectionOptions {
+  std::size_t sample_packets = 256;
+  u64 seed = 7;
+};
+
+// Runs `nf` over sample traffic and returns the observed action profile.
+ActionProfile inspect_nf(NetworkFunction& nf,
+                         const InspectionOptions& options = {});
+
+// Inspects and registers the NF into the action table under its type name,
+// the §5.4 onboarding flow for a new NF.
+void register_inspected_nf(ActionTable& table, NetworkFunction& nf,
+                           double deployment_share = 0.0,
+                           const InspectionOptions& options = {});
+
+// Compares an observed profile against a declared one. Returns a
+// human-readable list of discrepancies (empty = consistent). Observing
+// *fewer* actions than declared is reported too: a declared action the
+// inspector never sees may still occur on traffic outside the sample set,
+// so it is phrased as "unobserved", not "wrong".
+std::vector<std::string> diff_profiles(const ActionProfile& observed,
+                                       const ActionProfile& declared);
+
+}  // namespace nfp

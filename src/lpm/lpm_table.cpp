@@ -1,0 +1,65 @@
+#include "lpm/lpm_table.hpp"
+
+#include "common/rng.hpp"
+
+namespace nfp {
+
+struct LpmTable::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<u32> next_hop;
+};
+
+LpmTable::LpmTable() : root_(std::make_unique<Node>()) {}
+LpmTable::~LpmTable() = default;
+LpmTable::LpmTable(LpmTable&&) noexcept = default;
+LpmTable& LpmTable::operator=(LpmTable&&) noexcept = default;
+
+void LpmTable::insert(u32 prefix, u8 prefix_len, u32 next_hop) {
+  Node* node = root_.get();
+  for (u8 depth = 0; depth < prefix_len; ++depth) {
+    const unsigned bit = (prefix >> (31 - depth)) & 1;
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  if (!node->next_hop) ++size_;
+  node->next_hop = next_hop;
+}
+
+std::optional<u32> LpmTable::lookup(u32 addr) const {
+  const Node* node = root_.get();
+  std::optional<u32> best = node->next_hop;
+  for (u8 depth = 0; depth < 32 && node != nullptr; ++depth) {
+    const unsigned bit = (addr >> (31 - depth)) & 1;
+    node = node->child[bit].get();
+    if (node != nullptr && node->next_hop) best = node->next_hop;
+  }
+  return best;
+}
+
+bool LpmTable::remove(u32 prefix, u8 prefix_len) {
+  Node* node = root_.get();
+  for (u8 depth = 0; depth < prefix_len; ++depth) {
+    const unsigned bit = (prefix >> (31 - depth)) & 1;
+    node = node->child[bit].get();
+    if (node == nullptr) return false;
+  }
+  if (!node->next_hop) return false;
+  node->next_hop.reset();
+  --size_;
+  return true;
+}
+
+LpmTable LpmTable::with_synthetic_routes(std::size_t count, u64 seed) {
+  LpmTable table;
+  Rng rng(seed);
+  table.insert(0, 0, 0xFFFF);  // default route
+  while (table.size() < count) {
+    const u32 prefix = static_cast<u32>(rng.next()) & 0xFFFFFF00u;
+    const u8 len = static_cast<u8>(rng.range(8, 28));
+    const u32 masked = len == 0 ? 0 : (prefix & (0xFFFFFFFFu << (32 - len)));
+    table.insert(masked, len, static_cast<u32>(rng.bounded(256)));
+  }
+  return table;
+}
+
+}  // namespace nfp

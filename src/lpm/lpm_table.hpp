@@ -1,0 +1,45 @@
+// Longest-prefix-match table for IPv4 (binary trie).
+//
+// Substrate for the L3 forwarder NF (paper §6.1: "obtains the matching
+// entry from a longest prefix matching table with 1000 entries").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class LpmTable {
+ public:
+  LpmTable();
+  ~LpmTable();
+  LpmTable(LpmTable&&) noexcept;
+  LpmTable& operator=(LpmTable&&) noexcept;
+  LpmTable(const LpmTable&) = delete;
+  LpmTable& operator=(const LpmTable&) = delete;
+
+  // Inserts `prefix`/`prefix_len` -> next_hop; replaces an existing entry.
+  void insert(u32 prefix, u8 prefix_len, u32 next_hop);
+
+  // Longest-prefix lookup; nullopt when nothing matches (no default route).
+  std::optional<u32> lookup(u32 addr) const;
+
+  // Removes the exact prefix entry; returns whether it existed.
+  bool remove(u32 prefix, u8 prefix_len);
+
+  std::size_t size() const noexcept { return size_; }
+
+  // Fills the table with `count` deterministic /24-ish routes (the 1000-entry
+  // table of the paper's evaluation), including a default route.
+  static LpmTable with_synthetic_routes(std::size_t count, u64 seed = 1);
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nfp

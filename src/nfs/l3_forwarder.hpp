@@ -1,0 +1,43 @@
+// L3 Forwarder NF: longest-prefix-match next-hop lookup (paper §6.1,
+// "a simple forwarder that obtains the matching entry from a longest prefix
+// matching table with 1000 entries to find out the next hop").
+#pragma once
+
+#include "lpm/lpm_table.hpp"
+#include "nfs/nf.hpp"
+
+namespace nfp {
+
+class L3Forwarder final : public NetworkFunction {
+ public:
+  explicit L3Forwarder(LpmTable table) : table_(std::move(table)) {}
+  static L3Forwarder with_synthetic_routes(std::size_t count = 1000,
+                                           u64 seed = 1) {
+    return L3Forwarder(LpmTable::with_synthetic_routes(count, seed));
+  }
+
+  std::string_view type_name() const override { return "l3fwd"; }
+
+  NfVerdict process(PacketView& packet) override {
+    const auto hop = table_.lookup(packet.dst_ip());
+    last_next_hop_ = hop.value_or(0);
+    ++lookups_;
+    return NfVerdict::kPass;
+  }
+
+  ActionProfile declared_profile() const override {
+    ActionProfile p;
+    p.add_read(Field::kDstIp);
+    return p;
+  }
+
+  u32 last_next_hop() const noexcept { return last_next_hop_; }
+  u64 lookups() const noexcept { return lookups_; }
+
+ private:
+  LpmTable table_;
+  u32 last_next_hop_ = 0;
+  u64 lookups_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,59 @@
+// Load Balancer NF: ECMP over a backend pool (paper §6.1: "the commonly
+// used ECMP mechanism in data centers that hashed the 5-tuple of the packet
+// to balance the load"). The chosen backend is written into the destination
+// address (virtual-IP to direct-IP translation), which is what makes the LB
+// a writer in the action table.
+#pragma once
+
+#include <vector>
+
+#include "nfs/nf.hpp"
+
+namespace nfp {
+
+class LoadBalancer final : public NetworkFunction {
+ public:
+  explicit LoadBalancer(std::vector<u32> backends)
+      : backends_(std::move(backends)) {}
+  static LoadBalancer with_backends(std::size_t count = 8,
+                                    u32 base_addr = 0x0A640000) {
+    std::vector<u32> b;
+    for (std::size_t i = 0; i < count; ++i) {
+      b.push_back(base_addr + static_cast<u32>(i) + 1);
+    }
+    return LoadBalancer(std::move(b));
+  }
+
+  std::string_view type_name() const override { return "lb"; }
+
+  NfVerdict process(PacketView& packet) override {
+    const u64 h = hash_five_tuple(packet.five_tuple());
+    const u32 backend = backends_[h % backends_.size()];
+    packet.set_dst_ip(backend);
+    // Source rewrite to the LB's own address (full-proxy mode, like F5).
+    packet.set_src_ip(kLbAddress);
+    ++balanced_;
+    return NfVerdict::kPass;
+  }
+
+  ActionProfile declared_profile() const override {
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_write(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_write(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kProto);  // 5-tuple hash input
+    return p;
+  }
+
+  u64 balanced() const noexcept { return balanced_; }
+  static constexpr u32 kLbAddress = 0x0A630001;
+
+ private:
+  std::vector<u32> backends_;
+  u64 balanced_ = 0;
+};
+
+}  // namespace nfp

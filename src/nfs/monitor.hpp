@@ -1,0 +1,79 @@
+// Monitor NF: per-flow packet/byte counters keyed by the 5-tuple
+// (paper §6.1: "maintains per-flow counters ... the counter table uses the
+// hash value of the 5-tuple as the key"), NetFlow-style.
+//
+// State lives in a bounded LRU FlowTable and is exportable/importable so an
+// overloaded monitor can be scaled out with flow migration (paper §7's
+// "migrate some states ... redirect some flows to the new instance").
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+#include "nfs/nf.hpp"
+
+namespace nfp {
+
+class Monitor final : public NetworkFunction {
+ public:
+  struct FlowStats {
+    u64 packets = 0;
+    u64 bytes = 0;
+
+    friend bool operator==(const FlowStats&, const FlowStats&) = default;
+  };
+  using ExportedFlow = std::pair<FiveTuple, FlowStats>;
+
+  explicit Monitor(std::size_t flow_capacity = 65536)
+      : flows_(flow_capacity) {}
+
+  std::string_view type_name() const override { return "monitor"; }
+
+  NfVerdict process(PacketView& packet) override {
+    FlowStats& stats = flows_.get_or_create(packet.five_tuple());
+    ++stats.packets;
+    stats.bytes += packet.packet().length();
+    ++total_packets_;
+    return NfVerdict::kPass;
+  }
+
+  ActionProfile declared_profile() const override {
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kProto);  // 5-tuple flow key
+    return p;
+  }
+
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+  u64 total_packets() const noexcept { return total_packets_; }
+  u64 evictions() const noexcept { return flows_.evictions(); }
+  const FlowStats* flow(const FiveTuple& t) const { return flows_.peek(t); }
+
+  // --- state migration (§7 scaling) ------------------------------------------
+  // Removes and returns every flow for which `pred(key)` holds.
+  template <typename Pred>
+  std::vector<ExportedFlow> extract_flows(Pred&& pred) {
+    std::vector<ExportedFlow> out;
+    flows_.for_each([&](const FiveTuple& key, const FlowStats& stats) {
+      if (pred(key)) out.emplace_back(key, stats);
+    });
+    for (const auto& [key, stats] : out) flows_.erase(key);
+    return out;
+  }
+
+  void absorb_flows(const std::vector<ExportedFlow>& flows) {
+    for (const auto& [key, stats] : flows) {
+      flows_.get_or_create(key) = stats;
+    }
+  }
+
+ private:
+  FlowTable<FlowStats> flows_;
+  u64 total_packets_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,46 @@
+#include "nfs/nf.hpp"
+
+#include "nfs/firewall.hpp"
+#include "nfs/ids.hpp"
+#include "nfs/l3_forwarder.hpp"
+#include "nfs/load_balancer.hpp"
+#include "nfs/misc_nfs.hpp"
+#include "nfs/monitor.hpp"
+#include "nfs/nat.hpp"
+#include "nfs/vpn.hpp"
+
+namespace nfp {
+
+std::unique_ptr<NetworkFunction> make_builtin_nf(std::string_view type_name,
+                                                 u64 seed) {
+  if (type_name == "l3fwd") {
+    return std::make_unique<L3Forwarder>(
+        L3Forwarder::with_synthetic_routes(1000, seed));
+  }
+  if (type_name == "lb") {
+    return std::make_unique<LoadBalancer>(LoadBalancer::with_backends(8));
+  }
+  if (type_name == "firewall") {
+    return std::make_unique<Firewall>(
+        Firewall::with_synthetic_rules(100, seed));
+  }
+  if (type_name == "ids" || type_name == "nids") {
+    return std::make_unique<Ids>(Ids::synthetic_signatures(100, seed));
+  }
+  if (type_name == "ips") {
+    return std::make_unique<Ips>(Ids::synthetic_signatures(100, seed));
+  }
+  if (type_name == "vpn") return std::make_unique<Vpn>();
+  if (type_name == "vpn_decrypt") return std::make_unique<VpnDecrypt>();
+  if (type_name == "monitor") return std::make_unique<Monitor>();
+  if (type_name == "nat") return std::make_unique<Nat>();
+  if (type_name == "gateway") return std::make_unique<Gateway>();
+  if (type_name == "caching") return std::make_unique<Caching>();
+  if (type_name == "proxy") return std::make_unique<Proxy>();
+  if (type_name == "compression") return std::make_unique<Compression>();
+  if (type_name == "shaper") return std::make_unique<TrafficShaper>();
+  if (type_name == "delaynf") return std::make_unique<DelayNf>(300);
+  return nullptr;
+}
+
+}  // namespace nfp

@@ -1,0 +1,139 @@
+#include "openbox/openbox.hpp"
+
+#include <algorithm>
+
+#include "orch/compiler.hpp"
+
+namespace nfp::openbox {
+
+void register_builtin_blocks(ActionTable& table) {
+  {  // ReadPackets: ingress block; touches nothing by itself.
+    table.register_nf("read_packets", ActionProfile{});
+  }
+  {  // HeaderClassifier: reads the 5-tuple to classify the flow.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    p.add_read(Field::kProto);
+    table.register_nf("header_classifier", p);
+  }
+  {  // Alert (firewall): header-rule matching; raises alerts only.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    p.add_read(Field::kSrcPort);
+    p.add_read(Field::kDstPort);
+    table.register_nf("fw_alert", p);
+  }
+  {  // DPI: payload inspection.
+    ActionProfile p;
+    p.add_read(Field::kPayload);
+    table.register_nf("dpi", p);
+  }
+  {  // Alert (IPS): consumes DPI verdicts; reads headers for the report.
+    ActionProfile p;
+    p.add_read(Field::kSrcIp);
+    p.add_read(Field::kDstIp);
+    table.register_nf("ips_alert", p);
+  }
+  {  // Drop/Output decision block: the only block with a drop action.
+    ActionProfile p;
+    p.add_drop();
+    table.register_nf("output_block", p);
+  }
+}
+
+Policy merge_block_chains(const std::vector<BlockChain>& chains) {
+  std::string name = "openbox";
+  for (const auto& chain : chains) name += "+" + chain.nf_name;
+  Policy policy(std::move(name));
+
+  // Order rules along each chain; duplicate rules (from shared prefixes)
+  // are harmless and skipped.
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i + 1 < chain.blocks.size(); ++i) {
+      std::pair<std::string, std::string> edge{chain.blocks[i],
+                                               chain.blocks[i + 1]};
+      if (std::find(seen.begin(), seen.end(), edge) != seen.end()) continue;
+      seen.push_back(edge);
+      policy.add_order(edge.first, edge.second);
+    }
+    if (chain.blocks.size() == 1) policy.add_free_nf(chain.blocks.front());
+  }
+  return policy;
+}
+
+Result<ServiceGraph> compile_block_graph(
+    const std::vector<BlockChain>& chains, const ActionTable& table) {
+  // Block-chain edges carry metadata between blocks (the classifier
+  // consumes ReadPackets' output, the IPS alert consumes DPI verdicts), so
+  // they compile as hard sequential edges; parallelism comes from
+  // *cross-chain* independence, exactly Fig 15's Alert(FW) ∥ DPI.
+  CompilerOptions options;
+  options.hard_order_rules = true;
+  return compile_policy(merge_block_chains(chains), table, options);
+}
+
+namespace {
+
+// A block that reads the declared fields and passes; output_block carries
+// the drop capability (exercised only when an upstream block flags the
+// packet — here it simply passes, the drop action exists for the profile).
+class SimpleBlock final : public NetworkFunction {
+ public:
+  SimpleBlock(std::string name, ActionProfile profile)
+      : name_(std::move(name)), profile_(std::move(profile)) {}
+
+  std::string_view type_name() const override { return name_; }
+
+  NfVerdict process(PacketView& packet) override {
+    for (const Action& action : profile_.actions()) {
+      if (action.type != ActionType::kRead) continue;
+      switch (action.field) {
+        case Field::kSrcIp: (void)packet.src_ip(); break;
+        case Field::kDstIp: (void)packet.dst_ip(); break;
+        case Field::kSrcPort: (void)packet.src_port(); break;
+        case Field::kDstPort: (void)packet.dst_port(); break;
+        case Field::kProto: (void)packet.protocol(); break;
+        case Field::kPayload: (void)packet.payload(); break;
+        default: break;
+      }
+    }
+    ++processed_;
+    return NfVerdict::kPass;
+  }
+
+  ActionProfile declared_profile() const override { return profile_; }
+  u64 processed() const noexcept { return processed_; }
+
+ private:
+  std::string name_;
+  ActionProfile profile_;
+  u64 processed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NetworkFunction> make_block_nf(std::string_view name) {
+  ActionTable table;
+  register_builtin_blocks(table);
+  const NfTypeInfo* info = table.find(std::string(name));
+  if (info == nullptr) return nullptr;
+  return std::make_unique<SimpleBlock>(info->name, info->profile);
+}
+
+std::vector<BlockChain> fig15_firewall_and_ips() {
+  return {
+      BlockChain{"firewall",
+                 {"read_packets", "header_classifier", "fw_alert",
+                  "output_block"}},
+      BlockChain{"ips",
+                 {"read_packets", "header_classifier", "dpi", "ips_alert",
+                  "output_block"}},
+  };
+}
+
+}  // namespace nfp::openbox

@@ -1,0 +1,57 @@
+// Combining parallelism and modularity (paper §7, Fig 15).
+//
+// OpenBox decomposes NFs into building blocks and shares common blocks
+// between NFs. NFP then applies its dependency analysis at *block*
+// granularity: after merging the NFs' block chains (deduplicating shared
+// blocks), independent blocks — e.g. the firewall's Alert and the IPS's
+// DPI — run in parallel.
+//
+// The implementation reuses the NFP orchestrator wholesale: blocks are
+// registered in an ActionTable with block-level action profiles, each NF
+// contributes Order rules along its block chain, and compile_policy()
+// produces the optimized block graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "actions/action_table.hpp"
+#include "common/status.hpp"
+#include "graph/service_graph.hpp"
+#include "nfs/nf.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp::openbox {
+
+// One modular NF: an ordered chain of building-block names.
+struct BlockChain {
+  std::string nf_name;
+  std::vector<std::string> blocks;
+};
+
+// Registers the standard OpenBox building blocks (Fig 15's vocabulary) into
+// `table`: read_packets, header_classifier, fw_alert, dpi, ips_alert,
+// output_block — with block-granularity action profiles.
+void register_builtin_blocks(ActionTable& table);
+
+// Merges several NFs' block chains into one policy:
+//  - shared blocks (same name) appear once (OpenBox block sharing),
+//  - Order rules preserve each chain's sequencing,
+//  - compile_policy() then parallelizes independent blocks.
+Policy merge_block_chains(const std::vector<BlockChain>& chains);
+
+// Convenience: merge + compile in one step.
+Result<ServiceGraph> compile_block_graph(
+    const std::vector<BlockChain>& chains, const ActionTable& table);
+
+// The Fig 15 example: a modular Firewall and a modular IPS.
+std::vector<BlockChain> fig15_firewall_and_ips();
+
+// Lightweight executable implementations of the builtin blocks (readers
+// matching their registered profiles); nullptr for unknown names. Lets the
+// dataplane run block graphs without NF stand-ins.
+std::unique_ptr<NetworkFunction> make_block_nf(std::string_view name);
+
+}  // namespace nfp::openbox

@@ -1,0 +1,66 @@
+// The NFP policy compiler (paper §4.4).
+//
+// Turns a policy into a high-performance service graph in three steps that
+// mirror Fig 2 of the paper:
+//   1. Transform rules into intermediate representations: Position pins and
+//      analyzed NF pairs (Algorithm 1 verdict + conflicting actions).
+//   2. Compile the pair relations into execution stages: NFs connected by
+//      "must stay sequential" verdicts are levelled one after another; all
+//      NFs on the same level form a parallel stage (micrograph merging).
+//   3. Emit the final ServiceGraph: Position-first NFs at the head,
+//      parallel stages with version assignments and merge operations, and
+//      Position-last NFs at the tail.
+//
+// Version assignment is a greedy colouring over the "needs a copy" conflict
+// edges, so the number of packet copies per stage is minimised; NFs that
+// touch the payload are pinned to version 1 because Header-Only copies
+// carry no payload (§4.2 OP#2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "actions/action_table.hpp"
+#include "actions/dependency.hpp"
+#include "common/status.hpp"
+#include "graph/service_graph.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp {
+
+struct CompilerOptions {
+  AnalysisOptions analysis;
+  // Accept "parallelizable with copy" verdicts when forming stages. When
+  // false, only no-copy pairs parallelize (zero resource overhead mode);
+  // explicit Priority rules still force parallelism.
+  bool parallelize_with_copy = true;
+  // Treat every Order rule as a hard sequential edge regardless of the
+  // dependency analysis. Used for OpenBox block graphs (§7/Fig 15), where
+  // chain edges carry block-to-block *metadata* dependencies the packet
+  // action model cannot see; Priority rules still force parallelism and
+  // rule-free pairs are still analyzed normally.
+  bool hard_order_rules = false;
+};
+
+// One analyzed NF pair, kept for inspection by tests and the examples.
+struct PairDecision {
+  std::string nf1;
+  std::string nf2;
+  PairParallelism verdict = PairParallelism::kNoCopy;
+  bool from_priority_rule = false;
+  std::size_t conflict_count = 0;
+};
+
+struct CompileReport {
+  std::vector<PairDecision> decisions;
+  std::vector<std::string> warnings;
+};
+
+// Compiles `policy` against the NF action table. Returns an error for
+// invalid policies (conflicts, unknown NF names, unresolvable ordering).
+Result<ServiceGraph> compile_policy(const Policy& policy,
+                                    const ActionTable& table,
+                                    const CompilerOptions& options = {},
+                                    CompileReport* report = nullptr);
+
+}  // namespace nfp

@@ -1,0 +1,71 @@
+#include "orch/pair_stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace nfp {
+
+PairStats compute_pair_stats(const ActionTable& table, bool weighted,
+                             bool deployed_only,
+                             const AnalysisOptions& options) {
+  PairStats stats;
+  std::vector<const NfTypeInfo*> nfs;
+  for (const NfTypeInfo* info : table.all()) {
+    if (deployed_only && info->deployment_share <= 0.0) continue;
+    nfs.push_back(info);
+  }
+
+  double total_weight = 0.0;
+  for (const NfTypeInfo* a : nfs) {
+    for (const NfTypeInfo* b : nfs) {
+      if (a == b) continue;
+      total_weight += weighted ? a->deployment_share * b->deployment_share : 1.0;
+    }
+  }
+  if (total_weight == 0.0) return stats;
+
+  for (const NfTypeInfo* a : nfs) {
+    for (const NfTypeInfo* b : nfs) {
+      if (a == b) continue;
+      const double w =
+          (weighted ? a->deployment_share * b->deployment_share : 1.0) /
+          total_weight;
+      const PairAnalysis analysis =
+          analyze_pair(a->profile, b->profile, options);
+      const PairParallelism verdict = analysis.verdict();
+      switch (verdict) {
+        case PairParallelism::kNoCopy:
+          stats.no_copy += w;
+          break;
+        case PairParallelism::kWithCopy:
+          stats.with_copy += w;
+          break;
+        case PairParallelism::kNotParallelizable:
+          stats.sequential_only += w;
+          break;
+      }
+      stats.entries.push_back(PairStatEntry{a->name, b->name, verdict, w});
+      ++stats.pair_count;
+    }
+  }
+  stats.parallelizable = stats.no_copy + stats.with_copy;
+  return stats;
+}
+
+std::string pair_stats_table(const PairStats& stats) {
+  std::ostringstream out;
+  out << std::left << std::setw(14) << "NF1" << std::setw(14) << "NF2"
+      << std::setw(22) << "verdict" << "weight\n";
+  for (const auto& e : stats.entries) {
+    out << std::left << std::setw(14) << e.nf1 << std::setw(14) << e.nf2
+        << std::setw(22) << pair_parallelism_name(e.verdict) << std::fixed
+        << std::setprecision(4) << e.weight << "\n";
+  }
+  out << "\nparallelizable: " << std::fixed << std::setprecision(1)
+      << stats.parallelizable * 100 << "%  (no-copy: " << stats.no_copy * 100
+      << "%, with-copy: " << stats.with_copy * 100
+      << "%)  sequential-only: " << stats.sequential_only * 100 << "%\n";
+  return out.str();
+}
+
+}  // namespace nfp

@@ -1,0 +1,45 @@
+// Pairwise parallelism statistics over the NF action table (paper §4.3).
+//
+// The paper feeds every NF pair from Table 2 through Algorithm 1 and weights
+// the verdicts by the pairs' appearance probabilities, reporting that 53.8%
+// of NF pairs can work in parallel and 41.5% parallelize without copying.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "actions/action_table.hpp"
+#include "actions/dependency.hpp"
+
+namespace nfp {
+
+struct PairStatEntry {
+  std::string nf1;
+  std::string nf2;
+  PairParallelism verdict = PairParallelism::kNoCopy;
+  double weight = 0.0;  // normalized appearance probability (0 if unweighted)
+};
+
+struct PairStats {
+  // Fractions over all ordered pairs (NF1 != NF2).
+  double parallelizable = 0.0;  // no-copy + with-copy
+  double no_copy = 0.0;
+  double with_copy = 0.0;
+  double sequential_only = 0.0;
+  std::size_t pair_count = 0;
+  std::vector<PairStatEntry> entries;
+};
+
+// `weighted`: weight each ordered pair (i, j) by share_i * share_j over the
+// NFs with a known deployment share, matching the paper's methodology;
+// unweighted treats every pair equally.
+// `deployed_only`: restrict to NFs with a deployment share > 0 (the six
+// NFs the paper's enterprise statistics cover).
+PairStats compute_pair_stats(const ActionTable& table, bool weighted = true,
+                             bool deployed_only = true,
+                             const AnalysisOptions& options = {});
+
+// Renders the per-pair verdict matrix as text (benches and examples).
+std::string pair_stats_table(const PairStats& stats);
+
+}  // namespace nfp

@@ -1,0 +1,139 @@
+#include "orch/table_gen.hpp"
+
+#include <sstream>
+
+namespace nfp {
+
+namespace {
+
+std::string instance_label(const StageNf& nf) {
+  return nf.name + "#" + std::to_string(nf.instance_id);
+}
+
+// Entry actions performed when a packet enters `seg`: copies for every
+// extra version, then one distribute per version listing its consumers.
+std::vector<std::string> entry_actions(const Segment& seg) {
+  std::vector<std::string> actions;
+  if (!seg.is_parallel()) {
+    actions.push_back("distribute(v1, " + instance_label(seg.nfs.front()) +
+                      ")");
+    return actions;
+  }
+  for (u8 v = 2; v <= seg.num_versions; ++v) {
+    std::string copy = "copy(v1, v" + std::to_string(v) + ")";
+    if (seg.version_needs_full_copy(v)) copy += " [full]";
+    actions.push_back(std::move(copy));
+  }
+  for (u8 v = 1; v <= seg.num_versions; ++v) {
+    std::string targets;
+    for (const StageNf& nf : seg.nfs) {
+      if (nf.version != v) continue;
+      if (!targets.empty()) targets += ", ";
+      targets += instance_label(nf);
+    }
+    if (!targets.empty()) {
+      actions.push_back("distribute(v" + std::to_string(v) + ", [" +
+                        targets + "])");
+    }
+  }
+  return actions;
+}
+
+}  // namespace
+
+std::string merge_op_to_string(const MergeOp& op) {
+  std::ostringstream out;
+  switch (op.kind) {
+    case MergeOp::Kind::kModify:
+      out << "modify(v1." << field_name(op.field) << ", v"
+          << static_cast<int>(op.src_version) << "." << field_name(op.field)
+          << ")";
+      break;
+    case MergeOp::Kind::kSyncAh:
+      out << "add(v" << static_cast<int>(op.src_version)
+          << ".AH, after, v1.IP)";
+      break;
+  }
+  return out.str();
+}
+
+DataplaneTables generate_tables(const ServiceGraph& graph,
+                                const std::string& match) {
+  DataplaneTables tables;
+  const auto& segments = graph.segments();
+  if (segments.empty()) return tables;
+
+  // Classification Table entry: first segment's entry actions.
+  CtEntry ct;
+  ct.match = match;
+  ct.mid = segments.front().mid;
+  ct.total_count = segments.front().is_parallel()
+                       ? segments.front().merge.total_count
+                       : 1;
+  for (const MergeOp& op : segments.front().merge.ops) {
+    ct.merge_ops.push_back(merge_op_to_string(op));
+  }
+  ct.actions = entry_actions(segments.front());
+  tables.ct.push_back(std::move(ct));
+
+  // Forwarding Tables: every NF forwards to the merger (parallel stage) or
+  // performs the next segment's entry actions / output (sequential hop).
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const Segment& seg = segments[s];
+    const bool last = s + 1 == segments.size();
+    for (const StageNf& nf : seg.nfs) {
+      FtEntry entry;
+      entry.nf = instance_label(nf);
+      entry.mid = seg.mid;
+      if (seg.is_parallel()) {
+        entry.actions.push_back("distribute(v" +
+                                std::to_string(nf.version) + ", Merger)");
+        if (nf.can_drop) entry.actions.push_back("on-drop: nil -> Merger");
+      } else if (last) {
+        entry.actions.push_back("output(v1)");
+      } else {
+        for (auto& action : entry_actions(segments[s + 1])) {
+          entry.actions.push_back(std::move(action));
+        }
+      }
+      tables.ft.push_back(std::move(entry));
+    }
+    // The merger's own forwarding entry for parallel non-final segments.
+    if (seg.is_parallel()) {
+      FtEntry merger;
+      merger.nf = "Merger";
+      merger.mid = seg.mid;
+      for (const MergeOp& op : seg.merge.ops) {
+        merger.actions.push_back(merge_op_to_string(op));
+      }
+      if (last) {
+        merger.actions.push_back("output(v1)");
+      } else {
+        for (auto& action : entry_actions(segments[s + 1])) {
+          merger.actions.push_back(std::move(action));
+        }
+      }
+      tables.ft.push_back(std::move(merger));
+    }
+  }
+  return tables;
+}
+
+std::string tables_to_string(const DataplaneTables& tables) {
+  std::ostringstream out;
+  out << "Classification Table (CT)\n";
+  for (const CtEntry& e : tables.ct) {
+    out << "  match=" << e.match << " MID=" << e.mid
+        << " total_count=" << e.total_count << "\n";
+    for (const auto& mo : e.merge_ops) out << "    MO: " << mo << "\n";
+    for (const auto& a : e.actions) out << "    action: " << a << "\n";
+  }
+  out << "Forwarding Tables (FT)\n";
+  for (const FtEntry& e : tables.ft) {
+    out << "  [" << e.nf << "] MID=" << e.mid << "\n";
+    for (const auto& a : e.actions) out << "    " << a << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nfp

@@ -1,0 +1,50 @@
+// Dataplane table generation (paper §4.4.3 / Fig 4).
+//
+// The orchestrator's final step produces the three table kinds the
+// infrastructure consumes: the classifier's Classification Table entry, the
+// per-NF Forwarding Tables installed by the Chaining Manager, and the merge
+// operations. This module renders them explicitly — both as structured data
+// and in the textual form of the paper's Figure 4 — so operators (and
+// tests) can see exactly what a compiled graph installs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/service_graph.hpp"
+
+namespace nfp {
+
+// One Classification Table entry (Fig 4 left).
+struct CtEntry {
+  std::string match;          // e.g. "10.0.0.1" or "*"
+  u32 mid = 0;                // first segment's MID
+  u32 total_count = 0;        // copies the merger expects (first segment)
+  std::vector<std::string> merge_ops;  // rendered MOs
+  std::vector<std::string> actions;    // copy()/distribute() entry actions
+};
+
+// One Forwarding Table entry for an NF runtime (Fig 4 middle).
+struct FtEntry {
+  std::string nf;             // instance label, e.g. "monitor#1"
+  u32 mid = 0;                // segment the entry applies to
+  std::vector<std::string> actions;  // distribute()/output()/copy() actions
+};
+
+struct DataplaneTables {
+  std::vector<CtEntry> ct;
+  std::vector<FtEntry> ft;
+};
+
+// Generates the tables a deployment of `graph` installs. `match` names the
+// flow spec of the CT entry (purely descriptive).
+DataplaneTables generate_tables(const ServiceGraph& graph,
+                                const std::string& match = "*");
+
+// Renders tables in the style of paper Fig 4.
+std::string tables_to_string(const DataplaneTables& tables);
+
+// Renders one merge operation ("modify(v1.sip, v2.sip)" etc.).
+std::string merge_op_to_string(const MergeOp& op);
+
+}  // namespace nfp

@@ -1,0 +1,89 @@
+#include "packet/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "packet/checksum.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp {
+
+namespace {
+
+Packet* build_common(PacketPool& pool, const PacketSpec& spec,
+                     std::span<const u8> payload, bool use_pattern) {
+  const std::size_t frame = std::max<std::size_t>(spec.frame_size, 64);
+  assert(frame <= Packet::kMaxDataLen);
+
+  Packet* pkt = pool.alloc(frame);
+  if (pkt == nullptr) return nullptr;
+  std::memset(pkt->data(), 0, frame);
+
+  EthView eth(pkt->data());
+  eth.set_dst_mac({0x02, 0x00, 0x00, 0x00, 0x00, 0x02});
+  eth.set_src_mac({0x02, 0x00, 0x00, 0x00, 0x00, 0x01});
+  eth.set_ether_type(kEtherTypeIpv4);
+
+  const std::size_t ip_len = frame - kEthHeaderLen;
+  Ipv4View ip(pkt->data() + kEthHeaderLen);
+  ip.set_version_ihl(4, 5);
+  ip.set_tos(spec.tos);
+  ip.set_total_length(static_cast<u16>(ip_len));
+  ip.set_identification(0x1234);
+  ip.set_flags_fragment(0x4000);  // DF
+  ip.set_ttl(spec.ttl);
+  ip.set_protocol(spec.tuple.proto);
+  ip.set_src_ip(spec.tuple.src_ip);
+  ip.set_dst_ip(spec.tuple.dst_ip);
+
+  const std::size_t l4_off = kEthHeaderLen + kIpv4HeaderLen;
+  std::size_t payload_off = 0;
+  if (spec.tuple.proto == kProtoTcp) {
+    TcpView tcp(pkt->data() + l4_off);
+    tcp.set_src_port(spec.tuple.src_port);
+    tcp.set_dst_port(spec.tuple.dst_port);
+    tcp.set_seq(1);
+    tcp.set_ack(1);
+    tcp.set_data_offset(5);
+    tcp.set_flags(0x18);  // PSH|ACK
+    tcp.set_window(0xffff);
+    payload_off = l4_off + kTcpHeaderLen;
+  } else {
+    UdpView udp(pkt->data() + l4_off);
+    udp.set_src_port(spec.tuple.src_port);
+    udp.set_dst_port(spec.tuple.dst_port);
+    udp.set_length(static_cast<u16>(frame - l4_off));
+    payload_off = l4_off + kUdpHeaderLen;
+  }
+
+  if (frame > payload_off) {
+    u8* dst = pkt->data() + payload_off;
+    const std::size_t cap = frame - payload_off;
+    if (use_pattern) {
+      std::memset(dst, spec.payload_byte, cap);
+    } else {
+      const std::size_t n = std::min(cap, payload.size());
+      std::memcpy(dst, payload.data(), n);
+      if (n < cap) std::memset(dst + n, 0, cap - n);
+    }
+  }
+
+  PacketView view(*pkt);
+  assert(view.valid());
+  view.update_checksums(/*include_l4=*/true);
+  return pkt;
+}
+
+}  // namespace
+
+Packet* build_packet(PacketPool& pool, const PacketSpec& spec) {
+  return build_common(pool, spec, {}, /*use_pattern=*/true);
+}
+
+Packet* build_packet_with_payload(PacketPool& pool, const PacketSpec& spec,
+                                  std::span<const u8> payload) {
+  return build_common(pool, spec, payload, /*use_pattern=*/false);
+}
+
+}  // namespace nfp

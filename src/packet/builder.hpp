@@ -1,0 +1,30 @@
+// Packet construction helpers for the traffic generator and tests.
+#pragma once
+
+#include <span>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+#include "packet/packet_pool.hpp"
+
+namespace nfp {
+
+struct PacketSpec {
+  FiveTuple tuple{0x0a000001, 0x0a000002, 10000, 80, kProtoTcp};
+  std::size_t frame_size = 64;  // total Ethernet frame length in bytes
+  u8 ttl = 64;
+  u8 tos = 0;
+  u8 payload_byte = 0xab;  // fill pattern
+};
+
+// Builds an Ethernet/IPv4/{TCP,UDP} frame of exactly `spec.frame_size` bytes
+// (minimum 64) into a pool packet with valid lengths and checksums.
+// Returns nullptr if the pool is exhausted.
+Packet* build_packet(PacketPool& pool, const PacketSpec& spec);
+
+// Same, writing the given payload bytes (truncated/padded to fit).
+Packet* build_packet_with_payload(PacketPool& pool, const PacketSpec& spec,
+                                  std::span<const u8> payload);
+
+}  // namespace nfp

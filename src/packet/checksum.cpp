@@ -1,0 +1,34 @@
+#include "packet/checksum.hpp"
+
+namespace nfp {
+
+u16 checksum_fold(std::span<const u8> bytes, u32 initial) {
+  u64 sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (static_cast<u32>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += static_cast<u32>(bytes[i]) << 8;  // odd trailing byte
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<u16>(sum);
+}
+
+u16 ipv4_checksum(std::span<const u8> header) {
+  return static_cast<u16>(~checksum_fold(header));
+}
+
+u16 l4_checksum(u32 src_ip, u32 dst_ip, u8 proto,
+                std::span<const u8> l4_segment) {
+  u32 pseudo = 0;
+  pseudo += (src_ip >> 16) + (src_ip & 0xffff);
+  pseudo += (dst_ip >> 16) + (dst_ip & 0xffff);
+  pseudo += proto;
+  pseudo += static_cast<u32>(l4_segment.size());
+  return static_cast<u16>(~checksum_fold(l4_segment, pseudo));
+}
+
+}  // namespace nfp

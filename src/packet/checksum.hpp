@@ -1,0 +1,21 @@
+// Internet checksum (RFC 1071) for IPv4/TCP/UDP.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+// One's-complement sum over `bytes`, folded to 16 bits (not yet inverted).
+u16 checksum_fold(std::span<const u8> bytes, u32 initial = 0);
+
+// IPv4 header checksum over `header` (checksum field must be zeroed first,
+// or pass the header as-is to *verify*: a valid header sums to 0xffff).
+u16 ipv4_checksum(std::span<const u8> header);
+
+// TCP/UDP checksum including the IPv4 pseudo header.
+u16 l4_checksum(u32 src_ip, u32 dst_ip, u8 proto,
+                std::span<const u8> l4_segment);
+
+}  // namespace nfp

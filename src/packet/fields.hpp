@@ -1,0 +1,79 @@
+// Packet field identifiers.
+//
+// NFP's dependency analysis (paper §4, Table 2/3) reasons about which packet
+// fields an NF reads or writes. This enum is the shared vocabulary between
+// the packet accessor layer (src/packet/packet_view.hpp), the NF action
+// profiles (src/actions) and the merger's merge operations (src/dataplane).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nfp {
+
+enum class Field : std::uint8_t {
+  kSrcIp = 0,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kTtl,
+  kTos,
+  kIpLength,   // total length field; changed by header add/remove
+  kChecksum,   // L3/L4 checksums (recomputed after writes)
+  kPayload,    // everything after the L4 header
+  kAhHeader,   // IPsec Authentication Header (added/removed by the VPN NF)
+  kCount,
+};
+
+inline constexpr std::size_t kFieldCount =
+    static_cast<std::size_t>(Field::kCount);
+
+constexpr std::string_view field_name(Field f) {
+  switch (f) {
+    case Field::kSrcIp: return "sip";
+    case Field::kDstIp: return "dip";
+    case Field::kSrcPort: return "sport";
+    case Field::kDstPort: return "dport";
+    case Field::kProto: return "proto";
+    case Field::kTtl: return "ttl";
+    case Field::kTos: return "tos";
+    case Field::kIpLength: return "iplen";
+    case Field::kChecksum: return "csum";
+    case Field::kPayload: return "payload";
+    case Field::kAhHeader: return "ah";
+    case Field::kCount: break;
+  }
+  return "?";
+}
+
+// Compact set of fields, used to intersect the footprints of two NFs when
+// deciding whether Dirty Memory Reusing applies (paper OP#1).
+class FieldSet {
+ public:
+  constexpr FieldSet() = default;
+
+  constexpr void insert(Field f) noexcept { bits_ |= bit(f); }
+  constexpr bool contains(Field f) const noexcept {
+    return (bits_ & bit(f)) != 0;
+  }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  constexpr FieldSet intersect(FieldSet other) const noexcept {
+    FieldSet out;
+    out.bits_ = bits_ & other.bits_;
+    return out;
+  }
+  constexpr bool intersects(FieldSet other) const noexcept {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  friend constexpr bool operator==(FieldSet, FieldSet) = default;
+
+ private:
+  static constexpr std::uint32_t bit(Field f) noexcept {
+    return 1u << static_cast<std::uint8_t>(f);
+  }
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,160 @@
+// Wire-format protocol headers: Ethernet, IPv4, TCP, UDP and the IPsec
+// Authentication Header used by the VPN NF (paper §6.1).
+//
+// Headers are manipulated through offset-based views over the packet buffer
+// (no casting of packed structs; keeps the code free of alignment UB and
+// strict-aliasing violations).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "packet/endian.hpp"
+
+namespace nfp {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+inline constexpr std::size_t kTcpHeaderLen = 20;   // no options
+inline constexpr std::size_t kUdpHeaderLen = 8;
+// AH: 2B (next hdr, len) + 2B reserved + 4B SPI + 4B seq + 12B ICV.
+inline constexpr std::size_t kAhHeaderLen = 24;
+
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+inline constexpr u8 kProtoTcp = 6;
+inline constexpr u8 kProtoUdp = 17;
+inline constexpr u8 kProtoAh = 51;
+
+// --- Ethernet ---------------------------------------------------------------
+class EthView {
+ public:
+  explicit EthView(u8* base) noexcept : p_(base) {}
+
+  std::array<u8, 6> dst_mac() const noexcept { return mac(0); }
+  std::array<u8, 6> src_mac() const noexcept { return mac(6); }
+  u16 ether_type() const noexcept { return load_be16(p_ + 12); }
+
+  void set_dst_mac(const std::array<u8, 6>& m) noexcept { set_mac(0, m); }
+  void set_src_mac(const std::array<u8, 6>& m) noexcept { set_mac(6, m); }
+  void set_ether_type(u16 t) noexcept { store_be16(p_ + 12, t); }
+
+ private:
+  std::array<u8, 6> mac(std::size_t off) const noexcept {
+    std::array<u8, 6> m;
+    for (std::size_t i = 0; i < 6; ++i) m[i] = p_[off + i];
+    return m;
+  }
+  void set_mac(std::size_t off, const std::array<u8, 6>& m) noexcept {
+    for (std::size_t i = 0; i < 6; ++i) p_[off + i] = m[i];
+  }
+  u8* p_;
+};
+
+// --- IPv4 -------------------------------------------------------------------
+class Ipv4View {
+ public:
+  explicit Ipv4View(u8* base) noexcept : p_(base) {}
+
+  u8 version() const noexcept { return p_[0] >> 4; }
+  u8 ihl() const noexcept { return p_[0] & 0x0f; }
+  std::size_t header_len() const noexcept { return std::size_t{ihl()} * 4; }
+  u8 tos() const noexcept { return p_[1]; }
+  u16 total_length() const noexcept { return load_be16(p_ + 2); }
+  u16 identification() const noexcept { return load_be16(p_ + 4); }
+  u8 ttl() const noexcept { return p_[8]; }
+  u8 protocol() const noexcept { return p_[9]; }
+  u16 checksum() const noexcept { return load_be16(p_ + 10); }
+  u32 src_ip() const noexcept { return load_be32(p_ + 12); }
+  u32 dst_ip() const noexcept { return load_be32(p_ + 16); }
+
+  void set_version_ihl(u8 version, u8 ihl) noexcept {
+    p_[0] = static_cast<u8>((version << 4) | (ihl & 0x0f));
+  }
+  void set_tos(u8 v) noexcept { p_[1] = v; }
+  void set_total_length(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_identification(u16 v) noexcept { store_be16(p_ + 4, v); }
+  void set_flags_fragment(u16 v) noexcept { store_be16(p_ + 6, v); }
+  void set_ttl(u8 v) noexcept { p_[8] = v; }
+  void set_protocol(u8 v) noexcept { p_[9] = v; }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 10, v); }
+  void set_src_ip(u32 v) noexcept { store_be32(p_ + 12, v); }
+  void set_dst_ip(u32 v) noexcept { store_be32(p_ + 16, v); }
+
+  const u8* data() const noexcept { return p_; }
+  u8* data() noexcept { return p_; }
+
+ private:
+  u8* p_;
+};
+
+// --- TCP --------------------------------------------------------------------
+class TcpView {
+ public:
+  explicit TcpView(u8* base) noexcept : p_(base) {}
+
+  u16 src_port() const noexcept { return load_be16(p_); }
+  u16 dst_port() const noexcept { return load_be16(p_ + 2); }
+  u32 seq() const noexcept { return load_be32(p_ + 4); }
+  u32 ack() const noexcept { return load_be32(p_ + 8); }
+  u8 data_offset() const noexcept { return p_[12] >> 4; }
+  u8 flags() const noexcept { return p_[13]; }
+  u16 window() const noexcept { return load_be16(p_ + 14); }
+  u16 checksum() const noexcept { return load_be16(p_ + 16); }
+
+  void set_src_port(u16 v) noexcept { store_be16(p_, v); }
+  void set_dst_port(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_seq(u32 v) noexcept { store_be32(p_ + 4, v); }
+  void set_ack(u32 v) noexcept { store_be32(p_ + 8, v); }
+  void set_data_offset(u8 words) noexcept {
+    p_[12] = static_cast<u8>(words << 4);
+  }
+  void set_flags(u8 v) noexcept { p_[13] = v; }
+  void set_window(u16 v) noexcept { store_be16(p_ + 14, v); }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 16, v); }
+
+ private:
+  u8* p_;
+};
+
+// --- UDP --------------------------------------------------------------------
+class UdpView {
+ public:
+  explicit UdpView(u8* base) noexcept : p_(base) {}
+
+  u16 src_port() const noexcept { return load_be16(p_); }
+  u16 dst_port() const noexcept { return load_be16(p_ + 2); }
+  u16 length() const noexcept { return load_be16(p_ + 4); }
+  u16 checksum() const noexcept { return load_be16(p_ + 6); }
+
+  void set_src_port(u16 v) noexcept { store_be16(p_, v); }
+  void set_dst_port(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_length(u16 v) noexcept { store_be16(p_ + 4, v); }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 6, v); }
+
+ private:
+  u8* p_;
+};
+
+// --- IPsec Authentication Header ---------------------------------------------
+class AhView {
+ public:
+  explicit AhView(u8* base) noexcept : p_(base) {}
+
+  u8 next_header() const noexcept { return p_[0]; }
+  u8 payload_len() const noexcept { return p_[1]; }
+  u32 spi() const noexcept { return load_be32(p_ + 4); }
+  u32 sequence() const noexcept { return load_be32(p_ + 8); }
+  const u8* icv() const noexcept { return p_ + 12; }
+  u8* icv() noexcept { return p_ + 12; }
+
+  void set_next_header(u8 v) noexcept { p_[0] = v; }
+  void set_payload_len(u8 v) noexcept { p_[1] = v; }
+  void set_reserved(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_spi(u32 v) noexcept { store_be32(p_ + 4, v); }
+  void set_sequence(u32 v) noexcept { store_be32(p_ + 8, v); }
+
+ private:
+  u8* p_;
+};
+
+}  // namespace nfp

@@ -1,0 +1,29 @@
+#include "packet/packet_pool.hpp"
+
+#include <algorithm>
+
+#include "packet/headers.hpp"
+
+namespace nfp {
+
+Packet* PacketPool::clone_header_only(const Packet& src) noexcept {
+  const std::size_t copy_len = std::min(src.length(), kHeaderCopyBytes);
+  Packet* dst = alloc(copy_len);
+  if (dst == nullptr) return nullptr;
+  std::memcpy(dst->data(), src.data(), copy_len);
+  dst->meta() = src.meta();
+  dst->set_inject_time(src.inject_time());
+
+  // Fix up the copied IP total-length so the truncated copy is a valid
+  // packet from the parallel NF's point of view (§5.2 "copy" action).
+  if (copy_len >= kEthHeaderLen + kIpv4HeaderLen) {
+    Ipv4View ip(dst->data() + kEthHeaderLen);
+    if (ip.version() == 4) {
+      const std::size_t ip_bytes = copy_len - kEthHeaderLen;
+      ip.set_total_length(static_cast<u16>(ip_bytes));
+    }
+  }
+  return dst;
+}
+
+}  // namespace nfp

@@ -1,0 +1,93 @@
+// Pre-allocated packet pool.
+//
+// The paper stores packets in shared memory allocated on huge pages at
+// system initialization so that header copies never hit the allocator
+// (§5.2: "we prepare memory blocks to store input or copied packets during
+// the system initialization"). This pool is the equivalent: a fixed arena of
+// Packet buffers with an O(1) free-list and intrusive reference counts.
+//
+// Reference counting exists because `distribute` can hand the *same* packet
+// version to several parallel NFs (§5.2); the buffer returns to the pool
+// only when the last holder releases it.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace nfp {
+
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t capacity)
+      : slots_(std::make_unique<Packet[]>(capacity)), capacity_(capacity) {
+    free_.reserve(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].pool_index_ = static_cast<u32>(i);
+      free_.push_back(static_cast<u32>(capacity - 1 - i));
+    }
+  }
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Allocates a packet with `len` data bytes (refcount = 1).
+  // Returns nullptr when the pool is exhausted (callers treat this as packet
+  // loss, as a NIC would under mempool pressure).
+  Packet* alloc(std::size_t len = 0) noexcept {
+    if (free_.empty()) return nullptr;
+    const u32 idx = free_.back();
+    free_.pop_back();
+    Packet& p = slots_[idx];
+    p.reset(len);
+    p.refcnt_ = 1;
+    return &p;
+  }
+
+  void add_ref(Packet* p) noexcept {
+    assert(p != nullptr && p->refcnt_ > 0);
+    ++p->refcnt_;
+  }
+
+  void release(Packet* p) noexcept {
+    assert(p != nullptr && p->refcnt_ > 0);
+    if (--p->refcnt_ == 0) {
+      free_.push_back(p->pool_index_);
+    }
+  }
+
+  // Full copy of data + metadata (used when Header-Only Copying is disabled
+  // for ablation studies).
+  Packet* clone_full(const Packet& src) noexcept {
+    Packet* dst = alloc(src.length());
+    if (dst == nullptr) return nullptr;
+    std::memcpy(dst->data(), src.data(), src.length());
+    dst->meta() = src.meta();
+    dst->set_inject_time(src.inject_time());
+    return dst;
+  }
+
+  // Header-Only Copying (paper §4.2 OP#2): copies only the Ethernet + IP +
+  // L4 header region and sets the copied packet's IP total-length field to
+  // the header length itself so parallel NFs still see a valid packet.
+  // Returns the copy, or nullptr on pool exhaustion.
+  Packet* clone_header_only(const Packet& src) noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_use() const noexcept { return capacity_ - free_.size(); }
+  std::size_t available() const noexcept { return free_.size(); }
+
+ private:
+  std::unique_ptr<Packet[]> slots_;
+  std::size_t capacity_;
+  std::vector<u32> free_;
+};
+
+// Length in bytes of the region copied by Header-Only Copying. The paper
+// reports a fixed 64 B for TCP traffic on Ethernet (14 + 20 + 20 = 54,
+// padded to the 64 B minimum frame / cache line).
+inline constexpr std::size_t kHeaderCopyBytes = 64;
+
+}  // namespace nfp

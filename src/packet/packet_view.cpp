@@ -1,0 +1,138 @@
+#include "packet/packet_view.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "packet/checksum.hpp"
+
+namespace nfp {
+
+void PacketView::parse() {
+  valid_ = false;
+  ah_off_.reset();
+  if (pkt_->length() < kEthHeaderLen + kIpv4HeaderLen) return;
+
+  EthView eth(pkt_->data());
+  if (eth.ether_type() != kEtherTypeIpv4) return;
+  l3_off_ = kEthHeaderLen;
+
+  Ipv4View ipv4(pkt_->data() + l3_off_);
+  if (ipv4.version() != 4 || ipv4.header_len() < kIpv4HeaderLen) return;
+
+  std::size_t next_off = l3_off_ + ipv4.header_len();
+  u8 proto = ipv4.protocol();
+
+  if (proto == kProtoAh) {
+    if (pkt_->length() < next_off + kAhHeaderLen) return;
+    ah_off_ = next_off;
+    AhView ah_view(pkt_->data() + next_off);
+    proto = ah_view.next_header();
+    next_off += kAhHeaderLen;
+  }
+
+  proto_ = proto;
+  l4_off_ = next_off;
+
+  std::size_t l4_len = 0;
+  if (proto_ == kProtoTcp) {
+    if (pkt_->length() < l4_off_ + kTcpHeaderLen) return;
+    TcpView tcp(pkt_->data() + l4_off_);
+    l4_len = std::size_t{tcp.data_offset()} * 4;
+    if (l4_len < kTcpHeaderLen) return;
+  } else if (proto_ == kProtoUdp) {
+    if (pkt_->length() < l4_off_ + kUdpHeaderLen) return;
+    l4_len = kUdpHeaderLen;
+  } else {
+    return;  // only TCP/UDP traffic is modelled
+  }
+
+  payload_off_ = l4_off_ + l4_len;
+  if (payload_off_ > pkt_->length()) return;
+  valid_ = true;
+}
+
+void PacketView::resize_payload(std::size_t new_len) {
+  record_write(Field::kPayload);
+  assert(payload_off_ + new_len <= Packet::kMaxDataLen);
+  pkt_->set_length(payload_off_ + new_len);
+  Ipv4View ipv4 = ip();
+  ipv4.set_total_length(static_cast<u16>(pkt_->length() - l3_off_));
+  if (proto_ == kProtoUdp && !ah_off_) {
+    UdpView udp(pkt_->data() + l4_off_);
+    udp.set_length(static_cast<u16>(kUdpHeaderLen + new_len));
+  }
+}
+
+AhView PacketView::add_ah_header(u32 spi, u32 sequence) {
+  assert(valid_ && !ah_off_);
+  record_add_remove(Field::kAhHeader);
+
+  Ipv4View ipv4 = ip();
+  const u8 inner_proto = ipv4.protocol();
+  const std::size_t insert_at = l3_off_ + ipv4.header_len();
+
+  u8* ah_bytes = pkt_->insert(insert_at, kAhHeaderLen);
+  std::memset(ah_bytes, 0, kAhHeaderLen);
+
+  // insert() shifted everything before insert_at; re-establish views.
+  Ipv4View new_ip(pkt_->data() + l3_off_);
+  new_ip.set_protocol(kProtoAh);
+  new_ip.set_total_length(static_cast<u16>(pkt_->length() - l3_off_));
+
+  AhView ah_view(ah_bytes);
+  ah_view.set_next_header(inner_proto);
+  // AH payload length is in 32-bit words minus 2 (RFC 4302).
+  ah_view.set_payload_len(static_cast<u8>(kAhHeaderLen / 4 - 2));
+  ah_view.set_spi(spi);
+  ah_view.set_sequence(sequence);
+
+  parse();
+  return AhView(pkt_->data() + *ah_off_);
+}
+
+void PacketView::remove_ah_header() {
+  assert(valid_ && ah_off_);
+  record_add_remove(Field::kAhHeader);
+
+  AhView ah_view(pkt_->data() + *ah_off_);
+  const u8 inner_proto = ah_view.next_header();
+  const std::size_t remove_at = *ah_off_;
+
+  pkt_->erase(remove_at, kAhHeaderLen);
+
+  Ipv4View new_ip(pkt_->data() + l3_off_);
+  new_ip.set_protocol(inner_proto);
+  new_ip.set_total_length(static_cast<u16>(pkt_->length() - l3_off_));
+
+  parse();
+}
+
+void PacketView::update_checksums(bool include_l4) {
+  record_write(Field::kChecksum);
+  Ipv4View ipv4 = ip();
+  ipv4.set_checksum(0);
+  const std::span<const u8> ip_hdr{pkt_->data() + l3_off_, ipv4.header_len()};
+  ipv4.set_checksum(ipv4_checksum(ip_hdr));
+
+  if (!include_l4 || !valid_) return;
+  const std::size_t l4_len = pkt_->length() - l4_off_;
+  if (proto_ == kProtoTcp) {
+    TcpView tcp(pkt_->data() + l4_off_);
+    tcp.set_checksum(0);
+    tcp.set_checksum(l4_checksum(ipv4.src_ip(), ipv4.dst_ip(), kProtoTcp,
+                                 {pkt_->data() + l4_off_, l4_len}));
+  } else if (proto_ == kProtoUdp) {
+    UdpView udp(pkt_->data() + l4_off_);
+    udp.set_checksum(0);
+    udp.set_checksum(l4_checksum(ipv4.src_ip(), ipv4.dst_ip(), kProtoUdp,
+                                 {pkt_->data() + l4_off_, l4_len}));
+  }
+}
+
+bool PacketView::verify_ip_checksum() const {
+  Ipv4View ipv4 = ip();
+  const std::span<const u8> ip_hdr{pkt_->data() + l3_off_, ipv4.header_len()};
+  return checksum_fold(ip_hdr) == 0xffff;
+}
+
+}  // namespace nfp

@@ -1,0 +1,117 @@
+#include "policy/conflict.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace nfp {
+
+namespace {
+
+// Reports one representative cycle through the Order edges, if any.
+// Iterative DFS with colors; returns the cycle as "a -> b -> ... -> a".
+std::optional<std::string> find_order_cycle(
+    const std::map<std::string, std::set<std::string>>& edges) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, _] : edges) color[node] = Color::kWhite;
+
+  std::vector<std::string> stack;
+  // Recursive lambda via explicit stack of (node, next-neighbor iterator).
+  for (const auto& [start, _] : edges) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<std::string, std::set<std::string>::const_iterator>>
+        frames;
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    frames.emplace_back(start, edges.at(start).begin());
+    while (!frames.empty()) {
+      auto& [node, it] = frames.back();
+      const auto& succ = edges.at(node);
+      if (it == succ.end()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string next = *it++;
+      if (!edges.contains(next)) continue;
+      if (color[next] == Color::kGray) {
+        // Reconstruct the cycle from the gray stack.
+        std::string cycle;
+        bool in_cycle = false;
+        for (const auto& n : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle) cycle += n + " -> ";
+        }
+        cycle += next;
+        return cycle;
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.push_back(next);
+        frames.emplace_back(next, edges.at(next).begin());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<PolicyConflict> detect_conflicts(const Policy& policy) {
+  std::vector<PolicyConflict> conflicts;
+  std::map<std::string, std::set<std::string>> order_edges;
+  std::set<std::pair<std::string, std::string>> priorities;
+  std::map<std::string, Placement> positions;
+
+  for (const Rule& rule : policy.rules()) {
+    if (const auto* o = std::get_if<OrderRule>(&rule)) {
+      if (o->before == o->after) {
+        conflicts.push_back({PolicyConflict::Kind::kSelfReference,
+                             "Order(" + o->before + ", before, " + o->after +
+                                 ") references the same NF twice"});
+        continue;
+      }
+      order_edges[o->before].insert(o->after);
+      order_edges.try_emplace(o->after);
+    } else if (const auto* p = std::get_if<PriorityRule>(&rule)) {
+      if (p->high == p->low) {
+        conflicts.push_back({PolicyConflict::Kind::kSelfReference,
+                             "Priority(" + p->high + " > " + p->low +
+                                 ") references the same NF twice"});
+        continue;
+      }
+      if (priorities.contains({p->low, p->high})) {
+        conflicts.push_back({PolicyConflict::Kind::kPriorityContradiction,
+                             "Priority(" + p->high + " > " + p->low +
+                                 ") contradicts an earlier Priority(" +
+                                 p->low + " > " + p->high + ")"});
+      }
+      priorities.insert({p->high, p->low});
+    } else {
+      const auto& pos = std::get<PositionRule>(rule);
+      const auto [it, inserted] = positions.try_emplace(pos.nf, pos.placement);
+      if (!inserted && it->second != pos.placement) {
+        conflicts.push_back({PolicyConflict::Kind::kPositionContradiction,
+                             "NF '" + pos.nf +
+                                 "' is assigned both first and last"});
+      }
+    }
+  }
+
+  if (const auto cycle = find_order_cycle(order_edges)) {
+    conflicts.push_back({PolicyConflict::Kind::kOrderCycle,
+                         "Order rules form a cycle: " + *cycle});
+  }
+  return conflicts;
+}
+
+Status validate_policy(const Policy& policy) {
+  const auto conflicts = detect_conflicts(policy);
+  if (conflicts.empty()) return Status::ok();
+  return Status::error(conflicts.front().description);
+}
+
+}  // namespace nfp

@@ -1,0 +1,34 @@
+// Policy conflict detection.
+//
+// The paper recognises that hand-written rules can contradict each other
+// (§3: conflicting Order rules, or one NF assigned to two positions) and
+// defers detection to future work. We implement it: cycles in the Order
+// relation, contradictory Position assignments, and contradictory Priority
+// rules are all reported before compilation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace nfp {
+
+struct PolicyConflict {
+  enum class Kind {
+    kOrderCycle,           // Order edges form a cycle
+    kPositionContradiction,  // same NF pinned first and last
+    kPriorityContradiction,  // Priority(A>B) and Priority(B>A)
+    kSelfReference,          // Order(A, before, A) or Priority(A>A)
+  };
+  Kind kind;
+  std::string description;
+};
+
+std::vector<PolicyConflict> detect_conflicts(const Policy& policy);
+
+// Convenience: OK iff detect_conflicts() is empty; otherwise the first
+// conflict's description.
+Status validate_policy(const Policy& policy);
+
+}  // namespace nfp

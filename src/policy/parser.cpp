@@ -1,0 +1,114 @@
+#include "policy/parser.hpp"
+
+#include <cctype>
+
+#include "common/string_util.hpp"
+
+namespace nfp {
+
+namespace {
+
+bool is_ident(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Extracts the argument list between the outermost parentheses.
+Result<std::string> args_of(std::string_view line) {
+  const std::size_t open = line.find('(');
+  const std::size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Result<std::string>::error("expected '(...)' arguments");
+  }
+  return std::string(line.substr(open + 1, close - open - 1));
+}
+
+}  // namespace
+
+Result<Policy> parse_policy(std::string_view text) {
+  Policy policy;
+  int line_no = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    const auto fail = [&](const std::string& why) {
+      return Result<Policy>::error("line " + std::to_string(line_no) + ": " +
+                                   why);
+    };
+
+    const std::string lowered = to_lower(line);
+    if (lowered.starts_with("policy")) {
+      const std::string_view name = trim(line.substr(6));
+      if (!is_ident(name)) return fail("invalid policy name");
+      policy.set_name(std::string(name));
+      continue;
+    }
+
+    Result<std::string> args = args_of(line);
+    if (!args) return fail(args.error());
+
+    if (lowered.starts_with("order")) {
+      const auto parts = split(args.value(), ',');
+      if (parts.size() != 3 || !iequals(trim(parts[1]), "before")) {
+        return fail("expected order(<nf1>, before, <nf2>)");
+      }
+      const std::string a = to_lower(trim(parts[0]));
+      const std::string b = to_lower(trim(parts[2]));
+      if (!is_ident(a) || !is_ident(b)) return fail("invalid NF name");
+      policy.add_order(a, b);
+    } else if (lowered.starts_with("priority")) {
+      const auto parts = split(args.value(), '>');
+      if (parts.size() != 2) return fail("expected priority(<nf1> > <nf2>)");
+      const std::string hi = to_lower(trim(parts[0]));
+      const std::string lo = to_lower(trim(parts[1]));
+      if (!is_ident(hi) || !is_ident(lo)) return fail("invalid NF name");
+      policy.add_priority(hi, lo);
+    } else if (lowered.starts_with("position")) {
+      const auto parts = split(args.value(), ',');
+      if (parts.size() != 2) {
+        return fail("expected position(<nf>, first|last)");
+      }
+      const std::string nf = to_lower(trim(parts[0]));
+      const std::string_view where = trim(parts[1]);
+      if (!is_ident(nf)) return fail("invalid NF name");
+      if (iequals(where, "first")) {
+        policy.add_position(nf, Placement::kFirst);
+      } else if (iequals(where, "last")) {
+        policy.add_position(nf, Placement::kLast);
+      } else {
+        return fail("position must be 'first' or 'last'");
+      }
+    } else if (lowered.starts_with("chain")) {
+      std::vector<std::string> chain;
+      for (const auto& part : split(args.value(), ',')) {
+        const std::string nf = to_lower(trim(part));
+        if (!is_ident(nf)) return fail("invalid NF name in chain");
+        chain.push_back(nf);
+      }
+      if (chain.empty()) return fail("empty chain");
+      const Policy seq =
+          Policy::from_sequential_chain(policy.name(), chain);
+      for (const Rule& r : seq.rules()) policy.add(r);
+      for (const auto& nf : seq.free_nfs()) policy.add_free_nf(nf);
+    } else if (lowered.starts_with("nf")) {
+      const std::string nf = to_lower(trim(args.value()));
+      if (!is_ident(nf)) return fail("invalid NF name");
+      policy.add_free_nf(nf);
+    } else {
+      return fail("unknown statement '" + std::string(line) + "'");
+    }
+  }
+  return policy;
+}
+
+}  // namespace nfp

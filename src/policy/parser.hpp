@@ -1,0 +1,23 @@
+// Text format for NFP policies.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   policy <name>
+//   order(<nf1>, before, <nf2>)
+//   priority(<nf1> > <nf2>)
+//   position(<nf>, first|last)
+//   nf(<name>)                      # register a free NF
+//   chain(<nf1>, <nf2>, ...)        # legacy sequential description (§3)
+//
+// NF names are case-insensitive identifiers; they are lower-cased on parse.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp {
+
+Result<Policy> parse_policy(std::string_view text);
+
+}  // namespace nfp

@@ -1,0 +1,63 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+namespace nfp {
+
+std::string rule_to_string(const Rule& rule) {
+  if (const auto* o = std::get_if<OrderRule>(&rule)) {
+    return "Order(" + o->before + ", before, " + o->after + ")";
+  }
+  if (const auto* p = std::get_if<PriorityRule>(&rule)) {
+    return "Priority(" + p->high + " > " + p->low + ")";
+  }
+  const auto& pos = std::get<PositionRule>(rule);
+  return "Position(" + pos.nf + ", " +
+         (pos.placement == Placement::kFirst ? "first" : "last") + ")";
+}
+
+std::vector<std::string> Policy::nf_names() const {
+  std::vector<std::string> names;
+  const auto push = [&names](const std::string& n) {
+    if (std::find(names.begin(), names.end(), n) == names.end()) {
+      names.push_back(n);
+    }
+  };
+  for (const Rule& rule : rules_) {
+    if (const auto* o = std::get_if<OrderRule>(&rule)) {
+      push(o->before);
+      push(o->after);
+    } else if (const auto* p = std::get_if<PriorityRule>(&rule)) {
+      push(p->high);
+      push(p->low);
+    } else {
+      push(std::get<PositionRule>(rule).nf);
+    }
+  }
+  for (const auto& n : free_nfs_) push(n);
+  return names;
+}
+
+Policy Policy::from_sequential_chain(std::string name,
+                                     const std::vector<std::string>& chain) {
+  Policy policy(std::move(name));
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    policy.add_order(chain[i], chain[i + 1]);
+  }
+  if (chain.size() == 1) policy.add_free_nf(chain[0]);
+  return policy;
+}
+
+std::string Policy::to_string() const {
+  std::string out = "policy " + name_ + " {\n";
+  for (const Rule& rule : rules_) {
+    out += "  " + rule_to_string(rule) + "\n";
+  }
+  for (const auto& nf : free_nfs_) {
+    out += "  NF(" + nf + ")\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nfp

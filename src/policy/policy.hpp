@@ -1,0 +1,60 @@
+// A policy: a named set of rules describing one service graph, plus the
+// helpers the orchestrator needs (NF inventory, conversion from legacy
+// sequential chain descriptions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "policy/rule.hpp"
+
+namespace nfp {
+
+class Policy {
+ public:
+  Policy() = default;
+  explicit Policy(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add(Rule rule) { rules_.push_back(std::move(rule)); }
+  void add_order(std::string before, std::string after) {
+    rules_.push_back(OrderRule{std::move(before), std::move(after)});
+  }
+  void add_priority(std::string high, std::string low) {
+    rules_.push_back(PriorityRule{std::move(high), std::move(low)});
+  }
+  void add_position(std::string nf, Placement placement) {
+    rules_.push_back(PositionRule{std::move(nf), placement});
+  }
+
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+  bool empty() const noexcept { return rules_.empty(); }
+
+  // Registers an NF that appears in no rule ("free NF", paper Fig 2: NF8).
+  void add_free_nf(std::string nf) { free_nfs_.push_back(std::move(nf)); }
+  const std::vector<std::string>& free_nfs() const noexcept {
+    return free_nfs_;
+  }
+
+  // Every NF mentioned by any rule or registered as free, in first-mention
+  // order (duplicates removed).
+  std::vector<std::string> nf_names() const;
+
+  // Compatibility path (paper §3, Order rule): converts a traditional
+  // sequential chain description [nf0, nf1, ...] into Order rules between
+  // neighbours, letting the orchestrator hunt for parallelism.
+  static Policy from_sequential_chain(std::string name,
+                                      const std::vector<std::string>& chain);
+
+  std::string to_string() const;
+
+ private:
+  std::string name_ = "policy";
+  std::vector<Rule> rules_;
+  std::vector<std::string> free_nfs_;
+};
+
+}  // namespace nfp

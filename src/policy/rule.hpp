@@ -1,0 +1,43 @@
+// NFP policy rules (paper §3).
+//
+// Operators compose chaining intents out of three rule types:
+//   Order(NF1, before, NF2)  — sequential intent; the orchestrator may still
+//                              parallelize the pair if they are independent,
+//   Priority(NF1 > NF2)      — parallel intent with conflict priority,
+//   Position(NF, first|last) — pin an NF to the head/tail of the graph.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nfp {
+
+struct OrderRule {
+  std::string before;  // NF1: executes (logically) first
+  std::string after;   // NF2
+
+  friend bool operator==(const OrderRule&, const OrderRule&) = default;
+};
+
+struct PriorityRule {
+  std::string high;  // NF1: wins on conflicting actions
+  std::string low;   // NF2
+
+  friend bool operator==(const PriorityRule&, const PriorityRule&) = default;
+};
+
+enum class Placement { kFirst, kLast };
+
+struct PositionRule {
+  std::string nf;
+  Placement placement = Placement::kFirst;
+
+  friend bool operator==(const PositionRule&, const PositionRule&) = default;
+};
+
+using Rule = std::variant<OrderRule, PriorityRule, PositionRule>;
+
+std::string rule_to_string(const Rule& rule);
+
+}  // namespace nfp

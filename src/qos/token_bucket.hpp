@@ -1,0 +1,62 @@
+// Token-bucket rate limiter on simulated time.
+//
+// Substrate for the traffic shaper NF: classic single-rate bucket with a
+// byte budget refilled continuously at `rate_bytes_per_sec` and capped at
+// `burst_bytes`. conform() answers whether a frame fits the profile at time
+// `now` (and spends tokens when it does).
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class TokenBucket {
+ public:
+  TokenBucket(u64 rate_bytes_per_sec, u64 burst_bytes)
+      : rate_(rate_bytes_per_sec),
+        burst_(burst_bytes),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  // Refills for the elapsed time and, if `bytes` tokens are available,
+  // spends them and returns true; returns false (non-conforming) otherwise.
+  bool conform(SimTime now, std::size_t bytes) noexcept {
+    refill(now);
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return true;
+    }
+    return false;
+  }
+
+  // Earliest time at which a frame of `bytes` would conform (now if it
+  // already does). Used for pacing instead of dropping.
+  SimTime next_conform_time(SimTime now, std::size_t bytes) noexcept {
+    refill(now);
+    if (tokens_ >= static_cast<double>(bytes)) return now;
+    const double missing = static_cast<double>(bytes) - tokens_;
+    const double wait_sec = missing / static_cast<double>(rate_);
+    return now + static_cast<SimTime>(wait_sec * 1e9) + 1;
+  }
+
+  double tokens() const noexcept { return tokens_; }
+  u64 rate() const noexcept { return rate_; }
+
+ private:
+  void refill(SimTime now) noexcept {
+    if (now <= last_) return;
+    const double elapsed_sec =
+        static_cast<double>(now - last_) / 1e9;
+    tokens_ = std::min(static_cast<double>(burst_),
+                       tokens_ + elapsed_sec * static_cast<double>(rate_));
+    last_ = now;
+  }
+
+  u64 rate_;
+  u64 burst_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,65 @@
+// Bounded multi-producer/multi-consumer queue (mutex-based).
+//
+// Used where multiple senders share one receiver outside the hot simulated
+// path — e.g. several NF runtimes feeding the merger agent in the threaded
+// stress tests. The deterministic simulator uses SpscRing for hot paths.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace nfp {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool try_push(T value) {
+    const std::scoped_lock lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    cv_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  // Blocks until an item is available or `closed`.
+  std::optional<T> pop_wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  void close() {
+    const std::scoped_lock lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nfp

@@ -1,0 +1,88 @@
+// Lock-free single-producer/single-consumer ring.
+//
+// This is the receive/transmit ring of the paper's infrastructure (§5,
+// Fig 3): each NF owns an RX and a TX ring stored in shared memory, and
+// packet delivery writes *references* into the next NF's RX ring
+// (zero-copy delivery as in NetVM/OpenNetVM).
+//
+// The implementation is a classic bounded power-of-two ring with
+// acquire/release indices and cache-line padding to avoid false sharing.
+// It is safe for exactly one producer thread and one consumer thread; the
+// deterministic simulator also uses it single-threaded.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : capacity_(round_up_pow2(capacity_pow2)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Returns false when the ring is full (caller drops or retries).
+  bool push(T value) noexcept {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    const u64 tail = tail_cache_;
+    if (head - tail >= capacity_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ >= capacity_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Returns false when the ring is empty.
+  bool pop(T& out) noexcept {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const noexcept {
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  static constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLineSize) std::atomic<u64> head_{0};  // producer index
+  alignas(kCacheLineSize) u64 tail_cache_ = 0;        // producer's view
+  alignas(kCacheLineSize) std::atomic<u64> tail_{0};  // consumer index
+  alignas(kCacheLineSize) u64 head_cache_ = 0;        // consumer's view
+};
+
+}  // namespace nfp

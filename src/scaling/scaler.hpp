@@ -1,0 +1,97 @@
+// Elastic NF scaling (paper §7).
+//
+// "In the pipelining mode, we could simply create a new instance on a VM or
+// container, migrate some states, and modify the forwarding table to
+// redirect some flows to the new instance."
+//
+// ScalableNfGroup implements that loop for any NF type with the flow-
+// migration API (extract_flows/absorb_flows, e.g. Monitor): replicas are
+// selected per flow through a rendezvous of the 5-tuple hash over the
+// current replica count; scale_up() instantiates a new replica and migrates
+// every flow whose route changes before any further packet is dispatched —
+// so per-flow state stays exact through the resize.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "nfs/nf.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp::scaling {
+
+template <typename NfT>
+class ScalableNfGroup {
+ public:
+  using Factory = std::function<std::unique_ptr<NfT>()>;
+
+  explicit ScalableNfGroup(Factory factory, std::size_t initial_replicas = 1)
+      : factory_(std::move(factory)) {
+    for (std::size_t i = 0; i < (initial_replicas ? initial_replicas : 1);
+         ++i) {
+      replicas_.push_back(factory_());
+    }
+  }
+
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  NfT& replica(std::size_t i) { return *replicas_.at(i); }
+
+  // The forwarding-table routing function: flow -> replica index.
+  std::size_t route(const FiveTuple& flow) const noexcept {
+    return static_cast<std::size_t>(hash_five_tuple(flow) %
+                                    replicas_.size());
+  }
+
+  // Dispatches a packet to its replica (the role the per-NF forwarding
+  // table plays in the dataplane).
+  NfVerdict process(PacketView& packet) {
+    return replicas_[route(packet.five_tuple())]->process(packet);
+  }
+
+  // Adds one replica and migrates every flow whose route changes under the
+  // widened modulo (a k -> k+1 resize reshuffles ~k/(k+1) of the flows —
+  // the cost §7 attributes to scaling; a consistent-hash router would
+  // shrink it to ~1/(k+1)). Returns the number of migrated flows.
+  std::size_t scale_up() {
+    replicas_.push_back(factory_());
+    const std::size_t new_count = replicas_.size();
+    std::size_t migrated = 0;
+    for (std::size_t i = 0; i + 1 < new_count; ++i) {
+      auto moving = replicas_[i]->extract_flows([&](const FiveTuple& flow) {
+        return hash_five_tuple(flow) % new_count != i;
+      });
+      migrated += moving.size();
+      for (const auto& entry : moving) {
+        replicas_[route(entry.first)]->absorb_flows({entry});
+      }
+    }
+    ++scale_events_;
+    return migrated;
+  }
+
+  // Removes the last replica, folding its flows back onto the survivors.
+  // Returns the number of migrated flows; no-op at one replica.
+  std::size_t scale_down() {
+    if (replicas_.size() <= 1) return 0;
+    auto leaving = std::move(replicas_.back());
+    replicas_.pop_back();
+    const auto flows =
+        leaving->extract_flows([](const FiveTuple&) { return true; });
+    for (const auto& entry : flows) {
+      replicas_[route(entry.first)]->absorb_flows({entry});
+    }
+    ++scale_events_;
+    return flows.size();
+  }
+
+  u64 scale_events() const noexcept { return scale_events_; }
+
+ private:
+  Factory factory_;
+  std::vector<std::unique_ptr<NfT>> replicas_;
+  u64 scale_events_ = 0;
+};
+
+}  // namespace nfp::scaling

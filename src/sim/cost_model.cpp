@@ -1,0 +1,54 @@
+#include "sim/cost_model.hpp"
+
+namespace nfp::sim {
+
+OpCost CostModel::nf_cost(std::string_view type, std::size_t frame_len,
+                          u32 delay_cycles) const noexcept {
+  const auto payload =
+      static_cast<double>(frame_len > 54 ? frame_len - 54 : 0);
+  const auto with_payload = [payload](SimTime base, double per_byte) {
+    return static_cast<SimTime>(static_cast<double>(base) +
+                                per_byte * payload);
+  };
+
+  // Ordering follows Fig 8: forwarder < LB < firewall < monitor << IDS/VPN.
+  // The per-byte latency terms reproduce the paper's real-traffic chain
+  // latencies (Fig 13, data-center size distribution).
+  if (type == "l3fwd") return {30, 600};
+  if (type == "lb") return {40, with_payload(2'500, 8.0)};
+  if (type == "firewall") return {75, with_payload(8'800, 23.0)};
+  if (type == "monitor") return {55, with_payload(9'000, 45.0)};
+  if (type == "gateway") return {30, 1'500};
+  if (type == "nat") return {70, 6'000};
+  if (type == "proxy") return {45, 4'000};
+  if (type == "shaper") return {25, 1'500};
+  if (type == "caching") {
+    return {with_payload(80, 0.05), with_payload(8'000, 2.0)};
+  }
+  if (type == "ids" || type == "nids" || type == "ips") {
+    return {with_payload(600, 2.2), with_payload(100'000, 25.0)};
+  }
+  if (type == "vpn" || type == "vpn_decrypt") {
+    return {with_payload(700, 2.0), with_payload(120'000, 20.0)};
+  }
+  if (type == "compression") {
+    return {with_payload(350, 1.5), with_payload(15'000, 10.0)};
+  }
+  if (type == "delaynf") {
+    // "cycles" at the paper's 3 GHz clock occupy the core; the latency
+    // contribution is calibrated to Fig 9's measurement load (~100 ns of
+    // observed latency per busy-loop cycle).
+    return {static_cast<SimTime>(53.0 + delay_cycles / 3.0),
+            static_cast<SimTime>(2'000.0 + 100.0 * delay_cycles)};
+  }
+  // OpenBox building blocks (§7/Fig 15): block-granularity costs.
+  if (type == "read_packets" || type == "output_block") return {20, 500};
+  if (type == "header_classifier") return {40, 1'000};
+  if (type == "fw_alert") return {60, 9'000};
+  if (type == "ips_alert") return {30, 1'500};
+  if (type == "dpi") return {with_payload(300, 2.0),
+                             with_payload(25'000, 15.0)};
+  return {50, 2'000};  // unknown NF types get a nominal cost
+}
+
+}  // namespace nfp::sim

@@ -1,0 +1,109 @@
+// Deterministic event-driven simulator.
+//
+// The paper's testbed dedicates one physical core to each component
+// (classifier, every NF container, each merger instance). This host has a
+// single core, so we reproduce the multi-core dataplane in simulated time:
+// every component owns a SimCore that serializes its work, and all
+// functional packet processing (classification, NF execution, copying,
+// merging) really executes — only the clock is virtual. Results are
+// bit-for-bit reproducible on any machine.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  void schedule_at(SimTime t, Handler fn) {
+    events_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+  }
+  void schedule_after(SimTime delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the event queue drains (or `max_events` as a runaway guard).
+  void run(u64 max_events = ~u64{0}) {
+    u64 processed = 0;
+    while (!events_.empty() && processed++ < max_events) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.time;
+      ev.fn();
+    }
+  }
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    u64 seq;  // FIFO tie-break keeps same-timestamp events deterministic
+    Handler fn;
+
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  SimTime now_ = 0;
+  u64 seq_ = 0;
+};
+
+// A virtual CPU core: work submitted to it executes serially.
+class SimCore {
+ public:
+  // A job arriving at `arrival` occupying the core for `occ` ns starts when
+  // the core frees up; returns the time the core finishes (and is free
+  // again). Latency-only components (batching waits, DMA, stalls — the
+  // OpCost::delay part) must NOT be fed back into execute() as arrival
+  // times for the same core: add them when scheduling the hand-off to the
+  // next component instead, or they would inflate the core's occupancy and
+  // fake a saturation that does not exist.
+  SimTime execute(SimTime arrival, SimTime occ) noexcept {
+    const SimTime start = arrival > busy_until_ ? arrival : busy_until_;
+    busy_until_ = start + occ;
+    busy_time_ += occ;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const noexcept { return busy_until_; }
+  // Total busy nanoseconds — used for utilization accounting.
+  SimTime busy_time() const noexcept { return busy_time_; }
+
+  void reset() noexcept {
+    busy_until_ = 0;
+    busy_time_ = 0;
+  }
+
+ private:
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+// Enforces FIFO semantics on a hand-off channel (a ring): per-packet
+// latency components vary with packet size, but a later enqueue can never
+// be *received* before an earlier one on the same ring.
+class FifoChannel {
+ public:
+  SimTime stamp(SimTime t) noexcept {
+    if (t < last_) t = last_;
+    last_ = t;
+    return t;
+  }
+
+ private:
+  SimTime last_ = 0;
+};
+
+}  // namespace nfp::sim

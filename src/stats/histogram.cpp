@@ -1,0 +1,17 @@
+#include "stats/histogram.hpp"
+
+#include <sstream>
+
+namespace nfp {
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed;
+  out << "count=" << total_ << " min=" << min() << " mean=" << mean()
+      << " p50=" << quantile(0.5) << " p90=" << quantile(0.9)
+      << " p99=" << quantile(0.99) << " max=" << max_;
+  return out.str();
+}
+
+}  // namespace nfp

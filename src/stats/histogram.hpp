@@ -1,0 +1,90 @@
+// Log-bucketed latency histogram.
+//
+// The LatencyRecorder stores raw samples (fine for bounded bench runs);
+// this histogram is the constant-memory companion for long-running
+// deployments: HdrHistogram-style log2 buckets with linear sub-buckets,
+// bounded relative error, mergeable across merger/NF cores.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 16;  // per power of two
+  static constexpr std::size_t kBuckets = 64 * kSubBuckets;
+
+  void record(u64 value) noexcept {
+    ++counts_[index_of(value)];
+    ++total_;
+    sum_ += value;
+    if (value < min_ || total_ == 1) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.total_ > 0) {
+      if (other.min_ < min_ || total_ == other.total_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  u64 count() const noexcept { return total_; }
+  u64 min() const noexcept { return total_ ? min_ : 0; }
+  u64 max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  // Value at quantile q in [0, 1]; returns a bucket's representative value
+  // (relative error bounded by 1/kSubBuckets).
+  u64 quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    u64 target = static_cast<u64>(q * static_cast<double>(total_ - 1)) + 1;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] >= target) return value_of(i);
+      target -= counts_[i];
+    }
+    return max_;
+  }
+
+  std::string summary() const;
+
+ private:
+  static std::size_t index_of(u64 value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const auto exponent = static_cast<std::size_t>(msb) - 3;  // log2(16)=4-1
+    const std::size_t sub =
+        static_cast<std::size_t>(value >> (msb - 4)) & (kSubBuckets - 1);
+    const std::size_t idx = exponent * kSubBuckets + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static u64 value_of(std::size_t index) noexcept {
+    if (index < kSubBuckets) return index;
+    const std::size_t exponent = index / kSubBuckets;
+    const std::size_t sub = index % kSubBuckets;
+    const int shift = static_cast<int>(exponent) - 1;
+    return (u64{kSubBuckets} << shift) | (static_cast<u64>(sub) << shift);
+  }
+
+  std::array<u64, kBuckets> counts_{};
+  u64 total_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,59 @@
+// Latency and throughput accounting for benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+class LatencyRecorder {
+ public:
+  void record(SimTime inject_ns, SimTime out_ns) {
+    samples_.push_back(out_ns - inject_ns);
+    if (first_out_ == 0 || out_ns < first_out_) first_out_ = out_ns;
+    if (out_ns > last_out_) last_out_ = out_ns;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double mean_us() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (const SimTime s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size()) / 1e3;
+  }
+
+  double percentile_us(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<SimTime> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return static_cast<double>(sorted[idx]) / 1e3;
+  }
+  double median_us() const { return percentile_us(0.5); }
+  double p99_us() const { return percentile_us(0.99); }
+
+  double max_us() const {
+    if (samples_.empty()) return 0;
+    return static_cast<double>(
+               *std::max_element(samples_.begin(), samples_.end())) /
+           1e3;
+  }
+
+  // Egress rate over the output interval, in Mpps.
+  double rate_mpps() const {
+    if (samples_.size() < 2 || last_out_ <= first_out_) return 0;
+    return static_cast<double>(samples_.size() - 1) /
+           (static_cast<double>(last_out_ - first_out_) / 1e3) ;
+  }
+
+ private:
+  std::vector<SimTime> samples_;
+  SimTime first_out_ = 0;
+  SimTime last_out_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,114 @@
+#include "trafficgen/pcap.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace nfp {
+
+namespace {
+
+constexpr u32 kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr u32 kLinkTypeEthernet = 1;
+constexpr u32 kSnapLen = 65535;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+
+u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+}  // namespace
+
+Status write_pcap(const std::string& path,
+                  const std::vector<PcapRecord>& records) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) return Status::error("cannot open '" + path + "' for writing");
+
+  std::vector<u8> header;
+  put_u32(header, kMagic);
+  header.push_back(2);  // version 2.4
+  header.push_back(0);
+  header.push_back(4);
+  header.push_back(0);
+  put_u32(header, 0);  // thiszone
+  put_u32(header, 0);  // sigfigs
+  put_u32(header, kSnapLen);
+  put_u32(header, kLinkTypeEthernet);
+  if (std::fwrite(header.data(), 1, header.size(), file.get()) !=
+      header.size()) {
+    return Status::error("short write to '" + path + "'");
+  }
+
+  for (const PcapRecord& record : records) {
+    std::vector<u8> rec_header;
+    put_u32(rec_header, static_cast<u32>(record.timestamp_ns / kNsPerSec));
+    put_u32(rec_header,
+            static_cast<u32>((record.timestamp_ns % kNsPerSec) / 1'000));
+    put_u32(rec_header, static_cast<u32>(record.bytes.size()));
+    put_u32(rec_header, static_cast<u32>(record.bytes.size()));
+    if (std::fwrite(rec_header.data(), 1, rec_header.size(), file.get()) !=
+            rec_header.size() ||
+        std::fwrite(record.bytes.data(), 1, record.bytes.size(),
+                    file.get()) != record.bytes.size()) {
+      return Status::error("short write to '" + path + "'");
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::vector<PcapRecord>> read_pcap(const std::string& path) {
+  using R = Result<std::vector<PcapRecord>>;
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) return R::error("cannot open '" + path + "'");
+
+  u8 header[24];
+  if (std::fread(header, 1, sizeof header, file.get()) != sizeof header) {
+    return R::error("'" + path + "': truncated pcap header");
+  }
+  if (get_u32(header) != kMagic) {
+    return R::error("'" + path + "': unsupported pcap magic (expected "
+                    "little-endian microsecond format)");
+  }
+  if (get_u32(header + 20) != kLinkTypeEthernet) {
+    return R::error("'" + path + "': not an Ethernet capture");
+  }
+
+  std::vector<PcapRecord> records;
+  for (;;) {
+    u8 rec[16];
+    const std::size_t n = std::fread(rec, 1, sizeof rec, file.get());
+    if (n == 0) break;  // clean EOF
+    if (n != sizeof rec) return R::error("'" + path + "': truncated record");
+    const u32 sec = get_u32(rec);
+    const u32 usec = get_u32(rec + 4);
+    const u32 incl_len = get_u32(rec + 8);
+    if (incl_len > kSnapLen) {
+      return R::error("'" + path + "': implausible record length");
+    }
+    PcapRecord record;
+    record.timestamp_ns =
+        static_cast<SimTime>(sec) * kNsPerSec + static_cast<SimTime>(usec) * 1'000;
+    record.bytes.resize(incl_len);
+    if (std::fread(record.bytes.data(), 1, incl_len, file.get()) != incl_len) {
+      return R::error("'" + path + "': truncated packet data");
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace nfp

@@ -1,0 +1,32 @@
+// Minimal pcap (libpcap classic format) reader/writer.
+//
+// Lets the traffic generator dump what it sends — and the dataplane dump
+// what it emits — into standard capture files inspectable with
+// tcpdump/wireshark, and lets tests and examples replay captures through a
+// dataplane. Classic 24-byte header, LINKTYPE_ETHERNET, microsecond
+// timestamps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace nfp {
+
+struct PcapRecord {
+  SimTime timestamp_ns = 0;
+  std::vector<u8> bytes;
+
+  friend bool operator==(const PcapRecord&, const PcapRecord&) = default;
+};
+
+// Writes records in capture order. Overwrites an existing file.
+Status write_pcap(const std::string& path,
+                  const std::vector<PcapRecord>& records);
+
+// Reads a classic little-endian pcap file.
+Result<std::vector<PcapRecord>> read_pcap(const std::string& path);
+
+}  // namespace nfp

@@ -1,0 +1,73 @@
+// Traffic generation: the DPDK pktgen of the paper's testbed.
+//
+// Generates open-loop traffic with configurable packet-size models —
+// fixed sizes for the microbenchmark figures, and the data-center size
+// distribution of Benson et al. (IMC'10, ~724 B average) that the paper
+// uses for its real-world chain evaluation (§6.4) and resource-overhead
+// analysis (§6.3.1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "packet/builder.hpp"
+#include "packet/packet_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace nfp {
+
+enum class SizeModel : u8 {
+  kFixed,       // every frame `fixed_size` bytes
+  kDataCenter,  // bimodal mice/elephants mix, mean ≈ 724 B
+};
+
+struct TrafficConfig {
+  SizeModel size_model = SizeModel::kFixed;
+  std::size_t fixed_size = 64;
+  std::size_t flows = 64;           // distinct 5-tuples
+  double rate_pps = 100'000;        // injection rate
+  u64 packets = 10'000;             // total packets to inject
+  u64 seed = 42;
+  u8 payload_byte = 0x5c;
+};
+
+class TrafficGenerator {
+ public:
+  using Injector = std::function<void(Packet*)>;
+
+  TrafficGenerator(sim::Simulator& sim, PacketPool& pool,
+                   TrafficConfig config);
+
+  // Schedules all injections starting at the current simulated time.
+  // `inject` receives each freshly built packet.
+  void start(Injector inject);
+
+  // Draws one frame size from the configured model.
+  std::size_t next_size();
+
+  // Builds one packet for flow index `flow` (used by tests directly).
+  Packet* make_packet(PacketPool& pool, std::size_t flow, std::size_t size);
+
+  u64 generated() const noexcept { return generated_; }
+  u64 backpressure_retries() const noexcept { return backpressure_retries_; }
+
+  // Mean of the data-center size model (for resource-overhead math).
+  static double dc_mean_frame_size();
+
+ private:
+  // Headroom kept in the pool for in-flight packet copies.
+  static constexpr std::size_t kPoolReserve = 64;
+
+  void try_inject(const Injector& inject, u64 index);
+  FiveTuple flow_tuple(std::size_t flow) const;
+
+  sim::Simulator& sim_;
+  PacketPool& pool_;
+  TrafficConfig config_;
+  Rng rng_;
+  u64 generated_ = 0;
+  u64 backpressure_retries_ = 0;
+};
+
+}  // namespace nfp

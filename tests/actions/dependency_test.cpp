@@ -1,0 +1,252 @@
+// Tests for the Table 3 reconstruction and Algorithm 1 — including the
+// headline validation: the deployment-weighted pair statistics of paper
+// §4.3 (53.8% / 41.5% / 12.3%) emerge from this dependency table.
+#include <gtest/gtest.h>
+
+#include "actions/action_table.hpp"
+#include "actions/dependency.hpp"
+#include "orch/pair_stats.hpp"
+
+namespace nfp {
+namespace {
+
+Action read(Field f) { return {ActionType::kRead, f}; }
+Action write(Field f) { return {ActionType::kWrite, f}; }
+Action addrm() { return {ActionType::kAddRm, Field::kAhHeader}; }
+Action drop() { return {ActionType::kDrop, Field::kCount}; }
+
+TEST(DependencyTable, ReadReadSharesCopy) {
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), read(Field::kSrcIp)),
+            PairParallelism::kNoCopy);
+}
+
+TEST(DependencyTable, ReadThenWriteSameFieldNeedsCopy) {
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), write(Field::kSrcIp)),
+            PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, ReadThenWriteDifferentFieldReusesDirtyMemory) {
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), write(Field::kDstIp)),
+            PairParallelism::kNoCopy);
+}
+
+TEST(DependencyTable, DirtyMemoryReusingCanBeDisabled) {
+  AnalysisOptions opt;
+  opt.dirty_memory_reusing = false;
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), write(Field::kDstIp),
+                                    opt),
+            PairParallelism::kWithCopy);
+  EXPECT_EQ(action_pair_parallelism(write(Field::kTtl), read(Field::kTos),
+                                    opt),
+            PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, WriteThenReadSameFieldIsSequential) {
+  // §4.1: "NF1 first writes a packet header and later NF2 reads this
+  // header ... the two NFs should work in sequence."
+  EXPECT_EQ(action_pair_parallelism(write(Field::kDstIp), read(Field::kDstIp)),
+            PairParallelism::kNotParallelizable);
+}
+
+TEST(DependencyTable, WriteThenReadDifferentFieldParallel) {
+  EXPECT_EQ(action_pair_parallelism(write(Field::kDstIp), read(Field::kTtl)),
+            PairParallelism::kNoCopy);
+}
+
+TEST(DependencyTable, WriteWriteSameFieldCopiesAndMerges) {
+  EXPECT_EQ(action_pair_parallelism(write(Field::kSrcIp), write(Field::kSrcIp)),
+            PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, PayloadWritersStaySequentialUnderHeaderOnlyCopying) {
+  EXPECT_EQ(
+      action_pair_parallelism(write(Field::kPayload), write(Field::kPayload)),
+      PairParallelism::kNotParallelizable);
+  AnalysisOptions opt;
+  opt.header_only_copying = false;
+  EXPECT_EQ(action_pair_parallelism(write(Field::kPayload),
+                                    write(Field::kPayload), opt),
+            PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, PayloadReadThenWriteNeedsFullCopy) {
+  EXPECT_EQ(
+      action_pair_parallelism(read(Field::kPayload), write(Field::kPayload)),
+      PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, AddRmAsFirstActionIsSequential) {
+  EXPECT_EQ(action_pair_parallelism(addrm(), read(Field::kSrcIp)),
+            PairParallelism::kNotParallelizable);
+  EXPECT_EQ(action_pair_parallelism(addrm(), write(Field::kSrcIp)),
+            PairParallelism::kNotParallelizable);
+}
+
+TEST(DependencyTable, AddRmAsSecondActionCopies) {
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), addrm()),
+            PairParallelism::kWithCopy);
+  EXPECT_EQ(action_pair_parallelism(write(Field::kSrcIp), addrm()),
+            PairParallelism::kWithCopy);
+  EXPECT_EQ(action_pair_parallelism(addrm(), addrm()),
+            PairParallelism::kWithCopy);
+}
+
+TEST(DependencyTable, DropRowIsSequential) {
+  // NF1 may drop: NF2 must not process (and build state from) packets NF1
+  // would have dropped.
+  EXPECT_EQ(action_pair_parallelism(drop(), read(Field::kSrcIp)),
+            PairParallelism::kNotParallelizable);
+  EXPECT_EQ(action_pair_parallelism(drop(), write(Field::kSrcIp)),
+            PairParallelism::kNotParallelizable);
+  EXPECT_EQ(action_pair_parallelism(drop(), addrm()),
+            PairParallelism::kNotParallelizable);
+  EXPECT_EQ(action_pair_parallelism(drop(), drop()),
+            PairParallelism::kNotParallelizable);
+}
+
+TEST(DependencyTable, DropColumnIsFree) {
+  // NF2 may drop: the nil-packet mechanism reproduces sequential semantics.
+  EXPECT_EQ(action_pair_parallelism(read(Field::kSrcIp), drop()),
+            PairParallelism::kNoCopy);
+  EXPECT_EQ(action_pair_parallelism(write(Field::kSrcIp), drop()),
+            PairParallelism::kNoCopy);
+  EXPECT_EQ(action_pair_parallelism(addrm(), drop()),
+            PairParallelism::kNoCopy);
+}
+
+// ---- Algorithm 1 on real NF profiles ----------------------------------------
+
+class Algorithm1Test : public ::testing::Test {
+ protected:
+  ActionTable table_ = ActionTable::with_builtin_nfs();
+  const ActionProfile& p(const std::string& name) {
+    return table_.profile(name);
+  }
+};
+
+TEST_F(Algorithm1Test, MonitorThenFirewallParallelNoCopy) {
+  // The Fig 1(b) pair: Monitor reads, Firewall reads + drops (as NF2).
+  const PairAnalysis a = analyze_pair(p("monitor"), p("firewall"));
+  EXPECT_EQ(a.verdict(), PairParallelism::kNoCopy);
+}
+
+TEST_F(Algorithm1Test, FirewallThenMonitorSequential) {
+  // Reversed: the dropping NF comes first.
+  const PairAnalysis a = analyze_pair(p("firewall"), p("monitor"));
+  EXPECT_EQ(a.verdict(), PairParallelism::kNotParallelizable);
+}
+
+TEST_F(Algorithm1Test, MonitorThenLbNeedsCopy) {
+  // West-east chain pair: LB writes addresses the monitor reads.
+  const PairAnalysis a = analyze_pair(p("monitor"), p("lb"));
+  EXPECT_EQ(a.verdict(), PairParallelism::kWithCopy);
+  EXPECT_FALSE(a.conflicts.empty());
+}
+
+TEST_F(Algorithm1Test, LbThenMonitorSequential) {
+  const PairAnalysis a = analyze_pair(p("lb"), p("monitor"));
+  EXPECT_EQ(a.verdict(), PairParallelism::kNotParallelizable);
+}
+
+TEST_F(Algorithm1Test, NatThenLbSequential) {
+  // §4.1's example: NAT rewrites ports the LB reads.
+  const PairAnalysis a = analyze_pair(p("nat"), p("lb"));
+  EXPECT_EQ(a.verdict(), PairParallelism::kNotParallelizable);
+}
+
+TEST_F(Algorithm1Test, VpnFirstThenReadersSequential) {
+  // The VPN adds an AH; downstream NFs must see the restructured packet.
+  EXPECT_EQ(analyze_pair(p("vpn"), p("monitor")).verdict(),
+            PairParallelism::kNotParallelizable);
+}
+
+TEST_F(Algorithm1Test, MonitorThenVpnCopies) {
+  EXPECT_EQ(analyze_pair(p("monitor"), p("vpn")).verdict(),
+            PairParallelism::kWithCopy);
+}
+
+TEST_F(Algorithm1Test, IdsMonitorFreeParallelism) {
+  EXPECT_EQ(analyze_pair(p("ids"), p("monitor")).verdict(),
+            PairParallelism::kNoCopy);
+  EXPECT_EQ(analyze_pair(p("monitor"), p("ids")).verdict(),
+            PairParallelism::kNoCopy);
+}
+
+TEST_F(Algorithm1Test, ConflictsIdentifyTheFields) {
+  const PairAnalysis a = analyze_pair(p("monitor"), p("lb"));
+  ASSERT_TRUE(a.needs_copy());
+  bool sip = false, dip = false;
+  for (const auto& c : a.conflicts) {
+    if (c.first.field == Field::kSrcIp && c.second.field == Field::kSrcIp) {
+      sip = true;
+    }
+    if (c.first.field == Field::kDstIp && c.second.field == Field::kDstIp) {
+      dip = true;
+    }
+  }
+  EXPECT_TRUE(sip);
+  EXPECT_TRUE(dip);
+}
+
+TEST_F(Algorithm1Test, ShaperParallelWithEverything) {
+  // The traffic shaper touches no fields; both orientations are free with
+  // every non-dropping NF.
+  for (const char* other : {"monitor", "lb", "nat", "vpn", "ids"}) {
+    EXPECT_EQ(analyze_pair(p("shaper"), p(other)).verdict(),
+              PairParallelism::kNoCopy)
+        << other;
+  }
+}
+
+// ---- The §4.3 headline statistics ---------------------------------------------
+
+TEST(PairStatsTest, ReproducesPaperSection43Numbers) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats stats = compute_pair_stats(table, /*weighted=*/true,
+                                             /*deployed_only=*/true);
+  // Paper §4.3: 53.8% parallelizable, 41.5% without extra resource overhead.
+  EXPECT_NEAR(stats.parallelizable, 0.538, 0.002);
+  EXPECT_NEAR(stats.no_copy, 0.415, 0.002);
+  EXPECT_NEAR(stats.with_copy, 0.123, 0.002);
+}
+
+TEST(PairStatsTest, FractionsSumToOne) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  for (const bool weighted : {true, false}) {
+    for (const bool deployed : {true, false}) {
+      const PairStats stats = compute_pair_stats(table, weighted, deployed);
+      EXPECT_NEAR(
+          stats.no_copy + stats.with_copy + stats.sequential_only, 1.0, 1e-9);
+      EXPECT_GT(stats.pair_count, 0u);
+    }
+  }
+}
+
+TEST(PairStatsTest, DeployedOnlyUsesSixNfs) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats stats = compute_pair_stats(table, true, true);
+  EXPECT_EQ(stats.pair_count, 30u);  // 6 NFs, ordered pairs
+}
+
+TEST(PairStatsTest, DisablingDirtyMemoryReusingMovesPairsToCopy) {
+  // Monitor (reads the 5-tuple) vs Compression (writes only the payload):
+  // disjoint fields, so OP#1 lets them share one packet copy. Without OP#1
+  // the pair still parallelizes but needs a copy.
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const auto& mon = table.profile("monitor");
+  const auto& comp = table.profile("compression");
+  EXPECT_EQ(analyze_pair(mon, comp).verdict(), PairParallelism::kNoCopy);
+
+  AnalysisOptions opt;
+  opt.dirty_memory_reusing = false;
+  EXPECT_EQ(analyze_pair(mon, comp, opt).verdict(),
+            PairParallelism::kWithCopy);
+  // The full-table statistics never lose parallelizable pairs to OP#1.
+  const PairStats base = compute_pair_stats(table, true, true);
+  const PairStats nodmr = compute_pair_stats(table, true, true, opt);
+  EXPECT_NEAR(nodmr.parallelizable, base.parallelizable, 1e-9);
+  EXPECT_LE(nodmr.no_copy, base.no_copy);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,84 @@
+// Snapshot of the full pairwise verdict matrix over the six deployment-
+// weighted NFs of paper Table 2. This pins down the exact Algorithm 1
+// behaviour that produces the paper's §4.3 statistics; any change to the
+// dependency table that shifts a verdict fails here with the precise pair.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "actions/action_table.hpp"
+#include "actions/dependency.hpp"
+
+namespace nfp {
+namespace {
+
+using V = PairParallelism;
+
+TEST(VerdictMatrix, MatchesTheValidatedReconstruction) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  // (NF1, NF2) -> expected verdict for Order(NF1, before, NF2).
+  const std::map<std::pair<std::string, std::string>, V> expected = {
+      // firewall first: it may drop, so nothing can follow in parallel.
+      {{"firewall", "nids"}, V::kNotParallelizable},
+      {{"firewall", "gateway"}, V::kNotParallelizable},
+      {{"firewall", "lb"}, V::kNotParallelizable},
+      {{"firewall", "caching"}, V::kNotParallelizable},
+      {{"firewall", "vpn"}, V::kNotParallelizable},
+      // firewall second: reads + drop combine freely with readers.
+      {{"nids", "firewall"}, V::kNoCopy},
+      {{"gateway", "firewall"}, V::kNoCopy},
+      {{"caching", "firewall"}, V::kNoCopy},
+      // LB second: writes addresses others read -> copy.
+      {{"nids", "lb"}, V::kWithCopy},
+      {{"gateway", "lb"}, V::kWithCopy},
+      {{"caching", "lb"}, V::kWithCopy},
+      // LB first: its writes must be visible downstream -> sequential.
+      {{"lb", "nids"}, V::kNotParallelizable},
+      {{"lb", "gateway"}, V::kNotParallelizable},
+      {{"lb", "caching"}, V::kNotParallelizable},
+      {{"lb", "firewall"}, V::kNotParallelizable},
+      {{"lb", "vpn"}, V::kNotParallelizable},
+      // VPN second: AH addition forces a copy; payload conflicts decide
+      // whether it is reachable at all.
+      {{"gateway", "vpn"}, V::kWithCopy},
+      {{"nids", "vpn"}, V::kWithCopy},     // payload read vs write: full copy
+      {{"caching", "vpn"}, V::kWithCopy},  // payload read vs write: full copy
+      // VPN first: downstream must see the restructured packet.
+      {{"vpn", "nids"}, V::kNotParallelizable},
+      {{"vpn", "gateway"}, V::kNotParallelizable},
+      {{"vpn", "lb"}, V::kNotParallelizable},
+      {{"vpn", "caching"}, V::kNotParallelizable},
+      // Pure reader pairs: free parallelism both ways.
+      {{"nids", "gateway"}, V::kNoCopy},
+      {{"gateway", "nids"}, V::kNoCopy},
+      {{"nids", "caching"}, V::kNoCopy},
+      {{"caching", "nids"}, V::kNoCopy},
+      {{"gateway", "caching"}, V::kNoCopy},
+      {{"caching", "gateway"}, V::kNoCopy},
+  };
+
+  for (const auto& [pair, verdict] : expected) {
+    const PairAnalysis analysis =
+        analyze_pair(table.profile(pair.first), table.profile(pair.second));
+    EXPECT_EQ(analysis.verdict(), verdict)
+        << "Order(" << pair.first << ", before, " << pair.second << ")";
+  }
+}
+
+TEST(VerdictMatrix, PayloadPairsNeedFullCopies) {
+  // The with-copy verdicts that involve the payload must be realized as
+  // full copies by the compiler; check the conflicts carry payload fields.
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairAnalysis a =
+      analyze_pair(table.profile("nids"), table.profile("vpn"));
+  ASSERT_EQ(a.verdict(), PairParallelism::kWithCopy);
+  bool payload_conflict = false;
+  for (const auto& c : a.conflicts) {
+    payload_conflict |= c.first.field == Field::kPayload &&
+                        c.second.field == Field::kPayload;
+  }
+  EXPECT_TRUE(payload_conflict);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,118 @@
+// Tests for shared utilities: RNG determinism, hashing, string helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.bounded(13), 13u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const u64 v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all values in [5,8] should appear";
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Hash, FiveTupleEqualityAndHash) {
+  FiveTuple a{1, 2, 3, 4, 6};
+  FiveTuple b{1, 2, 3, 4, 6};
+  FiveTuple c{1, 2, 3, 5, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash_five_tuple(a), hash_five_tuple(b));
+  EXPECT_NE(hash_five_tuple(a), hash_five_tuple(c));
+}
+
+TEST(Hash, Mix64SpreadsSequentialValues) {
+  // The merger agent hashes sequential PIDs; buckets must balance (§5.3).
+  constexpr int kN = 100'000;
+  constexpr int kBuckets = 4;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kN; ++i) {
+    counts[mix64(static_cast<u64>(i)) % kBuckets]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.05);
+  }
+}
+
+TEST(Hash, Fnv1aKnownValue) {
+  EXPECT_EQ(fnv1a64(std::string_view("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(std::string_view("a")), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_EQ(to_lower("FireWall"), "firewall");
+  EXPECT_TRUE(iequals("VPN", "vpn"));
+  EXPECT_FALSE(iequals("VPN", "vp"));
+}
+
+TEST(StringUtil, Ipv4RoundTrip) {
+  unsigned addr = 0;
+  ASSERT_TRUE(parse_ipv4("10.1.2.3", addr));
+  EXPECT_EQ(addr, 0x0A010203u);
+  EXPECT_EQ(ipv4_to_string(addr), "10.1.2.3");
+  EXPECT_FALSE(parse_ipv4("10.1.2", addr));
+  EXPECT_FALSE(parse_ipv4("10.1.2.256", addr));
+  EXPECT_FALSE(parse_ipv4("banana", addr));
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,101 @@
+// Drop-conflict resolution in the merger (§3's Priority example and §5.2's
+// nil packets): Order-derived parallelism uses "any drop wins" (sequential
+// semantics); Priority-declared parallelism lets the highest-priority
+// drop-capable NF decide — Priority(IPS > Firewall) adopts the IPS result.
+#include <gtest/gtest.h>
+
+#include "dataplane/nfp_dataplane.hpp"
+#include "nfs/firewall.hpp"
+#include "nfs/ids.hpp"
+#include "orch/compiler.hpp"
+#include "policy/parser.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+namespace {
+
+// Deterministic stand-ins: a firewall that drops everything and an IPS that
+// passes everything (their verdicts conflict on every packet).
+NfFactory conflicting_factory(bool ips_drops) {
+  return [ips_drops](const StageNf& nf) -> std::unique_ptr<NetworkFunction> {
+    if (nf.name == "firewall") {
+      AclTable acl;
+      acl.set_default_action(AclAction::kDrop);
+      return std::make_unique<Firewall>(std::move(acl));
+    }
+    if (nf.name == "ips") {
+      if (ips_drops) {
+        // Signature matching everything our generator sends (payload 0x5c
+        // = '\\').
+        return std::make_unique<Ips>(std::vector<std::string>{
+            std::string(6, '\x5c')});
+      }
+      return std::make_unique<Ips>(std::vector<std::string>{"NOMATCH"});
+    }
+    return make_builtin_nf(nf.name);
+  };
+}
+
+u64 run_and_count_delivered(const std::string& policy_text, bool ips_drops) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  auto graph = compile_policy(parse_policy(policy_text).value(), table);
+  EXPECT_TRUE(graph.is_ok()) << graph.error();
+
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.factory = conflicting_factory(ips_drops);
+  NfpDataplane dp(sim, std::move(graph).take(), std::move(cfg));
+  u64 delivered = 0;
+  dp.set_sink([&](Packet* p, SimTime) {
+    ++delivered;
+    dp.pool().release(p);
+  });
+  TrafficConfig traffic;
+  traffic.packets = 50;
+  traffic.fixed_size = 128;
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* p) { dp.inject(p); });
+  sim.run();
+  EXPECT_EQ(dp.pool().in_use(), 0u);
+  return delivered;
+}
+
+TEST(DropResolution, PriorityRuleAdoptsHighPriorityVerdict) {
+  // Priority(IPS > Firewall): firewall drops, IPS passes => IPS wins, the
+  // packets go through (§3: "adopt the processing result of IPS").
+  EXPECT_EQ(run_and_count_delivered(
+                "policy p\npriority(ips > firewall)", /*ips_drops=*/false),
+            50u);
+}
+
+TEST(DropResolution, PriorityRuleDropsWhenHighPriorityDrops) {
+  EXPECT_EQ(run_and_count_delivered(
+                "policy p\npriority(ips > firewall)", /*ips_drops=*/true),
+            0u);
+}
+
+TEST(DropResolution, OrderDerivedParallelismAnyDropWins) {
+  // Monitor before Firewall compiles to parallel with kAnyDrop: the
+  // firewall's drop always kills the packet (sequential semantics).
+  EXPECT_EQ(run_and_count_delivered(
+                "policy p\nchain(monitor, firewall)", /*ips_drops=*/false),
+            0u);
+}
+
+TEST(DropResolution, CompilerMarksResolutionModes) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  auto prio = compile_policy(
+      parse_policy("priority(ips > firewall)").value(), table);
+  ASSERT_TRUE(prio.is_ok());
+  EXPECT_EQ(prio.value().segments()[0].merge.drop_resolution,
+            DropResolution::kPriority);
+
+  auto order = compile_policy(
+      parse_policy("chain(monitor, firewall)").value(), table);
+  ASSERT_TRUE(order.is_ok());
+  EXPECT_EQ(order.value().segments()[0].merge.drop_resolution,
+            DropResolution::kAnyDrop);
+}
+
+}  // namespace
+}  // namespace nfp

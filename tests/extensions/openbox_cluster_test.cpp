@@ -1,0 +1,131 @@
+// Tests for the §7 extensions: OpenBox block-level parallelism (Fig 15)
+// and cross-server graph partitioning.
+#include <gtest/gtest.h>
+
+#include "cluster/partition.hpp"
+#include "openbox/openbox.hpp"
+#include "orch/compiler.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp {
+namespace {
+
+class OpenboxTest : public ::testing::Test {
+ protected:
+  OpenboxTest() { openbox::register_builtin_blocks(table_); }
+  ActionTable table_ = ActionTable::with_builtin_nfs();
+};
+
+TEST_F(OpenboxTest, BuiltinBlocksRegistered) {
+  for (const char* block :
+       {"read_packets", "header_classifier", "fw_alert", "dpi", "ips_alert",
+        "output_block"}) {
+    EXPECT_TRUE(table_.contains(block)) << block;
+  }
+}
+
+TEST_F(OpenboxTest, MergeDeduplicatesSharedBlocks) {
+  const Policy policy =
+      openbox::merge_block_chains(openbox::fig15_firewall_and_ips());
+  // Shared prefix appears once: 6 distinct blocks.
+  EXPECT_EQ(policy.nf_names().size(), 6u);
+  // Shared edges appear once too (read->classifier shared by both chains).
+  std::size_t read_to_classify = 0;
+  for (const Rule& rule : policy.rules()) {
+    if (const auto* o = std::get_if<OrderRule>(&rule)) {
+      if (o->before == "read_packets" && o->after == "header_classifier") {
+        ++read_to_classify;
+      }
+    }
+  }
+  EXPECT_EQ(read_to_classify, 1u);
+}
+
+TEST_F(OpenboxTest, Fig15GraphParallelizesAlertAndDpi) {
+  auto graph = openbox::compile_block_graph(
+      openbox::fig15_firewall_and_ips(), table_);
+  ASSERT_TRUE(graph.is_ok()) << graph.error();
+  // The merged sequential block chain would be 6 blocks long; block-level
+  // parallelism must shorten it.
+  EXPECT_LT(graph.value().equivalent_length(), 6u) << graph.value().to_string();
+  // fw_alert and dpi share a stage somewhere.
+  bool together = false;
+  for (const Segment& seg : graph.value().segments()) {
+    bool fw = false, dpi = false;
+    for (const StageNf& nf : seg.nfs) {
+      fw |= nf.name == "fw_alert";
+      dpi |= nf.name == "dpi";
+    }
+    together |= fw && dpi;
+  }
+  EXPECT_TRUE(together) << graph.value().to_string();
+}
+
+TEST_F(OpenboxTest, BlockParallelismIsCopyFree) {
+  auto graph = openbox::compile_block_graph(
+      openbox::fig15_firewall_and_ips(), table_);
+  ASSERT_TRUE(graph.is_ok());
+  EXPECT_EQ(graph.value().copies_per_packet(), 0u)
+      << "all Fig 15 blocks are readers; no copies needed";
+}
+
+TEST(ClusterPartition, SingleServerWhenItFits) {
+  const ServiceGraph g = ServiceGraph::sequential(
+      "small", {"monitor", "firewall", "lb"});
+  cluster::PartitionOptions opt;
+  opt.cores_per_server = 10;
+  opt.infra_cores = 4;
+  const auto plan = cluster::partition_graph(g, opt);
+  ASSERT_TRUE(plan.is_ok()) << plan.error();
+  ASSERT_EQ(plan.value().size(), 1u);
+  EXPECT_EQ(plan.value()[0].nf_cores, 3u);
+  EXPECT_EQ(cluster::inter_server_copies_per_packet(g, plan.value()), 0.0);
+}
+
+TEST(ClusterPartition, SplitsAtSegmentBoundaries) {
+  // 7 sequential NFs, 4 NF cores per server -> 2 servers (4 + 3).
+  const ServiceGraph g = ServiceGraph::sequential(
+      "long", {"a", "b", "c", "d", "e", "f", "g"});
+  cluster::PartitionOptions opt;
+  opt.cores_per_server = 6;
+  opt.infra_cores = 2;
+  const auto plan = cluster::partition_graph(g, opt);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan.value().size(), 2u);
+  EXPECT_EQ(plan.value()[0].nf_cores, 4u);
+  EXPECT_EQ(plan.value()[1].nf_cores, 3u);
+  // One copy per packet crosses the wire (the §7 bandwidth constraint).
+  EXPECT_EQ(cluster::inter_server_copies_per_packet(g, plan.value()), 1.0);
+  // NSH tag points at the first segment of the next server.
+  EXPECT_EQ(plan.value()[0].egress_mid, g.segments()[4].mid);
+}
+
+TEST(ClusterPartition, NeverSplitsAParallelStage) {
+  ServiceGraph g = ServiceGraph::parallel("wide", {"a", "b", "c", "d"});
+  cluster::PartitionOptions opt;
+  opt.cores_per_server = 5;
+  opt.infra_cores = 2;  // capacity 3 < stage size 4
+  const auto plan = cluster::partition_graph(g, opt);
+  EXPECT_FALSE(plan.is_ok());
+}
+
+TEST(ClusterPartition, RejectsBadOptions) {
+  const ServiceGraph g = ServiceGraph::sequential("s", {"a"});
+  cluster::PartitionOptions opt;
+  opt.cores_per_server = 2;
+  opt.infra_cores = 4;
+  EXPECT_FALSE(cluster::partition_graph(g, opt).is_ok());
+}
+
+TEST(ClusterPartition, PlanRendering) {
+  const ServiceGraph g =
+      ServiceGraph::sequential("render", {"monitor", "firewall"});
+  const auto plan = cluster::partition_graph(g);
+  ASSERT_TRUE(plan.is_ok());
+  const std::string text = cluster::plan_to_string(g, plan.value());
+  EXPECT_NE(text.find("server 0"), std::string::npos);
+  EXPECT_NE(text.find("monitor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp

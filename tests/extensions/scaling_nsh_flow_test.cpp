@@ -1,0 +1,237 @@
+// Tests for the remaining §7 extensions and their substrates: the flow
+// table, the token bucket, elastic NF scaling with state migration, and
+// NSH encapsulation for cross-server hops.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/nsh.hpp"
+#include "flow/flow_table.hpp"
+#include "nfs/misc_nfs.hpp"
+#include "nfs/monitor.hpp"
+#include "packet/builder.hpp"
+#include "qos/token_bucket.hpp"
+#include "scaling/scaler.hpp"
+
+namespace nfp {
+namespace {
+
+// --- FlowTable ----------------------------------------------------------------
+
+TEST(FlowTableTest, CreatesAndFinds) {
+  FlowTable<int> table(4);
+  const FiveTuple a{1, 2, 3, 4, 6};
+  table.get_or_create(a) = 7;
+  ASSERT_NE(table.peek(a), nullptr);
+  EXPECT_EQ(*table.peek(a), 7);
+  EXPECT_EQ(table.peek({9, 9, 9, 9, 6}), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableTest, EvictsLeastRecentlyUsed) {
+  FlowTable<int> table(3);
+  const FiveTuple f1{1, 0, 0, 0, 6}, f2{2, 0, 0, 0, 6}, f3{3, 0, 0, 0, 6},
+      f4{4, 0, 0, 0, 6};
+  table.get_or_create(f1) = 1;
+  table.get_or_create(f2) = 2;
+  table.get_or_create(f3) = 3;
+  table.get_or_create(f1);  // refresh f1 -> f2 is now LRU
+  table.get_or_create(f4) = 4;
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.peek(f2), nullptr) << "f2 was least recently used";
+  EXPECT_NE(table.peek(f1), nullptr);
+  EXPECT_NE(table.peek(f4), nullptr);
+}
+
+TEST(FlowTableTest, EraseAndForEach) {
+  FlowTable<int> table(8);
+  for (u32 i = 0; i < 5; ++i) {
+    table.get_or_create({i, 0, 0, 0, 6}) = static_cast<int>(i);
+  }
+  EXPECT_TRUE(table.erase({2, 0, 0, 0, 6}));
+  EXPECT_FALSE(table.erase({2, 0, 0, 0, 6}));
+  int sum = 0, count = 0;
+  table.for_each([&](const FiveTuple&, const int& v) {
+    sum += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sum, 0 + 1 + 3 + 4);
+}
+
+// --- TokenBucket -----------------------------------------------------------------
+
+TEST(TokenBucketTest, BurstThenThrottle) {
+  TokenBucket bucket(1'000'000, 1'000);  // 1 MB/s, 1 KB burst
+  EXPECT_TRUE(bucket.conform(0, 600));
+  EXPECT_TRUE(bucket.conform(0, 400));
+  EXPECT_FALSE(bucket.conform(0, 1)) << "bucket exhausted";
+  // After 500us, 500 bytes refilled.
+  EXPECT_TRUE(bucket.conform(500'000, 500));
+  EXPECT_FALSE(bucket.conform(500'000, 200));
+}
+
+TEST(TokenBucketTest, NeverExceedsBurst) {
+  TokenBucket bucket(1'000'000, 1'000);
+  EXPECT_TRUE(bucket.conform(10 * kNsPerSec, 1'000));
+  EXPECT_FALSE(bucket.conform(10 * kNsPerSec, 1))
+      << "long idle must not accumulate beyond the burst";
+}
+
+TEST(TokenBucketTest, NextConformTime) {
+  TokenBucket bucket(1'000'000, 1'000);
+  ASSERT_TRUE(bucket.conform(0, 1'000));
+  const SimTime t = bucket.next_conform_time(0, 500);
+  EXPECT_GE(t, 500'000u);  // 500B at 1MB/s = 500us
+  EXPECT_LE(t, 510'000u);
+  EXPECT_TRUE(bucket.conform(t, 500));
+}
+
+TEST(TokenBucketTest, PolicingShaperDropsOutOfProfile) {
+  // 1 KB/s with a tiny burst: the second packet at t=0 must be dropped.
+  TrafficShaper shaper(1'000, 200, /*policing=*/true);
+  PacketPool pool(4);
+  PacketSpec spec;
+  spec.frame_size = 128;
+  Packet* p1 = build_packet(pool, spec);
+  Packet* p2 = build_packet(pool, spec);
+  PacketView v1(*p1), v2(*p2);
+  EXPECT_EQ(shaper.process(v1), NfVerdict::kPass);
+  EXPECT_EQ(shaper.process(v2), NfVerdict::kDrop);
+  EXPECT_EQ(shaper.out_of_profile(), 1u);
+  EXPECT_TRUE(shaper.declared_profile().drops());
+  pool.release(p1);
+  pool.release(p2);
+}
+
+// --- elastic scaling -----------------------------------------------------------------
+
+Monitor::ExportedFlow count_flow(u32 ip, u64 packets) {
+  return {FiveTuple{ip, 1, 2, 3, 6}, Monitor::FlowStats{packets, packets * 64}};
+}
+
+TEST(ScalingTest, ScaleUpPreservesEveryFlowExactly) {
+  scaling::ScalableNfGroup<Monitor> group(
+      [] { return std::make_unique<Monitor>(); });
+  // Seed 200 flows through replica routing.
+  PacketPool pool(4);
+  for (u32 i = 0; i < 200; ++i) {
+    PacketSpec spec;
+    spec.tuple = FiveTuple{0x0A000000 + i, 0x0B000000, 1000, 80, kProtoTcp};
+    Packet* p = build_packet(pool, spec);
+    PacketView v(*p);
+    group.process(v);
+    pool.release(p);
+  }
+  const auto total_flows = [&group] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < group.replica_count(); ++i) {
+      n += group.replica(i).flow_count();
+    }
+    return n;
+  };
+  ASSERT_EQ(group.replica_count(), 1u);
+  ASSERT_EQ(total_flows(), 200u);
+
+  const std::size_t migrated = group.scale_up();
+  EXPECT_EQ(group.replica_count(), 2u);
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(total_flows(), 200u) << "no flow state lost in migration";
+
+  // Every flow's counter must now live on the replica route() selects.
+  for (u32 i = 0; i < 200; ++i) {
+    const FiveTuple flow{0x0A000000 + i, 0x0B000000, 1000, 80, kProtoTcp};
+    const Monitor& owner = group.replica(group.route(flow));
+    const auto* stats = owner.flow(flow);
+    ASSERT_NE(stats, nullptr) << "flow " << i;
+    EXPECT_EQ(stats->packets, 1u);
+  }
+}
+
+TEST(ScalingTest, CountersKeepGrowingAfterResize) {
+  scaling::ScalableNfGroup<Monitor> group(
+      [] { return std::make_unique<Monitor>(); });
+  PacketPool pool(4);
+  const FiveTuple flow{0x0A0A0A0A, 0x0B0B0B0B, 1234, 80, kProtoTcp};
+  const auto send = [&] {
+    PacketSpec spec;
+    spec.tuple = flow;
+    Packet* p = build_packet(pool, spec);
+    PacketView v(*p);
+    group.process(v);
+    pool.release(p);
+  };
+  send();
+  send();
+  group.scale_up();
+  send();  // must hit the replica that now owns the migrated state
+  const auto* stats = group.replica(group.route(flow)).flow(flow);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->packets, 3u);
+}
+
+TEST(ScalingTest, ScaleDownFoldsStateBack) {
+  scaling::ScalableNfGroup<Monitor> group(
+      [] { return std::make_unique<Monitor>(); }, 3);
+  group.replica(2).absorb_flows({count_flow(1, 5), count_flow(2, 7)});
+  const std::size_t migrated = group.scale_down();
+  EXPECT_EQ(group.replica_count(), 2u);
+  EXPECT_EQ(migrated, 2u);
+  const FiveTuple f1{1, 1, 2, 3, 6};
+  const auto* stats = group.replica(group.route(f1)).flow(f1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->packets, 5u);
+  EXPECT_EQ(group.scale_events(), 1u);
+}
+
+// --- NSH -------------------------------------------------------------------------
+
+TEST(NshTest, EncapDecapRoundTrip) {
+  PacketPool pool(2);
+  PacketSpec spec;
+  spec.frame_size = 200;
+  Packet* p = build_packet(pool, spec);
+  const std::vector<u8> original(p->data(), p->data() + p->length());
+
+  cluster::NshInfo info;
+  info.next_mid = 0x0ABCDE;
+  info.pid = 0x1122334455ull;
+  ASSERT_TRUE(cluster::nsh_encap(*p, info));
+  EXPECT_TRUE(cluster::is_nsh(*p));
+  EXPECT_EQ(p->length(),
+            original.size() + cluster::kNshBaseLen + cluster::kNshContextLen);
+
+  const auto decapped = cluster::nsh_decap(*p);
+  ASSERT_TRUE(decapped.has_value());
+  EXPECT_EQ(decapped->next_mid, 0x0ABCDEu);
+  ASSERT_TRUE(decapped->pid.has_value());
+  EXPECT_EQ(*decapped->pid, 0x1122334455ull);
+  ASSERT_EQ(p->length(), original.size());
+  EXPECT_EQ(0, std::memcmp(p->data(), original.data(), original.size()));
+  pool.release(p);
+}
+
+TEST(NshTest, EncapWithoutContext) {
+  PacketPool pool(2);
+  Packet* p = build_packet(pool, PacketSpec{});
+  cluster::NshInfo info;
+  info.next_mid = 42;
+  ASSERT_TRUE(cluster::nsh_encap(*p, info));
+  const auto decapped = cluster::nsh_decap(*p);
+  ASSERT_TRUE(decapped.has_value());
+  EXPECT_EQ(decapped->next_mid, 42u);
+  EXPECT_FALSE(decapped->pid.has_value());
+  pool.release(p);
+}
+
+TEST(NshTest, DecapRejectsPlainFrames) {
+  PacketPool pool(2);
+  Packet* p = build_packet(pool, PacketSpec{});
+  EXPECT_FALSE(cluster::is_nsh(*p));
+  EXPECT_FALSE(cluster::nsh_decap(*p).has_value());
+  pool.release(p);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,86 @@
+// Tests for the service-graph representation.
+#include <gtest/gtest.h>
+
+#include "graph/service_graph.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(ServiceGraphTest, SequentialBuilder) {
+  const ServiceGraph g =
+      ServiceGraph::sequential("s", {"a", "b", "c"});
+  EXPECT_EQ(g.equivalent_length(), 3u);
+  EXPECT_EQ(g.nf_count(), 3u);
+  EXPECT_TRUE(g.is_sequential());
+  EXPECT_EQ(g.copies_per_packet(), 0u);
+  EXPECT_EQ(g.structure(), "1+1+1");
+}
+
+TEST(ServiceGraphTest, ParallelBuilderNoCopy) {
+  const ServiceGraph g = ServiceGraph::parallel("p", {"a", "b", "c"});
+  EXPECT_EQ(g.equivalent_length(), 1u);
+  EXPECT_FALSE(g.is_sequential());
+  EXPECT_EQ(g.copies_per_packet(), 0u);
+  EXPECT_EQ(g.segments()[0].merge.total_count, 3u);
+  EXPECT_EQ(g.structure(), "3");
+}
+
+TEST(ServiceGraphTest, ParallelBuilderWithVersions) {
+  const ServiceGraph g =
+      ServiceGraph::parallel("p", {"a", "b"}, {1, 2},
+                             {MergeOp{MergeOp::Kind::kModify, 2,
+                                      Field::kDstIp}});
+  EXPECT_EQ(g.copies_per_packet(), 1u);
+  EXPECT_EQ(g.segments()[0].num_versions, 2);
+  ASSERT_EQ(g.segments()[0].merge.ops.size(), 1u);
+  EXPECT_EQ(g.segments()[0].merge.ops[0].src_version, 2);
+}
+
+TEST(ServiceGraphTest, FullCopyMask) {
+  Segment seg;
+  seg.full_copy_mask = 1u << 3;
+  EXPECT_TRUE(seg.version_needs_full_copy(3));
+  EXPECT_FALSE(seg.version_needs_full_copy(2));
+}
+
+TEST(ServiceGraphTest, ToStringMentionsStructure) {
+  ServiceGraph g = ServiceGraph::parallel("demo", {"x", "y"}, {1, 2});
+  const std::string text = g.to_string();
+  EXPECT_NE(text.find("x:v1"), std::string::npos);
+  EXPECT_NE(text.find("y:v2"), std::string::npos);
+  EXPECT_NE(text.find("merge(2)"), std::string::npos);
+}
+
+TEST(ServiceGraphTest, MixedStructureString) {
+  ServiceGraph g = ServiceGraph::sequential("m", {"head"});
+  Segment par;
+  par.nfs.push_back(StageNf{"a", 1, 1, 0, false});
+  par.nfs.push_back(StageNf{"b", 2, 1, 0, false});
+  par.merge.total_count = 2;
+  g.segments().push_back(par);
+  EXPECT_EQ(g.structure(), "1+2");
+  EXPECT_EQ(g.equivalent_length(), 2u);
+  EXPECT_EQ(g.nf_count(), 3u);
+}
+
+TEST(ServiceGraphTest, DotExportHasNodesAndMerger) {
+  ServiceGraph g = ServiceGraph::sequential("d", {"vpn"});
+  Segment par;
+  par.nfs.push_back(StageNf{"monitor", 1, 1, 0, false});
+  par.nfs.push_back(StageNf{"firewall", 2, 1, 0, true});
+  par.merge.total_count = 2;
+  g.segments().push_back(par);
+
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("vpn_0"), std::string::npos);
+  EXPECT_NE(dot.find("monitor_1"), std::string::npos);
+  EXPECT_NE(dot.find("merger_1"), std::string::npos);
+  EXPECT_NE(dot.find("-> output"), std::string::npos);
+  // The VPN fans out to both parallel NFs.
+  EXPECT_NE(dot.find("vpn_0 -> monitor_1"), std::string::npos);
+  EXPECT_NE(dot.find("vpn_0 -> firewall_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp

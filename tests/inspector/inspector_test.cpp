@@ -1,0 +1,103 @@
+// Tests for the dynamic NF action inspector (§5.4): observed profiles must
+// match the declared Table 2 profiles for every built-in NF.
+#include <gtest/gtest.h>
+
+#include "actions/action_table.hpp"
+#include "inspector/inspector.hpp"
+#include "nfs/firewall.hpp"
+#include "nfs/load_balancer.hpp"
+#include "nfs/monitor.hpp"
+#include "nfs/vpn.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(Inspector, MonitorProfileObserved) {
+  Monitor mon;
+  const ActionProfile observed = inspect_nf(mon);
+  EXPECT_TRUE(observed.reads(Field::kSrcIp));
+  EXPECT_TRUE(observed.reads(Field::kDstIp));
+  EXPECT_TRUE(observed.reads(Field::kSrcPort));
+  EXPECT_TRUE(observed.reads(Field::kDstPort));
+  EXPECT_FALSE(observed.drops());
+  EXPECT_TRUE(observed.write_set().empty());
+}
+
+TEST(Inspector, LoadBalancerWritesObserved) {
+  LoadBalancer lb = LoadBalancer::with_backends(4);
+  const ActionProfile observed = inspect_nf(lb);
+  EXPECT_TRUE(observed.writes(Field::kSrcIp));
+  EXPECT_TRUE(observed.writes(Field::kDstIp));
+  EXPECT_FALSE(observed.adds_removes());
+}
+
+TEST(Inspector, FirewallDropObserved) {
+  // Synthetic ACL with a high drop fraction: random sample traffic will hit
+  // a drop rule within the sample budget.
+  Firewall fw(AclTable::with_synthetic_rules(200, 0.9, 5));
+  const ActionProfile observed = inspect_nf(fw);
+  EXPECT_TRUE(observed.drops());
+  EXPECT_TRUE(observed.reads(Field::kSrcIp));
+}
+
+TEST(Inspector, VpnAddRemoveObserved) {
+  Vpn vpn;
+  const ActionProfile observed = inspect_nf(vpn);
+  EXPECT_TRUE(observed.adds_removes());
+  EXPECT_TRUE(observed.writes(Field::kPayload));
+  EXPECT_TRUE(observed.reads(Field::kPayload));
+}
+
+TEST(Inspector, ObservedMatchesDeclaredForAllBuiltins) {
+  // The onboarding invariant: for every built-in NF, the inspector-derived
+  // profile contains no action the declaration lacks.
+  for (const char* name :
+       {"l3fwd", "lb", "firewall", "ids", "ips", "vpn", "monitor", "nat",
+        "gateway", "caching", "proxy", "compression", "shaper"}) {
+    const auto nf = make_builtin_nf(name, /*seed=*/11);
+    ASSERT_NE(nf, nullptr) << name;
+    const ActionProfile observed = inspect_nf(*nf);
+    const ActionProfile declared = nf->declared_profile();
+    for (const Action& a : observed.actions()) {
+      EXPECT_NE(std::find(declared.actions().begin(),
+                          declared.actions().end(), a),
+                declared.actions().end())
+          << name << " performed undeclared " << action_to_string(a);
+    }
+  }
+}
+
+TEST(Inspector, RegisterInspectedNfEntersActionTable) {
+  ActionTable table;
+  Monitor mon;
+  register_inspected_nf(table, mon, 0.05);
+  ASSERT_TRUE(table.contains("monitor"));
+  EXPECT_TRUE(table.profile("monitor").reads(Field::kSrcIp));
+  EXPECT_NEAR(table.find("monitor")->deployment_share, 0.05, 1e-12);
+}
+
+TEST(Inspector, DiffProfilesReportsBothDirections) {
+  ActionProfile observed, declared;
+  observed.add_read(Field::kSrcIp);
+  observed.add_write(Field::kTtl);
+  declared.add_read(Field::kSrcIp);
+  declared.add_drop();
+  const auto diffs = diff_profiles(observed, declared);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_NE(diffs[0].find("undeclared"), std::string::npos);
+  EXPECT_NE(diffs[1].find("unobserved"), std::string::npos);
+}
+
+TEST(Inspector, DiffProfilesEmptyWhenConsistent) {
+  ActionProfile p;
+  p.add_read(Field::kDstIp);
+  EXPECT_TRUE(diff_profiles(p, p).empty());
+}
+
+TEST(Inspector, InspectionIsDeterministic) {
+  Monitor a, b;
+  EXPECT_EQ(inspect_nf(a), inspect_nf(b));
+}
+
+}  // namespace
+}  // namespace nfp

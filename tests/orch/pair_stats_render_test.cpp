@@ -1,0 +1,58 @@
+// Rendering and option-sweep tests for the §4.3 pair statistics.
+#include <gtest/gtest.h>
+
+#include "actions/action_table.hpp"
+#include "orch/pair_stats.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(PairStatsRender, TableListsEveryPairAndTotals) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats stats = compute_pair_stats(table, true, true);
+  const std::string text = pair_stats_table(stats);
+  EXPECT_NE(text.find("firewall"), std::string::npos);
+  EXPECT_NE(text.find("parallelizable: 53.8%"), std::string::npos);
+  EXPECT_NE(text.find("no-copy: 41.5%"), std::string::npos);
+  // Every entry row appears.
+  std::size_t rows = 0;
+  for (const auto& e : stats.entries) {
+    rows += text.find(e.nf1) != std::string::npos ? 1 : 0;
+  }
+  EXPECT_EQ(rows, stats.entries.size());
+}
+
+TEST(PairStatsRender, WeightsSumToOne) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats stats = compute_pair_stats(table, true, true);
+  double sum = 0;
+  for (const auto& e : stats.entries) sum += e.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PairStatsRender, UnweightedTreatsPairsEqually) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats stats = compute_pair_stats(table, /*weighted=*/false, true);
+  ASSERT_FALSE(stats.entries.empty());
+  const double expected = 1.0 / static_cast<double>(stats.entries.size());
+  for (const auto& e : stats.entries) {
+    EXPECT_NEAR(e.weight, expected, 1e-12);
+  }
+}
+
+TEST(PairStatsRender, EmptyTableYieldsZeroStats) {
+  const ActionTable empty;
+  const PairStats stats = compute_pair_stats(empty);
+  EXPECT_EQ(stats.pair_count, 0u);
+  EXPECT_EQ(stats.parallelizable, 0.0);
+}
+
+TEST(PairStatsRender, AllNfsIncludesUnweightedTypes) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  const PairStats deployed = compute_pair_stats(table, false, true);
+  const PairStats all = compute_pair_stats(table, false, false);
+  EXPECT_GT(all.pair_count, deployed.pair_count);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,174 @@
+// Tests for the PacketView accessor layer: parsing, field access, AH
+// insertion/removal, checksums and payload resizing.
+#include <gtest/gtest.h>
+
+#include "packet/builder.hpp"
+#include "packet/checksum.hpp"
+#include "packet/packet_pool.hpp"
+#include "packet/packet_view.hpp"
+
+namespace nfp {
+namespace {
+
+class PacketViewTest : public ::testing::Test {
+ protected:
+  Packet* make(u8 proto = kProtoTcp, std::size_t size = 128) {
+    PacketSpec spec;
+    spec.tuple.proto = proto;
+    spec.frame_size = size;
+    Packet* p = build_packet(pool_, spec);
+    EXPECT_NE(p, nullptr);
+    return p;
+  }
+
+  PacketPool pool_{16};
+};
+
+TEST_F(PacketViewTest, FieldWritesStick) {
+  Packet* p = make();
+  PacketView v(*p);
+  v.set_src_ip(0xC0A80101);
+  v.set_dst_ip(0xC0A80102);
+  v.set_src_port(1111);
+  v.set_dst_port(2222);
+  v.set_ttl(9);
+  v.set_tos(0x20);
+
+  PacketView reread(*p);
+  EXPECT_EQ(reread.src_ip(), 0xC0A80101u);
+  EXPECT_EQ(reread.dst_ip(), 0xC0A80102u);
+  EXPECT_EQ(reread.src_port(), 1111);
+  EXPECT_EQ(reread.dst_port(), 2222);
+  EXPECT_EQ(reread.ttl(), 9);
+  EXPECT_EQ(reread.tos(), 0x20);
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, ChecksumUpdateAfterWrite) {
+  Packet* p = make();
+  PacketView v(*p);
+  v.set_dst_ip(0x08080808);
+  EXPECT_FALSE(v.verify_ip_checksum()) << "stale checksum after write";
+  v.update_checksums();
+  EXPECT_TRUE(v.verify_ip_checksum());
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, AddAhHeaderInsertsAndParses) {
+  Packet* p = make(kProtoTcp, 256);
+  const std::size_t before_len = p->length();
+  PacketView v(*p);
+  const u16 orig_sport = v.src_port();
+
+  AhView ah = v.add_ah_header(/*spi=*/0xAABB, /*seq=*/42);
+  EXPECT_EQ(p->length(), before_len + kAhHeaderLen);
+  EXPECT_EQ(ah.spi(), 0xAABBu);
+  EXPECT_EQ(ah.sequence(), 42u);
+  EXPECT_EQ(ah.next_header(), kProtoTcp);
+
+  // The view re-parses: L4 fields must still resolve through the AH.
+  ASSERT_TRUE(v.valid());
+  EXPECT_TRUE(v.has_ah());
+  EXPECT_EQ(v.protocol(), kProtoTcp);
+  EXPECT_EQ(v.src_port(), orig_sport);
+
+  Ipv4View ip(p->data() + kEthHeaderLen);
+  EXPECT_EQ(ip.protocol(), kProtoAh);
+  EXPECT_EQ(ip.total_length(), p->length() - kEthHeaderLen);
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, RemoveAhRestoresOriginalBytes) {
+  Packet* p = make(kProtoTcp, 200);
+  std::vector<u8> original(p->data(), p->data() + p->length());
+
+  PacketView v(*p);
+  v.add_ah_header(1, 1);
+  v.remove_ah_header();
+
+  ASSERT_EQ(p->length(), original.size());
+  EXPECT_EQ(0, std::memcmp(p->data(), original.data(), original.size()));
+  EXPECT_FALSE(v.has_ah());
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, PayloadAccessAndResize) {
+  Packet* p = make(kProtoUdp, 150);
+  PacketView v(*p);
+  const std::size_t orig_payload = v.payload_len();
+  ASSERT_GT(orig_payload, 0u);
+
+  auto body = v.mutable_payload();
+  body[0] = 0x5A;
+  EXPECT_EQ(v.payload()[0], 0x5A);
+
+  v.resize_payload(orig_payload / 2);
+  EXPECT_EQ(v.payload_len(), orig_payload / 2);
+  Ipv4View ip(p->data() + kEthHeaderLen);
+  EXPECT_EQ(ip.total_length(), p->length() - kEthHeaderLen);
+  UdpView udp(p->data() + v.l4_offset());
+  EXPECT_EQ(udp.length(), kUdpHeaderLen + orig_payload / 2);
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, RejectsNonIpv4) {
+  Packet* p = pool_.alloc(64);
+  std::memset(p->data(), 0, 64);
+  EthView eth(p->data());
+  eth.set_ether_type(0x86DD);  // IPv6
+  PacketView v(*p);
+  EXPECT_FALSE(v.valid());
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, RejectsTruncatedPacket) {
+  Packet* p = pool_.alloc(20);
+  std::memset(p->data(), 0, 20);
+  PacketView v(*p);
+  EXPECT_FALSE(v.valid());
+  pool_.release(p);
+}
+
+// Action recording: the hooks the inspector relies on.
+class RecordingProbe : public ActionRecorder {
+ public:
+  void on_read(Field f) override { reads.insert(f); }
+  void on_write(Field f) override { writes.insert(f); }
+  void on_add_remove(Field f) override { addrm.insert(f); }
+  FieldSet reads, writes, addrm;
+ private:
+};
+
+TEST_F(PacketViewTest, RecorderSeesReadsAndWrites) {
+  Packet* p = make();
+  RecordingProbe probe;
+  PacketView v(*p, &probe);
+  (void)v.src_ip();
+  (void)v.dst_port();
+  v.set_dst_ip(5);
+  EXPECT_TRUE(probe.reads.contains(Field::kSrcIp));
+  EXPECT_TRUE(probe.reads.contains(Field::kDstPort));
+  EXPECT_TRUE(probe.writes.contains(Field::kDstIp));
+  EXPECT_FALSE(probe.writes.contains(Field::kSrcIp));
+  pool_.release(p);
+}
+
+TEST_F(PacketViewTest, RecorderSeesAddRemove) {
+  Packet* p = make(kProtoTcp, 256);
+  RecordingProbe probe;
+  PacketView v(*p, &probe);
+  v.add_ah_header(1, 1);
+  EXPECT_TRUE(probe.addrm.contains(Field::kAhHeader));
+  pool_.release(p);
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 style check on a fixed IPv4 header.
+  const u8 hdr[20] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+                      0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+                      0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(ipv4_checksum(hdr), 0xb861);
+}
+
+}  // namespace
+}  // namespace nfp

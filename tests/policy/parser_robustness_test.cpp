@@ -1,0 +1,108 @@
+// Robustness tests for the policy parser: adversarial and degenerate
+// inputs must produce clean errors (with line numbers), never crashes or
+// silently wrong policies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "policy/parser.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(ParserRobustness, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(parse_policy("").is_ok());
+  EXPECT_TRUE(parse_policy("\n\n\n").is_ok());
+  EXPECT_TRUE(parse_policy("   \t  \n  # just a comment\n").is_ok());
+  EXPECT_TRUE(parse_policy("").value().rules().empty());
+}
+
+TEST(ParserRobustness, CommentEverywhere) {
+  const auto r = parse_policy(
+      "# leading comment\n"
+      "order(a, before, b)  # trailing comment\n"
+      "   # indented comment\n");
+  ASSERT_TRUE(r.is_ok()) << r.error();
+  EXPECT_EQ(r.value().rules().size(), 1u);
+}
+
+TEST(ParserRobustness, ErrorsCarryLineNumbers) {
+  const auto r = parse_policy("order(a, before, b)\n\nbogus statement\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.error().find("line 3"), std::string::npos) << r.error();
+}
+
+TEST(ParserRobustness, UnbalancedParentheses) {
+  EXPECT_FALSE(parse_policy("order(a, before, b").is_ok());
+  EXPECT_FALSE(parse_policy("order a, before, b)").is_ok());
+  EXPECT_FALSE(parse_policy("priority(a > b))").is_ok())
+      << "trailing junk inside the parse scope is tolerated only as the "
+         "outermost close; double-close keeps the inner text valid";
+}
+
+TEST(ParserRobustness, WeirdButValidSpacing) {
+  const auto r = parse_policy(
+      "ORDER(  Firewall ,  BEFORE ,   LB  )\n"
+      "PRIORITY( IPS>Firewall )\n"
+      "Position( VPN , FIRST )\n");
+  ASSERT_TRUE(r.is_ok()) << r.error();
+  EXPECT_EQ(r.value().rules().size(), 3u);
+  EXPECT_EQ(std::get<OrderRule>(r.value().rules()[0]).before, "firewall");
+}
+
+TEST(ParserRobustness, RejectsEmbeddedNulAndControlBytes) {
+  std::string text = "order(a, before, b)";
+  text[7] = '\x01';
+  EXPECT_FALSE(parse_policy(text).is_ok());
+}
+
+TEST(ParserRobustness, LongPolicyParses) {
+  std::string text = "policy big\n";
+  for (int i = 0; i < 500; ++i) {
+    text += "order(nf" + std::to_string(i) + ", before, nf" +
+            std::to_string(i + 1) + ")\n";
+  }
+  const auto r = parse_policy(text);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().rules().size(), 500u);
+  EXPECT_EQ(r.value().nf_names().size(), 501u);
+}
+
+TEST(ParserRobustness, RandomGarbageNeverCrashes) {
+  Rng rng(1234);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const std::size_t len = rng.bounded(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Printable-ish ASCII plus newlines, parens and commas.
+      const char* alphabet =
+          "abcdefghijklmnopqrstuvwxyz(),>#_- \n\t0123456789";
+      text.push_back(alphabet[rng.bounded(47)]);
+    }
+    const auto r = parse_policy(text);  // must not crash or hang
+    if (r.is_ok()) {
+      // Whatever parsed must round-trip through to_string without issue.
+      (void)r.value().to_string();
+    } else {
+      EXPECT_FALSE(r.error().empty());
+    }
+  }
+}
+
+TEST(ParserRobustness, ChainWithSingleNf) {
+  const auto r = parse_policy("chain(monitor)");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().rules().empty());
+  ASSERT_EQ(r.value().free_nfs().size(), 1u);
+}
+
+TEST(ParserRobustness, CaseInsensitiveNamesNormalized) {
+  const auto r = parse_policy("order(FireWall, Before, lb)\nnf(MONITOR)");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(std::get<OrderRule>(r.value().rules()[0]).before, "firewall");
+  EXPECT_EQ(r.value().free_nfs()[0], "monitor");
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,180 @@
+// Tests for policy rules, the text parser and conflict detection.
+#include <gtest/gtest.h>
+
+#include "policy/conflict.hpp"
+#include "policy/parser.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(Policy, NfNamesDeduplicatedInMentionOrder) {
+  Policy p;
+  p.add_order("a", "b");
+  p.add_order("b", "c");
+  p.add_position("d", Placement::kLast);
+  p.add_free_nf("e");
+  p.add_free_nf("a");  // duplicate
+  const auto names = p.nf_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+  EXPECT_EQ(names[3], "d");
+  EXPECT_EQ(names[4], "e");
+}
+
+TEST(Policy, FromSequentialChainMakesNeighbourOrders) {
+  const Policy p = Policy::from_sequential_chain(
+      "chain", {"vpn", "monitor", "firewall", "lb"});
+  ASSERT_EQ(p.rules().size(), 3u);
+  const auto& r0 = std::get<OrderRule>(p.rules()[0]);
+  EXPECT_EQ(r0.before, "vpn");
+  EXPECT_EQ(r0.after, "monitor");
+  const auto& r2 = std::get<OrderRule>(p.rules()[2]);
+  EXPECT_EQ(r2.before, "firewall");
+  EXPECT_EQ(r2.after, "lb");
+}
+
+TEST(Policy, SingleNfChainBecomesFreeNf) {
+  const Policy p = Policy::from_sequential_chain("solo", {"monitor"});
+  EXPECT_TRUE(p.rules().empty());
+  ASSERT_EQ(p.free_nfs().size(), 1u);
+  EXPECT_EQ(p.free_nfs()[0], "monitor");
+}
+
+TEST(PolicyParser, ParsesAllRuleTypes) {
+  const auto result = parse_policy(R"(
+    policy north_south
+    # the data-center chain of paper Fig 1
+    position(VPN, first)
+    order(Firewall, before, LB)
+    order(Monitor, before, LB)
+    priority(IPS > Firewall)
+    nf(shaper)
+  )");
+  ASSERT_TRUE(result.is_ok()) << result.error();
+  const Policy& p = result.value();
+  EXPECT_EQ(p.name(), "north_south");
+  ASSERT_EQ(p.rules().size(), 4u);
+  EXPECT_EQ(std::get<PositionRule>(p.rules()[0]).nf, "vpn");
+  EXPECT_EQ(std::get<OrderRule>(p.rules()[1]).before, "firewall");
+  EXPECT_EQ(std::get<PriorityRule>(p.rules()[3]).high, "ips");
+  ASSERT_EQ(p.free_nfs().size(), 1u);
+}
+
+TEST(PolicyParser, ParsesChainShorthand) {
+  const auto result = parse_policy("chain(ids, monitor, lb)");
+  ASSERT_TRUE(result.is_ok()) << result.error();
+  EXPECT_EQ(result.value().rules().size(), 2u);
+}
+
+TEST(PolicyParser, RejectsMalformedOrder) {
+  EXPECT_FALSE(parse_policy("order(a, b)").is_ok());
+  EXPECT_FALSE(parse_policy("order(a, after, b)").is_ok());
+  EXPECT_FALSE(parse_policy("order(a before b)").is_ok());
+}
+
+TEST(PolicyParser, RejectsBadPosition) {
+  EXPECT_FALSE(parse_policy("position(a, middle)").is_ok());
+  EXPECT_FALSE(parse_policy("position(a)").is_ok());
+}
+
+TEST(PolicyParser, RejectsUnknownStatement) {
+  const auto result = parse_policy("frobnicate(a, b)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.error().find("line 1"), std::string::npos);
+}
+
+TEST(PolicyParser, RejectsBadIdentifiers) {
+  EXPECT_FALSE(parse_policy("order(a b, before, c)").is_ok());
+  EXPECT_FALSE(parse_policy("priority(a > )").is_ok());
+}
+
+TEST(PolicyParser, RoundTripsThroughToString) {
+  const auto result = parse_policy(
+      "policy p\norder(a, before, b)\npriority(c > d)\nposition(e, last)");
+  ASSERT_TRUE(result.is_ok());
+  const std::string text = result.value().to_string();
+  EXPECT_NE(text.find("Order(a, before, b)"), std::string::npos);
+  EXPECT_NE(text.find("Priority(c > d)"), std::string::npos);
+  EXPECT_NE(text.find("Position(e, last)"), std::string::npos);
+}
+
+TEST(ConflictDetection, CleanPolicyHasNoConflicts) {
+  Policy p;
+  p.add_order("a", "b");
+  p.add_order("b", "c");
+  p.add_position("d", Placement::kFirst);
+  EXPECT_TRUE(detect_conflicts(p).empty());
+  EXPECT_TRUE(validate_policy(p).is_ok());
+}
+
+TEST(ConflictDetection, DirectOrderCycle) {
+  Policy p;
+  p.add_order("a", "b");
+  p.add_order("b", "a");
+  const auto conflicts = detect_conflicts(p);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, PolicyConflict::Kind::kOrderCycle);
+}
+
+TEST(ConflictDetection, TransitiveOrderCycle) {
+  Policy p;
+  p.add_order("a", "b");
+  p.add_order("b", "c");
+  p.add_order("c", "a");
+  const auto conflicts = detect_conflicts(p);
+  ASSERT_FALSE(conflicts.empty());
+  EXPECT_EQ(conflicts[0].kind, PolicyConflict::Kind::kOrderCycle);
+  EXPECT_NE(conflicts[0].description.find("->"), std::string::npos);
+}
+
+TEST(ConflictDetection, PositionContradiction) {
+  Policy p;
+  p.add_position("vpn", Placement::kFirst);
+  p.add_position("vpn", Placement::kLast);
+  const auto conflicts = detect_conflicts(p);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind,
+            PolicyConflict::Kind::kPositionContradiction);
+}
+
+TEST(ConflictDetection, DuplicateSamePositionIsFine) {
+  Policy p;
+  p.add_position("vpn", Placement::kFirst);
+  p.add_position("vpn", Placement::kFirst);
+  EXPECT_TRUE(detect_conflicts(p).empty());
+}
+
+TEST(ConflictDetection, PriorityContradiction) {
+  Policy p;
+  p.add_priority("ips", "firewall");
+  p.add_priority("firewall", "ips");
+  const auto conflicts = detect_conflicts(p);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind,
+            PolicyConflict::Kind::kPriorityContradiction);
+}
+
+TEST(ConflictDetection, SelfReference) {
+  Policy p;
+  p.add_order("a", "a");
+  p.add_priority("b", "b");
+  const auto conflicts = detect_conflicts(p);
+  ASSERT_EQ(conflicts.size(), 2u);
+  EXPECT_EQ(conflicts[0].kind, PolicyConflict::Kind::kSelfReference);
+}
+
+TEST(ConflictDetection, MultipleConflictsAllReported) {
+  Policy p;
+  p.add_order("a", "b");
+  p.add_order("b", "a");
+  p.add_position("c", Placement::kFirst);
+  p.add_position("c", Placement::kLast);
+  EXPECT_EQ(detect_conflicts(p).size(), 2u);
+  EXPECT_FALSE(validate_policy(p).is_ok());
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,149 @@
+// SPSC ring correctness: single-threaded semantics plus a 2-thread
+// stress test for the acquire/release protocol.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ring/mpmc_queue.hpp"
+#include "ring/spsc_ring.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(SpscRing, PushPopFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));
+  int out;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.push(99));
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, SizeTracksOccupancy) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  int out;
+  ring.pop(out);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  int expected = 0;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    int out;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, expected++);
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  constexpr int kCount = 200'000;
+  SpscRing<int> ring(256);
+  std::vector<int> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    int got = 0;
+    while (got < kCount) {
+      int v;
+      if (ring.pop(v)) {
+        received.push_back(v);
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << "order violated";
+  }
+}
+
+TEST(MpmcQueue, BasicPushPop) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, RespectsCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumer) {
+  constexpr int kPerProducer = 10'000;
+  constexpr int kProducers = 2;
+  MpmcQueue<int> q(1024);
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (consumed.load() < kPerProducer * kProducers) {
+        if (auto v = q.try_pop()) {
+          sum += *v;
+          consumed++;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        while (!q.try_push(i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  const long long expect =
+      static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,110 @@
+// Tests for the event-driven simulator and the cost model.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace nfp::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.schedule_after(5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 15u);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimCore, SerializesOverlappingWork) {
+  SimCore core;
+  EXPECT_EQ(core.execute(0, 100), 100u);
+  EXPECT_EQ(core.execute(50, 100), 200u) << "must queue behind the first job";
+  EXPECT_EQ(core.execute(500, 100), 600u) << "idle gap, starts immediately";
+  EXPECT_EQ(core.busy_time(), 300u);
+}
+
+TEST(SimCore, ReturnsCoreFreeTimeOnly) {
+  SimCore core;
+  // Latency-only delays are the caller's business: execute() returns when
+  // the core is free, so chained jobs never inherit hand-off delays.
+  EXPECT_EQ(core.execute(0, 100), 100u);
+  EXPECT_EQ(core.execute(100, 50), 150u);
+}
+
+TEST(CostModel, WireTimeMatchesLineRate) {
+  CostModel costs;
+  // 64B + 20B framing at 10 Gbps = 67.2 ns -> 14.88 Mpps.
+  EXPECT_EQ(costs.wire_ns(64), 67u);
+  EXPECT_NEAR(costs.line_rate_pps(64) / 1e6, 14.88, 0.01);
+  EXPECT_NEAR(costs.line_rate_pps(1500) / 1e6, 0.822, 0.01);
+}
+
+TEST(CostModel, NfCostOrderingMatchesFig8) {
+  CostModel costs;
+  const auto fwd = costs.nf_cost("l3fwd", 64);
+  const auto lb = costs.nf_cost("lb", 64);
+  const auto fw = costs.nf_cost("firewall", 64);
+  const auto mon = costs.nf_cost("monitor", 64);
+  const auto vpn = costs.nf_cost("vpn", 64);
+  const auto ids = costs.nf_cost("ids", 64);
+  EXPECT_LT(fwd.delay, lb.delay);
+  EXPECT_LT(lb.delay, fw.delay);
+  EXPECT_LT(fw.delay, mon.delay);
+  EXPECT_LT(mon.delay, ids.delay);
+  EXPECT_LT(ids.delay, vpn.delay);
+}
+
+TEST(CostModel, DelayNfScalesWithCycles) {
+  CostModel costs;
+  const auto low = costs.nf_cost("delaynf", 64, 1);
+  const auto high = costs.nf_cost("delaynf", 64, 3000);
+  EXPECT_LT(low.delay, high.delay);
+  EXPECT_LT(low.occ, high.occ);
+  EXPECT_NEAR(static_cast<double>(high.occ - low.occ), 2999.0 / 3.0, 2.0);
+}
+
+TEST(CostModel, PayloadHeavyNfsScaleWithSize) {
+  CostModel costs;
+  EXPECT_GT(costs.nf_cost("vpn", 1500).delay, costs.nf_cost("vpn", 64).delay);
+  EXPECT_GT(costs.nf_cost("ids", 1500).occ, costs.nf_cost("ids", 64).occ);
+  EXPECT_EQ(costs.nf_cost("l3fwd", 1500).delay,
+            costs.nf_cost("l3fwd", 64).delay);
+}
+
+}  // namespace
+}  // namespace nfp::sim

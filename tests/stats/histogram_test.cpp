@@ -1,0 +1,92 @@
+// Tests for the log-bucketed histogram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (u64 v : {1, 2, 3, 4, 5}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_NEAR(h.mean(), 3.0, 1e-9);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(0.5), 3u);
+  EXPECT_EQ(h.quantile(1.0), 5u);
+}
+
+TEST(HistogramTest, BoundedRelativeError) {
+  Histogram h;
+  Rng rng(5);
+  std::vector<u64> values;
+  for (int i = 0; i < 50'000; ++i) {
+    const u64 v = rng.range(1, 10'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const u64 exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const u64 approx = h.quantile(q);
+    const double rel = std::abs(static_cast<double>(approx) -
+                                static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    EXPECT_LT(rel, 0.10) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(6);
+  for (int i = 0; i < 1'000; ++i) {
+    const u64 v = rng.range(1, 100'000);
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << q;
+  }
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(~u64{0} >> 1);
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_GE(h.quantile(1.0), u64{1} << 32);
+}
+
+TEST(HistogramTest, SummaryMentionsKeyStats) {
+  Histogram h;
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("count=100"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp

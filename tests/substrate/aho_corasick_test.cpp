@@ -1,0 +1,95 @@
+// Tests for the Aho–Corasick multi-pattern matcher.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "dpi/aho_corasick.hpp"
+
+namespace nfp {
+namespace {
+
+std::span<const u8> bytes(const std::string& s) {
+  return {reinterpret_cast<const u8*>(s.data()), s.size()};
+}
+
+TEST(AhoCorasickTest, FindsSinglePattern) {
+  AhoCorasick ac({"needle"});
+  EXPECT_TRUE(ac.contains(bytes("a haystack with a needle inside")));
+  EXPECT_FALSE(ac.contains(bytes("a haystack with nothing")));
+  EXPECT_FALSE(ac.contains(bytes("")));
+}
+
+TEST(AhoCorasickTest, MatchAtBoundaries) {
+  AhoCorasick ac({"abc"});
+  EXPECT_TRUE(ac.contains(bytes("abc...")));
+  EXPECT_TRUE(ac.contains(bytes("...abc")));
+  EXPECT_TRUE(ac.contains(bytes("abc")));
+  EXPECT_FALSE(ac.contains(bytes("ab")));
+}
+
+TEST(AhoCorasickTest, OverlappingPatterns) {
+  AhoCorasick ac({"he", "she", "his", "hers"});
+  const auto hits = ac.find_all(bytes("ushers"));
+  // "ushers" contains she (1), he (0), hers (3).
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(AhoCorasickTest, FindAllDeduplicates) {
+  AhoCorasick ac({"aa"});
+  const auto hits = ac.find_all(bytes("aaaa"));  // 3 occurrences, 1 pattern
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0}));
+}
+
+TEST(AhoCorasickTest, PatternsThatArePrefixesOfEachOther) {
+  AhoCorasick ac({"abcd", "ab", "abcde"});
+  EXPECT_EQ(ac.find_all(bytes("abcd")), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(ac.find_all(bytes("abcde")),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(ac.find_all(bytes("ab")), (std::vector<std::size_t>{1}));
+}
+
+TEST(AhoCorasickTest, BinaryPatterns) {
+  const std::string pattern{'\x00', '\xff', '\x7f'};
+  AhoCorasick ac({pattern});
+  const std::string hay = std::string("xx") + pattern + "yy";
+  EXPECT_TRUE(ac.contains(bytes(hay)));
+  EXPECT_EQ(ac.pattern_count(), 1u);
+}
+
+TEST(AhoCorasickTest, EmptyPatternsIgnored) {
+  AhoCorasick ac({"", "x", ""});
+  EXPECT_EQ(ac.pattern_count(), 1u);
+  EXPECT_TRUE(ac.contains(bytes("box")));
+  EXPECT_FALSE(ac.contains(bytes("bo")));
+}
+
+TEST(AhoCorasickTest, AgreesWithNaiveScanOnRandomInput) {
+  Rng rng(99);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 50; ++i) {
+    std::string p;
+    const std::size_t len = rng.range(2, 6);
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(static_cast<char>('a' + rng.bounded(4)));  // dense alphabet
+    }
+    patterns.push_back(std::move(p));
+  }
+  AhoCorasick ac(patterns);
+
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const std::size_t len = rng.range(0, 80);
+    for (std::size_t j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>('a' + rng.bounded(4)));
+    }
+    bool naive = false;
+    for (const auto& p : patterns) {
+      naive |= !p.empty() && text.find(p) != std::string::npos;
+    }
+    EXPECT_EQ(ac.contains(bytes(text)), naive) << "text=" << text;
+  }
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,98 @@
+// AES-128 validation against the FIPS-197 appendix vectors, plus CTR-mode
+// and ICV behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(Aes128Test, Fips197AppendixBVector) {
+  const Aes128::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const u8 plain[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                        0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const u8 expect[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                         0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  u8 out[16];
+  aes.encrypt_block(plain, out);
+  EXPECT_EQ(0, std::memcmp(out, expect, 16));
+}
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  const Aes128::Key key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                           0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const u8 plain[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                        0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const u8 expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                         0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  u8 out[16];
+  aes.encrypt_block(plain, out);
+  EXPECT_EQ(0, std::memcmp(out, expect, 16));
+}
+
+TEST(Aes128Test, DecryptInvertsEncrypt) {
+  const Aes128::Key key = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                           16};
+  Aes128 aes(key);
+  u8 plain[16], cipher[16], round_trip[16];
+  for (int i = 0; i < 16; ++i) plain[i] = static_cast<u8>(i * 17 + 3);
+  aes.encrypt_block(plain, cipher);
+  EXPECT_NE(0, std::memcmp(plain, cipher, 16));
+  aes.decrypt_block(cipher, round_trip);
+  EXPECT_EQ(0, std::memcmp(plain, round_trip, 16));
+}
+
+TEST(Aes128Test, CtrIsSymmetric) {
+  Aes128 aes(Aes128::Key{0xaa});
+  std::vector<u8> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i & 0xff);
+  }
+  const std::vector<u8> original = data;
+  aes.ctr_crypt(0x1234, data);
+  EXPECT_NE(data, original);
+  aes.ctr_crypt(0x1234, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128Test, CtrNonceChangesKeystream) {
+  Aes128 aes(Aes128::Key{0xaa});
+  std::vector<u8> a(64, 0), b(64, 0);
+  aes.ctr_crypt(1, a);
+  aes.ctr_crypt(2, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Aes128Test, CtrHandlesNonBlockMultiples) {
+  Aes128 aes(Aes128::Key{0x3c});
+  std::vector<u8> data(33, 0x55);
+  const std::vector<u8> original = data;
+  aes.ctr_crypt(9, data);
+  aes.ctr_crypt(9, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128Test, IcvDetectsTampering) {
+  Aes128 aes(Aes128::Key{0x11});
+  std::vector<u8> data(100, 0x42);
+  const auto mac1 = aes.icv(data);
+  data[50] ^= 1;
+  const auto mac2 = aes.icv(data);
+  EXPECT_NE(mac1, mac2);
+}
+
+TEST(Aes128Test, IcvDeterministic) {
+  Aes128 aes(Aes128::Key{0x11});
+  const std::vector<u8> data(100, 0x42);
+  EXPECT_EQ(aes.icv(data), aes.icv(data));
+  EXPECT_EQ(aes.icv({}), aes.icv({}));
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_graph_structures.dir/bench_fig12_graph_structures.cpp.o"
+  "CMakeFiles/bench_fig12_graph_structures.dir/bench_fig12_graph_structures.cpp.o.d"
+  "bench_fig12_graph_structures"
+  "bench_fig12_graph_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_graph_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_real_world_chains.
+# This may be replaced when dependencies are built.

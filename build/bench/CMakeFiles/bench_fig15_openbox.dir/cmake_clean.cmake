@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_openbox.dir/bench_fig15_openbox.cpp.o"
+  "CMakeFiles/bench_fig15_openbox.dir/bench_fig15_openbox.cpp.o.d"
+  "bench_fig15_openbox"
+  "bench_fig15_openbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_openbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

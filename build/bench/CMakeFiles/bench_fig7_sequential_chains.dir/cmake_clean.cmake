@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sequential_chains.dir/bench_fig7_sequential_chains.cpp.o"
+  "CMakeFiles/bench_fig7_sequential_chains.dir/bench_fig7_sequential_chains.cpp.o.d"
+  "bench_fig7_sequential_chains"
+  "bench_fig7_sequential_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sequential_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_pair_stats.dir/bench_sec4_pair_stats.cpp.o"
+  "CMakeFiles/bench_sec4_pair_stats.dir/bench_sec4_pair_stats.cpp.o.d"
+  "bench_sec4_pair_stats"
+  "bench_sec4_pair_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_pair_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

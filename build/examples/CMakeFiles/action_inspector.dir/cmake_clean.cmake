@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_inspector.dir/action_inspector.cpp.o"
+  "CMakeFiles/action_inspector.dir/action_inspector.cpp.o.d"
+  "action_inspector"
+  "action_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_deploy.dir/cluster_deploy.cpp.o"
+  "CMakeFiles/cluster_deploy.dir/cluster_deploy.cpp.o.d"
+  "cluster_deploy"
+  "cluster_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

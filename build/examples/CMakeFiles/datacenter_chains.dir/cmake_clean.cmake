@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_chains.dir/datacenter_chains.cpp.o"
+  "CMakeFiles/datacenter_chains.dir/datacenter_chains.cpp.o.d"
+  "datacenter_chains"
+  "datacenter_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_cli.dir/nfp_cli.cpp.o"
+  "CMakeFiles/nfp_cli.dir/nfp_cli.cpp.o.d"
+  "nfp_cli"
+  "nfp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

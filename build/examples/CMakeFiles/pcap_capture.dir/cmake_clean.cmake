@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_capture.dir/pcap_capture.cpp.o"
+  "CMakeFiles/pcap_capture.dir/pcap_capture.cpp.o.d"
+  "pcap_capture"
+  "pcap_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acl/acl.cpp" "src/CMakeFiles/nfp.dir/acl/acl.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/acl/acl.cpp.o.d"
+  "/root/repo/src/actions/action_table.cpp" "src/CMakeFiles/nfp.dir/actions/action_table.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/actions/action_table.cpp.o.d"
+  "/root/repo/src/actions/dependency.cpp" "src/CMakeFiles/nfp.dir/actions/dependency.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/actions/dependency.cpp.o.d"
+  "/root/repo/src/baseline/onv_dataplane.cpp" "src/CMakeFiles/nfp.dir/baseline/onv_dataplane.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/baseline/onv_dataplane.cpp.o.d"
+  "/root/repo/src/baseline/rtc_dataplane.cpp" "src/CMakeFiles/nfp.dir/baseline/rtc_dataplane.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/baseline/rtc_dataplane.cpp.o.d"
+  "/root/repo/src/cluster/nsh.cpp" "src/CMakeFiles/nfp.dir/cluster/nsh.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/cluster/nsh.cpp.o.d"
+  "/root/repo/src/cluster/partition.cpp" "src/CMakeFiles/nfp.dir/cluster/partition.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/cluster/partition.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/nfp.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/nfp.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/dataplane/live_pipeline.cpp" "src/CMakeFiles/nfp.dir/dataplane/live_pipeline.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/dataplane/live_pipeline.cpp.o.d"
+  "/root/repo/src/dataplane/merge_ops.cpp" "src/CMakeFiles/nfp.dir/dataplane/merge_ops.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/dataplane/merge_ops.cpp.o.d"
+  "/root/repo/src/dataplane/nfp_dataplane.cpp" "src/CMakeFiles/nfp.dir/dataplane/nfp_dataplane.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/dataplane/nfp_dataplane.cpp.o.d"
+  "/root/repo/src/dpi/aho_corasick.cpp" "src/CMakeFiles/nfp.dir/dpi/aho_corasick.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/dpi/aho_corasick.cpp.o.d"
+  "/root/repo/src/graph/service_graph.cpp" "src/CMakeFiles/nfp.dir/graph/service_graph.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/graph/service_graph.cpp.o.d"
+  "/root/repo/src/inspector/inspector.cpp" "src/CMakeFiles/nfp.dir/inspector/inspector.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/inspector/inspector.cpp.o.d"
+  "/root/repo/src/lpm/lpm_table.cpp" "src/CMakeFiles/nfp.dir/lpm/lpm_table.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/lpm/lpm_table.cpp.o.d"
+  "/root/repo/src/nfs/nf.cpp" "src/CMakeFiles/nfp.dir/nfs/nf.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/nfs/nf.cpp.o.d"
+  "/root/repo/src/openbox/openbox.cpp" "src/CMakeFiles/nfp.dir/openbox/openbox.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/openbox/openbox.cpp.o.d"
+  "/root/repo/src/orch/compiler.cpp" "src/CMakeFiles/nfp.dir/orch/compiler.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/orch/compiler.cpp.o.d"
+  "/root/repo/src/orch/pair_stats.cpp" "src/CMakeFiles/nfp.dir/orch/pair_stats.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/orch/pair_stats.cpp.o.d"
+  "/root/repo/src/orch/table_gen.cpp" "src/CMakeFiles/nfp.dir/orch/table_gen.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/orch/table_gen.cpp.o.d"
+  "/root/repo/src/packet/builder.cpp" "src/CMakeFiles/nfp.dir/packet/builder.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/packet/builder.cpp.o.d"
+  "/root/repo/src/packet/checksum.cpp" "src/CMakeFiles/nfp.dir/packet/checksum.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/packet/checksum.cpp.o.d"
+  "/root/repo/src/packet/packet_pool.cpp" "src/CMakeFiles/nfp.dir/packet/packet_pool.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/packet/packet_pool.cpp.o.d"
+  "/root/repo/src/packet/packet_view.cpp" "src/CMakeFiles/nfp.dir/packet/packet_view.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/packet/packet_view.cpp.o.d"
+  "/root/repo/src/policy/conflict.cpp" "src/CMakeFiles/nfp.dir/policy/conflict.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/policy/conflict.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/CMakeFiles/nfp.dir/policy/parser.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/policy/parser.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/nfp.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/nfp.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/nfp.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/trafficgen/pcap.cpp" "src/CMakeFiles/nfp.dir/trafficgen/pcap.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/trafficgen/pcap.cpp.o.d"
+  "/root/repo/src/trafficgen/trafficgen.cpp" "src/CMakeFiles/nfp.dir/trafficgen/trafficgen.cpp.o" "gcc" "src/CMakeFiles/nfp.dir/trafficgen/trafficgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

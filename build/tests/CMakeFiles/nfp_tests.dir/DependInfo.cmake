@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actions/dependency_test.cpp" "tests/CMakeFiles/nfp_tests.dir/actions/dependency_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/actions/dependency_test.cpp.o.d"
+  "/root/repo/tests/actions/verdict_matrix_test.cpp" "tests/CMakeFiles/nfp_tests.dir/actions/verdict_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/actions/verdict_matrix_test.cpp.o.d"
+  "/root/repo/tests/baseline/baseline_test.cpp" "tests/CMakeFiles/nfp_tests.dir/baseline/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/baseline/baseline_test.cpp.o.d"
+  "/root/repo/tests/common/common_test.cpp" "tests/CMakeFiles/nfp_tests.dir/common/common_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/common/common_test.cpp.o.d"
+  "/root/repo/tests/dataplane/classification_test.cpp" "tests/CMakeFiles/nfp_tests.dir/dataplane/classification_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/dataplane/classification_test.cpp.o.d"
+  "/root/repo/tests/dataplane/dataplane_test.cpp" "tests/CMakeFiles/nfp_tests.dir/dataplane/dataplane_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/dataplane/dataplane_test.cpp.o.d"
+  "/root/repo/tests/dataplane/drop_resolution_test.cpp" "tests/CMakeFiles/nfp_tests.dir/dataplane/drop_resolution_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/dataplane/drop_resolution_test.cpp.o.d"
+  "/root/repo/tests/dataplane/live_pipeline_test.cpp" "tests/CMakeFiles/nfp_tests.dir/dataplane/live_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/dataplane/live_pipeline_test.cpp.o.d"
+  "/root/repo/tests/dataplane/merge_ops_test.cpp" "tests/CMakeFiles/nfp_tests.dir/dataplane/merge_ops_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/dataplane/merge_ops_test.cpp.o.d"
+  "/root/repo/tests/e2e/equivalence_test.cpp" "tests/CMakeFiles/nfp_tests.dir/e2e/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/e2e/equivalence_test.cpp.o.d"
+  "/root/repo/tests/extensions/openbox_cluster_test.cpp" "tests/CMakeFiles/nfp_tests.dir/extensions/openbox_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/extensions/openbox_cluster_test.cpp.o.d"
+  "/root/repo/tests/extensions/scaling_nsh_flow_test.cpp" "tests/CMakeFiles/nfp_tests.dir/extensions/scaling_nsh_flow_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/extensions/scaling_nsh_flow_test.cpp.o.d"
+  "/root/repo/tests/graph/service_graph_test.cpp" "tests/CMakeFiles/nfp_tests.dir/graph/service_graph_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/graph/service_graph_test.cpp.o.d"
+  "/root/repo/tests/inspector/inspector_test.cpp" "tests/CMakeFiles/nfp_tests.dir/inspector/inspector_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/inspector/inspector_test.cpp.o.d"
+  "/root/repo/tests/nfs/nf_test.cpp" "tests/CMakeFiles/nfp_tests.dir/nfs/nf_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/nfs/nf_test.cpp.o.d"
+  "/root/repo/tests/orch/compiler_property_test.cpp" "tests/CMakeFiles/nfp_tests.dir/orch/compiler_property_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/orch/compiler_property_test.cpp.o.d"
+  "/root/repo/tests/orch/compiler_test.cpp" "tests/CMakeFiles/nfp_tests.dir/orch/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/orch/compiler_test.cpp.o.d"
+  "/root/repo/tests/orch/pair_stats_render_test.cpp" "tests/CMakeFiles/nfp_tests.dir/orch/pair_stats_render_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/orch/pair_stats_render_test.cpp.o.d"
+  "/root/repo/tests/orch/table_gen_test.cpp" "tests/CMakeFiles/nfp_tests.dir/orch/table_gen_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/orch/table_gen_test.cpp.o.d"
+  "/root/repo/tests/packet/packet_test.cpp" "tests/CMakeFiles/nfp_tests.dir/packet/packet_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/packet/packet_test.cpp.o.d"
+  "/root/repo/tests/packet/packet_view_test.cpp" "tests/CMakeFiles/nfp_tests.dir/packet/packet_view_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/packet/packet_view_test.cpp.o.d"
+  "/root/repo/tests/packet/pool_stress_test.cpp" "tests/CMakeFiles/nfp_tests.dir/packet/pool_stress_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/packet/pool_stress_test.cpp.o.d"
+  "/root/repo/tests/policy/parser_robustness_test.cpp" "tests/CMakeFiles/nfp_tests.dir/policy/parser_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/policy/parser_robustness_test.cpp.o.d"
+  "/root/repo/tests/policy/policy_test.cpp" "tests/CMakeFiles/nfp_tests.dir/policy/policy_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/policy/policy_test.cpp.o.d"
+  "/root/repo/tests/ring/ring_test.cpp" "tests/CMakeFiles/nfp_tests.dir/ring/ring_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/ring/ring_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/nfp_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/nfp_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/substrate/aho_corasick_test.cpp" "tests/CMakeFiles/nfp_tests.dir/substrate/aho_corasick_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/substrate/aho_corasick_test.cpp.o.d"
+  "/root/repo/tests/substrate/crypto_test.cpp" "tests/CMakeFiles/nfp_tests.dir/substrate/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/substrate/crypto_test.cpp.o.d"
+  "/root/repo/tests/substrate/lpm_acl_test.cpp" "tests/CMakeFiles/nfp_tests.dir/substrate/lpm_acl_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/substrate/lpm_acl_test.cpp.o.d"
+  "/root/repo/tests/trafficgen/pcap_test.cpp" "tests/CMakeFiles/nfp_tests.dir/trafficgen/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/trafficgen/pcap_test.cpp.o.d"
+  "/root/repo/tests/trafficgen/trafficgen_test.cpp" "tests/CMakeFiles/nfp_tests.dir/trafficgen/trafficgen_test.cpp.o" "gcc" "tests/CMakeFiles/nfp_tests.dir/trafficgen/trafficgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -6,7 +6,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = json_enabled(argc, argv);
   print_header(
       "Figure 7(a): sequential chain latency, 64B packets (microseconds)\n"
       "paper: OpenNetVM and NFP nearly overlap; both grow linearly with\n"
@@ -19,6 +20,10 @@ int main() {
         run_nfp(ServiceGraph::sequential("seq", chain), latency_traffic(64));
     std::printf("%-8zu %-14.1f %-14.1f\n", n, onv.mean_latency_us,
                 nfp.mean_latency_us);
+    if (json) {
+      emit_metrics_json("fig7a", "onv,n=" + std::to_string(n), onv);
+      emit_metrics_json("fig7a", "nfp,n=" + std::to_string(n), nfp);
+    }
   }
 
   print_header(

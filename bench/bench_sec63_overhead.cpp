@@ -13,7 +13,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = json_enabled(argc, argv);
   print_header(
       "Sec 6.3.1: resource overhead ro = 64*(d-1)/s (%), Header-Only Copying");
   std::printf("%-10s", "size");
@@ -81,6 +82,12 @@ int main() {
                                     saturation_traffic(64, 40'000), cfg);
       std::printf("%zu merger instance(s)   %-8zu %-12.2f\n", mergers, d,
                   m.rate_mpps);
+      if (json) {
+        emit_metrics_json("sec633_merger_capacity",
+                          "mergers=" + std::to_string(mergers) +
+                              ",degree=" + std::to_string(d),
+                          m);
+      }
     }
   }
   return 0;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "dataplane/nfp_dataplane.hpp"
 #include "nfs/firewall.hpp"
 #include "nfs/misc_nfs.hpp"
+#include "telemetry/exporters.hpp"
 #include "trafficgen/latency_recorder.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -42,6 +45,9 @@ struct Measurement {
   double p99_latency_us = 0;
   double rate_mpps = 0;
   DataplaneStats stats;
+  // Full metrics snapshot of the run (dataplane + trafficgen series), for
+  // machine-readable emission alongside the printed tables.
+  telemetry::MetricsRegistry metrics;
 };
 
 inline TrafficConfig latency_traffic(std::size_t frame_size, u64 packets = 2000) {
@@ -65,7 +71,8 @@ inline TrafficConfig saturation_traffic(std::size_t frame_size,
   return t;
 }
 
-// Generic runner over any dataplane exposing inject/set_sink/pool().
+// Generic runner over any dataplane exposing inject/set_sink/pool() and the
+// telemetry surface (metrics()/snapshot_metrics()).
 template <typename Dataplane>
 Measurement run(Dataplane& dp, sim::Simulator& sim,
                 const TrafficConfig& traffic) {
@@ -74,7 +81,9 @@ Measurement run(Dataplane& dp, sim::Simulator& sim,
     lat.record(p->inject_time(), t);
     dp.pool().release(p);
   });
-  TrafficGenerator gen(sim, dp.pool(), traffic);
+  TrafficConfig tcfg = traffic;
+  tcfg.metrics = &dp.metrics();  // trafficgen series join the dataplane's
+  TrafficGenerator gen(sim, dp.pool(), tcfg);
   gen.start([&](Packet* p) { dp.inject(p); });
   sim.run();
   Measurement m;
@@ -82,6 +91,8 @@ Measurement run(Dataplane& dp, sim::Simulator& sim,
   m.p99_latency_us = lat.p99_us();
   m.rate_mpps = lat.rate_mpps();
   m.stats = dp.stats();
+  dp.snapshot_metrics();
+  m.metrics = dp.metrics();
   return m;
 }
 
@@ -146,6 +157,25 @@ inline void print_header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+}
+
+// --- machine-readable metrics emission ---------------------------------------
+//
+// Benches keep their human tables; passing --json (or setting NFP_BENCH_JSON)
+// additionally emits one JSON line per measurement so scripts can consume
+// the same numbers:  {"bench":...,"series":...,"metrics":{...}}
+
+inline bool json_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return std::getenv("NFP_BENCH_JSON") != nullptr;
+}
+
+inline void emit_metrics_json(const char* bench, const std::string& series,
+                              const Measurement& m) {
+  std::printf("{\"bench\":\"%s\",\"series\":\"%s\",\"metrics\":%s}\n", bench,
+              series.c_str(), telemetry::to_json(m.metrics).c_str());
 }
 
 }  // namespace nfp::bench

@@ -5,18 +5,34 @@
 //   nfp_cli dot <policy-file>             print Graphviz for the graph
 //   nfp_cli plan <policy-file> [cores]    partition across servers (§7)
 //   nfp_cli stats                         print the §4.3 pair statistics
+//   nfp_cli run <policy-file> [options]   run traffic through the dataplane
+//
+// `run` options (telemetry):
+//   --metrics          per-component utilization/latency report
+//   --trace-every=N    trace every Nth packet; prints the first traced
+//                      packet's span timeline
+//   --json             metrics as JSON
+//   --prometheus       metrics in Prometheus text format
+//   --packets=N        packets to inject (default 2000)
+//   --rate=PPS         injection rate (default 10000)
+//   --size=BYTES       frame size (default 128)
 //
 // Policy files use the text format of src/policy/parser.hpp.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "cluster/partition.hpp"
+#include "dataplane/nfp_dataplane.hpp"
+#include "nfs/firewall.hpp"
 #include "orch/compiler.hpp"
 #include "orch/pair_stats.hpp"
 #include "orch/table_gen.hpp"
 #include "policy/parser.hpp"
+#include "telemetry/exporters.hpp"
+#include "trafficgen/trafficgen.hpp"
 
 namespace {
 
@@ -25,8 +41,105 @@ using namespace nfp;
 int usage() {
   std::fprintf(stderr,
                "usage: nfp_cli compile|tables|dot|plan <policy-file> "
-               "[cores]\n       nfp_cli stats\n");
+               "[cores]\n       nfp_cli stats\n"
+               "       nfp_cli run <policy-file> [--metrics] "
+               "[--trace-every=N] [--json]\n"
+               "               [--prometheus] [--packets=N] [--rate=PPS] "
+               "[--size=BYTES]\n");
   return 2;
+}
+
+// Parses `--name=value` into out; returns true when argv matches `name`.
+bool flag_value(const char* arg, const char* name, u64* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
+  bool want_metrics = false;
+  bool want_json = false;
+  bool want_prometheus = false;
+  u64 trace_every = 0;
+  u64 packets = 2'000;
+  u64 rate_pps = 10'000;
+  u64 frame_size = 128;
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0) {
+      want_metrics = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(arg, "--prometheus") == 0) {
+      want_prometheus = true;
+    } else if (flag_value(arg, "--trace-every", &trace_every) ||
+               flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--rate", &rate_pps) ||
+               flag_value(arg, "--size", &frame_size)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown run option '%s'\n", arg);
+      return usage();
+    }
+  }
+
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = trace_every;
+  // Pass-all firewalls: synthetic ACL rules would drop traffic-dependent
+  // subsets of the flows and obscure the per-component view.
+  cfg.factory = [](const StageNf& nf) -> std::unique_ptr<NetworkFunction> {
+    if (nf.name == "firewall") {
+      AclTable acl;
+      acl.set_default_action(AclAction::kPass);
+      return std::make_unique<Firewall>(std::move(acl));
+    }
+    return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
+  };
+  NfpDataplane dp(sim, graph, std::move(cfg));
+
+  TrafficConfig traffic;
+  traffic.fixed_size = static_cast<std::size_t>(frame_size);
+  traffic.rate_pps = static_cast<double>(rate_pps);
+  traffic.packets = packets;
+  traffic.metrics = &dp.metrics();
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* p) { dp.inject(p); });
+  sim.run();
+  dp.snapshot_metrics();
+
+  const DataplaneStats& stats = dp.stats();
+  std::printf("ran %llu packets through '%s' (%s): delivered=%llu "
+              "dropped_nf=%llu dropped_pool=%llu\n",
+              static_cast<unsigned long long>(stats.injected),
+              graph.name().c_str(), graph.structure().c_str(),
+              static_cast<unsigned long long>(stats.delivered),
+              static_cast<unsigned long long>(stats.dropped_by_nf),
+              static_cast<unsigned long long>(stats.dropped_pool));
+  if (want_metrics) {
+    std::printf("\n%s", telemetry::component_report(dp.metrics()).c_str());
+  }
+  if (want_prometheus) {
+    std::printf("\n%s", telemetry::to_prometheus(dp.metrics()).c_str());
+  }
+  if (want_json) {
+    std::printf("%s\n", telemetry::to_json(dp.metrics()).c_str());
+  }
+  if (dp.tracer() != nullptr) {
+    const auto pids = dp.tracer()->pids();
+    if (pids.empty()) {
+      std::printf("\ntracer retained no spans\n");
+    } else {
+      std::printf("\n%s", dp.tracer()->timeline(pids.front()).c_str());
+      std::printf("(%llu spans recorded over %zu traced packets; "
+                  "`--trace-every=%llu`)\n",
+                  static_cast<unsigned long long>(dp.tracer()->recorded()),
+                  pids.size(),
+                  static_cast<unsigned long long>(dp.tracer()->every()));
+    }
+  }
+  return 0;
 }
 
 Result<ServiceGraph> load_and_compile(const std::string& path,
@@ -82,6 +195,9 @@ int main(int argc, char** argv) {
   if (command == "dot") {
     std::printf("%s", graph.value().to_dot().c_str());
     return 0;
+  }
+  if (command == "run") {
+    return run_dataplane(graph.value(), argc, argv);
   }
   if (command == "plan") {
     cluster::PartitionOptions options;

@@ -2,6 +2,10 @@
 
 namespace nfp::baseline {
 
+namespace {
+constexpr char kPlane[] = "onv";
+}  // namespace
+
 OnvDataplane::OnvDataplane(sim::Simulator& sim,
                            std::vector<std::string> chain,
                            DataplaneConfig config)
@@ -18,13 +22,42 @@ OnvDataplane::OnvDataplane(sim::Simulator& sim,
     } else {
       inst.impl = make_builtin_nf(type, static_cast<u64>(id) + 1);
     }
+    inst.component = "nf:" + type + "#" + std::to_string(id);
+    inst.service = &metrics_.histogram(
+        "nf_service_ns", {{"plane", kPlane}, {"nf", inst.component}});
     ++id;
     nfs_.push_back(std::move(inst));
   }
+  m_injected_ = &metrics_.counter("packets_injected_total", {{"plane", kPlane}});
+  m_delivered_ =
+      &metrics_.counter("packets_delivered_total", {{"plane", kPlane}});
+  m_dropped_nf_ = &metrics_.counter("packets_dropped_total",
+                                    {{"plane", kPlane}, {"reason", "nf"}});
+  m_latency_ = &metrics_.histogram("packet_latency_ns", {{"plane", kPlane}});
+  m_pool_in_use_ = &metrics_.gauge("pool_in_use", {{"plane", kPlane}});
+  metrics_.gauge("pool_capacity", {{"plane", kPlane}})
+      .set(static_cast<double>(pool_->capacity()));
+}
+
+void OnvDataplane::snapshot_metrics() {
+  const auto busy = [this](const std::string& component, SimTime ns) {
+    metrics_
+        .gauge("core_busy_ns", {{"plane", kPlane}, {"component", component}})
+        .set(static_cast<double>(ns));
+  };
+  metrics_.gauge("sim_now_ns", {{"plane", kPlane}})
+      .set(static_cast<double>(sim_.now()));
+  busy("switch", switch_core_.busy_time());
+  busy("rx-link", rx_link_.busy_time());
+  busy("tx-link", tx_link_.busy_time());
+  for (NfInstance& inst : nfs_) busy(inst.component, inst.core.busy_time());
+  m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
 }
 
 void OnvDataplane::inject(Packet* pkt) {
   ++stats_.injected;
+  m_injected_->inc();
+  m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
   pkt->set_inject_time(sim_.now());
   const SimTime link_free =
       rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
@@ -63,8 +96,10 @@ void OnvDataplane::run_nf(std::size_t idx, Packet* pkt, SimTime ready) {
 
   const SimTime free = inst.core.execute(ready, deq.occ + nf_cost.occ);
   const SimTime done = inst.out.stamp(free + deq.delay + nf_cost.delay);
+  inst.service->record(static_cast<u64>(free - ready));
   if (verdict == NfVerdict::kDrop) {
     ++stats_.dropped_by_nf;
+    m_dropped_nf_->inc();
     pool_->release(pkt);
     return;
   }
@@ -78,6 +113,8 @@ void OnvDataplane::output(Packet* pkt, SimTime t) {
       tx_link_.execute(t, config_.costs.wire_ns(pkt->length())) +
       config_.costs.nic_delay_ns;
   ++stats_.delivered;
+  m_delivered_->inc();
+  m_latency_->record(static_cast<u64>(done - pkt->inject_time()));
   if (sink_) {
     sink_(pkt, done);
   } else {

@@ -35,12 +35,22 @@ class OnvDataplane {
   NetworkFunction* nf(std::size_t index) { return nfs_.at(index).impl.get(); }
   SimTime switch_busy_ns() const { return switch_core_.busy_time(); }
 
+  // Same metric names as NfpDataplane, labelled plane="onv", so the two
+  // registries merge into one apples-to-apples export.
+  telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  void snapshot_metrics();
+
  private:
   struct NfInstance {
     std::string type;
     std::unique_ptr<NetworkFunction> impl;
     sim::SimCore core;
     sim::FifoChannel out;
+    std::string component;
+    Histogram* service = nullptr;
   };
 
   void switch_forward(Packet* pkt, std::size_t next_nf, SimTime t,
@@ -53,6 +63,13 @@ class OnvDataplane {
   std::unique_ptr<PacketPool> pool_;
   Sink sink_;
   DataplaneStats stats_;
+
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter* m_injected_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_dropped_nf_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+  telemetry::Gauge* m_pool_in_use_ = nullptr;
 
   sim::SimCore rx_link_;
   sim::SimCore tx_link_;

@@ -5,6 +5,10 @@
 
 namespace nfp::baseline {
 
+namespace {
+constexpr char kPlane[] = "rtc";
+}  // namespace
+
 RtcDataplane::RtcDataplane(sim::Simulator& sim, std::vector<std::string> chain,
                            std::size_t cores, DataplaneConfig config)
     : sim_(sim),
@@ -25,10 +29,38 @@ RtcDataplane::RtcDataplane(sim::Simulator& sim, std::vector<std::string> chain,
       ++id;
     }
   }
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    m_service_.push_back(&metrics_.histogram(
+        "nf_service_ns",
+        {{"plane", kPlane},
+         {"nf", "nf:" + chain_[i] + "@" + std::to_string(i)}}));
+  }
+  m_injected_ = &metrics_.counter("packets_injected_total", {{"plane", kPlane}});
+  m_delivered_ =
+      &metrics_.counter("packets_delivered_total", {{"plane", kPlane}});
+  m_dropped_nf_ = &metrics_.counter("packets_dropped_total",
+                                    {{"plane", kPlane}, {"reason", "nf"}});
+  m_latency_ = &metrics_.histogram("packet_latency_ns", {{"plane", kPlane}});
+  metrics_.gauge("pool_capacity", {{"plane", kPlane}})
+      .set(static_cast<double>(pool_->capacity()));
+}
+
+void RtcDataplane::snapshot_metrics() {
+  metrics_.gauge("sim_now_ns", {{"plane", kPlane}})
+      .set(static_cast<double>(sim_.now()));
+  metrics_.gauge("pool_in_use", {{"plane", kPlane}})
+      .set(static_cast<double>(pool_->in_use()));
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    metrics_
+        .gauge("core_busy_ns", {{"plane", kPlane},
+                                {"component", "replica#" + std::to_string(r)}})
+        .set(static_cast<double>(replicas_[r].core.busy_time()));
+  }
 }
 
 void RtcDataplane::inject(Packet* pkt) {
   ++stats_.injected;
+  m_injected_->inc();
   pkt->set_inject_time(sim_.now());
   const SimTime ready =
       rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
@@ -60,6 +92,7 @@ void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
     // the occupancy (which already contributes to latency); pipelining-mode
     // batching delays do not apply.
     occ += nf_cost.occ + config_.costs.rtc_call_ns;
+    m_service_[i]->record(static_cast<u64>(nf_cost.occ));
     PacketView view(*pkt);
     if (view.valid() && verdict == NfVerdict::kPass) {
       verdict = replica.nfs[i]->process(view);
@@ -72,6 +105,7 @@ void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
   const SimTime done = replica.core.execute(ready, occ) + delay;
   if (verdict == NfVerdict::kDrop) {
     ++stats_.dropped_by_nf;
+    m_dropped_nf_->inc();
     pool_->release(pkt);
     return;
   }
@@ -82,6 +116,8 @@ void RtcDataplane::output(Packet* pkt, SimTime t) {
   const SimTime done =
       tx_link_.execute(t, config_.costs.wire_ns(pkt->length()));
   ++stats_.delivered;
+  m_delivered_->inc();
+  m_latency_->record(static_cast<u64>(done - pkt->inject_time()));
   if (sink_) {
     sink_(pkt, done);
   } else {

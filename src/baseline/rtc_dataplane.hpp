@@ -37,6 +37,13 @@ class RtcDataplane {
     return replicas_.at(replica).nfs.at(index).get();
   }
 
+  // Same metric names as NfpDataplane, labelled plane="rtc".
+  telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  void snapshot_metrics();
+
  private:
   struct Replica {
     std::vector<std::unique_ptr<NetworkFunction>> nfs;
@@ -52,6 +59,14 @@ class RtcDataplane {
   std::unique_ptr<PacketPool> pool_;
   Sink sink_;
   DataplaneStats stats_;
+
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter* m_injected_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_dropped_nf_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+  // Per chain position: service time of that NF, aggregated over replicas.
+  std::vector<Histogram*> m_service_;
 
   sim::SimCore rx_link_;
   sim::SimCore tx_link_;

@@ -1,7 +1,13 @@
 // Minimal leveled logger. Benchmarks print their own tables; the logger is
 // for diagnostics from the orchestrator and dataplane.
+//
+// The sink is injectable (tests point it at a std::ostringstream to capture
+// and assert on output) and timestamps are optional — off by default so
+// captured output stays deterministic.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -21,10 +27,21 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  // Redirects output; nullptr restores the default (std::clog).
+  void set_sink(std::ostream* sink) {
+    const std::scoped_lock lock(mu_);
+    sink_ = sink;
+  }
+
+  // Prefixes each line with wall-clock HH:MM:SS.mmm when enabled.
+  void set_timestamps(bool on) { timestamps_ = on; }
+
   void log(LogLevel level, std::string_view msg) {
     if (level < level_) return;
     const std::scoped_lock lock(mu_);
-    std::clog << "[" << name(level) << "] " << msg << '\n';
+    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+    if (timestamps_) out << timestamp() << ' ';
+    out << "[" << name(level) << "] " << msg << '\n';
   }
 
  private:
@@ -38,7 +55,23 @@ class Logger {
     return "?";
   }
 
+  static std::string timestamp() {
+    const auto now = std::chrono::system_clock::now();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch()) %
+                    1000;
+    const std::time_t t = std::chrono::system_clock::to_time_t(now);
+    std::tm tm{};
+    localtime_r(&t, &tm);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms.count()));
+    return buf;
+  }
+
   LogLevel level_ = LogLevel::kWarn;
+  bool timestamps_ = false;
+  std::ostream* sink_ = nullptr;  // null => std::clog
   std::mutex mu_;
 };
 

@@ -16,6 +16,8 @@ std::unique_ptr<NetworkFunction> default_factory(const StageNf& nf) {
   return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
 }
 
+constexpr char kPlane[] = "nfp";
+
 }  // namespace
 
 NfpDataplane::NfpDataplane(sim::Simulator& sim, ServiceGraph graph,
@@ -67,6 +69,84 @@ NfpDataplane::NfpDataplane(sim::Simulator& sim,
     }
     graphs_.push_back(std::move(runtime));
   }
+
+  if (config_.trace_every > 0) {
+    tracer_ = std::make_unique<telemetry::Tracer>(config_.trace_every,
+                                                  config_.trace_capacity);
+  }
+  bind_metrics();
+}
+
+void NfpDataplane::bind_metrics() {
+  const telemetry::Labels plane{{"plane", kPlane}};
+  m_injected_ = &metrics_.counter("packets_injected_total", plane);
+  m_delivered_ = &metrics_.counter("packets_delivered_total", plane);
+  m_dropped_nf_ = &metrics_.counter("packets_dropped_total",
+                                    {{"plane", kPlane}, {"reason", "nf"}});
+  m_dropped_pool_ = &metrics_.counter("packets_dropped_total",
+                                      {{"plane", kPlane}, {"reason", "pool"}});
+  m_copies_header_ =
+      &metrics_.counter("copies_total", {{"plane", kPlane}, {"kind", "header"}});
+  m_copies_full_ =
+      &metrics_.counter("copies_total", {{"plane", kPlane}, {"kind", "full"}});
+  m_copy_bytes_ = &metrics_.counter("copy_bytes_total", plane);
+  m_merges_ = &metrics_.counter("merges_total", plane);
+  m_latency_ = &metrics_.histogram("packet_latency_ns", plane);
+  m_pool_in_use_ = &metrics_.gauge("pool_in_use", plane);
+  metrics_.gauge("pool_capacity", plane)
+      .set(static_cast<double>(pool_->capacity()));
+  for (std::size_t i = 0; i < merger_cores_.size(); ++i) {
+    m_at_entries_.push_back(&metrics_.gauge(
+        "merger_at_entries",
+        {{"plane", kPlane}, {"merger", std::to_string(i)}}));
+  }
+  for (std::size_t g = 0; g < graphs_.size(); ++g) {
+    GraphRuntime& runtime = graphs_[g];
+    for (std::size_t s = 0; s < runtime.segments.size(); ++s) {
+      for (NfInstance& inst : runtime.segments[s]) {
+        inst.component =
+            "nf:" + inst.meta.name + "#" + std::to_string(inst.meta.instance_id);
+        inst.service = &metrics_.histogram(
+            "nf_service_ns", {{"plane", kPlane},
+                              {"graph", std::to_string(g)},
+                              {"segment", std::to_string(s)},
+                              {"nf", inst.component}});
+      }
+    }
+  }
+}
+
+void NfpDataplane::snapshot_metrics() {
+  const auto busy = [this](const std::string& component, SimTime ns) {
+    metrics_
+        .gauge("core_busy_ns",
+               {{"plane", kPlane}, {"component", component}})
+        .set(static_cast<double>(ns));
+  };
+  metrics_.gauge("sim_now_ns", {{"plane", kPlane}})
+      .set(static_cast<double>(sim_.now()));
+  busy("classifier", classifier_core_.busy_time());
+  busy("merger-agent", agent_core_.busy_time());
+  busy("rx-link", rx_link_.busy_time());
+  busy("tx-link", tx_link_.busy_time());
+  for (std::size_t i = 0; i < merger_cores_.size(); ++i) {
+    busy("merger#" + std::to_string(i), merger_cores_[i].busy_time());
+  }
+  for (GraphRuntime& runtime : graphs_) {
+    for (auto& segment : runtime.segments) {
+      for (NfInstance& inst : segment) {
+        busy(inst.component, inst.core.busy_time());
+      }
+    }
+  }
+  m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
+}
+
+void NfpDataplane::trace(u64 pid, telemetry::SpanKind kind, SimTime at,
+                         const char* component, u8 version) {
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    tracer_->record(pid, kind, at, component, version);
+  }
 }
 
 NfpDataplane::~NfpDataplane() = default;
@@ -84,6 +164,8 @@ void NfpDataplane::add_flow_rule(const FiveTuple& flow,
 
 void NfpDataplane::inject(Packet* pkt) {
   ++stats_.injected;
+  m_injected_->inc();
+  m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
   pkt->set_inject_time(sim_.now());
   // RX link: wire serialization occupies the link; NIC/driver adds delay.
   const SimTime link_free =
@@ -97,6 +179,7 @@ void NfpDataplane::classify(Packet* pkt) {
       classifier_core_.execute(sim_.now(), config_.costs.classifier.occ);
   pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
   pkt->meta().set_version(1);
+  trace(pkt->meta().pid(), telemetry::SpanKind::kClassify, free, "classifier");
 
   // Classification Table lookup (§5.1): exact flow match, default graph 0.
   std::size_t g = 0;
@@ -149,6 +232,14 @@ void NfpDataplane::enter_segment(std::size_t g, std::size_t seg_idx,
         full ? pool_->clone_full(*pkt) : pool_->clone_header_only(*pkt);
     if (copy == nullptr) {
       ++stats_.dropped_pool;
+      m_dropped_pool_->inc();
+      if (!warned_pool_exhausted_) {
+        warned_pool_exhausted_ = true;
+        log_warn("packet pool exhausted (", pool_->capacity(),
+                 " packets); dropping packet and its copies — further "
+                 "exhaustion drops are counted silently");
+      }
+      trace(pkt->meta().pid(), telemetry::SpanKind::kDrop, sim_.now(), "pool");
       for (u8 w = 2; w < v; ++w) pool_->release(version_pkt[w]);
       pool_->release(pkt);
       return;
@@ -158,15 +249,21 @@ void NfpDataplane::enter_segment(std::size_t g, std::size_t seg_idx,
     SimTime occ = config_.costs.copy_header.occ;
     if (full) {
       ++stats_.copies_full;
+      m_copies_full_->inc();
       occ += static_cast<SimTime>(config_.costs.copy_full_per_byte_occ *
                                   static_cast<double>(copy->length()));
     } else {
       ++stats_.copies_header;
+      m_copies_header_->inc();
     }
     stats_.copy_bytes += copy->length();
+    m_copy_bytes_->inc(copy->length());
     free = entry_core->execute(free, occ);
     copy_delay += config_.costs.copy_header.delay;
+    trace(pkt->meta().pid(), telemetry::SpanKind::kCopy, free,
+          full ? "copy-full" : "copy-header", v);
   }
+  m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
 
   // Reference counting: each version is consumed by every NF on it.
   for (u8 v = 1; v <= seg.num_versions; ++v) {
@@ -205,6 +302,10 @@ void NfpDataplane::run_nf(std::size_t g, std::size_t seg_idx,
   const sim::OpCost nf_cost = config_.costs.nf_cost(
       inst.meta.name, pkt->length(), config_.delaynf_cycles);
 
+  const u64 pid = pkt->meta().pid();
+  trace(pid, telemetry::SpanKind::kNfEnter, ready, inst.component.c_str(),
+        pkt->meta().version());
+
   // Real packet processing.
   PacketView view(*pkt);
   NfVerdict verdict = NfVerdict::kPass;
@@ -214,10 +315,18 @@ void NfpDataplane::run_nf(std::size_t g, std::size_t seg_idx,
 
   const SimTime free = inst.core.execute(ready, deq.occ + nf_cost.occ);
   const SimTime latency = deq.delay + nf_cost.delay;
+  // Service time at this NF: core queueing wait + dequeue + compute; the
+  // p99/p50 gap of this histogram is the NF's queueing under load.
+  inst.service->record(static_cast<u64>(free - ready));
+  trace(pid, telemetry::SpanKind::kNfExit, free, inst.component.c_str(),
+        pkt->meta().version());
 
   if (!seg.is_parallel()) {
     if (verdict == NfVerdict::kDrop) {
       ++stats_.dropped_by_nf;
+      m_dropped_nf_->inc();
+      trace(pid, telemetry::SpanKind::kDrop, free, inst.component.c_str());
+      log_debug("NF ", inst.component, " dropped packet pid=", pid);
       pool_->release(pkt);
       return;
     }
@@ -264,9 +373,14 @@ void NfpDataplane::merger_arrival(std::size_t g, std::size_t seg_idx,
       merger_cores_[instance].execute(t, config_.costs.merge_arrival.occ);
 
   const u64 pid = item.pkt->meta().pid();
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    tracer_->record(pid, telemetry::SpanKind::kMergerArrival, free,
+                    "merger#" + std::to_string(instance), item.version);
+  }
   const AtKey key{g, seg_idx, pid};
   MergeState& state = at_[instance][key];
   state.items.push_back(item);
+  m_at_entries_[instance]->set(static_cast<double>(at_[instance].size()));
   if (state.items.size() < seg.merge.total_count) return;
 
   MergeState complete = std::move(state);
@@ -316,9 +430,19 @@ void NfpDataplane::complete_merge(std::size_t g, std::size_t seg_idx,
       config_.costs.merge_final.delay +
       config_.costs.merge_per_arrival_delay_ns * seg.merge.total_count;
   ++stats_.merges;
+  m_merges_->inc();
+  const u64 pid =
+      state.items.empty() ? 0 : state.items.front().pkt->meta().pid();
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    tracer_->record(pid, telemetry::SpanKind::kMergeComplete, free,
+                    "merger#" + std::to_string(instance));
+  }
 
   if (dropped) {
     ++stats_.dropped_by_nf;
+    m_dropped_nf_->inc();
+    trace(pid, telemetry::SpanKind::kDrop, free, "merger-drop-resolution");
+    log_debug("merger resolved drop for pid=", pid);
     drop_all(state);
     return;
   }
@@ -361,6 +485,9 @@ void NfpDataplane::output(Packet* pkt, SimTime t) {
       tx_link_.execute(t, config_.costs.wire_ns(pkt->length()));
   const SimTime done = free + config_.costs.nic_delay_ns;
   ++stats_.delivered;
+  m_delivered_->inc();
+  m_latency_->record(static_cast<u64>(done - pkt->inject_time()));
+  trace(pkt->meta().pid(), telemetry::SpanKind::kOutput, done, "tx-link");
   if (sink_) {
     sink_(pkt, done);
   } else {

@@ -30,6 +30,8 @@
 #include "packet/packet_pool.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace nfp {
 
@@ -45,6 +47,11 @@ struct DataplaneConfig {
   // DelayNf instances with specific cycle counts.
   NfFactory factory;
   u32 delaynf_cycles = 300;  // cycles for DelayNf cost accounting (Fig 9/11)
+  // Per-packet tracing: record span events for every Nth packet (by PID);
+  // 0 disables the tracer entirely. Retention is a ring of trace_capacity
+  // events (oldest evicted first).
+  u64 trace_every = 0;
+  std::size_t trace_capacity = 8192;
 };
 
 struct DataplaneStats {
@@ -87,6 +94,18 @@ class NfpDataplane {
 
   PacketPool& pool() noexcept { return *pool_; }
   const DataplaneStats& stats() const noexcept { return stats_; }
+
+  // Always-on metrics (counters and latency histograms accumulate in the
+  // hot path; call snapshot_metrics() first to refresh the point-in-time
+  // gauges: core busy times, pool occupancy, sim clock).
+  telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  void snapshot_metrics();
+
+  // Non-null when config.trace_every > 0.
+  telemetry::Tracer* tracer() noexcept { return tracer_.get(); }
   const ServiceGraph& graph(std::size_t g = 0) const noexcept {
     return graphs_[g].graph;
   }
@@ -111,6 +130,8 @@ class NfpDataplane {
     std::unique_ptr<NetworkFunction> impl;
     sim::SimCore core;
     sim::FifoChannel out;  // hand-offs leave this NF in FIFO order
+    std::string component;          // "nf:<type>#<instance>" label
+    Histogram* service = nullptr;   // per-packet time spent at this NF
   };
 
   struct GraphRuntime {
@@ -157,11 +178,32 @@ class NfpDataplane {
   // Applies the segment's merge operations onto the version-1 packet.
   Packet* apply_merge_ops(const Segment& seg, MergeState& state);
 
+  // Resolves the hot-path metric handles against metrics_ (constructor).
+  void bind_metrics();
+  // Tracer helper: records a span only for sampled packets.
+  void trace(u64 pid, telemetry::SpanKind kind, SimTime at,
+             const char* component, u8 version = 1);
+
   sim::Simulator& sim_;
   DataplaneConfig config_;
   std::unique_ptr<PacketPool> pool_;
   Sink sink_;
   DataplaneStats stats_;
+
+  telemetry::MetricsRegistry metrics_;
+  std::unique_ptr<telemetry::Tracer> tracer_;
+  // Hot-path metric handles (stable pointers into metrics_).
+  telemetry::Counter* m_injected_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_dropped_nf_ = nullptr;
+  telemetry::Counter* m_dropped_pool_ = nullptr;
+  telemetry::Counter* m_copies_header_ = nullptr;
+  telemetry::Counter* m_copies_full_ = nullptr;
+  telemetry::Counter* m_copy_bytes_ = nullptr;
+  telemetry::Counter* m_merges_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+  telemetry::Gauge* m_pool_in_use_ = nullptr;
+  std::vector<telemetry::Gauge*> m_at_entries_;
 
   sim::SimCore rx_link_;
   sim::SimCore tx_link_;
@@ -179,6 +221,7 @@ class NfpDataplane {
   std::vector<std::map<AtKey, MergeState>> at_;
 
   u64 next_pid_ = 0;
+  bool warned_pool_exhausted_ = false;
 };
 
 }  // namespace nfp

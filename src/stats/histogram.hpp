@@ -23,7 +23,7 @@ class Histogram {
     ++counts_[index_of(value)];
     ++total_;
     sum_ += value;
-    if (value < min_ || total_ == 1) min_ = value;
+    if (value < min_) min_ = value;
     if (value > max_) max_ = value;
   }
 
@@ -31,10 +31,9 @@ class Histogram {
     for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
     total_ += other.total_;
     sum_ += other.sum_;
-    if (other.total_ > 0) {
-      if (other.min_ < min_ || total_ == other.total_) min_ = other.min_;
-      if (other.max_ > max_) max_ = other.max_;
-    }
+    // min_ starts at the kEmptyMin sentinel, so an empty side never wins.
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
   }
 
   u64 count() const noexcept { return total_; }
@@ -80,10 +79,13 @@ class Histogram {
     return (u64{kSubBuckets} << shift) | (static_cast<u64>(sub) << shift);
   }
 
+  // Sentinel for "no samples yet": any recorded value compares below it.
+  static constexpr u64 kEmptyMin = ~u64{0};
+
   std::array<u64, kBuckets> counts_{};
   u64 total_ = 0;
   u64 sum_ = 0;
-  u64 min_ = 0;
+  u64 min_ = kEmptyMin;
   u64 max_ = 0;
 };
 

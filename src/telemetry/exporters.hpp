@@ -1,0 +1,27 @@
+// Exporters over a MetricsRegistry snapshot.
+//
+//  * to_prometheus: Prometheus text exposition format (counters, gauges,
+//    histograms rendered as summaries with p50/p90/p99 quantiles).
+//  * to_json: machine-readable dump for benches and offline analysis.
+//  * component_report: the human view — per-component utilization and
+//    latency (classifier busy %, per-NF p50/p99 service time, merger
+//    accumulating-table occupancy, pool high-water mark).
+//
+// The report reads the canonical metric names published by the dataplanes
+// (see DESIGN.md "Observability"): core_busy_ns{component=...},
+// nf_service_ns{nf=...}, packet_latency_ns, pool_in_use,
+// merger_at_entries{merger=...} and the sim_now_ns gauge that anchors
+// utilization percentages.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+
+std::string to_prometheus(const MetricsRegistry& registry);
+std::string to_json(const MetricsRegistry& registry);
+std::string component_report(const MetricsRegistry& registry);
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,80 @@
+#include "telemetry/tracer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace nfp::telemetry {
+
+std::string_view span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kInject: return "inject";
+    case SpanKind::kClassify: return "classify";
+    case SpanKind::kCopy: return "copy";
+    case SpanKind::kNfEnter: return "nf-enter";
+    case SpanKind::kNfExit: return "nf-exit";
+    case SpanKind::kMergerArrival: return "merger-arrival";
+    case SpanKind::kMergeComplete: return "merge-complete";
+    case SpanKind::kOutput: return "output";
+    case SpanKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+void Tracer::record(u64 pid, SpanKind kind, SimTime at,
+                    std::string component, u8 version) {
+  SpanEvent ev{pid, kind, at, version, std::move(component)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+  }
+  head_ = (head_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<SpanEvent> Tracer::events_for(u64 pid) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& ev : ring_) {
+    if (ev.pid == pid) out.push_back(ev);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+std::vector<u64> Tracer::pids() const {
+  std::set<u64> distinct;
+  for (const SpanEvent& ev : ring_) distinct.insert(ev.pid);
+  return {distinct.begin(), distinct.end()};
+}
+
+std::string Tracer::timeline(u64 pid) const {
+  const std::vector<SpanEvent> events = events_for(pid);
+  std::ostringstream out;
+  if (events.empty()) {
+    out << "packet " << pid << ": no retained spans\n";
+    return out.str();
+  }
+  const SimTime start = events.front().at;
+  const SimTime end = events.back().at;
+  out << "packet " << pid << " trace: " << events.size() << " spans, "
+      << (end - start) << " ns from " << span_kind_name(events.front().kind)
+      << " to " << span_kind_name(events.back().kind) << "\n";
+  SimTime prev = start;
+  for (const SpanEvent& ev : events) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  +%-10llu (+%-8llu) %-14s %-20s v%u\n",
+                  static_cast<unsigned long long>(ev.at - start),
+                  static_cast<unsigned long long>(ev.at - prev),
+                  std::string(span_kind_name(ev.kind)).c_str(),
+                  ev.component.c_str(), static_cast<unsigned>(ev.version));
+    out << line;
+    prev = ev.at;
+  }
+  return out.str();
+}
+
+}  // namespace nfp::telemetry

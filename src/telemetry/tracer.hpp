@@ -1,0 +1,84 @@
+// Per-packet trace spans.
+//
+// An opt-in Tracer records span events (classify, copy, nf-enter/exit,
+// merger-arrival, merge-complete, output, drop) with simulated timestamps
+// and the packet's PID, so a single packet's journey through a parallel
+// segment can be reconstructed and printed as a timeline. Retention is a
+// fixed ring buffer (old events are overwritten) and sampling is
+// deterministic: "trace every Nth packet" keyed on the PID, so repeated
+// runs trace the same packets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp::telemetry {
+
+enum class SpanKind : u8 {
+  kInject,
+  kClassify,
+  kCopy,
+  kNfEnter,
+  kNfExit,
+  kMergerArrival,
+  kMergeComplete,
+  kOutput,
+  kDrop,
+};
+
+std::string_view span_kind_name(SpanKind kind) noexcept;
+
+struct SpanEvent {
+  u64 pid = 0;
+  SpanKind kind = SpanKind::kInject;
+  SimTime at = 0;          // simulated time the event was recorded
+  u8 version = 1;          // packet version the event applies to
+  std::string component;   // e.g. "classifier", "nf:firewall#1", "merger#0"
+};
+
+class Tracer {
+ public:
+  // Traces packets whose PID is a multiple of `every` (0 disables tracing
+  // entirely); keeps the most recent `capacity` events.
+  explicit Tracer(u64 every = 1, std::size_t capacity = 8192)
+      : every_(every), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  u64 every() const noexcept { return every_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Deterministic sampling decision; callers gate both the event recording
+  // and any string formatting on this so unsampled packets cost one branch.
+  bool sampled(u64 pid) const noexcept {
+    return every_ != 0 && pid % every_ == 0;
+  }
+
+  void record(u64 pid, SpanKind kind, SimTime at, std::string component,
+              u8 version = 1);
+
+  u64 recorded() const noexcept { return recorded_; }
+  // Events evicted by the ring buffer.
+  u64 evicted() const noexcept {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  // Retained events for `pid`, oldest first, sorted by timestamp.
+  std::vector<SpanEvent> events_for(u64 pid) const;
+
+  // Distinct PIDs with at least one retained event, ascending.
+  std::vector<u64> pids() const;
+
+  // Human-readable timeline for one packet: one line per span with the
+  // offset from the packet's first event and the inter-span delta.
+  std::string timeline(u64 pid) const;
+
+ private:
+  u64 every_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   // next ring slot to write
+  u64 recorded_ = 0;
+  std::vector<SpanEvent> ring_;
+};
+
+}  // namespace nfp::telemetry

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
+
 namespace nfp {
 
 namespace {
@@ -25,7 +27,14 @@ constexpr SizeBucket kDcBuckets[] = {
 
 TrafficGenerator::TrafficGenerator(sim::Simulator& sim, PacketPool& pool,
                                    TrafficConfig config)
-    : sim_(sim), pool_(pool), config_(config), rng_(config.seed) {}
+    : sim_(sim), pool_(pool), config_(config), rng_(config.seed) {
+  if (config_.metrics != nullptr) {
+    m_generated_ = &config_.metrics->counter("trafficgen_packets_total");
+    m_retries_ =
+        &config_.metrics->counter("trafficgen_backpressure_retries_total");
+    m_frame_bytes_ = &config_.metrics->histogram("trafficgen_frame_bytes");
+  }
+}
 
 double TrafficGenerator::dc_mean_frame_size() {
   double mean = 0;
@@ -91,12 +100,17 @@ void TrafficGenerator::try_inject(const Injector& inject, u64 index) {
     // dataplane's drain rate, exactly like a lossless-throughput search on
     // a real testbed. Retry shortly.
     ++backpressure_retries_;
+    if (m_retries_ != nullptr) m_retries_->inc();
     sim_.schedule_after(500, [this, inject, index] {
       try_inject(inject, index);
     });
     return;
   }
   ++generated_;
+  if (m_generated_ != nullptr) {
+    m_generated_->inc();
+    m_frame_bytes_->record(pkt->length());
+  }
   inject(pkt);
 }
 

@@ -17,6 +17,12 @@
 
 namespace nfp {
 
+class Histogram;
+namespace telemetry {
+class MetricsRegistry;
+struct Counter;
+}  // namespace telemetry
+
 enum class SizeModel : u8 {
   kFixed,       // every frame `fixed_size` bytes
   kDataCenter,  // bimodal mice/elephants mix, mean ≈ 724 B
@@ -30,6 +36,11 @@ struct TrafficConfig {
   u64 packets = 10'000;             // total packets to inject
   u64 seed = 42;
   u8 payload_byte = 0x5c;
+  // Optional: when set, the generator publishes trafficgen_packets_total,
+  // trafficgen_backpressure_retries_total and a trafficgen_frame_bytes
+  // histogram into this registry (typically the dataplane's, so one export
+  // covers the whole run). Non-owning; must outlive the generator.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class TrafficGenerator {
@@ -68,6 +79,10 @@ class TrafficGenerator {
   Rng rng_;
   u64 generated_ = 0;
   u64 backpressure_retries_ = 0;
+  // Resolved from config_.metrics (null when metrics are off).
+  telemetry::Counter* m_generated_ = nullptr;
+  telemetry::Counter* m_retries_ = nullptr;
+  Histogram* m_frame_bytes_ = nullptr;
 };
 
 }  // namespace nfp

@@ -1,0 +1,75 @@
+// Logger sink injection: tests capture log output through a string sink
+// instead of scraping std::clog.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nfp {
+namespace {
+
+// Restores the global logger on scope exit so tests don't leak state.
+struct SinkGuard {
+  explicit SinkGuard(std::ostream* sink, LogLevel level) {
+    prev_level_ = Logger::instance().level();
+    Logger::instance().set_sink(sink);
+    Logger::instance().set_level(level);
+  }
+  ~SinkGuard() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(prev_level_);
+    Logger::instance().set_timestamps(false);
+  }
+  LogLevel prev_level_;
+};
+
+TEST(LoggingTest, SinkCapturesFormattedOutput) {
+  std::ostringstream captured;
+  const SinkGuard guard(&captured, LogLevel::kDebug);
+  log_warn("pool exhausted after ", 42, " packets");
+  log_info("chain length ", 3);
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("[WARN ] pool exhausted after 42 packets\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("[INFO ] chain length 3\n"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelFiltersMessages) {
+  std::ostringstream captured;
+  const SinkGuard guard(&captured, LogLevel::kError);
+  log_warn("should be filtered");
+  log_error("should appear");
+  EXPECT_EQ(captured.str().find("filtered"), std::string::npos);
+  EXPECT_NE(captured.str().find("should appear"), std::string::npos);
+}
+
+TEST(LoggingTest, TimestampsArePrefixedWhenEnabled) {
+  std::ostringstream captured;
+  const SinkGuard guard(&captured, LogLevel::kInfo);
+  Logger::instance().set_timestamps(true);
+  log_info("stamped");
+  const std::string out = captured.str();
+  // HH:MM:SS.mmm prefix: 12 chars then a space then the level tag.
+  ASSERT_GE(out.size(), 13u);
+  EXPECT_EQ(out[2], ':');
+  EXPECT_EQ(out[5], ':');
+  EXPECT_EQ(out[8], '.');
+  EXPECT_NE(out.find(" [INFO ] stamped\n"), std::string::npos);
+}
+
+TEST(LoggingTest, NullSinkRestoresClog) {
+  std::ostringstream captured;
+  {
+    const SinkGuard guard(&captured, LogLevel::kInfo);
+    log_info("captured line");
+  }
+  EXPECT_NE(captured.str().find("captured line"), std::string::npos);
+  // After the guard, the sink is back to std::clog — nothing more lands in
+  // the stringstream.
+  log_error("not captured");
+  EXPECT_EQ(captured.str().find("not captured"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -80,6 +80,83 @@ TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
   EXPECT_GE(h.quantile(1.0), u64{1} << 32);
 }
 
+TEST(HistogramTest, QuantileExtremes) {
+  Histogram h;
+  for (u64 v : {10, 20, 30, 40, 50}) h.record(v);
+  // q clamps outside [0, 1]; q=0 is the min bucket, q=1 the max bucket.
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_EQ(h.quantile(0.0), 10u);
+  EXPECT_EQ(h.quantile(1.0), 50u);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.record(7);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 7u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.mean(), 7.0);
+}
+
+TEST(HistogramTest, MergeEmptyIntoPopulatedKeepsMin) {
+  Histogram a;
+  a.record(100);
+  a.record(200);
+  const Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u) << "merging an empty histogram must not clobber min";
+  EXPECT_EQ(a.max(), 200u);
+}
+
+TEST(HistogramTest, MergePopulatedIntoEmptyAdoptsMin) {
+  Histogram a;  // empty
+  Histogram b;
+  b.record(500);
+  b.record(900);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 500u);
+  EXPECT_EQ(a.max(), 900u);
+}
+
+TEST(HistogramTest, MergeEqualCountsKeepsTrueMin) {
+  // Regression: the old merge used `total_ == other.total_` as an "I was
+  // empty" proxy, which mis-fired when both sides held the same number of
+  // samples and stamped the other side's larger min.
+  Histogram a;
+  a.record(10);
+  Histogram b;
+  b.record(99);
+  a.merge(b);
+  EXPECT_EQ(a.min(), 10u);
+
+  Histogram c;
+  c.record(99);
+  Histogram d;
+  d.record(10);
+  c.merge(d);
+  EXPECT_EQ(c.min(), 10u);
+}
+
+TEST(HistogramTest, QuantilesAfterMerge) {
+  Histogram a;
+  Histogram b;
+  for (u64 v = 1; v <= 50; ++v) a.record(v);
+  for (u64 v = 51; v <= 100; ++v) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.quantile(0.0), 1u);
+  EXPECT_EQ(a.quantile(1.0), 100u);  // 100 is exactly representable
+  // Median falls in the middle of the merged distribution.
+  const u64 p50 = a.quantile(0.5);
+  EXPECT_GE(p50, 45u);
+  EXPECT_LE(p50, 55u);
+}
+
 TEST(HistogramTest, SummaryMentionsKeyStats) {
   Histogram h;
   for (u64 v = 1; v <= 100; ++v) h.record(v);

@@ -1,0 +1,200 @@
+// Integration of the telemetry layer with the dataplanes: always-on
+// metrics agree with DataplaneStats, the tracer reconstructs a packet's
+// journey through a parallel segment, and all three planes expose the same
+// metric names for apples-to-apples comparison.
+#include <gtest/gtest.h>
+
+#include "baseline/onv_dataplane.hpp"
+#include "baseline/rtc_dataplane.hpp"
+#include "dataplane/nfp_dataplane.hpp"
+#include "telemetry/exporters.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+namespace {
+
+using telemetry::SpanKind;
+
+template <typename Dataplane>
+void drive(sim::Simulator& sim, Dataplane& dp, TrafficConfig traffic) {
+  traffic.metrics = &dp.metrics();
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* pkt) { dp.inject(pkt); });
+  sim.run();
+  dp.snapshot_metrics();
+}
+
+ServiceGraph parallel_graph() {
+  // Two parallel monitors (shared version) then a single lb.
+  ServiceGraph g = ServiceGraph::parallel("par", {"monitor", "monitor"});
+  Segment tail;
+  tail.nfs.push_back(StageNf{"lb", 2, 1, 0, false});
+  g.segments().push_back(std::move(tail));
+  return g;
+}
+
+TEST(DataplaneTelemetry, CountersAgreeWithStats) {
+  sim::Simulator sim;
+  NfpDataplane dp(sim, parallel_graph());
+  TrafficConfig traffic;
+  traffic.packets = 150;
+  drive(sim, dp, traffic);
+
+  const DataplaneStats& stats = dp.stats();
+  telemetry::MetricsRegistry& m = dp.metrics();
+  EXPECT_EQ(m.counter("packets_injected_total", {{"plane", "nfp"}}).value,
+            stats.injected);
+  EXPECT_EQ(m.counter("packets_delivered_total", {{"plane", "nfp"}}).value,
+            stats.delivered);
+  EXPECT_EQ(m.counter("merges_total", {{"plane", "nfp"}}).value, stats.merges);
+  EXPECT_EQ(
+      m.counter("copies_total", {{"plane", "nfp"}, {"kind", "header"}}).value,
+      stats.copies_header);
+  EXPECT_EQ(
+      m.histogram("packet_latency_ns", {{"plane", "nfp"}}).count(),
+      stats.delivered);
+  EXPECT_GT(m.counter("trafficgen_packets_total").value, 0u);
+}
+
+TEST(DataplaneTelemetry, PerNfServiceHistogramsSeeEveryPacket) {
+  sim::Simulator sim;
+  NfpDataplane dp(sim, parallel_graph());
+  TrafficConfig traffic;
+  traffic.packets = 100;
+  drive(sim, dp, traffic);
+
+  // Parallel stage: each of the two monitors saw all 100 packets.
+  u64 nf_histograms = 0;
+  for (const auto& [key, h] : dp.metrics().histograms()) {
+    if (key.name != "nf_service_ns") continue;
+    ++nf_histograms;
+    EXPECT_EQ(h.count(), 100u) << "series " << key.labels.back().second;
+    EXPECT_GT(h.max(), 0u);
+  }
+  EXPECT_EQ(nf_histograms, 3u);  // monitor#0, monitor#1, lb#2
+}
+
+TEST(DataplaneTelemetry, TracerReconstructsParallelSegmentJourney) {
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = 1;
+  NfpDataplane dp(sim, parallel_graph(), cfg);
+  ASSERT_NE(dp.tracer(), nullptr);
+  TrafficConfig traffic;
+  traffic.packets = 5;
+  drive(sim, dp, traffic);
+
+  const auto events = dp.tracer()->events_for(0);
+  ASSERT_FALSE(events.empty());
+  const auto count_kind = [&](SpanKind k) {
+    u64 n = 0;
+    for (const auto& ev : events) n += ev.kind == k ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count_kind(SpanKind::kClassify), 1u);
+  EXPECT_EQ(count_kind(SpanKind::kNfEnter), 3u);   // 2 parallel + 1 tail
+  EXPECT_EQ(count_kind(SpanKind::kNfExit), 3u);
+  EXPECT_EQ(count_kind(SpanKind::kMergerArrival), 2u);
+  EXPECT_EQ(count_kind(SpanKind::kMergeComplete), 1u);
+  EXPECT_EQ(count_kind(SpanKind::kOutput), 1u);
+  // Chronology: classify first, output last.
+  EXPECT_EQ(events.front().kind, SpanKind::kClassify);
+  EXPECT_EQ(events.back().kind, SpanKind::kOutput);
+
+  const std::string timeline = dp.tracer()->timeline(0);
+  EXPECT_NE(timeline.find("merger-arrival"), std::string::npos);
+  EXPECT_NE(timeline.find("merge-complete"), std::string::npos);
+}
+
+TEST(DataplaneTelemetry, TraceEveryNSamplesDeterministically) {
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = 4;
+  NfpDataplane dp(sim, ServiceGraph::sequential("seq", {"monitor"}), cfg);
+  TrafficConfig traffic;
+  traffic.packets = 20;
+  drive(sim, dp, traffic);
+  for (const u64 pid : dp.tracer()->pids()) {
+    EXPECT_EQ(pid % 4, 0u) << "only every 4th PID may be traced";
+  }
+  EXPECT_EQ(dp.tracer()->pids().size(), 5u);  // pids 0,4,8,12,16
+}
+
+TEST(DataplaneTelemetry, TracingOffByDefaultAndMetricsStillOn) {
+  sim::Simulator sim;
+  NfpDataplane dp(sim, ServiceGraph::sequential("seq", {"monitor"}));
+  EXPECT_EQ(dp.tracer(), nullptr);
+  TrafficConfig traffic;
+  traffic.packets = 10;
+  drive(sim, dp, traffic);
+  EXPECT_EQ(dp.metrics().counter("packets_delivered_total", {{"plane", "nfp"}})
+                .value,
+            10u);
+}
+
+TEST(DataplaneTelemetry, BaselinesPublishComparableSeries) {
+  const std::vector<std::string> chain{"monitor", "lb"};
+  TrafficConfig traffic;
+  traffic.packets = 50;
+
+  sim::Simulator s1;
+  baseline::OnvDataplane onv(s1, chain);
+  drive(s1, onv, traffic);
+  sim::Simulator s2;
+  baseline::RtcDataplane rtc(s2, chain, /*cores=*/2);
+  drive(s2, rtc, traffic);
+
+  EXPECT_EQ(
+      onv.metrics().counter("packets_delivered_total", {{"plane", "onv"}})
+          .value,
+      50u);
+  EXPECT_EQ(
+      rtc.metrics().counter("packets_delivered_total", {{"plane", "rtc"}})
+          .value,
+      50u);
+  EXPECT_EQ(
+      onv.metrics().histogram("packet_latency_ns", {{"plane", "onv"}}).count(),
+      50u);
+
+  // Merged registries render one report with a section per plane.
+  sim::Simulator s3;
+  NfpDataplane nfp(s3, ServiceGraph::sequential("seq", chain));
+  drive(s3, nfp, traffic);
+  telemetry::MetricsRegistry combined = nfp.metrics();
+  combined.merge(onv.metrics());
+  combined.merge(rtc.metrics());
+  const std::string report = telemetry::component_report(combined);
+  EXPECT_NE(report.find("plane=nfp"), std::string::npos);
+  EXPECT_NE(report.find("plane=onv"), std::string::npos);
+  EXPECT_NE(report.find("plane=rtc"), std::string::npos);
+}
+
+TEST(DataplaneTelemetry, SnapshotPublishesUtilizationGauges) {
+  sim::Simulator sim;
+  NfpDataplane dp(sim, parallel_graph());
+  TrafficConfig traffic;
+  traffic.packets = 100;
+  drive(sim, dp, traffic);
+
+  telemetry::MetricsRegistry& m = dp.metrics();
+  EXPECT_GT(m.gauge("sim_now_ns", {{"plane", "nfp"}}).value, 0.0);
+  EXPECT_GT(m.gauge("core_busy_ns",
+                    {{"plane", "nfp"}, {"component", "classifier"}})
+                .value,
+            0.0);
+  // The parallel stage put at least one entry in an accumulating table.
+  double at_high_water = 0;
+  for (const auto& [key, g] : m.gauges()) {
+    if (key.name == "merger_at_entries") {
+      at_high_water = std::max(at_high_water, g.high_water);
+    }
+  }
+  EXPECT_GE(at_high_water, 1.0);
+  // Pool high-water: base packet + 0 copies (shared version), >= 1.
+  EXPECT_GE(m.gauge("pool_in_use", {{"plane", "nfp"}}).high_water, 1.0);
+  // All packets returned: current pool occupancy is zero again.
+  EXPECT_EQ(m.gauge("pool_in_use", {{"plane", "nfp"}}).value, 0.0);
+}
+
+}  // namespace
+}  // namespace nfp

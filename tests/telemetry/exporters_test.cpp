@@ -1,0 +1,104 @@
+// Golden-output tests for the Prometheus / JSON exporters and the
+// per-component report.
+#include <gtest/gtest.h>
+
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+MetricsRegistry small_registry() {
+  MetricsRegistry reg;
+  reg.counter("packets_injected_total", {{"plane", "nfp"}}).inc(100);
+  reg.counter("packets_dropped_total", {{"plane", "nfp"}, {"reason", "nf"}})
+      .inc(2);
+  reg.gauge("pool_in_use", {{"plane", "nfp"}}).set(7);
+  Histogram& h = reg.histogram("packet_latency_ns", {{"plane", "nfp"}});
+  for (u64 v = 1; v <= 10; ++v) h.record(v);
+  return reg;
+}
+
+TEST(ExportersTest, PrometheusGolden) {
+  const std::string text = to_prometheus(small_registry());
+  EXPECT_NE(text.find("# TYPE packets_injected_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("packets_injected_total{plane=\"nfp\"} 100"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "packets_dropped_total{plane=\"nfp\",reason=\"nf\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_in_use gauge"), std::string::npos);
+  EXPECT_NE(text.find("pool_in_use{plane=\"nfp\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE packet_latency_ns summary"), std::string::npos);
+  EXPECT_NE(
+      text.find("packet_latency_ns{plane=\"nfp\",quantile=\"0.5\"} 5"),
+      std::string::npos);
+  EXPECT_NE(text.find("packet_latency_ns_count{plane=\"nfp\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("packet_latency_ns_sum{plane=\"nfp\"} 55"),
+            std::string::npos);
+}
+
+TEST(ExportersTest, JsonGolden) {
+  const std::string json = to_json(small_registry());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"packets_injected_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"plane\":\"nfp\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"high_water\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":10"), std::string::npos);
+}
+
+TEST(ExportersTest, JsonEscapesStrings) {
+  MetricsRegistry reg;
+  reg.counter("weird", {{"label", "a\"b\\c"}}).inc();
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(ExportersTest, ComponentReportShowsUtilizationAndLatency) {
+  MetricsRegistry reg = small_registry();
+  reg.gauge("sim_now_ns", {{"plane", "nfp"}}).set(1'000'000);
+  reg.gauge("core_busy_ns",
+            {{"plane", "nfp"}, {"component", "classifier"}})
+      .set(250'000);
+  reg.gauge("core_busy_ns",
+            {{"plane", "nfp"}, {"component", "nf:firewall#0"}})
+      .set(500'000);
+  Histogram& service = reg.histogram(
+      "nf_service_ns", {{"plane", "nfp"}, {"nf", "nf:firewall#0"}});
+  for (int i = 0; i < 100; ++i) service.record(120);
+  reg.gauge("pool_capacity", {{"plane", "nfp"}}).set(1024);
+
+  const std::string report = component_report(reg);
+  EXPECT_NE(report.find("plane=nfp"), std::string::npos);
+  EXPECT_NE(report.find("classifier"), std::string::npos);
+  EXPECT_NE(report.find("25.0%"), std::string::npos);  // 250k / 1M
+  EXPECT_NE(report.find("50.0%"), std::string::npos);  // firewall busy
+  EXPECT_NE(report.find("120"), std::string::npos);    // p50 service
+  EXPECT_NE(report.find("injected=100"), std::string::npos);
+  EXPECT_NE(report.find("pool: high-water 7 / 1024"), std::string::npos);
+}
+
+TEST(ExportersTest, ComponentReportMergesPlanesSideBySide) {
+  MetricsRegistry nfp = small_registry();
+  nfp.gauge("sim_now_ns", {{"plane", "nfp"}}).set(1'000);
+  MetricsRegistry onv;
+  onv.counter("packets_injected_total", {{"plane", "onv"}}).inc(50);
+  onv.gauge("sim_now_ns", {{"plane", "onv"}}).set(2'000);
+  nfp.merge(onv);
+  const std::string report = component_report(nfp);
+  EXPECT_NE(report.find("plane=nfp"), std::string::npos);
+  EXPECT_NE(report.find("plane=onv"), std::string::npos);
+  EXPECT_NE(report.find("injected=50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

@@ -1,0 +1,93 @@
+// Tests for the metrics registry: identity of (name, labels) series, label
+// normalization, and cross-registry merging.
+#include <gtest/gtest.h>
+
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+TEST(RegistryTest, SameNameAndLabelsIsSameSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("packets_total", {{"plane", "nfp"}});
+  Counter& b = reg.counter("packets_total", {{"plane", "nfp"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value, 3u);
+}
+
+TEST(RegistryTest, LabelOrderIsNormalized) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("c", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("c", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(RegistryTest, DifferentLabelsAreDifferentSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("c", {{"plane", "nfp"}});
+  Counter& b = reg.counter("c", {{"plane", "onv"}});
+  Counter& c = reg.counter("c");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.counters().size(), 3u);
+}
+
+TEST(RegistryTest, PointersStableAcrossInserts) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("series_" + std::to_string(i));
+    reg.histogram("hist_" + std::to_string(i));
+  }
+  first.inc();
+  EXPECT_EQ(reg.counter("first").value, 1u);
+}
+
+TEST(RegistryTest, GaugeTracksHighWater) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("pool_in_use");
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value, 3.0);
+  EXPECT_EQ(g.high_water, 12.0);
+}
+
+TEST(RegistryTest, MergeCombinesAllMetricKinds) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("packets", {{"plane", "nfp"}}).inc(10);
+  b.counter("packets", {{"plane", "nfp"}}).inc(5);
+  b.counter("packets", {{"plane", "onv"}}).inc(7);  // only in b
+
+  a.gauge("pool").set(4);
+  b.gauge("pool").set(9);
+
+  a.histogram("lat").record(100);
+  b.histogram("lat").record(300);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("packets", {{"plane", "nfp"}}).value, 15u);
+  EXPECT_EQ(a.counter("packets", {{"plane", "onv"}}).value, 7u);
+  EXPECT_EQ(a.gauge("pool").high_water, 9.0);
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_EQ(a.histogram("lat").min(), 100u);
+  EXPECT_EQ(a.histogram("lat").max(), 300u);
+  // b is untouched.
+  EXPECT_EQ(b.counter("packets", {{"plane", "nfp"}}).value, 5u);
+}
+
+TEST(RegistryTest, MergeIntoEmptyRegistryCopiesSeries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  b.counter("c").inc(2);
+  b.histogram("h").record(42);
+  a.merge(b);
+  EXPECT_EQ(a.series_count(), 2u);
+  EXPECT_EQ(a.histogram("h").min(), 42u);
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

@@ -1,0 +1,73 @@
+// Tests for the per-packet tracer: deterministic sampling, ring-buffer
+// retention, and timeline reconstruction.
+#include <gtest/gtest.h>
+
+#include "telemetry/tracer.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+TEST(TracerTest, SamplerIsDeterministicEveryNth) {
+  const Tracer t(/*every=*/3);
+  for (u64 pid = 0; pid < 30; ++pid) {
+    EXPECT_EQ(t.sampled(pid), pid % 3 == 0) << "pid=" << pid;
+  }
+}
+
+TEST(TracerTest, EveryZeroDisablesSampling) {
+  const Tracer t(/*every=*/0);
+  for (u64 pid = 0; pid < 10; ++pid) EXPECT_FALSE(t.sampled(pid));
+}
+
+TEST(TracerTest, EventsForReturnsTimeSortedSpans) {
+  Tracer t(1);
+  t.record(7, SpanKind::kClassify, 100, "classifier");
+  t.record(8, SpanKind::kClassify, 150, "classifier");  // other pid
+  t.record(7, SpanKind::kOutput, 900, "tx-link");
+  t.record(7, SpanKind::kNfEnter, 300, "nf:firewall#0", 2);
+
+  const auto events = t.events_for(7);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, SpanKind::kClassify);
+  EXPECT_EQ(events[1].kind, SpanKind::kNfEnter);
+  EXPECT_EQ(events[1].version, 2u);
+  EXPECT_EQ(events[2].kind, SpanKind::kOutput);
+}
+
+TEST(TracerTest, RingRetainsOnlyMostRecentEvents) {
+  Tracer t(1, /*capacity=*/4);
+  for (u64 i = 0; i < 10; ++i) {
+    t.record(i, SpanKind::kClassify, 100 * i, "classifier");
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.evicted(), 6u);
+  // Only pids 6..9 survive.
+  const auto pids = t.pids();
+  ASSERT_EQ(pids.size(), 4u);
+  EXPECT_EQ(pids.front(), 6u);
+  EXPECT_EQ(pids.back(), 9u);
+  EXPECT_TRUE(t.events_for(0).empty());
+}
+
+TEST(TracerTest, TimelineShowsOffsetsAndComponents) {
+  Tracer t(1);
+  t.record(5, SpanKind::kClassify, 1'000, "classifier");
+  t.record(5, SpanKind::kNfEnter, 1'500, "nf:ids#1");
+  t.record(5, SpanKind::kOutput, 4'000, "tx-link");
+  const std::string tl = t.timeline(5);
+  EXPECT_NE(tl.find("packet 5 trace: 3 spans"), std::string::npos);
+  EXPECT_NE(tl.find("classify"), std::string::npos);
+  EXPECT_NE(tl.find("nf:ids#1"), std::string::npos);
+  EXPECT_NE(tl.find("+3000"), std::string::npos)
+      << "output should be at +3000 ns from the first span:\n" << tl;
+  EXPECT_NE(tl.find("(+2500"), std::string::npos)
+      << "inter-span delta nf-enter -> output should be 2500 ns:\n" << tl;
+}
+
+TEST(TracerTest, TimelineForUnknownPidSaysSo) {
+  Tracer t(1);
+  EXPECT_NE(t.timeline(99).find("no retained spans"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

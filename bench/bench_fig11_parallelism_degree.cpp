@@ -9,7 +9,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = json_enabled(argc, argv);
   DataplaneConfig base_cfg;
   base_cfg.delaynf_cycles = 300;
 
@@ -36,6 +37,14 @@ int main() {
                     onv.mean_latency_us * 100,
                 (onv.mean_latency_us - copy.mean_latency_us) /
                     onv.mean_latency_us * 100);
+    if (json) {
+      const std::string knobs = "{\"degree\":" + std::to_string(degree) +
+                                ",\"cycles\":300,\"frame_size\":64}";
+      emit_metrics_json("fig11a", "onv", onv, knobs);
+      emit_metrics_json("fig11a", "nfp-seq", nfp_seq, knobs);
+      emit_metrics_json("fig11a", "nfp-nocopy", nocopy, knobs);
+      emit_metrics_json("fig11a", "nfp-copy", copy, knobs);
+    }
   }
 
   print_header(
@@ -56,6 +65,14 @@ int main() {
     std::printf("%-8zu %-10.2f %-10.2f %-12.2f %-10.2f\n", degree,
                 onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
                 copy.rate_mpps);
+    if (json) {
+      const std::string knobs = "{\"degree\":" + std::to_string(degree) +
+                                ",\"cycles\":300,\"frame_size\":64}";
+      emit_metrics_json("fig11b", "onv", onv, knobs);
+      emit_metrics_json("fig11b", "nfp-seq", nfp_seq, knobs);
+      emit_metrics_json("fig11b", "nfp-nocopy", nocopy, knobs);
+      emit_metrics_json("fig11b", "nfp-copy", copy, knobs);
+    }
   }
   return 0;
 }

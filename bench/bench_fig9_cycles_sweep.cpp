@@ -10,7 +10,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = json_enabled(argc, argv);
   print_header(
       "Figure 9(a): latency vs processing cycles per packet (us, 64B)\n"
       "setups: 2 delay-NF instances; Fig 10 composition");
@@ -35,6 +36,14 @@ int main() {
                 onv.mean_latency_us, nfp_seq.mean_latency_us,
                 nocopy.mean_latency_us, copy.mean_latency_us,
                 reduction * 100);
+    if (json) {
+      const std::string knobs = "{\"cycles\":" + std::to_string(cycles) +
+                                ",\"frame_size\":64,\"instances\":2}";
+      emit_metrics_json("fig9a", "onv", onv, knobs);
+      emit_metrics_json("fig9a", "nfp-seq", nfp_seq, knobs);
+      emit_metrics_json("fig9a", "nfp-nocopy", nocopy, knobs);
+      emit_metrics_json("fig9a", "nfp-copy", copy, knobs);
+    }
   }
 
   print_header(
@@ -57,6 +66,14 @@ int main() {
     std::printf("%-8u %-10.2f %-10.2f %-12.2f %-10.2f\n", cycles,
                 onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
                 copy.rate_mpps);
+    if (json) {
+      const std::string knobs = "{\"cycles\":" + std::to_string(cycles) +
+                                ",\"frame_size\":64,\"instances\":2}";
+      emit_metrics_json("fig9b", "onv", onv, knobs);
+      emit_metrics_json("fig9b", "nfp-seq", nfp_seq, knobs);
+      emit_metrics_json("fig9b", "nfp-nocopy", nocopy, knobs);
+      emit_metrics_json("fig9b", "nfp-copy", copy, knobs);
+    }
   }
   return 0;
 }

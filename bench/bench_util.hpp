@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "dataplane/nfp_dataplane.hpp"
 #include "nfs/firewall.hpp"
 #include "nfs/misc_nfs.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
 #include "trafficgen/latency_recorder.hpp"
 #include "trafficgen/trafficgen.hpp"
@@ -48,6 +50,9 @@ struct Measurement {
   // Full metrics snapshot of the run (dataplane + trafficgen series), for
   // machine-readable emission alongside the printed tables.
   telemetry::MetricsRegistry metrics;
+  // Critical-path bottleneck report, captured when the dataplane ran with
+  // tracing enabled (cfg.trace_every > 0); empty otherwise.
+  std::string profile_json;
 };
 
 inline TrafficConfig latency_traffic(std::size_t frame_size, u64 packets = 2000) {
@@ -93,6 +98,10 @@ Measurement run(Dataplane& dp, sim::Simulator& sim,
   m.stats = dp.stats();
   dp.snapshot_metrics();
   m.metrics = dp.metrics();
+  if (dp.tracer() != nullptr) {
+    m.profile_json =
+        telemetry::CriticalPathProfiler(*dp.tracer()).report().to_json();
+  }
   return m;
 }
 
@@ -163,7 +172,11 @@ inline void print_header(const char* title) {
 //
 // Benches keep their human tables; passing --json (or setting NFP_BENCH_JSON)
 // additionally emits one JSON line per measurement so scripts can consume
-// the same numbers:  {"bench":...,"series":...,"metrics":{...}}
+// the same numbers:
+//   {"bench":...,"series":...,"meta":{...},"metrics":{...}}
+// `meta` stamps the run for provenance: bench name, the config knobs the
+// series varied, and a UTC timestamp (so archived lines remain
+// interpretable). With tracing on, a "profile" object rides along too.
 
 inline bool json_enabled(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -172,10 +185,28 @@ inline bool json_enabled(int argc, char** argv) {
   return std::getenv("NFP_BENCH_JSON") != nullptr;
 }
 
+inline std::string iso8601_utc_now() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+// `knobs` is a JSON object of the config values this series ran with, e.g.
+// R"({"cycles":500,"degree":4})"; defaults to empty.
 inline void emit_metrics_json(const char* bench, const std::string& series,
-                              const Measurement& m) {
-  std::printf("{\"bench\":\"%s\",\"series\":\"%s\",\"metrics\":%s}\n", bench,
-              series.c_str(), telemetry::to_json(m.metrics).c_str());
+                              const Measurement& m,
+                              const std::string& knobs = "{}") {
+  std::printf("{\"bench\":\"%s\",\"series\":\"%s\"", bench, series.c_str());
+  std::printf(",\"meta\":{\"bench\":\"%s\",\"timestamp\":\"%s\",\"knobs\":%s}",
+              bench, iso8601_utc_now().c_str(),
+              knobs.empty() ? "{}" : knobs.c_str());
+  if (!m.profile_json.empty()) {
+    std::printf(",\"profile\":%s", m.profile_json.c_str());
+  }
+  std::printf(",\"metrics\":%s}\n", telemetry::to_json(m.metrics).c_str());
 }
 
 }  // namespace nfp::bench

@@ -6,6 +6,7 @@
 //   nfp_cli plan <policy-file> [cores]    partition across servers (§7)
 //   nfp_cli stats                         print the §4.3 pair statistics
 //   nfp_cli run <policy-file> [options]   run traffic through the dataplane
+//   nfp_cli profile <policy-file> [opts]  critical-path bottleneck report
 //
 // `run` options (telemetry):
 //   --metrics          per-component utilization/latency report
@@ -17,13 +18,25 @@
 //   --rate=PPS         injection rate (default 10000)
 //   --size=BYTES       frame size (default 128)
 //
+// `profile` options (in addition to --packets/--rate/--size/--json):
+//   --plane=nfp|onv|rtc  which dataplane to profile (default nfp; onv/rtc
+//                        flatten the graph into a sequential chain)
+//   --trace-every=N      sample every Nth packet (default 1: all)
+//   --watch=MS           print interim bottleneck lines every MS of
+//                        simulated time while the run progresses
+//
 // Policy files use the text format of src/policy/parser.hpp.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "baseline/onv_dataplane.hpp"
+#include "baseline/rtc_dataplane.hpp"
 #include "cluster/partition.hpp"
 #include "dataplane/nfp_dataplane.hpp"
 #include "nfs/firewall.hpp"
@@ -31,6 +44,7 @@
 #include "orch/pair_stats.hpp"
 #include "orch/table_gen.hpp"
 #include "policy/parser.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -45,7 +59,11 @@ int usage() {
                "       nfp_cli run <policy-file> [--metrics] "
                "[--trace-every=N] [--json]\n"
                "               [--prometheus] [--packets=N] [--rate=PPS] "
-               "[--size=BYTES]\n");
+               "[--size=BYTES]\n"
+               "       nfp_cli profile <policy-file> [--plane=nfp|onv|rtc] "
+               "[--packets=N]\n"
+               "               [--rate=PPS] [--size=BYTES] [--trace-every=N] "
+               "[--json] [--watch=MS]\n");
   return 2;
 }
 
@@ -142,6 +160,157 @@ int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   return 0;
 }
 
+// Parses `--name=value` into a string; returns true when argv matches.
+bool flag_string(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+// Pass-all firewall factory shared by run/profile (synthetic ACL rules
+// would drop traffic-dependent subsets and obscure the per-component view).
+std::unique_ptr<NetworkFunction> pass_all_factory(const StageNf& nf) {
+  if (nf.name == "firewall") {
+    AclTable acl;
+    acl.set_default_action(AclAction::kPass);
+    return std::make_unique<Firewall>(std::move(acl));
+  }
+  return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
+}
+
+int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
+  std::string plane = "nfp";
+  bool want_json = false;
+  u64 trace_every = 1;
+  u64 packets = 2'000;
+  u64 rate_pps = 10'000;
+  u64 frame_size = 128;
+  u64 watch_ms = 0;
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(arg, "--watch") == 0) {
+      watch_ms = 10;
+    } else if (flag_string(arg, "--plane", &plane) ||
+               flag_value(arg, "--trace-every", &trace_every) ||
+               flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--rate", &rate_pps) ||
+               flag_value(arg, "--size", &frame_size) ||
+               flag_value(arg, "--watch", &watch_ms)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown profile option '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (trace_every == 0) trace_every = 1;
+  if (plane != "nfp" && plane != "onv" && plane != "rtc") {
+    std::fprintf(stderr, "unknown plane '%s' (nfp|onv|rtc)\n", plane.c_str());
+    return usage();
+  }
+
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = trace_every;
+  // Retain every span of every sampled packet: attribution needs complete
+  // per-packet span sets, so size the ring past eviction.
+  cfg.trace_capacity =
+      static_cast<std::size_t>(packets / trace_every + 1) * 64;
+  cfg.factory = pass_all_factory;
+
+  // ONV/RTC run the graph's NFs as one sequential chain.
+  std::vector<std::string> chain;
+  for (const Segment& seg : graph.segments()) {
+    for (const StageNf& nf : seg.nfs) chain.push_back(nf.name);
+  }
+
+  std::unique_ptr<NfpDataplane> nfp_dp;
+  std::unique_ptr<baseline::OnvDataplane> onv_dp;
+  std::unique_ptr<baseline::RtcDataplane> rtc_dp;
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  std::function<void(Packet*)> inject;
+  PacketPool* pool = nullptr;
+  if (plane == "nfp") {
+    nfp_dp = std::make_unique<NfpDataplane>(sim, graph, std::move(cfg));
+    tracer = nfp_dp->tracer();
+    metrics = &nfp_dp->metrics();
+    pool = &nfp_dp->pool();
+    inject = [&dp = *nfp_dp](Packet* p) { dp.inject(p); };
+  } else if (plane == "onv") {
+    onv_dp = std::make_unique<baseline::OnvDataplane>(sim, chain,
+                                                      std::move(cfg));
+    tracer = onv_dp->tracer();
+    metrics = &onv_dp->metrics();
+    pool = &onv_dp->pool();
+    inject = [&dp = *onv_dp](Packet* p) { dp.inject(p); };
+  } else {
+    rtc_dp = std::make_unique<baseline::RtcDataplane>(
+        sim, chain, chain.size() + 2, std::move(cfg));
+    tracer = rtc_dp->tracer();
+    metrics = &rtc_dp->metrics();
+    pool = &rtc_dp->pool();
+    inject = [&dp = *rtc_dp](Packet* p) { dp.inject(p); };
+  }
+
+  TrafficConfig traffic;
+  traffic.fixed_size = static_cast<std::size_t>(frame_size);
+  traffic.rate_pps = static_cast<double>(rate_pps);
+  traffic.packets = packets;
+  traffic.metrics = metrics;
+  TrafficGenerator gen(sim, *pool, traffic);
+  gen.start([&](Packet* p) { inject(p); });
+
+  // --watch: interim bottleneck lines on the simulated clock.
+  std::function<void()> watch_tick;
+  const SimTime watch_ns = static_cast<SimTime>(watch_ms) * 1'000'000;
+  if (watch_ns > 0) {
+    watch_tick = [&] {
+      const telemetry::CriticalPathReport rep =
+          telemetry::CriticalPathProfiler(*tracer).report();
+      std::printf("[watch t=%.1fms] attributed=%llu merge-wait=%.1f%%",
+                  static_cast<double>(sim.now()) / 1e6,
+                  static_cast<unsigned long long>(rep.attributed),
+                  100.0 * rep.stage_fraction(telemetry::Stage::kMergeWait));
+      if (!rep.nfs.empty()) {
+        std::printf(" top=%s (%.1f%% of critical paths)",
+                    rep.nfs.front().component.c_str(),
+                    100.0 * rep.bottleneck_share(rep.nfs.front()));
+      }
+      std::printf("\n");
+      // Reschedule only while the run still has pending work, so the
+      // simulator can drain and exit.
+      if (sim.pending() > 0) sim.schedule_after(watch_ns, watch_tick);
+    };
+    sim.schedule_after(watch_ns, watch_tick);
+  }
+
+  sim.run();
+  if (nfp_dp) nfp_dp->snapshot_metrics();
+  if (onv_dp) onv_dp->snapshot_metrics();
+  if (rtc_dp) rtc_dp->snapshot_metrics();
+
+  const telemetry::CriticalPathReport report =
+      telemetry::CriticalPathProfiler(*tracer).report();
+  if (want_json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("plane=%s policy='%s' (%s)\n%s", plane.c_str(),
+                graph.name().c_str(), graph.structure().c_str(),
+                report.to_text().c_str());
+  }
+
+  // Anything in the flight recorder means the run hit an anomaly; surface
+  // the post-mortem rather than letting it end silently "successful".
+  if (nfp_dp && nfp_dp->flight_recorder().recorded() > 0) {
+    std::printf("\n%s", nfp_dp->post_mortem("anomalies during profile run")
+                            .c_str());
+  }
+  return 0;
+}
+
 Result<ServiceGraph> load_and_compile(const std::string& path,
                                       CompileReport* report) {
   std::ifstream in(path);
@@ -198,6 +367,9 @@ int main(int argc, char** argv) {
   }
   if (command == "run") {
     return run_dataplane(graph.value(), argc, argv);
+  }
+  if (command == "profile") {
+    return profile_dataplane(graph.value(), argc, argv);
   }
   if (command == "plan") {
     cluster::PartitionOptions options;

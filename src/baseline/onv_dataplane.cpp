@@ -37,6 +37,17 @@ OnvDataplane::OnvDataplane(sim::Simulator& sim,
   m_pool_in_use_ = &metrics_.gauge("pool_in_use", {{"plane", kPlane}});
   metrics_.gauge("pool_capacity", {{"plane", kPlane}})
       .set(static_cast<double>(pool_->capacity()));
+  if (config_.trace_every > 0) {
+    tracer_ = std::make_unique<telemetry::Tracer>(config_.trace_every,
+                                                  config_.trace_capacity);
+  }
+}
+
+void OnvDataplane::trace(u64 pid, telemetry::SpanKind kind, SimTime at,
+                         const char* component) {
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    tracer_->record(pid, kind, at, component);
+  }
 }
 
 void OnvDataplane::snapshot_metrics() {
@@ -59,6 +70,9 @@ void OnvDataplane::inject(Packet* pkt) {
   m_injected_->inc();
   m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
   pkt->set_inject_time(sim_.now());
+  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  trace(pkt->meta().pid(), telemetry::SpanKind::kInject, sim_.now(),
+        "rx-link");
   const SimTime link_free =
       rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
   const SimTime ready = link_free + config_.costs.nic_delay_ns;
@@ -74,6 +88,7 @@ void OnvDataplane::switch_forward(Packet* pkt, std::size_t next_nf, SimTime t,
   if (first_crossing) occ += config_.costs.switch_manager.occ;
   const SimTime free = switch_core_.execute(t, occ);
   const SimTime done = free + crossing.delay;
+  trace(pkt->meta().pid(), telemetry::SpanKind::kClassify, free, "switch");
 
   if (next_nf >= nfs_.size()) {
     sim_.schedule_at(done, [this, pkt] { output(pkt, sim_.now()); });
@@ -89,6 +104,8 @@ void OnvDataplane::run_nf(std::size_t idx, Packet* pkt, SimTime ready) {
   const sim::OpCost deq = config_.costs.nf_dequeue;
   const sim::OpCost nf_cost = config_.costs.nf_cost(
       inst.type, pkt->length(), config_.delaynf_cycles);
+  trace(pkt->meta().pid(), telemetry::SpanKind::kNfEnter, ready,
+        inst.component.c_str());
 
   PacketView view(*pkt);
   NfVerdict verdict = NfVerdict::kPass;
@@ -97,9 +114,13 @@ void OnvDataplane::run_nf(std::size_t idx, Packet* pkt, SimTime ready) {
   const SimTime free = inst.core.execute(ready, deq.occ + nf_cost.occ);
   const SimTime done = inst.out.stamp(free + deq.delay + nf_cost.delay);
   inst.service->record(static_cast<u64>(free - ready));
+  trace(pkt->meta().pid(), telemetry::SpanKind::kNfExit, done,
+        inst.component.c_str());
   if (verdict == NfVerdict::kDrop) {
     ++stats_.dropped_by_nf;
     m_dropped_nf_->inc();
+    trace(pkt->meta().pid(), telemetry::SpanKind::kDrop, done,
+          inst.component.c_str());
     pool_->release(pkt);
     return;
   }
@@ -115,6 +136,7 @@ void OnvDataplane::output(Packet* pkt, SimTime t) {
   ++stats_.delivered;
   m_delivered_->inc();
   m_latency_->record(static_cast<u64>(done - pkt->inject_time()));
+  trace(pkt->meta().pid(), telemetry::SpanKind::kOutput, done, "tx-link");
   if (sink_) {
     sink_(pkt, done);
   } else {

@@ -43,6 +43,11 @@ class OnvDataplane {
   }
   void snapshot_metrics();
 
+  // Non-null when config.trace_every > 0. Switch crossings are recorded as
+  // classify spans (the vswitch is this plane's steering element), so the
+  // critical-path profiler books centralized-switch time under "classify".
+  telemetry::Tracer* tracer() noexcept { return tracer_.get(); }
+
  private:
   struct NfInstance {
     std::string type;
@@ -57,6 +62,8 @@ class OnvDataplane {
                       bool first_crossing);
   void run_nf(std::size_t idx, Packet* pkt, SimTime ready);
   void output(Packet* pkt, SimTime t);
+  void trace(u64 pid, telemetry::SpanKind kind, SimTime at,
+             const char* component);
 
   sim::Simulator& sim_;
   DataplaneConfig config_;
@@ -70,6 +77,9 @@ class OnvDataplane {
   telemetry::Counter* m_dropped_nf_ = nullptr;
   Histogram* m_latency_ = nullptr;
   telemetry::Gauge* m_pool_in_use_ = nullptr;
+
+  std::unique_ptr<telemetry::Tracer> tracer_;
+  u64 next_pid_ = 0;
 
   sim::SimCore rx_link_;
   sim::SimCore tx_link_;

@@ -43,6 +43,10 @@ RtcDataplane::RtcDataplane(sim::Simulator& sim, std::vector<std::string> chain,
   m_latency_ = &metrics_.histogram("packet_latency_ns", {{"plane", kPlane}});
   metrics_.gauge("pool_capacity", {{"plane", kPlane}})
       .set(static_cast<double>(pool_->capacity()));
+  if (config_.trace_every > 0) {
+    tracer_ = std::make_unique<telemetry::Tracer>(config_.trace_every,
+                                                  config_.trace_capacity);
+  }
 }
 
 void RtcDataplane::snapshot_metrics() {
@@ -62,6 +66,11 @@ void RtcDataplane::inject(Packet* pkt) {
   ++stats_.injected;
   m_injected_->inc();
   pkt->set_inject_time(sim_.now());
+  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  if (tracer_ != nullptr && tracer_->sampled(pkt->meta().pid())) {
+    tracer_->record(pkt->meta().pid(), telemetry::SpanKind::kInject,
+                    sim_.now(), "rx-link");
+  }
   const SimTime ready =
       rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
 
@@ -82,6 +91,9 @@ void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
   Replica& replica = replicas_[replica_idx];
 
   // The replica core runs RX, every NF, and TX back-to-back.
+  const u64 pid = pkt->meta().pid();
+  const bool traced = tracer_ != nullptr && tracer_->sampled(pid);
+  std::vector<std::pair<std::size_t, SimTime>> nf_occ;  // (chain pos, occ)
   SimTime occ = config_.costs.rtc_rx.occ;
   SimTime delay = config_.costs.rtc_rx.delay;
   NfVerdict verdict = NfVerdict::kPass;
@@ -92,6 +104,9 @@ void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
     // the occupancy (which already contributes to latency); pipelining-mode
     // batching delays do not apply.
     occ += nf_cost.occ + config_.costs.rtc_call_ns;
+    if (traced) {
+      nf_occ.emplace_back(i, nf_cost.occ + config_.costs.rtc_call_ns);
+    }
     m_service_[i]->record(static_cast<u64>(nf_cost.occ));
     PacketView view(*pkt);
     if (view.valid() && verdict == NfVerdict::kPass) {
@@ -102,10 +117,27 @@ void RtcDataplane::run_chain(std::size_t replica_idx, Packet* pkt,
   occ += config_.costs.rtc_tx.occ;
   delay += config_.costs.rtc_tx.delay;
 
-  const SimTime done = replica.core.execute(ready, occ) + delay;
+  const SimTime free = replica.core.execute(ready, occ);
+  const SimTime done = free + delay;
+  if (traced) {
+    // Synthesize per-NF enter/exit spans from the fused occupancy block:
+    // the block ran [free - occ, free]; RX occupies the first slice, then
+    // each NF its own occupancy share.
+    SimTime cursor = free - occ + config_.costs.rtc_rx.occ;
+    for (const auto& [i, nf_ns] : nf_occ) {
+      const std::string component =
+          "nf:" + chain_[i] + "@" + std::to_string(i);
+      tracer_->record(pid, telemetry::SpanKind::kNfEnter, cursor, component);
+      cursor += nf_ns;
+      tracer_->record(pid, telemetry::SpanKind::kNfExit, cursor, component);
+    }
+  }
   if (verdict == NfVerdict::kDrop) {
     ++stats_.dropped_by_nf;
     m_dropped_nf_->inc();
+    if (traced) {
+      tracer_->record(pid, telemetry::SpanKind::kDrop, free, "rtc-chain");
+    }
     pool_->release(pkt);
     return;
   }
@@ -118,6 +150,10 @@ void RtcDataplane::output(Packet* pkt, SimTime t) {
   ++stats_.delivered;
   m_delivered_->inc();
   m_latency_->record(static_cast<u64>(done - pkt->inject_time()));
+  if (tracer_ != nullptr && tracer_->sampled(pkt->meta().pid())) {
+    tracer_->record(pkt->meta().pid(), telemetry::SpanKind::kOutput, done,
+                    "tx-link");
+  }
   if (sink_) {
     sink_(pkt, done);
   } else {

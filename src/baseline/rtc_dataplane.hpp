@@ -44,6 +44,11 @@ class RtcDataplane {
   }
   void snapshot_metrics();
 
+  // Non-null when config.trace_every > 0. The chain runs as one fused
+  // occupancy block on the replica core, so per-NF enter/exit spans are
+  // synthesized from the block's start time and each NF's occupancy share.
+  telemetry::Tracer* tracer() noexcept { return tracer_.get(); }
+
  private:
   struct Replica {
     std::vector<std::unique_ptr<NetworkFunction>> nfs;
@@ -67,6 +72,9 @@ class RtcDataplane {
   Histogram* m_latency_ = nullptr;
   // Per chain position: service time of that NF, aggregated over replicas.
   std::vector<Histogram*> m_service_;
+
+  std::unique_ptr<telemetry::Tracer> tracer_;
+  u64 next_pid_ = 0;
 
   sim::SimCore rx_link_;
   sim::SimCore tx_link_;

@@ -6,6 +6,7 @@
 
 #include "dataplane/merge_ops.hpp"
 #include "packet/packet_view.hpp"
+#include "telemetry/health_sampler.hpp"
 
 namespace nfp {
 
@@ -33,7 +34,9 @@ LivePipeline::LivePipeline(
                               static_cast<u64>(meta.instance_id) + 1);
       if (nf.impl == nullptr) nf.impl = make_builtin_nf("monitor");
       nf.in = std::make_unique<SpscRing<Packet*>>(kRingDepth);
-      nf.out = std::make_unique<SpscRing<Packet*>>(kRingDepth);
+      nf.out = std::make_unique<SpscRing<MergeEnvelope>>(kRingDepth);
+      nf.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
+      nf.processed = std::make_unique<std::atomic<u64>>(0);
       nfs.push_back(std::move(nf));
     }
     segments_.push_back(std::move(nfs));
@@ -112,12 +115,17 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
   const bool last_segment = seg_idx + 1 == graph_.segments().size();
 
   for (;;) {
+    // Beat on every iteration, busy or idle: an idle-but-responsive worker
+    // keeps beating, one wedged inside process() stops.
+    self.heartbeat_ns->store(telemetry::mono_now_ns(),
+                             std::memory_order_relaxed);
     Packet* pkt = nullptr;
     if (!self.in->pop(pkt)) {
       if (stop_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
       continue;
     }
+    self.processed->fetch_add(1, std::memory_order_relaxed);
 
     PacketView view(*pkt);
     NfVerdict verdict = NfVerdict::kPass;
@@ -125,9 +133,10 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
 
     if (parallel) {
       // Nil-packet mechanism (§5.2): the drop intention travels to the
-      // merger on the packet itself.
-      pkt->set_nil(verdict == NfVerdict::kDrop);
-      while (!self.out->push(pkt)) std::this_thread::yield();
+      // merger with the packet. It rides the envelope, not the packet's
+      // nil bit — siblings sharing a packet version would race on it.
+      const MergeEnvelope envelope{pkt, verdict == NfVerdict::kDrop};
+      while (!self.out->push(envelope)) std::this_thread::yield();
       continue;
     }
 
@@ -167,20 +176,25 @@ void LivePipeline::merger_loop() {
   std::map<std::pair<std::size_t, u64>, std::vector<Arrival>> at;
 
   for (;;) {
+    merger_heartbeat_ns_.store(telemetry::mono_now_ns(),
+                               std::memory_order_relaxed);
     bool idle = true;
     for (std::size_t s = 0; s < segments_.size(); ++s) {
       const Segment& seg = graph_.segments()[s];
       if (!seg.is_parallel()) continue;
       for (std::size_t k = 0; k < segments_[s].size(); ++k) {
         LiveNf& nf = segments_[s][k];
-        Packet* pkt = nullptr;
-        while (nf.out->pop(pkt)) {
+        MergeEnvelope envelope;
+        while (nf.out->pop(envelope)) {
           idle = false;
+          Packet* pkt = envelope.pkt;
           const u64 pid = pkt->meta().pid();
           auto& arrivals = at[{s, pid}];
-          arrivals.push_back(Arrival{pkt, nf.meta.version, pkt->is_nil(),
-                                     nf.meta.priority, nf.meta.can_drop});
+          arrivals.push_back(Arrival{pkt, nf.meta.version,
+                                     envelope.drop_intent, nf.meta.priority,
+                                     nf.meta.can_drop});
           if (arrivals.size() < seg.merge.total_count) continue;
+          merger_merges_.fetch_add(1, std::memory_order_relaxed);
 
           // Complete: resolve drops, merge, forward.
           bool dropped = false;
@@ -243,6 +257,97 @@ void LivePipeline::merger_loop() {
       if (stop_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
     }
+  }
+}
+
+const LivePipeline::LiveNf* LivePipeline::worker_nf(std::size_t w) const {
+  std::size_t i = 0;
+  for (const auto& seg : segments_) {
+    for (const LiveNf& nf : seg) {
+      if (i++ == w) return &nf;
+    }
+  }
+  return nullptr;  // the merger slot (w == NF count)
+}
+
+std::size_t LivePipeline::worker_count() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) n += seg.size();
+  return n + 1;  // + merger
+}
+
+std::string LivePipeline::worker_name(std::size_t w) const {
+  const LiveNf* nf = worker_nf(w);
+  if (nf == nullptr) return "merger";
+  return "nf:" + nf->meta.name + "#" + std::to_string(nf->meta.instance_id);
+}
+
+u64 LivePipeline::worker_heartbeat_ns(std::size_t w) const {
+  const LiveNf* nf = worker_nf(w);
+  if (nf == nullptr) {
+    return merger_heartbeat_ns_.load(std::memory_order_relaxed);
+  }
+  return nf->heartbeat_ns->load(std::memory_order_relaxed);
+}
+
+u64 LivePipeline::worker_packets(std::size_t w) const {
+  const LiveNf* nf = worker_nf(w);
+  if (nf == nullptr) return merger_merges_.load(std::memory_order_relaxed);
+  return nf->processed->load(std::memory_order_relaxed);
+}
+
+std::size_t LivePipeline::ring_depth_in(std::size_t w) const {
+  const LiveNf* nf = worker_nf(w);
+  return nf == nullptr ? 0 : nf->in->size();
+}
+
+std::size_t LivePipeline::ring_depth_out(std::size_t w) const {
+  const LiveNf* nf = worker_nf(w);
+  return nf == nullptr ? 0 : nf->out->size();
+}
+
+std::size_t LivePipeline::pool_in_use() {
+  const std::scoped_lock lock(pool_mu_);
+  return pool_.in_use();
+}
+
+u64 LivePipeline::dropped_so_far() {
+  const std::scoped_lock lock(result_mu_);
+  return result_.dropped;
+}
+
+void LivePipeline::register_health(telemetry::HealthSampler& sampler,
+                                   telemetry::Watchdog* watchdog) {
+  const std::size_t workers = worker_count();
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::string name = worker_name(w);
+    const telemetry::Labels labels{{"plane", "live"}, {"worker", name}};
+    sampler.add_probe("worker_heartbeat_ns", labels, [this, w] {
+      return static_cast<double>(worker_heartbeat_ns(w));
+    });
+    sampler.add_probe("worker_packets", labels, [this, w] {
+      return static_cast<double>(worker_packets(w));
+    });
+    sampler.add_probe("ring_depth_in", labels, [this, w] {
+      return static_cast<double>(ring_depth_in(w));
+    });
+    sampler.add_probe("ring_depth_out", labels, [this, w] {
+      return static_cast<double>(ring_depth_out(w));
+    });
+    if (watchdog != nullptr) {
+      watchdog->watch_heartbeat(
+          name, [this, w] { return worker_heartbeat_ns(w); });
+    }
+  }
+  sampler.add_probe("pool_in_use", {{"plane", "live"}}, [this] {
+    return static_cast<double>(pool_in_use());
+  });
+  if (watchdog != nullptr) {
+    watchdog->watch_pool(
+        "live-pool", [this] { return static_cast<u64>(pool_in_use()); },
+        pool_capacity());
+    watchdog->watch_drop_counter("live-pipeline",
+                                 [this] { return dropped_so_far(); });
   }
 }
 

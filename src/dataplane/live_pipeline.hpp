@@ -27,6 +27,11 @@
 
 namespace nfp {
 
+namespace telemetry {
+class HealthSampler;
+class Watchdog;
+}  // namespace telemetry
+
 struct LiveResult {
   // Delivered packets in merger-completion order, as raw frames.
   std::vector<std::vector<u8>> outputs;
@@ -52,15 +57,46 @@ class LivePipeline {
     return segments_.at(segment).at(index).impl.get();
   }
 
+  // Health-instrumentation surface. Workers are indexed NFs-in-graph-order
+  // first, then the merger last; all reads are safe from a sampler thread
+  // while run() executes.
+  std::size_t worker_count() const;
+  std::string worker_name(std::size_t w) const;
+  // Steady-clock ns of the worker's last loop iteration; 0 until the worker
+  // starts. A worker wedged inside an NF's process() stops beating.
+  u64 worker_heartbeat_ns(std::size_t w) const;
+  u64 worker_packets(std::size_t w) const;
+  std::size_t ring_depth_in(std::size_t w) const;   // merger: 0
+  std::size_t ring_depth_out(std::size_t w) const;  // merger: 0
+  std::size_t pool_in_use();
+  std::size_t pool_capacity() const { return pool_.capacity(); }
+  u64 dropped_so_far();
+  // Registers ring/pool/heartbeat probes on `sampler` and stall / pool /
+  // drop-spike rules on `watchdog` (null to skip). Call before run().
+  void register_health(telemetry::HealthSampler& sampler,
+                       telemetry::Watchdog* watchdog);
+
  private:
+  // NF → merger hand-off. The drop intent travels out-of-band rather than
+  // on the packet's nil bit: parallel NFs sharing one packet version would
+  // otherwise race writing set_nil() on the same Packet (TSan-visible, and
+  // one sender's intent could clobber another's).
+  struct MergeEnvelope {
+    Packet* pkt = nullptr;
+    bool drop_intent = false;
+  };
+
   struct LiveNf {
     StageNf meta;
     std::unique_ptr<NetworkFunction> impl;
     // Inbound ring; owned here, fed by the classifier/merger thread.
     std::unique_ptr<SpscRing<Packet*>> in;
-    // Outbound ring to the merger (parallel) or next hop (sequential).
-    std::unique_ptr<SpscRing<Packet*>> out;
+    // Outbound ring to the merger; unused on sequential hops.
+    std::unique_ptr<SpscRing<MergeEnvelope>> out;
     std::thread thread;
+    // Heap-allocated: LiveNf is moved into segments_ and atomics can't move.
+    std::unique_ptr<std::atomic<u64>> heartbeat_ns;
+    std::unique_ptr<std::atomic<u64>> processed;
   };
 
   // Thread-safe facade over the packet pool (the pool itself is
@@ -75,11 +111,16 @@ class LivePipeline {
   // exhaustion (packet released, counted as drop).
   bool enter_segment(std::size_t seg_idx, Packet* pkt);
 
+  // Resolves a worker index to its LiveNf, or nullptr for the merger slot.
+  const LiveNf* worker_nf(std::size_t w) const;
+
   ServiceGraph graph_;
   PacketPool pool_;
   std::mutex pool_mu_;
   std::vector<std::vector<LiveNf>> segments_;
   std::thread merger_thread_;
+  std::atomic<u64> merger_heartbeat_ns_{0};
+  std::atomic<u64> merger_merges_{0};
 
   // Merger bookkeeping (single merger thread => plain maps suffice).
   struct PendingMerge {

@@ -142,6 +142,11 @@ void NfpDataplane::snapshot_metrics() {
   m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
 }
 
+std::string NfpDataplane::post_mortem(std::string_view reason) {
+  snapshot_metrics();  // gauges are point-in-time; refresh before dumping
+  return flight_.dump(&metrics_, reason);
+}
+
 void NfpDataplane::trace(u64 pid, telemetry::SpanKind kind, SimTime at,
                          const char* component, u8 version) {
   if (tracer_ != nullptr && tracer_->sampled(pid)) {
@@ -167,6 +172,11 @@ void NfpDataplane::inject(Packet* pkt) {
   m_injected_->inc();
   m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
   pkt->set_inject_time(sim_.now());
+  // The PID is assigned at ingress so the inject span (the packet's e2e
+  // anchor for critical-path attribution) can be recorded.
+  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  trace(pkt->meta().pid(), telemetry::SpanKind::kInject, sim_.now(),
+        "rx-link");
   // RX link: wire serialization occupies the link; NIC/driver adds delay.
   const SimTime link_free =
       rx_link_.execute(sim_.now(), config_.costs.wire_ns(pkt->length()));
@@ -177,7 +187,6 @@ void NfpDataplane::inject(Packet* pkt) {
 void NfpDataplane::classify(Packet* pkt) {
   const SimTime free =
       classifier_core_.execute(sim_.now(), config_.costs.classifier.occ);
-  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
   pkt->meta().set_version(1);
   trace(pkt->meta().pid(), telemetry::SpanKind::kClassify, free, "classifier");
 
@@ -239,6 +248,10 @@ void NfpDataplane::enter_segment(std::size_t g, std::size_t seg_idx,
                  " packets); dropping packet and its copies — further "
                  "exhaustion drops are counted silently");
       }
+      flight_.note(telemetry::Severity::kCritical, sim_.now(), "pool",
+                   "exhausted at " + std::to_string(pool_->capacity()) +
+                       " packets; copy dropped (total pool drops: " +
+                       std::to_string(stats_.dropped_pool) + ")");
       trace(pkt->meta().pid(), telemetry::SpanKind::kDrop, sim_.now(), "pool");
       for (u8 w = 2; w < v; ++w) pool_->release(version_pkt[w]);
       pool_->release(pkt);
@@ -260,7 +273,9 @@ void NfpDataplane::enter_segment(std::size_t g, std::size_t seg_idx,
     m_copy_bytes_->inc(copy->length());
     free = entry_core->execute(free, occ);
     copy_delay += config_.costs.copy_header.delay;
-    trace(pkt->meta().pid(), telemetry::SpanKind::kCopy, free,
+    // Stamped at free + carry_delay so copy spans never sort before the
+    // upstream nf-exit span (which includes its carried latency).
+    trace(pkt->meta().pid(), telemetry::SpanKind::kCopy, free + carry_delay,
           full ? "copy-full" : "copy-header", v);
   }
   m_pool_in_use_->set(static_cast<double>(pool_->in_use()));
@@ -318,8 +333,10 @@ void NfpDataplane::run_nf(std::size_t g, std::size_t seg_idx,
   // Service time at this NF: core queueing wait + dequeue + compute; the
   // p99/p50 gap of this histogram is the NF's queueing under load.
   inst.service->record(static_cast<u64>(free - ready));
-  trace(pid, telemetry::SpanKind::kNfExit, free, inst.component.c_str(),
-        pkt->meta().version());
+  // The exit span includes the NF's pipeline latency (deq + compute delay)
+  // so the profiler books it as service time, not downstream queueing.
+  trace(pid, telemetry::SpanKind::kNfExit, free + latency,
+        inst.component.c_str(), pkt->meta().version());
 
   if (!seg.is_parallel()) {
     if (verdict == NfVerdict::kDrop) {
@@ -344,6 +361,7 @@ void NfpDataplane::run_nf(std::size_t g, std::size_t seg_idx,
   item.drop_intent = verdict == NfVerdict::kDrop;
   item.priority = inst.meta.priority;
   item.can_drop = inst.meta.can_drop;
+  item.sender = &inst.component;
   const SimTime enq_free =
       inst.core.execute(free, config_.costs.ring_enqueue.occ);
   const SimTime handoff = inst.out.stamp(enq_free + latency +
@@ -374,8 +392,13 @@ void NfpDataplane::merger_arrival(std::size_t g, std::size_t seg_idx,
 
   const u64 pid = item.pkt->meta().pid();
   if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    // The arrival span carries the *sender* NF's component so the profiler
+    // can pair each parallel branch's arrival with its enter/exit spans.
     tracer_->record(pid, telemetry::SpanKind::kMergerArrival, free,
-                    "merger#" + std::to_string(instance), item.version);
+                    item.sender != nullptr
+                        ? *item.sender
+                        : "merger#" + std::to_string(instance),
+                    item.version);
   }
   const AtKey key{g, seg_idx, pid};
   MergeState& state = at_[instance][key];

@@ -30,6 +30,7 @@
 #include "packet/packet_pool.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -106,6 +107,12 @@ class NfpDataplane {
 
   // Non-null when config.trace_every > 0.
   telemetry::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  // Always-on anomaly event ring (pool exhaustion, drop resolutions).
+  telemetry::FlightRecorder& flight_recorder() noexcept { return flight_; }
+  // Post-mortem report: recent flight events + a fresh registry snapshot.
+  std::string post_mortem(std::string_view reason = {});
+
   const ServiceGraph& graph(std::size_t g = 0) const noexcept {
     return graphs_[g].graph;
   }
@@ -145,6 +152,10 @@ class NfpDataplane {
     bool drop_intent = false;
     int priority = 0;
     bool can_drop = false;
+    // Which NF instance produced this arrival (stable component label owned
+    // by the NfInstance); merger-arrival spans carry it so the profiler can
+    // pair each branch's arrival with its nf-enter/nf-exit.
+    const std::string* sender = nullptr;
   };
 
   struct MergeState {
@@ -192,6 +203,7 @@ class NfpDataplane {
 
   telemetry::MetricsRegistry metrics_;
   std::unique_ptr<telemetry::Tracer> tracer_;
+  telemetry::FlightRecorder flight_;
   // Hot-path metric handles (stable pointers into metrics_).
   telemetry::Counter* m_injected_ = nullptr;
   telemetry::Counter* m_delivered_ = nullptr;

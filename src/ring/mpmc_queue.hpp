@@ -5,6 +5,7 @@
 // stress tests. The deterministic simulator uses SpscRing for hot paths.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -21,6 +22,7 @@ class MpmcQueue {
     const std::scoped_lock lock(mu_);
     if (items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
+    size_hint_.store(items_.size(), std::memory_order_relaxed);
     cv_.notify_one();
     return true;
   }
@@ -30,6 +32,7 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_relaxed);
     return out;
   }
 
@@ -40,6 +43,7 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_relaxed);
     return out;
   }
 
@@ -54,11 +58,21 @@ class MpmcQueue {
     return items_.size();
   }
 
+  // Approximate depth without taking the lock — safe from any thread, may
+  // lag concurrent pushes/pops by one update. For health sampling, where a
+  // stale-by-one reading beats contending with producers on the mutex.
+  std::size_t size_hint() const noexcept {
+    return size_hint_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
+  std::atomic<std::size_t> size_hint_{0};
   bool closed_ = false;
 };
 

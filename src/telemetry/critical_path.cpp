@@ -1,0 +1,337 @@
+#include "telemetry/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nfp::telemetry {
+
+std::string_view stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kClassify: return "classify";
+    case Stage::kCopy: return "copy";
+    case Stage::kQueue: return "queue";
+    case Stage::kService: return "service";
+    case Stage::kMergeWait: return "merge-wait";
+    case Stage::kMerge: return "merge";
+    case Stage::kOutput: return "output";
+  }
+  return "?";
+}
+
+SimTime PacketAttribution::attributed_ns() const noexcept {
+  SimTime sum = 0;
+  for (const SimTime ns : stage_ns) sum += ns;
+  return sum;
+}
+
+double CriticalPathReport::stage_fraction(Stage stage) const noexcept {
+  if (total_latency_ns == 0) return 0.0;
+  return static_cast<double>(stage_ns[static_cast<std::size_t>(stage)]) /
+         static_cast<double>(total_latency_ns);
+}
+
+namespace {
+
+// Per-branch event triple collected while scanning a parallel segment.
+struct OpenBranch {
+  SimTime enter = 0;
+  SimTime exit = 0;
+  SimTime arrival = 0;
+  bool entered = false;
+  bool exited = false;
+  bool arrived = false;
+};
+
+}  // namespace
+
+CriticalPathProfiler::Outcome CriticalPathProfiler::attribute_events(
+    const std::vector<SpanEvent>& events, PacketAttribution* out) {
+  if (events.empty() || events.front().kind != SpanKind::kInject) {
+    return Outcome::kIncomplete;
+  }
+  for (const SpanEvent& ev : events) {
+    if (ev.kind == SpanKind::kDrop) return Outcome::kDropped;
+  }
+  if (events.back().kind != SpanKind::kOutput) return Outcome::kIncomplete;
+
+  // NFs whose output went to a merger: their nf-enter opens a parallel
+  // segment. Each NF instance appears at most once on a packet's path, so
+  // component membership is unambiguous.
+  std::set<std::string_view> merge_senders;
+  for (const SpanEvent& ev : events) {
+    if (ev.kind == SpanKind::kMergerArrival) merge_senders.insert(ev.component);
+  }
+
+  PacketAttribution attr;
+  attr.pid = events.front().pid;
+  attr.start_ns = events.front().at;
+  attr.end_ns = events.back().at;
+
+  SimTime cursor = attr.start_ns;
+  const auto book = [&](Stage stage, SimTime to) {
+    if (to < cursor) return;  // defensive: never book negative intervals
+    attr.stage_ns[static_cast<std::size_t>(stage)] += to - cursor;
+    cursor = to;
+  };
+
+  std::size_t i = 1;  // events[0] is the inject span
+  while (i < events.size()) {
+    const SpanEvent& ev = events[i];
+    switch (ev.kind) {
+      case SpanKind::kClassify:
+        book(Stage::kClassify, ev.at);
+        ++i;
+        break;
+      case SpanKind::kCopy:
+        book(Stage::kCopy, ev.at);
+        ++i;
+        break;
+      case SpanKind::kNfEnter: {
+        if (merge_senders.count(ev.component) == 0) {
+          // Sequential hop: enter followed by the matching exit.
+          if (i + 1 >= events.size() ||
+              events[i + 1].kind != SpanKind::kNfExit ||
+              events[i + 1].component != ev.component) {
+            return Outcome::kIncomplete;
+          }
+          SegmentAttribution seg;
+          seg.branches.push_back(
+              BranchTiming{ev.component, ev.at, events[i + 1].at, 0});
+          seg.critical = 0;
+          book(Stage::kQueue, ev.at);
+          book(Stage::kService, events[i + 1].at);
+          attr.segments.push_back(std::move(seg));
+          i += 2;
+          break;
+        }
+        // Parallel segment: consume branch events until the merge-complete.
+        std::map<std::string, OpenBranch> branches;
+        SimTime complete_at = 0;
+        bool complete = false;
+        while (i < events.size() && !complete) {
+          const SpanEvent& e = events[i];
+          switch (e.kind) {
+            case SpanKind::kNfEnter:
+              branches[e.component].enter = e.at;
+              branches[e.component].entered = true;
+              ++i;
+              break;
+            case SpanKind::kNfExit:
+              branches[e.component].exit = e.at;
+              branches[e.component].exited = true;
+              ++i;
+              break;
+            case SpanKind::kMergerArrival:
+              branches[e.component].arrival = e.at;
+              branches[e.component].arrived = true;
+              ++i;
+              break;
+            case SpanKind::kMergeComplete:
+              complete_at = e.at;
+              complete = true;
+              ++i;
+              break;
+            default:
+              return Outcome::kIncomplete;
+          }
+        }
+        if (!complete || branches.empty()) return Outcome::kIncomplete;
+
+        SegmentAttribution seg;
+        for (const auto& [component, b] : branches) {
+          if (!b.entered || !b.exited || !b.arrived) {
+            return Outcome::kIncomplete;
+          }
+          seg.branches.push_back(
+              BranchTiming{component, b.enter, b.exit, b.arrival});
+        }
+        std::size_t first = 0;
+        std::size_t last = 0;
+        for (std::size_t k = 1; k < seg.branches.size(); ++k) {
+          if (seg.branches[k].arrival < seg.branches[first].arrival) first = k;
+          if (seg.branches[k].arrival > seg.branches[last].arrival) last = k;
+        }
+        seg.critical = last;
+        seg.merge_wait_ns =
+            seg.branches[last].arrival - seg.branches[first].arrival;
+        // Walk the earliest-arriving branch; the wait for the latest
+        // arrival is the merge-wait tax, the remainder is merge work.
+        book(Stage::kQueue, seg.branches[first].enter);
+        book(Stage::kService, seg.branches[first].exit);
+        book(Stage::kQueue, seg.branches[first].arrival);
+        book(Stage::kMergeWait, seg.branches[last].arrival);
+        book(Stage::kMerge, complete_at);
+        attr.segments.push_back(std::move(seg));
+        break;
+      }
+      case SpanKind::kOutput:
+        book(Stage::kOutput, ev.at);
+        ++i;
+        break;
+      default:
+        // inject/merge spans out of grammar: evicted or foreign events.
+        return Outcome::kIncomplete;
+    }
+  }
+
+  if (out != nullptr) *out = std::move(attr);
+  return Outcome::kAttributed;
+}
+
+std::optional<PacketAttribution> CriticalPathProfiler::attribute(
+    u64 pid) const {
+  PacketAttribution attr;
+  if (attribute_events(tracer_.events_for(pid), &attr) !=
+      Outcome::kAttributed) {
+    return std::nullopt;
+  }
+  return attr;
+}
+
+CriticalPathReport CriticalPathProfiler::report() const {
+  CriticalPathReport rep;
+  std::map<std::string, NfShare> nfs;
+
+  const auto by_pid = tracer_.events_by_pid();
+  for (const auto& [pid, events] : by_pid) {
+    (void)pid;
+    PacketAttribution attr;
+    switch (attribute_events(events, &attr)) {
+      case Outcome::kDropped:
+        ++rep.dropped;
+        continue;
+      case Outcome::kIncomplete:
+        ++rep.incomplete;
+        continue;
+      case Outcome::kAttributed:
+        break;
+    }
+    ++rep.attributed;
+    rep.total_latency_ns += attr.total_ns();
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      rep.stage_ns[s] += attr.stage_ns[s];
+    }
+    SimTime packet_wait = 0;
+    for (const SegmentAttribution& seg : attr.segments) {
+      for (std::size_t b = 0; b < seg.branches.size(); ++b) {
+        NfShare& share = nfs[seg.branches[b].component];
+        share.component = seg.branches[b].component;
+        ++share.packets;
+        share.service_ns_total += static_cast<u64>(seg.branches[b].exit -
+                                                   seg.branches[b].enter);
+        if (b == seg.critical) {
+          ++share.critical;
+          share.wait_caused_ns_total += static_cast<u64>(seg.merge_wait_ns);
+        }
+      }
+      packet_wait += seg.merge_wait_ns;
+    }
+    rep.merge_wait_ns.record(static_cast<u64>(packet_wait));
+  }
+
+  if (rep.incomplete > 0) {
+    log_warn("critical-path profiler: ", rep.incomplete,
+             " traced packets had evicted/partial span sets and were "
+             "skipped; raise trace_capacity for full coverage");
+  }
+
+  rep.nfs.reserve(nfs.size());
+  for (auto& [component, share] : nfs) rep.nfs.push_back(std::move(share));
+  std::sort(rep.nfs.begin(), rep.nfs.end(),
+            [](const NfShare& a, const NfShare& b) {
+              return a.critical != b.critical ? a.critical > b.critical
+                                              : a.component < b.component;
+            });
+  return rep;
+}
+
+std::string CriticalPathReport::to_text() const {
+  std::ostringstream out;
+  char line[256];
+  out << "=== critical-path attribution ===\n";
+  std::snprintf(line, sizeof(line),
+                "packets: attributed=%llu dropped=%llu incomplete=%llu\n",
+                static_cast<unsigned long long>(attributed),
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(incomplete));
+  out << line;
+  if (attributed == 0) {
+    out << "no attributable packets (enable tracing: trace_every > 0)\n";
+    return out.str();
+  }
+  const double mean_us = static_cast<double>(total_latency_ns) /
+                         static_cast<double>(attributed) / 1e3;
+  SimTime booked = 0;
+  for (const SimTime ns : stage_ns) booked += ns;
+  std::snprintf(line, sizeof(line),
+                "end-to-end: mean %.1f us | attribution coverage %.2f%% of "
+                "e2e\n",
+                mean_us,
+                100.0 * static_cast<double>(booked) /
+                    static_cast<double>(total_latency_ns));
+  out << line;
+
+  out << "stage breakdown:";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    std::snprintf(line, sizeof(line), " %s %.1f%%",
+                  std::string(stage_name(static_cast<Stage>(s))).c_str(),
+                  100.0 * stage_fraction(static_cast<Stage>(s)));
+    out << line << (s + 1 < kStageCount ? " |" : "\n");
+  }
+
+  std::snprintf(line, sizeof(line), "%-24s %8s %15s %14s %16s\n", "nf",
+                "share%", "critical/total", "svc-mean(ns)", "wait-caused(ns)");
+  out << line;
+  for (const NfShare& nf : nfs) {
+    std::snprintf(
+        line, sizeof(line), "%-24s %7.1f%% %7llu/%-7llu %14.0f %16llu\n",
+        nf.component.c_str(), 100.0 * bottleneck_share(nf),
+        static_cast<unsigned long long>(nf.critical),
+        static_cast<unsigned long long>(nf.packets), nf.mean_service_ns(),
+        static_cast<unsigned long long>(nf.wait_caused_ns_total));
+    out << line;
+  }
+
+  if (merge_wait_ns.count() > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "merge-wait tax: mean=%.0fns p99=%lluns (%.1f%% of e2e)\n",
+        merge_wait_ns.mean(),
+        static_cast<unsigned long long>(merge_wait_ns.quantile(0.99)),
+        100.0 * stage_fraction(Stage::kMergeWait));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string CriticalPathReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"attributed\":" << attributed << ",\"dropped\":" << dropped
+      << ",\"incomplete\":" << incomplete
+      << ",\"total_latency_ns\":" << total_latency_ns << ",\"stages\":{";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (s > 0) out << ",";
+    out << "\"" << stage_name(static_cast<Stage>(s)) << "\":" << stage_ns[s];
+  }
+  out << "},\"merge_wait\":{\"count\":" << merge_wait_ns.count()
+      << ",\"mean_ns\":" << merge_wait_ns.mean()
+      << ",\"p99_ns\":" << merge_wait_ns.quantile(0.99) << "},\"nfs\":[";
+  for (std::size_t n = 0; n < nfs.size(); ++n) {
+    if (n > 0) out << ",";
+    const NfShare& nf = nfs[n];
+    out << "{\"component\":\"" << nf.component
+        << "\",\"packets\":" << nf.packets << ",\"critical\":" << nf.critical
+        << ",\"bottleneck_share\":" << bottleneck_share(nf)
+        << ",\"mean_service_ns\":" << nf.mean_service_ns()
+        << ",\"wait_caused_ns\":" << nf.wait_caused_ns_total << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,136 @@
+// Critical-path latency attribution over per-packet trace spans.
+//
+// The paper's headline claim (§6) is that a parallel segment costs roughly
+// the slowest branch plus merge overhead. The tracer records *when* each
+// stage happened; this profiler reconstructs each traced packet's span DAG
+// (inject → classify → copy → per-branch ring-queue wait + NF service →
+// merge-wait → merge → output) and attributes every nanosecond of
+// end-to-end latency to exactly one of those stages, so the report can say
+// *which* branch, queue or merge-wait dominates.
+//
+// Attribution model (see DESIGN.md "Observability"):
+//
+//  * The packet walk follows the *earliest-arriving* branch of each
+//    parallel segment — its queue wait and service time are what the
+//    surviving packet actually experienced — and books the gap until the
+//    *latest* arrival as merge-wait: the §5.3 merger tax of waiting for
+//    the slowest sibling.
+//  * The NF on the latest-arriving branch is the segment's bottleneck and
+//    is charged with the merge-wait it caused. Per-NF "bottleneck share"
+//    is the fraction of attributed packets whose critical path ran through
+//    that NF (sequential hops are always on the critical path).
+//  * Stages partition the timeline into consecutive intervals, so their
+//    sum equals end-to-end latency exactly — the acceptance check the CLI
+//    prints as "attribution coverage".
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/histogram.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace nfp::telemetry {
+
+// Latency attribution stages, in packet order.
+enum class Stage : u8 {
+  kClassify,   // inject → classifier done (wire, NIC, CT lookup)
+  kCopy,       // packet-copy creation on segment entry
+  kQueue,      // ring hand-offs: entry → NF and NF → merger
+  kService,    // NF processing, incl. its latency contribution
+  kMergeWait,  // waiting in the accumulating table for the slowest branch
+  kMerge,      // drop resolution + merge operations
+  kOutput,     // output queue + TX wire + NIC
+};
+inline constexpr std::size_t kStageCount = 7;
+
+std::string_view stage_name(Stage stage) noexcept;
+
+// One NF traversal on the packet's path through a segment.
+struct BranchTiming {
+  std::string component;
+  SimTime enter = 0;    // hand-off into the NF (ring-queue wait ends)
+  SimTime exit = 0;     // NF service complete (incl. latency contribution)
+  SimTime arrival = 0;  // merger arrival; 0 for sequential hops
+};
+
+struct SegmentAttribution {
+  std::vector<BranchTiming> branches;  // size 1 => sequential hop
+  std::size_t critical = 0;            // index of the bottleneck branch
+  SimTime merge_wait_ns = 0;           // latest arrival − earliest arrival
+  bool parallel() const noexcept { return branches.size() > 1; }
+};
+
+struct PacketAttribution {
+  u64 pid = 0;
+  SimTime start_ns = 0;  // inject span
+  SimTime end_ns = 0;    // output span
+  std::array<SimTime, kStageCount> stage_ns{};
+  std::vector<SegmentAttribution> segments;
+
+  SimTime total_ns() const noexcept { return end_ns - start_ns; }
+  // Equals total_ns() by construction; exposed so tests can assert it.
+  SimTime attributed_ns() const noexcept;
+};
+
+// Per-NF rollup across all attributed packets.
+struct NfShare {
+  std::string component;
+  u64 packets = 0;            // attributed packets that traversed this NF
+  u64 critical = 0;           // … where it was the segment bottleneck
+  u64 service_ns_total = 0;   // sum of enter→exit over traversals
+  u64 wait_caused_ns_total = 0;  // merge-wait charged to it as bottleneck
+
+  double mean_service_ns() const noexcept {
+    return packets ? static_cast<double>(service_ns_total) /
+                         static_cast<double>(packets)
+                   : 0.0;
+  }
+};
+
+struct CriticalPathReport {
+  u64 attributed = 0;  // packets with a complete inject→output span set
+  u64 dropped = 0;     // traced packets that ended in a drop span
+  u64 incomplete = 0;  // traced packets with evicted / partial spans
+  SimTime total_latency_ns = 0;  // sum of end-to-end over attributed packets
+  std::array<SimTime, kStageCount> stage_ns{};  // sums to total_latency_ns
+  Histogram merge_wait_ns;  // per-packet merge-wait tax (parallel packets)
+  std::vector<NfShare> nfs;  // sorted by bottleneck share, descending
+
+  double bottleneck_share(const NfShare& nf) const noexcept {
+    return attributed ? static_cast<double>(nf.critical) /
+                            static_cast<double>(attributed)
+                      : 0.0;
+  }
+  double stage_fraction(Stage stage) const noexcept;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+// Reconstructs attributions from a tracer's retained spans. The tracer must
+// have been run with inject/output spans retained (trace_capacity large
+// enough that no traced packet lost events to ring eviction).
+class CriticalPathProfiler {
+ public:
+  explicit CriticalPathProfiler(const Tracer& tracer) : tracer_(tracer) {}
+
+  enum class Outcome { kAttributed, kDropped, kIncomplete };
+
+  // Attribution over one packet's time-sorted spans. `out` may be null
+  // (outcome probe only).
+  static Outcome attribute_events(const std::vector<SpanEvent>& events,
+                                  PacketAttribution* out);
+
+  std::optional<PacketAttribution> attribute(u64 pid) const;
+
+  CriticalPathReport report() const;
+
+ private:
+  const Tracer& tracer_;
+};
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,75 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/exporters.hpp"
+
+namespace nfp::telemetry {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarn: return "WARN";
+    case Severity::kCritical: return "CRIT";
+  }
+  return "?";
+}
+
+void FlightRecorder::note(Severity severity, u64 at_ns, std::string component,
+                          std::string message) {
+  const std::scoped_lock lock(mu_);
+  FlightEvent ev{seq_++, at_ns, severity, std::move(component),
+                 std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+  }
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<FlightEvent> FlightRecorder::recent() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<FlightEvent> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+u64 FlightRecorder::recorded() const {
+  const std::scoped_lock lock(mu_);
+  return seq_;
+}
+
+std::string FlightRecorder::dump(const MetricsRegistry* registry,
+                                 std::string_view reason) const {
+  const std::vector<FlightEvent> events = recent();
+  std::ostringstream out;
+  out << "=== flight recorder post-mortem ===\n";
+  if (!reason.empty()) out << "reason: " << reason << "\n";
+  u64 total = 0;
+  {
+    const std::scoped_lock lock(mu_);
+    total = seq_;
+  }
+  out << "events: " << events.size() << " retained of " << total
+      << " recorded (oldest first)\n";
+  for (const FlightEvent& ev : events) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  #%-6llu t=%-14llu [%s] ",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<unsigned long long>(ev.at_ns),
+                  std::string(severity_name(ev.severity)).c_str());
+    out << line << ev.component << ": " << ev.message << "\n";
+  }
+  if (registry != nullptr) {
+    out << "registry snapshot:\n" << to_json(*registry) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nfp::telemetry

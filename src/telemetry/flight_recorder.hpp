@@ -1,0 +1,64 @@
+// Always-on anomaly flight recorder.
+//
+// A bounded, thread-safe ring of timestamped diagnostic events (pool
+// exhaustion, drop spikes, worker stalls, config fallbacks). Recording is
+// cheap enough to leave on permanently; when something goes wrong, dump()
+// renders the recent event window plus a metrics-registry snapshot as a
+// post-mortem report — the black box you read *after* the crash instead of
+// the log you forgot to enable before it.
+//
+// The mutex makes note() safe from any thread (live-pipeline workers, the
+// health sampler, the simulated dataplane); it is never on a per-packet
+// hot path.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+
+enum class Severity : u8 { kInfo, kWarn, kCritical };
+
+std::string_view severity_name(Severity severity) noexcept;
+
+struct FlightEvent {
+  u64 seq = 0;       // monotone sequence number (survives ring eviction)
+  u64 at_ns = 0;     // recorder clock: steady-clock ns, or simulated time
+  Severity severity = Severity::kInfo;
+  std::string component;
+  std::string message;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Records one event; `at_ns` is the caller's clock (simulated dataplanes
+  // pass sim time, threaded components pass steady-clock ns).
+  void note(Severity severity, u64 at_ns, std::string component,
+            std::string message);
+
+  // Events currently retained, oldest first.
+  std::vector<FlightEvent> recent() const;
+
+  u64 recorded() const;
+
+  // Post-mortem report: the retained event window, plus a JSON snapshot of
+  // `registry` when given. `reason` heads the report.
+  std::string dump(const MetricsRegistry* registry = nullptr,
+                   std::string_view reason = {}) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;
+  u64 seq_ = 0;
+};
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,172 @@
+#include "telemetry/health_sampler.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nfp::telemetry {
+
+u64 mono_now_ns() noexcept {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+Watchdog::Watchdog(FlightRecorder& recorder)
+    : Watchdog(recorder, Options()) {}
+
+Watchdog::Watchdog(FlightRecorder& recorder, Options options)
+    : recorder_(recorder), options_(std::move(options)) {
+  if (!options_.clock) options_.clock = mono_now_ns;
+}
+
+void Watchdog::watch_heartbeat(std::string component,
+                               std::function<u64()> last_beat_ns) {
+  heartbeats_.push_back(
+      HeartbeatRule{std::move(component), std::move(last_beat_ns)});
+}
+
+void Watchdog::watch_drop_counter(std::string component,
+                                  std::function<u64()> value) {
+  drops_.push_back(DropRule{std::move(component), std::move(value)});
+}
+
+void Watchdog::watch_pool(std::string component, std::function<u64()> in_use,
+                          u64 capacity) {
+  pools_.push_back(
+      PoolRule{std::move(component), std::move(in_use), capacity});
+}
+
+void Watchdog::fire(Severity severity, const std::string& component,
+                    std::string message) {
+  const u64 now = options_.clock();
+  recorder_.note(severity, now, component, message);
+  anomalies_.fetch_add(1, std::memory_order_acq_rel);
+  std::ostringstream reason;
+  reason << component << ": " << message;
+  std::string dump = recorder_.dump(registry_, reason.str());
+  {
+    const std::scoped_lock lock(dump_mu_);
+    last_dump_ = dump;
+  }
+  if (dump_callback_) dump_callback_(dump);
+}
+
+bool Watchdog::evaluate() {
+  const u64 now = options_.clock();
+  bool fired = false;
+
+  for (HeartbeatRule& rule : heartbeats_) {
+    const u64 beat = rule.last_beat_ns();
+    const bool stalled =
+        beat != 0 && now > beat && now - beat > options_.stall_after_ns;
+    if (stalled && !rule.firing) {
+      rule.firing = true;
+      fired = true;
+      std::ostringstream msg;
+      msg << "worker stalled: heartbeat " << (now - beat)
+          << " ns old (threshold " << options_.stall_after_ns << " ns)";
+      fire(Severity::kCritical, rule.component, msg.str());
+    } else if (!stalled && rule.firing) {
+      rule.firing = false;
+      recorder_.note(Severity::kInfo, now, rule.component,
+                     "worker heartbeat recovered");
+    }
+  }
+
+  for (DropRule& rule : drops_) {
+    const u64 value = rule.value();
+    if (rule.primed && value > rule.last &&
+        value - rule.last >= options_.drop_spike) {
+      fired = true;
+      std::ostringstream msg;
+      msg << "drop spike: +" << (value - rule.last)
+          << " drops since last evaluation (threshold " << options_.drop_spike
+          << ")";
+      fire(Severity::kWarn, rule.component, msg.str());
+    }
+    rule.last = value;
+    rule.primed = true;
+  }
+
+  for (PoolRule& rule : pools_) {
+    const u64 in_use = rule.in_use();
+    const bool exhausted = rule.capacity > 0 && in_use >= rule.capacity;
+    if (exhausted && !rule.firing) {
+      rule.firing = true;
+      fired = true;
+      std::ostringstream msg;
+      msg << "packet pool exhausted: " << in_use << "/" << rule.capacity
+          << " buffers in use";
+      fire(Severity::kCritical, rule.component, msg.str());
+    } else if (!exhausted && rule.firing) {
+      rule.firing = false;
+      recorder_.note(Severity::kInfo, now, rule.component,
+                     "packet pool pressure cleared");
+    }
+  }
+
+  return fired;
+}
+
+std::string Watchdog::last_dump() const {
+  const std::scoped_lock lock(dump_mu_);
+  return last_dump_;
+}
+
+// ---------------------------------------------------------------------------
+// HealthSampler
+
+HealthSampler::HealthSampler(MetricsRegistry& registry)
+    : HealthSampler(registry, Options()) {}
+
+HealthSampler::HealthSampler(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(options) {}
+
+HealthSampler::~HealthSampler() { stop(); }
+
+void HealthSampler::add_probe(std::string gauge_name, Labels labels,
+                              std::function<double()> read) {
+  if (running()) {
+    log_warn("health sampler: add_probe(", gauge_name,
+             ") ignored while sampling thread is running");
+    return;
+  }
+  Probe probe;
+  probe.read = std::move(read);
+  probe.gauge = &registry_.gauge(std::move(gauge_name), std::move(labels));
+  probes_.push_back(std::move(probe));
+}
+
+void HealthSampler::sample_once() {
+  for (Probe& probe : probes_) {
+    probe.gauge->set(probe.read());
+  }
+  ticks_.fetch_add(1, std::memory_order_acq_rel);
+  if (watchdog_ != nullptr) watchdog_->evaluate();
+}
+
+void HealthSampler::start() {
+  if (running()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    const auto period = std::chrono::microseconds(options_.period_us);
+    while (!stop_.load(std::memory_order_acquire)) {
+      sample_once();
+      std::this_thread::sleep_for(period);
+    }
+  });
+}
+
+void HealthSampler::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,153 @@
+// Live health sampling and anomaly watchdog for the threaded dataplane.
+//
+// The simulated dataplanes publish gauges at explicit snapshot points; the
+// live pipeline runs on real OS threads, so point-in-time health (ring
+// depths, pool occupancy, per-worker heartbeats) needs a sampling thread.
+//
+//  * HealthSampler — a background thread that, every `period_us`, reads a
+//    set of registered probes (plain `double()` closures over atomics or
+//    briefly-locked state) and records them into registry gauges. Gauges
+//    are resolved once at add_probe(); the sampler thread is their only
+//    writer while running, so readers must stop() first (or accept torn
+//    doubles) — the exporters are run after stop() everywhere in-tree.
+//  * Watchdog — anomaly rules evaluated after each sampler tick (or
+//    manually): a worker heartbeat older than `stall_after_ns`, a
+//    drop-counter delta above `drop_spike`, or pool exhaustion. On firing,
+//    it notes a critical event in the FlightRecorder, renders a post-mortem
+//    dump (recent event window + registry snapshot) and hands it to the
+//    on_dump callback; each rule then stays quiet until its condition
+//    clears, so a wedged worker produces one report, not one per tick.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+
+// Monotonic wall clock used by the sampler/watchdog (steady_clock ns).
+u64 mono_now_ns() noexcept;
+
+class Watchdog {
+ public:
+  struct Options {
+    u64 stall_after_ns = 200'000'000;  // heartbeat older than this = stalled
+    u64 drop_spike = 1'000;            // drop delta per evaluation = spike
+    // Injectable clock for deterministic tests; defaults to mono_now_ns.
+    std::function<u64()> clock;
+  };
+
+  explicit Watchdog(FlightRecorder& recorder);
+  Watchdog(FlightRecorder& recorder, Options options);
+
+  // Registration (main thread, before evaluation starts) ---------------------
+
+  // `last_beat_ns` returns the worker's most recent heartbeat on the
+  // watchdog clock; 0 means "not started yet" and never counts as a stall.
+  void watch_heartbeat(std::string component,
+                       std::function<u64()> last_beat_ns);
+  void watch_drop_counter(std::string component, std::function<u64()> value);
+  void watch_pool(std::string component, std::function<u64()> in_use,
+                  u64 capacity);
+
+  // Snapshot source for post-mortem dumps (may be null).
+  void set_registry(const MetricsRegistry* registry) { registry_ = registry; }
+  void on_dump(std::function<void(const std::string&)> callback) {
+    dump_callback_ = std::move(callback);
+  }
+
+  // Evaluation (sampler thread, or manual) -----------------------------------
+
+  // Runs every rule once; returns true when at least one anomaly fired.
+  bool evaluate();
+
+  u64 anomalies() const { return anomalies_.load(std::memory_order_acquire); }
+  std::string last_dump() const;
+
+ private:
+  struct HeartbeatRule {
+    std::string component;
+    std::function<u64()> last_beat_ns;
+    bool firing = false;
+  };
+  struct DropRule {
+    std::string component;
+    std::function<u64()> value;
+    u64 last = 0;
+    bool primed = false;
+  };
+  struct PoolRule {
+    std::string component;
+    std::function<u64()> in_use;
+    u64 capacity = 0;
+    bool firing = false;
+  };
+
+  void fire(Severity severity, const std::string& component,
+            std::string message);
+
+  FlightRecorder& recorder_;
+  Options options_;
+  const MetricsRegistry* registry_ = nullptr;
+  std::function<void(const std::string&)> dump_callback_;
+  std::vector<HeartbeatRule> heartbeats_;
+  std::vector<DropRule> drops_;
+  std::vector<PoolRule> pools_;
+  std::atomic<u64> anomalies_{0};
+  mutable std::mutex dump_mu_;
+  std::string last_dump_;
+};
+
+class HealthSampler {
+ public:
+  struct Options {
+    u64 period_us = 1'000;
+  };
+
+  explicit HealthSampler(MetricsRegistry& registry);
+  HealthSampler(MetricsRegistry& registry, Options options);
+  ~HealthSampler();
+
+  HealthSampler(const HealthSampler&) = delete;
+  HealthSampler& operator=(const HealthSampler&) = delete;
+
+  // Resolves the gauge once; `read` runs on the sampler thread each tick.
+  void add_probe(std::string gauge_name, Labels labels,
+                 std::function<double()> read);
+
+  // Evaluated after each tick while running.
+  void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+
+  void start();
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  // Completed ticks (background or manual).
+  u64 ticks() const { return ticks_.load(std::memory_order_acquire); }
+
+  // One synchronous tick: record every probe, then run the watchdog.
+  void sample_once();
+
+ private:
+  struct Probe {
+    std::function<double()> read;
+    Gauge* gauge = nullptr;
+  };
+
+  MetricsRegistry& registry_;
+  Options options_;
+  std::vector<Probe> probes_;
+  Watchdog* watchdog_ = nullptr;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> ticks_{0};
+};
+
+}  // namespace nfp::telemetry

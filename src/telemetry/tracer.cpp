@@ -45,6 +45,19 @@ std::vector<SpanEvent> Tracer::events_for(u64 pid) const {
   return out;
 }
 
+std::map<u64, std::vector<SpanEvent>> Tracer::events_by_pid() const {
+  std::map<u64, std::vector<SpanEvent>> out;
+  for (const SpanEvent& ev : ring_) out[ev.pid].push_back(ev);
+  for (auto& [pid, events] : out) {
+    (void)pid;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       return a.at < b.at;
+                     });
+  }
+  return out;
+}
+
 std::vector<u64> Tracer::pids() const {
   std::set<u64> distinct;
   for (const SpanEvent& ev : ring_) distinct.insert(ev.pid);

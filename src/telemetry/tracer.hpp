@@ -9,6 +9,7 @@
 // runs trace the same packets.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,10 @@ class Tracer {
 
   // Retained events for `pid`, oldest first, sorted by timestamp.
   std::vector<SpanEvent> events_for(u64 pid) const;
+
+  // All retained events grouped by PID, each list time-sorted — one ring
+  // scan instead of one per PID (the critical-path profiler's bulk path).
+  std::map<u64, std::vector<SpanEvent>> events_by_pid() const;
 
   // Distinct PIDs with at least one retained event, ascending.
   std::vector<u64> pids() const;

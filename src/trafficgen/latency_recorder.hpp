@@ -12,6 +12,7 @@ class LatencyRecorder {
  public:
   void record(SimTime inject_ns, SimTime out_ns) {
     samples_.push_back(out_ns - inject_ns);
+    sorted_valid_ = false;
     if (first_out_ == 0 || out_ns < first_out_) first_out_ = out_ns;
     if (out_ns > last_out_) last_out_ = out_ns;
   }
@@ -25,13 +26,25 @@ class LatencyRecorder {
     return sum / static_cast<double>(samples_.size()) / 1e3;
   }
 
+  // Linear interpolation between the two nearest ranks, so e.g. the median
+  // of {1, 2} is 1.5 rather than the truncated lower sample. The sorted
+  // copy is cached across calls and invalidated by record().
   double percentile_us(double p) const {
     if (samples_.empty()) return 0;
-    std::vector<SimTime> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size() - 1));
-    return static_cast<double>(sorted[idx]) / 1e3;
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    p = std::min(std::max(p, 0.0), 1.0);
+    const double rank = p * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const double ns = static_cast<double>(sorted_[lo]) +
+                      frac * (static_cast<double>(sorted_[hi]) -
+                              static_cast<double>(sorted_[lo]));
+    return ns / 1e3;
   }
   double median_us() const { return percentile_us(0.5); }
   double p99_us() const { return percentile_us(0.99); }
@@ -52,6 +65,8 @@ class LatencyRecorder {
 
  private:
   std::vector<SimTime> samples_;
+  mutable std::vector<SimTime> sorted_;  // cache for percentile queries
+  mutable bool sorted_valid_ = false;
   SimTime first_out_ = 0;
   SimTime last_out_ = 0;
 };

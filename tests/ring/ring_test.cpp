@@ -108,6 +108,21 @@ TEST(MpmcQueue, RespectsCapacity) {
   EXPECT_FALSE(q.try_push(3));
 }
 
+TEST(MpmcQueue, SizeHintTracksOccupancyWithoutLocking) {
+  MpmcQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  EXPECT_EQ(q.size_hint(), 0u);
+  q.try_push(1);
+  q.try_push(2);
+  q.try_push(3);
+  EXPECT_EQ(q.size_hint(), 3u);
+  (void)q.try_pop();
+  EXPECT_EQ(q.size_hint(), 2u);
+  (void)q.pop_wait();
+  (void)q.try_pop();
+  EXPECT_EQ(q.size_hint(), 0u);
+}
+
 TEST(MpmcQueue, MultiProducerMultiConsumer) {
   constexpr int kPerProducer = 10'000;
   constexpr int kProducers = 2;

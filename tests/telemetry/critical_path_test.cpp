@@ -1,0 +1,266 @@
+// Tests for the critical-path profiler: the stage attribution must
+// partition end-to-end latency exactly, identify the slow branch of an
+// asymmetric parallel segment as the bottleneck, and charge the merge-wait
+// tax to the NF that caused it.
+#include <gtest/gtest.h>
+
+#include "dataplane/nfp_dataplane.hpp"
+#include "telemetry/critical_path.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+namespace {
+
+using telemetry::CriticalPathProfiler;
+using telemetry::CriticalPathReport;
+using telemetry::PacketAttribution;
+using telemetry::SegmentAttribution;
+using telemetry::SpanEvent;
+using telemetry::SpanKind;
+using telemetry::Stage;
+
+void drive(sim::Simulator& sim, NfpDataplane& dp, TrafficConfig traffic) {
+  traffic.metrics = &dp.metrics();
+  TrafficGenerator gen(sim, dp.pool(), traffic);
+  gen.start([&](Packet* pkt) { dp.inject(pkt); });
+  sim.run();
+  dp.snapshot_metrics();
+}
+
+// A tree-shaped graph with asymmetric branches: a slow IDS in parallel
+// with a cheap monitor (shared version: both read-only), then a sequential
+// lb tail. Per the cost model, IDS service is ~10x the monitor's, so the
+// IDS must own essentially every critical path.
+ServiceGraph tree_graph() {
+  ServiceGraph g = ServiceGraph::parallel("tree", {"ids", "monitor"});
+  Segment tail;
+  tail.nfs.push_back(StageNf{"lb", 2, 1, 0, false});
+  g.segments().push_back(std::move(tail));
+  return g;
+}
+
+// Low enough injection rate that the slow IDS drains between packets;
+// merge-wait then reflects the branch service gap, not queue buildup.
+TrafficConfig slow_traffic(u64 packets) {
+  TrafficConfig traffic;
+  traffic.packets = packets;
+  traffic.rate_pps = 4'000;  // 250 us spacing vs ~110 us IDS service
+  return traffic;
+}
+
+TEST(CriticalPath, StageSumsEqualEndToEndExactly) {
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = 1;
+  cfg.trace_capacity = 1 << 14;
+  NfpDataplane dp(sim, tree_graph(), cfg);
+  drive(sim, dp, slow_traffic(40));
+
+  CriticalPathProfiler profiler(*dp.tracer());
+  u64 attributed = 0;
+  for (const u64 pid : dp.tracer()->pids()) {
+    const std::optional<PacketAttribution> attr = profiler.attribute(pid);
+    ASSERT_TRUE(attr.has_value()) << "pid " << pid;
+    ++attributed;
+    // The stages partition [inject, output]: the sum is exact, not ~1%.
+    EXPECT_EQ(attr->attributed_ns(), attr->total_ns()) << "pid " << pid;
+    EXPECT_GT(attr->total_ns(), 0u);
+    // Tree shape: one parallel segment (2 branches) + one sequential hop.
+    ASSERT_EQ(attr->segments.size(), 2u);
+    EXPECT_TRUE(attr->segments[0].parallel());
+    ASSERT_EQ(attr->segments[0].branches.size(), 2u);
+    EXPECT_FALSE(attr->segments[1].parallel());
+  }
+  EXPECT_EQ(attributed, 40u);
+
+  const CriticalPathReport rep = profiler.report();
+  EXPECT_EQ(rep.attributed, 40u);
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_EQ(rep.incomplete, 0u);
+  SimTime booked = 0;
+  for (const SimTime ns : rep.stage_ns) booked += ns;
+  EXPECT_EQ(booked, rep.total_latency_ns);
+}
+
+TEST(CriticalPath, SlowBranchOwnsTheCriticalPath) {
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = 1;
+  cfg.trace_capacity = 1 << 14;
+  NfpDataplane dp(sim, tree_graph(), cfg);
+  drive(sim, dp, slow_traffic(40));
+
+  CriticalPathProfiler profiler(*dp.tracer());
+  const CriticalPathReport rep = profiler.report();
+  ASSERT_EQ(rep.attributed, 40u);
+
+  // The IDS is the bottleneck on (at least) ~all packets and is charged
+  // with the merge-wait it caused; the cheap monitor never is.
+  ASSERT_FALSE(rep.nfs.empty());
+  EXPECT_NE(rep.nfs.front().component.find("ids"), std::string::npos);
+  EXPECT_GE(rep.bottleneck_share(rep.nfs.front()), 0.9);
+  EXPECT_GT(rep.nfs.front().wait_caused_ns_total, 0u);
+  for (const auto& nf : rep.nfs) {
+    if (nf.component.find("monitor") != std::string::npos) {
+      EXPECT_EQ(nf.critical, 0u);
+      EXPECT_EQ(nf.wait_caused_ns_total, 0u);
+    }
+    if (nf.component.find("lb") != std::string::npos) {
+      // Sequential hops are always on the critical path.
+      EXPECT_EQ(nf.critical, rep.attributed);
+    }
+  }
+
+  // Merge-wait was recorded for every attributed packet and tracks the
+  // branch service gap at this (uncongested) injection rate.
+  EXPECT_EQ(rep.merge_wait_ns.count(), rep.attributed);
+  EXPECT_GT(rep.merge_wait_ns.mean(), 0.0);
+  const std::optional<PacketAttribution> attr = profiler.attribute(0);
+  ASSERT_TRUE(attr.has_value());
+  const SegmentAttribution& seg = attr->segments[0];
+  const auto service = [](const telemetry::BranchTiming& b) {
+    return static_cast<double>(b.exit - b.enter);
+  };
+  EXPECT_NE(seg.branches[seg.critical].component.find("ids"),
+            std::string::npos);
+  double slow = 0;
+  double fast = 0;
+  for (const auto& b : seg.branches) {
+    (b.component.find("ids") != std::string::npos ? slow : fast) = service(b);
+  }
+  ASSERT_GT(slow, fast);
+  const double gap = slow - fast;
+  const double wait = static_cast<double>(seg.merge_wait_ns);
+  EXPECT_NEAR(wait, gap, 0.2 * gap)
+      << "merge-wait should approximate the service gap when uncongested";
+
+  // The rendered report carries the same story.
+  const std::string text = rep.to_text();
+  EXPECT_NE(text.find("critical-path attribution"), std::string::npos);
+  EXPECT_NE(text.find("coverage 100.00%"), std::string::npos);
+  EXPECT_NE(text.find("merge-wait tax"), std::string::npos);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"attributed\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"merge_wait\""), std::string::npos);
+}
+
+TEST(CriticalPath, SequentialChainHasNoMergeWait) {
+  sim::Simulator sim;
+  DataplaneConfig cfg;
+  cfg.trace_every = 1;
+  cfg.trace_capacity = 1 << 14;
+  NfpDataplane dp(sim, ServiceGraph::sequential("seq", {"monitor", "lb"}),
+                  cfg);
+  TrafficConfig traffic;
+  traffic.packets = 20;
+  drive(sim, dp, traffic);
+
+  CriticalPathProfiler profiler(*dp.tracer());
+  const CriticalPathReport rep = profiler.report();
+  EXPECT_EQ(rep.attributed, 20u);
+  EXPECT_EQ(rep.stage_ns[static_cast<std::size_t>(Stage::kMergeWait)], 0u);
+  EXPECT_EQ(rep.stage_fraction(Stage::kMergeWait), 0.0);
+  // Every NF sits on every packet's critical path in a chain.
+  ASSERT_EQ(rep.nfs.size(), 2u);
+  for (const auto& nf : rep.nfs) {
+    EXPECT_EQ(nf.packets, 20u);
+    EXPECT_EQ(nf.critical, 20u);
+    EXPECT_DOUBLE_EQ(rep.bottleneck_share(nf), 1.0);
+    EXPECT_EQ(nf.wait_caused_ns_total, 0u);
+  }
+  SimTime booked = 0;
+  for (const SimTime ns : rep.stage_ns) booked += ns;
+  EXPECT_EQ(booked, rep.total_latency_ns);
+}
+
+// Unit-level grammar checks over hand-built span vectors.
+
+SpanEvent ev(SpanKind kind, SimTime at, std::string component) {
+  SpanEvent e;
+  e.pid = 7;
+  e.kind = kind;
+  e.at = at;
+  e.component = std::move(component);
+  return e;
+}
+
+TEST(CriticalPath, AttributesSyntheticSequentialSpans) {
+  const std::vector<SpanEvent> events{
+      ev(SpanKind::kInject, 1'000, "rx-link"),
+      ev(SpanKind::kClassify, 1'200, "classifier"),
+      ev(SpanKind::kNfEnter, 1'350, "nf:fw#0"),
+      ev(SpanKind::kNfExit, 1'950, "nf:fw#0"),
+      ev(SpanKind::kOutput, 2'400, "tx-link"),
+  };
+  PacketAttribution attr;
+  ASSERT_EQ(CriticalPathProfiler::attribute_events(events, &attr),
+            CriticalPathProfiler::Outcome::kAttributed);
+  EXPECT_EQ(attr.pid, 7u);
+  EXPECT_EQ(attr.total_ns(), 1'400u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kClassify)], 200u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kQueue)], 150u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kService)], 600u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kOutput)], 450u);
+  EXPECT_EQ(attr.attributed_ns(), attr.total_ns());
+}
+
+TEST(CriticalPath, AttributesSyntheticParallelSpans) {
+  // Two branches: "a" is fast (arrives at 3000), "b" slow (arrives 5000).
+  const std::vector<SpanEvent> events{
+      ev(SpanKind::kInject, 0, "rx-link"),
+      ev(SpanKind::kClassify, 500, "classifier"),
+      ev(SpanKind::kNfEnter, 700, "nf:a#0"),
+      ev(SpanKind::kNfEnter, 800, "nf:b#1"),
+      ev(SpanKind::kNfExit, 2'500, "nf:a#0"),
+      ev(SpanKind::kMergerArrival, 3'000, "nf:a#0"),
+      ev(SpanKind::kNfExit, 4'500, "nf:b#1"),
+      ev(SpanKind::kMergerArrival, 5'000, "nf:b#1"),
+      ev(SpanKind::kMergeComplete, 5'400, "merger#0"),
+      ev(SpanKind::kOutput, 6'000, "tx-link"),
+  };
+  PacketAttribution attr;
+  ASSERT_EQ(CriticalPathProfiler::attribute_events(events, &attr),
+            CriticalPathProfiler::Outcome::kAttributed);
+  ASSERT_EQ(attr.segments.size(), 1u);
+  const SegmentAttribution& seg = attr.segments[0];
+  ASSERT_TRUE(seg.parallel());
+  EXPECT_EQ(seg.branches[seg.critical].component, "nf:b#1");
+  EXPECT_EQ(seg.merge_wait_ns, 2'000u);
+  // Walk follows branch "a" (earliest arrival): queue 200 (classify→enter)
+  // + 500 (exit→arrival), service 1800, merge-wait 2000, merge 400.
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kQueue)], 700u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kService)], 1'800u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kMergeWait)],
+            2'000u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kMerge)], 400u);
+  EXPECT_EQ(attr.stage_ns[static_cast<std::size_t>(Stage::kOutput)], 600u);
+  EXPECT_EQ(attr.attributed_ns(), attr.total_ns());
+}
+
+TEST(CriticalPath, ClassifiesDroppedAndIncompleteSpanSets) {
+  PacketAttribution attr;
+  // A drop span anywhere marks the packet dropped.
+  EXPECT_EQ(CriticalPathProfiler::attribute_events(
+                {ev(SpanKind::kInject, 0, "rx-link"),
+                 ev(SpanKind::kNfEnter, 100, "nf:fw#0"),
+                 ev(SpanKind::kDrop, 300, "nf:fw#0")},
+                &attr),
+            CriticalPathProfiler::Outcome::kDropped);
+  // Missing output span (e.g. evicted from the ring) => incomplete.
+  EXPECT_EQ(CriticalPathProfiler::attribute_events(
+                {ev(SpanKind::kInject, 0, "rx-link"),
+                 ev(SpanKind::kClassify, 100, "classifier")},
+                &attr),
+            CriticalPathProfiler::Outcome::kIncomplete);
+  // Missing inject span => incomplete.
+  EXPECT_EQ(CriticalPathProfiler::attribute_events(
+                {ev(SpanKind::kClassify, 100, "classifier"),
+                 ev(SpanKind::kOutput, 400, "tx-link")},
+                &attr),
+            CriticalPathProfiler::Outcome::kIncomplete);
+  EXPECT_EQ(CriticalPathProfiler::attribute_events({}, nullptr),
+            CriticalPathProfiler::Outcome::kIncomplete);
+}
+
+}  // namespace
+}  // namespace nfp

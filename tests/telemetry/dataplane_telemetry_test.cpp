@@ -91,14 +91,15 @@ TEST(DataplaneTelemetry, TracerReconstructsParallelSegmentJourney) {
     for (const auto& ev : events) n += ev.kind == k ? 1 : 0;
     return n;
   };
+  EXPECT_EQ(count_kind(SpanKind::kInject), 1u);
   EXPECT_EQ(count_kind(SpanKind::kClassify), 1u);
   EXPECT_EQ(count_kind(SpanKind::kNfEnter), 3u);   // 2 parallel + 1 tail
   EXPECT_EQ(count_kind(SpanKind::kNfExit), 3u);
   EXPECT_EQ(count_kind(SpanKind::kMergerArrival), 2u);
   EXPECT_EQ(count_kind(SpanKind::kMergeComplete), 1u);
   EXPECT_EQ(count_kind(SpanKind::kOutput), 1u);
-  // Chronology: classify first, output last.
-  EXPECT_EQ(events.front().kind, SpanKind::kClassify);
+  // Chronology: inject first, output last.
+  EXPECT_EQ(events.front().kind, SpanKind::kInject);
   EXPECT_EQ(events.back().kind, SpanKind::kOutput);
 
   const std::string timeline = dp.tracer()->timeline(0);

@@ -116,6 +116,25 @@ TEST(LatencyRecorderTest, Statistics) {
   EXPECT_NEAR(rec.max_us(), 10.0, 1e-9);
 }
 
+TEST(LatencyRecorderTest, PercentilesInterpolateBetweenRanks) {
+  LatencyRecorder rec;
+  rec.record(0, 1'000);
+  rec.record(0, 2'000);
+  // Median of {1us, 2us} interpolates to 1.5us, not the truncated lower
+  // sample.
+  EXPECT_NEAR(rec.median_us(), 1.5, 1e-9);
+  EXPECT_NEAR(rec.percentile_us(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(rec.percentile_us(1.0), 2.0, 1e-9);
+  EXPECT_NEAR(rec.percentile_us(0.25), 1.25, 1e-9);
+  // Out-of-range requests clamp instead of reading out of bounds.
+  EXPECT_NEAR(rec.percentile_us(-0.5), 1.0, 1e-9);
+  EXPECT_NEAR(rec.percentile_us(1.5), 2.0, 1e-9);
+  // The cached sorted copy is invalidated by new samples.
+  rec.record(0, 3'000);
+  EXPECT_NEAR(rec.median_us(), 2.0, 1e-9);
+  EXPECT_NEAR(rec.p99_us(), 2.98, 1e-9);
+}
+
 TEST(LatencyRecorderTest, RateFromOutputSpan) {
   LatencyRecorder rec;
   // 11 packets leaving 100ns apart -> 10 Mpps.

@@ -26,7 +26,8 @@ ServiceGraph compile_we(const CompilerOptions& opt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   const ActionTable table = ActionTable::with_builtin_nfs();
 
   print_header("Ablation A: Dirty Memory Reusing (OP#1)");
@@ -46,6 +47,8 @@ int main() {
     const auto traffic = latency_traffic(64);
     const Measurement m_on = run_nfp(compile_we(con), traffic);
     const Measurement m_off = run_nfp(compile_we(coff), traffic);
+    server.observe(m_on);
+    server.observe(m_off);
     std::printf("west-east chain:      OP#1 on %.1fus/%zu copies   off "
                 "%.1fus/%llu header-copies\n",
                 m_on.mean_latency_us, compile_we(con).copies_per_packet(),
@@ -67,6 +70,8 @@ int main() {
     ServiceGraph full_graph = parallel_stage("firewall", 2, true, true);
     const Measurement header = run_nfp(header_graph, traffic);
     const Measurement full = run_nfp(full_graph, traffic);
+    server.observe(header);
+    server.observe(full);
     const double bytes = TrafficGenerator::dc_mean_frame_size() * 4'000;
     std::printf("header-only: %.1f us, overhead %.1f%%\n",
                 header.mean_latency_us,
@@ -87,6 +92,8 @@ int main() {
     const auto traffic = latency_traffic(64);
     const Measurement m1 = run_nfp(g1, traffic);
     const Measurement m2 = run_nfp(g2, traffic);
+    server.observe(m1);
+    server.observe(m2);
     std::printf("accept copies: graph %s (len %zu) -> %.1f us\n",
                 g1.structure().c_str(), g1.equivalent_length(),
                 m1.mean_latency_us);
@@ -102,6 +109,7 @@ int main() {
     cfg.merger_instances = mergers;
     const Measurement m = run_nfp(parallel_stage("firewall", 4, false),
                                   saturation_traffic(64, 30'000), cfg);
+    server.observe(m);
     std::printf("%zu merger instance(s): %.2f Mpps\n", mergers, m.rate_mpps);
   }
 
@@ -132,5 +140,6 @@ int main() {
                 static_cast<unsigned long long>(dp.stats().dropped_by_nf),
                 dp.pool().in_use());
   }
+  server.finish();
   return 0;
 }

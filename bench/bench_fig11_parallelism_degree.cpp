@@ -11,6 +11,7 @@ using namespace nfp::bench;
 
 int main(int argc, char** argv) {
   const bool json = json_enabled(argc, argv);
+  BenchServer server(argc, argv);
   DataplaneConfig base_cfg;
   base_cfg.delaynf_cycles = 300;
 
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
         run_nfp(parallel_stage("delaynf", degree, false), traffic, base_cfg);
     const Measurement copy =
         run_nfp(parallel_stage("delaynf", degree, true), traffic, base_cfg);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-8zu %-10.1f %-10.1f %-12.1f %-10.1f %9.1f%%    %7.1f%%\n",
                 degree, onv.mean_latency_us, nfp_seq.mean_latency_us,
                 nocopy.mean_latency_us, copy.mean_latency_us,
@@ -62,6 +67,10 @@ int main(int argc, char** argv) {
         run_nfp(parallel_stage("delaynf", degree, false), traffic, base_cfg);
     const Measurement copy =
         run_nfp(parallel_stage("delaynf", degree, true), traffic, base_cfg);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-8zu %-10.2f %-10.2f %-12.2f %-10.2f\n", degree,
                 onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
                 copy.rate_mpps);
@@ -74,5 +83,6 @@ int main(int argc, char** argv) {
       emit_metrics_json("fig11b", "nfp-copy", copy, knobs);
     }
   }
+  server.finish();
   return 0;
 }

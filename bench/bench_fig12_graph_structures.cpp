@@ -34,7 +34,8 @@ ServiceGraph structure(const std::vector<std::size_t>& stage_sizes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   // Fig 14's six structures expressed as segment stage sizes:
   //  (1) sequential        1-1-1-1     (len 4)
   //  (2) 1+1+1+1           4 parallel  (len 1)
@@ -55,12 +56,15 @@ int main() {
               "ONV-seq", "NFP-nocopy", "NFP-copy");
   const Measurement onv =
       run_onv(repeat("delaynf", 4), latency_traffic(64), cfg);
+  server.observe(onv);
   for (std::size_t i = 0; i < structures.size(); ++i) {
     const ServiceGraph nocopy_graph = structure(structures[i], false);
     const Measurement nocopy =
         run_nfp(nocopy_graph, latency_traffic(64), cfg);
     const Measurement copy =
         run_nfp(structure(structures[i], true), latency_traffic(64), cfg);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-7zu %-10s %-6zu %-10.1f %-12.1f %-10.1f\n", i + 1,
                 nocopy_graph.structure().c_str(),
                 nocopy_graph.equivalent_length(), onv.mean_latency_us,
@@ -72,15 +76,19 @@ int main() {
               "NFP-nocopy", "NFP-copy");
   const Measurement onv_rate =
       run_onv(repeat("delaynf", 4), saturation_traffic(64, 25'000), cfg);
+  server.observe(onv_rate);
   for (std::size_t i = 0; i < structures.size(); ++i) {
     const ServiceGraph shape_graph = structure(structures[i], false);
     const Measurement nocopy =
         run_nfp(shape_graph, saturation_traffic(64, 25'000), cfg);
     const Measurement copy = run_nfp(structure(structures[i], true),
                                      saturation_traffic(64, 25'000), cfg);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-7zu %-10s %-10.2f %-12.2f %-10.2f\n", i + 1,
                 shape_graph.structure().c_str(), onv_rate.rate_mpps,
                 nocopy.rate_mpps, copy.rate_mpps);
   }
+  server.finish();
   return 0;
 }

@@ -14,7 +14,7 @@ using namespace nfp::bench;
 
 namespace {
 
-void evaluate_chain(const char* label,
+void evaluate_chain(BenchServer& server, const char* label,
                     const std::vector<std::string>& chain) {
   const ActionTable table = ActionTable::with_builtin_nfs();
   const Policy policy = Policy::from_sequential_chain(label, chain);
@@ -34,6 +34,8 @@ void evaluate_chain(const char* label,
 
   const Measurement onv = run_onv(chain, traffic);
   const Measurement nfp = run_nfp(graph, traffic);
+  server.observe(onv);
+  server.observe(nfp);
 
   double injected_bytes = 0;
   {  // estimate forwarded bytes from the DC size model mean
@@ -63,12 +65,14 @@ void evaluate_chain(const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   print_header(
       "Figure 13: real-world service chains, data-center traffic\n"
       "paper: north-south 12.9% latency reduction at 0% overhead;\n"
       "       west-east 35.9% reduction at 8.8% overhead");
-  evaluate_chain("north-south", {"vpn", "monitor", "firewall", "lb"});
-  evaluate_chain("west-east", {"ids", "monitor", "lb"});
+  evaluate_chain(server, "north-south", {"vpn", "monitor", "firewall", "lb"});
+  evaluate_chain(server, "west-east", {"ids", "monitor", "lb"});
+  server.finish();
   return 0;
 }

@@ -9,7 +9,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   print_header(
       "Figure 15: OpenBox block graphs vs OpenBox+NFP merged graph\n"
       "paper: merging parallelizes independent blocks such as\n"
@@ -48,6 +49,8 @@ int main() {
       ServiceGraph::sequential("openbox-seq", openbox_sequential), traffic,
       cfg);
   const Measurement par = run_nfp(merged.value(), traffic, cfg);
+  server.observe(seq);
+  server.observe(par);
 
   std::printf("%-28s %10.1f us\n", "OpenBox sequential blocks:",
               seq.mean_latency_us);
@@ -55,5 +58,6 @@ int main() {
               par.mean_latency_us,
               (seq.mean_latency_us - par.mean_latency_us) /
                   seq.mean_latency_us * 100);
+  server.finish();
   return 0;
 }

@@ -8,6 +8,7 @@ using namespace nfp::bench;
 
 int main(int argc, char** argv) {
   const bool json = json_enabled(argc, argv);
+  BenchServer server(argc, argv);
   print_header(
       "Figure 7(a): sequential chain latency, 64B packets (microseconds)\n"
       "paper: OpenNetVM and NFP nearly overlap; both grow linearly with\n"
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
     const Measurement onv = run_onv(chain, latency_traffic(64));
     const Measurement nfp =
         run_nfp(ServiceGraph::sequential("seq", chain), latency_traffic(64));
+    server.observe(onv);
+    server.observe(nfp);
     std::printf("%-8zu %-14.1f %-14.1f\n", n, onv.mean_latency_us,
                 nfp.mean_latency_us);
     if (json) {
@@ -41,13 +44,16 @@ int main(int argc, char** argv) {
     const Measurement nfp = run_nfp(
         ServiceGraph::sequential("seq", repeat("l3fwd", 3)),
         saturation_traffic(size, 20'000));
+    server.observe(nfp);
     std::printf(" %-11.2f", nfp.rate_mpps);
     for (std::size_t n = 1; n <= 5; ++n) {
       const Measurement onv =
           run_onv(repeat("l3fwd", n), saturation_traffic(size, 20'000));
+      server.observe(onv);
       std::printf(" %-8.2f", onv.rate_mpps);
     }
     std::printf("\n");
   }
+  server.finish();
   return 0;
 }

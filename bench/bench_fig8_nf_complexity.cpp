@@ -8,7 +8,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   const char* types[] = {"l3fwd", "lb", "firewall", "monitor", "vpn", "ids"};
   const char* labels[] = {"Forwarder", "LB", "Firewall",
                           "Monitor",   "VPN", "IDS"};
@@ -30,6 +31,10 @@ int main() {
         run_nfp(parallel_stage(type, 2, /*with_copy=*/false), traffic);
     const Measurement copy = run_nfp(
         parallel_stage(type, 2, /*with_copy=*/true, payload_heavy), traffic);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-11s %-10.1f %-10.1f %-12.1f %-10.1f\n", labels[i],
                 onv.mean_latency_us, nfp_seq.mean_latency_us,
                 nocopy.mean_latency_us, copy.mean_latency_us);
@@ -52,9 +57,14 @@ int main() {
         run_nfp(parallel_stage(type, 2, false), traffic);
     const Measurement copy =
         run_nfp(parallel_stage(type, 2, true, payload_heavy), traffic);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-11s %-10.2f %-10.2f %-12.2f %-10.2f\n", labels[i],
                 onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
                 copy.rate_mpps);
   }
+  server.finish();
   return 0;
 }

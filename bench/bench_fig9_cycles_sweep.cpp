@@ -12,6 +12,7 @@ using namespace nfp::bench;
 
 int main(int argc, char** argv) {
   const bool json = json_enabled(argc, argv);
+  BenchServer server(argc, argv);
   print_header(
       "Figure 9(a): latency vs processing cycles per packet (us, 64B)\n"
       "setups: 2 delay-NF instances; Fig 10 composition");
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
         run_nfp(parallel_stage("delaynf", 2, false), traffic, cfg);
     const Measurement copy =
         run_nfp(parallel_stage("delaynf", 2, true), traffic, cfg);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     const double reduction =
         (onv.mean_latency_us - nocopy.mean_latency_us) / onv.mean_latency_us;
     std::printf("%-8u %-10.1f %-10.1f %-12.1f %-10.1f %5.1f%%\n", cycles,
@@ -63,6 +68,10 @@ int main(int argc, char** argv) {
         run_nfp(parallel_stage("delaynf", 2, false), traffic, cfg);
     const Measurement copy =
         run_nfp(parallel_stage("delaynf", 2, true), traffic, cfg);
+    server.observe(onv);
+    server.observe(nfp_seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-8u %-10.2f %-10.2f %-12.2f %-10.2f\n", cycles,
                 onv.rate_mpps, nfp_seq.rate_mpps, nocopy.rate_mpps,
                 copy.rate_mpps);
@@ -75,5 +84,6 @@ int main(int argc, char** argv) {
       emit_metrics_json("fig9b", "nfp-copy", copy, knobs);
     }
   }
+  server.finish();
   return 0;
 }

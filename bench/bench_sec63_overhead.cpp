@@ -15,6 +15,7 @@ using namespace nfp::bench;
 
 int main(int argc, char** argv) {
   const bool json = json_enabled(argc, argv);
+  BenchServer server(argc, argv);
   print_header(
       "Sec 6.3.1: resource overhead ro = 64*(d-1)/s (%), Header-Only Copying");
   std::printf("%-10s", "size");
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
     traffic.packets = 5'000;
     const Measurement m =
         run_nfp(parallel_stage("firewall", 2, /*with_copy=*/true), traffic);
+    server.observe(m);
     const double measured = static_cast<double>(m.stats.copy_bytes) /
                             (dc_mean * static_cast<double>(m.stats.injected));
     std::printf("measured in dataplane, degree 2, DC traffic: %.1f%%\n",
@@ -63,6 +65,9 @@ int main(int argc, char** argv) {
         run_nfp(parallel_stage("firewall", d, false), latency_traffic(64));
     const Measurement copy =
         run_nfp(parallel_stage("firewall", d, true), latency_traffic(64));
+    server.observe(seq);
+    server.observe(nocopy);
+    server.observe(copy);
     std::printf("%-8zu %-12.1f %-12.1f %-12.1f %-10.1f\n", d,
                 seq.mean_latency_us, nocopy.mean_latency_us,
                 copy.mean_latency_us,
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
       cfg.pool_packets = 1 << 17;
       const Measurement m = run_nfp(parallel_stage("firewall", d, false),
                                     saturation_traffic(64, 40'000), cfg);
+      server.observe(m);
       std::printf("%zu merger instance(s)   %-8zu %-12.2f\n", mergers, d,
                   m.rate_mpps);
       if (json) {
@@ -90,5 +96,6 @@ int main(int argc, char** argv) {
       }
     }
   }
+  server.finish();
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace nfp;
 using namespace nfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchServer server(argc, argv);
   print_header(
       "Table 4: OpenNetVM vs NFP (all-parallel) vs BESS (run-to-completion)\n"
       "firewall chains, 64B packets; chain of n uses n+2 cores per system");
@@ -30,6 +31,12 @@ int main() {
     const Measurement nfp_r = run_nfp(parallel_stage("firewall", n, false),
                                       saturation_traffic(64));
     const Measurement rtc_r = run_rtc(chain, n + 2, saturation_traffic(64));
+    server.observe(onv_l);
+    server.observe(nfp_l);
+    server.observe(rtc_l);
+    server.observe(onv_r);
+    server.observe(nfp_r);
+    server.observe(rtc_r);
     std::printf(
         "%-7zu %-6zu | %-10.1f %-10.1f %-10.3f | %-10.2f %-10.2f %-10.2f\n",
         n, n + 2, onv_l.mean_latency_us, nfp_l.mean_latency_us,
@@ -40,5 +47,6 @@ int main() {
       "\nNote (paper §7): RTC wins on raw performance but gives up NFV's\n"
       "per-NF elasticity: scaling one overloaded NF means replicating the\n"
       "entire chain or paying cross-core state migration.\n");
+  server.finish();
   return 0;
 }

@@ -6,12 +6,16 @@
 // the paper reports. See EXPERIMENTS.md for paper-vs-measured values.
 #pragma once
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/onv_dataplane.hpp"
@@ -21,6 +25,7 @@
 #include "nfs/misc_nfs.hpp"
 #include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/stats_server.hpp"
 #include "trafficgen/latency_recorder.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -208,5 +213,76 @@ inline void emit_metrics_json(const char* bench, const std::string& series,
   }
   std::printf(",\"metrics\":%s}\n", telemetry::to_json(m.metrics).c_str());
 }
+
+// --- live serving of bench metrics (--serve=PORT) ----------------------------
+//
+// Passing --serve=PORT to any bench serves the accumulated metrics of every
+// measurement so far on 127.0.0.1:PORT (/metrics, /metrics.json, /healthz)
+// while the bench runs, and keeps serving the final merged registry after
+// the tables have printed until Ctrl-C. Wiring per bench:
+//
+//   BenchServer server(argc, argv);   // no-op without --serve
+//   ... server.observe(m); ...        // after each Measurement
+//   server.finish();                  // before return — blocks if serving
+
+inline volatile std::sig_atomic_t g_bench_stop = 0;
+inline void bench_stop_handler(int) { g_bench_stop = 1; }
+
+class BenchServer {
+ public:
+  BenchServer(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+        port_ = std::strtoull(argv[i] + 8, nullptr, 10);
+      }
+    }
+    if (port_ == 0) return;
+    telemetry::EndpointSources sources;
+    sources.registry = &merged_;
+    sources.mu = &mu_;
+    telemetry::register_standard_endpoints(server_, sources);
+    telemetry::StatsServer::Options options;
+    options.port = static_cast<std::uint16_t>(port_);
+    const Status started = server_.start(options);
+    if (!started) {
+      std::fprintf(stderr, "bench --serve: %s\n", started.message().c_str());
+      port_ = 0;
+      return;
+    }
+    std::fprintf(stderr,
+                 "serving bench metrics on http://127.0.0.1:%u "
+                 "(/metrics /metrics.json /healthz)\n",
+                 static_cast<unsigned>(server_.port()));
+  }
+
+  bool serving() const noexcept { return port_ != 0; }
+
+  // Merges a finished measurement into the served registry.
+  void observe(const Measurement& m) {
+    if (port_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.merge(m.metrics);
+  }
+
+  // After the bench's tables have printed: keep the final merged registry
+  // scrapeable until Ctrl-C. No-op without --serve.
+  void finish() {
+    if (port_ == 0) return;
+    std::signal(SIGINT, bench_stop_handler);
+    std::signal(SIGTERM, bench_stop_handler);
+    std::fprintf(stderr, "bench complete — serving until Ctrl-C\n");
+    while (g_bench_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server_.stop();
+    port_ = 0;
+  }
+
+ private:
+  u64 port_ = 0;
+  std::mutex mu_;
+  telemetry::MetricsRegistry merged_;
+  telemetry::StatsServer server_;
+};
 
 }  // namespace nfp::bench

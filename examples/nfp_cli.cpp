@@ -7,6 +7,9 @@
 //   nfp_cli stats                         print the §4.3 pair statistics
 //   nfp_cli run <policy-file> [options]   run traffic through the dataplane
 //   nfp_cli profile <policy-file> [opts]  critical-path bottleneck report
+//   nfp_cli top [--port=P] [options]      live terminal dashboard against a
+//                                         --serve'd run (pps, per-NF p99,
+//                                         utilization, bottleneck share)
 //
 // `run` options (telemetry):
 //   --metrics          per-component utilization/latency report
@@ -25,19 +28,33 @@
 //   --watch=MS           print interim bottleneck lines every MS of
 //                        simulated time while the run progresses
 //
+// `--serve=PORT` (run and profile) keeps the dataplane alive after the
+// first wave, injecting `--packets` more packets every ~200ms and serving
+// the live observability endpoints on 127.0.0.1:PORT — /metrics,
+// /metrics.json, /timeseries.json, /profile.json, /recorder.json,
+// /trace.json (load in ui.perfetto.dev) and /healthz. Ctrl-C stops.
+//
 // Policy files use the text format of src/policy/parser.hpp.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/onv_dataplane.hpp"
 #include "baseline/rtc_dataplane.hpp"
 #include "cluster/partition.hpp"
+#include "common/json.hpp"
 #include "dataplane/nfp_dataplane.hpp"
 #include "nfs/firewall.hpp"
 #include "orch/compiler.hpp"
@@ -46,6 +63,9 @@
 #include "policy/parser.hpp"
 #include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/health_sampler.hpp"
+#include "telemetry/stats_server.hpp"
+#include "telemetry/timeseries.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 namespace {
@@ -60,10 +80,14 @@ int usage() {
                "[--trace-every=N] [--json]\n"
                "               [--prometheus] [--packets=N] [--rate=PPS] "
                "[--size=BYTES]\n"
+               "               [--serve=PORT]\n"
                "       nfp_cli profile <policy-file> [--plane=nfp|onv|rtc] "
                "[--packets=N]\n"
                "               [--rate=PPS] [--size=BYTES] [--trace-every=N] "
-               "[--json] [--watch=MS]\n");
+               "[--json] [--watch=MS]\n"
+               "               [--serve=PORT]\n"
+               "       nfp_cli top [--port=P] [--interval=MS] "
+               "[--iterations=N]\n");
   return 2;
 }
 
@@ -75,6 +99,164 @@ bool flag_value(const char* arg, const char* name, u64* out) {
   return true;
 }
 
+// --serve / top run until interrupted.
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop_signal(int) { g_stop = 1; }
+
+void install_stop_handler() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+// Sleeps `ms` in short slices so Ctrl-C stays responsive.
+void interruptible_sleep_ms(u64 ms) {
+  while (ms > 0 && g_stop == 0) {
+    const u64 slice = ms < 50 ? ms : 50;
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+// Everything serve mode needs from whichever dataplane the caller built.
+struct ServeSources {
+  sim::Simulator* sim = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;  // null disables /profile + /trace
+  telemetry::FlightRecorder* recorder = nullptr;
+  PacketPool* pool = nullptr;
+  std::function<void(Packet*)> inject;
+  std::function<void()> snapshot;  // refresh point-in-time gauges
+};
+
+// Serve mode: inject `packets` per wave forever, with the observability
+// plane live on 127.0.0.1:port. The mutex serializes the wave loop (the
+// only structural mutator of the registry and tracer ring) against the
+// stats-server handlers and the collector tick.
+int serve_loop(const ServeSources& src, u64 port, u64 packets,
+               double rate_pps, std::size_t frame_size) {
+  std::mutex mu;
+
+  telemetry::Watchdog watchdog(*src.recorder);
+  watchdog.set_registry(src.metrics);
+  watchdog.watch_drop_counter("dataplane", [metrics = src.metrics] {
+    u64 total = 0;
+    for (const auto& [key, c] : metrics->counters()) {
+      if (key.name == "packets_dropped_total") total += c.value.load();
+    }
+    return total;
+  });
+  watchdog.watch_pool("pool", [pool = src.pool] { return pool->in_use(); },
+                      src.pool->capacity());
+
+  // First wave before the server comes up: primes every metric series (so
+  // the per-NF probes below can discover components) and seeds the tracer.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    TrafficConfig traffic;
+    traffic.fixed_size = frame_size;
+    traffic.rate_pps = rate_pps;
+    traffic.packets = packets;
+    traffic.metrics = src.metrics;
+    TrafficGenerator gen(*src.sim, *src.pool, traffic);
+    gen.start([&](Packet* p) { src.inject(p); });
+    src.sim->run();
+    src.snapshot();
+    watchdog.evaluate();
+  }
+
+  telemetry::TimeseriesCollector::Options ts_options;
+  ts_options.period_ms = 500;
+  telemetry::TimeseriesCollector collector(*src.metrics, ts_options);
+  collector.publish_derived(src.metrics);
+  collector.set_mutex(&mu);
+  if (src.tracer != nullptr) {
+    // One critical-path report per tick feeds both the merge-wait share
+    // and the per-NF bottleneck shares (probes run in registration order,
+    // so the cache-refreshing probe goes first).
+    auto shares = std::make_shared<std::map<std::string, double>>();
+    collector.add_probe(
+        "merge_wait_share", {}, [tracer = src.tracer, shares] {
+          const telemetry::CriticalPathReport rep =
+              telemetry::CriticalPathProfiler(*tracer).report();
+          shares->clear();
+          for (const telemetry::NfShare& nf : rep.nfs) {
+            (*shares)[nf.component] = rep.bottleneck_share(nf);
+          }
+          return rep.stage_fraction(telemetry::Stage::kMergeWait);
+        });
+    std::vector<std::string> components;
+    for (const auto& [key, h] : src.metrics->histograms()) {
+      if (key.name != "nf_service_ns") continue;
+      for (const auto& [k, v] : key.labels) {
+        if (k == "nf") components.push_back(v);
+      }
+    }
+    std::sort(components.begin(), components.end());
+    components.erase(std::unique(components.begin(), components.end()),
+                     components.end());
+    for (const std::string& component : components) {
+      collector.add_probe("bottleneck_share", {{"nf", component}},
+                          [shares, component] {
+                            const auto it = shares->find(component);
+                            return it == shares->end() ? 0.0 : it->second;
+                          });
+    }
+  }
+
+  telemetry::StatsServer server;
+  telemetry::EndpointSources sources;
+  sources.registry = src.metrics;
+  sources.tracer = src.tracer;
+  sources.recorder = src.recorder;
+  sources.watchdog = &watchdog;
+  sources.timeseries = &collector;
+  sources.mu = &mu;
+  telemetry::register_standard_endpoints(server, sources);
+
+  telemetry::StatsServer::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(port);
+  const Status started = server.start(server_options);
+  if (!started) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf(
+      "serving on http://127.0.0.1:%u — /metrics /metrics.json "
+      "/timeseries.json\n/profile.json /recorder.json /trace.json "
+      "/healthz — Ctrl-C to stop\n",
+      static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  install_stop_handler();
+  collector.start();
+  u64 waves = 1;
+  while (g_stop == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      TrafficConfig traffic;
+      traffic.fixed_size = frame_size;
+      traffic.rate_pps = rate_pps;
+      traffic.packets = packets;
+      traffic.seed = 42 + waves;  // vary flows across waves
+      traffic.metrics = src.metrics;
+      TrafficGenerator gen(*src.sim, *src.pool, traffic);
+      gen.start([&](Packet* p) { src.inject(p); });
+      src.sim->run();
+      src.snapshot();
+      watchdog.evaluate();
+    }
+    ++waves;
+    interruptible_sleep_ms(200);
+  }
+
+  collector.stop();
+  server.stop();
+  std::printf("\nstopped after %llu waves; served %llu requests\n",
+              static_cast<unsigned long long>(waves),
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
 int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   bool want_metrics = false;
   bool want_json = false;
@@ -83,6 +265,7 @@ int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 packets = 2'000;
   u64 rate_pps = 10'000;
   u64 frame_size = 128;
+  u64 serve_port = 0;
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--metrics") == 0) {
@@ -94,13 +277,17 @@ int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     } else if (flag_value(arg, "--trace-every", &trace_every) ||
                flag_value(arg, "--packets", &packets) ||
                flag_value(arg, "--rate", &rate_pps) ||
-               flag_value(arg, "--size", &frame_size)) {
+               flag_value(arg, "--size", &frame_size) ||
+               flag_value(arg, "--serve", &serve_port)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown run option '%s'\n", arg);
       return usage();
     }
   }
+  // Serve mode wants live /profile.json and /trace.json; default the
+  // tracer on (sampled) when the caller didn't choose a rate.
+  if (serve_port != 0 && trace_every == 0) trace_every = 16;
 
   sim::Simulator sim;
   DataplaneConfig cfg;
@@ -116,6 +303,20 @@ int run_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
   };
   NfpDataplane dp(sim, graph, std::move(cfg));
+
+  if (serve_port != 0) {
+    ServeSources sources;
+    sources.sim = &sim;
+    sources.metrics = &dp.metrics();
+    sources.tracer = dp.tracer();
+    sources.recorder = &dp.flight_recorder();
+    sources.pool = &dp.pool();
+    sources.inject = [&dp](Packet* p) { dp.inject(p); };
+    sources.snapshot = [&dp] { dp.snapshot_metrics(); };
+    return serve_loop(sources, serve_port, packets,
+                      static_cast<double>(rate_pps),
+                      static_cast<std::size_t>(frame_size));
+  }
 
   TrafficConfig traffic;
   traffic.fixed_size = static_cast<std::size_t>(frame_size);
@@ -187,6 +388,7 @@ int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 rate_pps = 10'000;
   u64 frame_size = 128;
   u64 watch_ms = 0;
+  u64 serve_port = 0;
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
@@ -198,7 +400,8 @@ int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
                flag_value(arg, "--packets", &packets) ||
                flag_value(arg, "--rate", &rate_pps) ||
                flag_value(arg, "--size", &frame_size) ||
-               flag_value(arg, "--watch", &watch_ms)) {
+               flag_value(arg, "--watch", &watch_ms) ||
+               flag_value(arg, "--serve", &serve_port)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown profile option '%s'\n", arg);
@@ -253,6 +456,28 @@ int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     metrics = &rtc_dp->metrics();
     pool = &rtc_dp->pool();
     inject = [&dp = *rtc_dp](Packet* p) { dp.inject(p); };
+  }
+
+  if (serve_port != 0) {
+    // Baselines have no flight recorder of their own; give the watchdog a
+    // local ring so /recorder.json and post-mortems still work.
+    telemetry::FlightRecorder local_recorder;
+    ServeSources sources;
+    sources.sim = &sim;
+    sources.metrics = metrics;
+    sources.tracer = tracer;
+    sources.recorder =
+        nfp_dp ? &nfp_dp->flight_recorder() : &local_recorder;
+    sources.pool = pool;
+    sources.inject = inject;
+    sources.snapshot = [&] {
+      if (nfp_dp) nfp_dp->snapshot_metrics();
+      if (onv_dp) onv_dp->snapshot_metrics();
+      if (rtc_dp) rtc_dp->snapshot_metrics();
+    };
+    return serve_loop(sources, serve_port, packets,
+                      static_cast<double>(rate_pps),
+                      static_cast<std::size_t>(frame_size));
   }
 
   TrafficConfig traffic;
@@ -311,6 +536,195 @@ int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   return 0;
 }
 
+// --- nfp_cli top: live dashboard over /timeseries.json + /healthz -------
+
+struct TopView {
+  double pps_in = 0;
+  double pps_out = 0;
+  double drops_per_s = 0;
+  double merge_wait_share = 0;
+  u64 ticks = 0;
+  std::map<std::string, double> util;       // component -> core_util
+  std::map<std::string, double> p99_ns;     // nf -> nf_service_ns:p99
+  std::map<std::string, double> bn_share;   // nf -> bottleneck share
+  std::vector<double> out_history;          // delivered pps points
+};
+
+std::string series_label(const json::Value& series, const char* key) {
+  const json::Value* labels = series.find("labels");
+  if (labels == nullptr) return {};
+  return std::string(labels->string_or(key, ""));
+}
+
+TopView parse_top_view(const json::Value& doc) {
+  TopView view;
+  view.ticks = static_cast<u64>(doc.number_or("ticks", 0));
+  const json::Value* series = doc.find("series");
+  if (series == nullptr || !series->is_array()) return view;
+  for (const json::Value& s : series->items()) {
+    const std::string name(s.string_or("name", ""));
+    const double last = s.number_or("last", 0);
+    if (name == "packets_injected_total:rate") {
+      view.pps_in += last;
+    } else if (name == "packets_delivered_total:rate") {
+      view.pps_out += last;
+      const json::Value* points = s.find("points");
+      if (points != nullptr && points->is_array()) {
+        for (const json::Value& p : points->items()) {
+          if (p.is_array() && p.size() == 2) {
+            view.out_history.push_back(p.items()[1].as_number());
+          }
+        }
+      }
+    } else if (name == "packets_dropped_total:rate") {
+      view.drops_per_s += last;
+    } else if (name == "merge_wait_share") {
+      view.merge_wait_share = last;
+    } else if (name == "core_util") {
+      view.util[series_label(s, "component")] = last;
+    } else if (name == "nf_service_ns:p99") {
+      view.p99_ns[series_label(s, "nf")] = last;
+    } else if (name == "bottleneck_share") {
+      view.bn_share[series_label(s, "nf")] = last;
+    }
+  }
+  return view;
+}
+
+std::string util_bar(double fraction, int width = 20) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string bar = "[";
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '-';
+  return bar + "]";
+}
+
+std::string sparkline(const std::vector<double>& points, std::size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  if (points.empty()) return {};
+  const std::size_t start =
+      points.size() > width ? points.size() - width : 0;
+  double hi = 0;
+  for (std::size_t i = start; i < points.size(); ++i) {
+    hi = std::max(hi, points[i]);
+  }
+  std::string out;
+  for (std::size_t i = start; i < points.size(); ++i) {
+    const double frac = hi > 0 ? points[i] / hi : 0;
+    const int level = static_cast<int>(frac * 9 + 0.5);
+    out += kLevels[level < 0 ? 0 : level > 9 ? 9 : level];
+  }
+  return out;
+}
+
+void render_top(const TopView& view, const std::string& health_body,
+                int health_status, u64 port, bool clear_screen) {
+  if (clear_screen) std::printf("\x1b[H\x1b[2J");
+  std::printf("nfp top — 127.0.0.1:%llu   tick %llu   ",
+              static_cast<unsigned long long>(port),
+              static_cast<unsigned long long>(view.ticks));
+  if (health_status == 200) {
+    std::printf("healthy\n");
+  } else {
+    std::printf("UNHEALTHY (HTTP %d)\n", health_status);
+    const auto health = json::Value::parse(health_body);
+    if (health) {
+      const json::Value* firing = health.value().find("firing");
+      if (firing != nullptr && firing->is_array()) {
+        for (const json::Value& f : firing->items()) {
+          if (f.is_string()) std::printf("  !! %s\n", f.as_string().c_str());
+        }
+      }
+    }
+  }
+  std::printf("  in %9.1f pps   out %9.1f pps   drops %7.1f/s   "
+              "merge-wait %4.1f%%\n",
+              view.pps_in, view.pps_out, view.drops_per_s,
+              100.0 * view.merge_wait_share);
+  if (!view.out_history.empty()) {
+    std::printf("  out pps %s\n", sparkline(view.out_history, 48).c_str());
+  }
+
+  // Bottleneck NF: the largest critical-path share.
+  std::string bottleneck;
+  double bottleneck_share = 0;
+  for (const auto& [nf, share] : view.bn_share) {
+    if (share > bottleneck_share) {
+      bottleneck_share = share;
+      bottleneck = nf;
+    }
+  }
+  if (!bottleneck.empty()) {
+    std::printf("  bottleneck %s (%.1f%% of critical paths)\n",
+                bottleneck.c_str(), 100.0 * bottleneck_share);
+  }
+
+  std::printf("\n  %-22s %-22s %6s %12s %10s\n", "component", "utilization",
+              "", "p99 service", "bn share");
+  for (const auto& [component, util] : view.util) {
+    std::printf("  %-22s %s %5.1f%%", component.c_str(),
+                util_bar(util).c_str(), 100.0 * util);
+    const auto p99 = view.p99_ns.find(component);
+    if (p99 != view.p99_ns.end()) {
+      std::printf(" %9.1f us", p99->second / 1e3);
+    } else {
+      std::printf(" %12s", "—");
+    }
+    const auto share = view.bn_share.find(component);
+    if (share != view.bn_share.end()) {
+      std::printf(" %8.1f%%", 100.0 * share->second);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+int top_command(int argc, char** argv) {
+  u64 port = 9100;
+  u64 interval_ms = 1000;
+  u64 iterations = 0;  // 0 = until Ctrl-C
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (flag_value(arg, "--port", &port) ||
+        flag_value(arg, "--interval", &interval_ms) ||
+        flag_value(arg, "--iterations", &iterations)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown top option '%s'\n", arg);
+      return usage();
+    }
+  }
+
+  install_stop_handler();
+  const bool clear_screen = iterations != 1;
+  for (u64 i = 0; (iterations == 0 || i < iterations) && g_stop == 0; ++i) {
+    auto ts = telemetry::http_get(static_cast<std::uint16_t>(port),
+                                  "/timeseries.json");
+    if (!ts) {
+      std::fprintf(stderr,
+                   "error: %s\n(is `nfp_cli run <policy> --serve=%llu` "
+                   "running?)\n",
+                   ts.error().c_str(), static_cast<unsigned long long>(port));
+      return 1;
+    }
+    auto health =
+        telemetry::http_get(static_cast<std::uint16_t>(port), "/healthz");
+    const auto doc = json::Value::parse(ts.value().body);
+    if (!doc) {
+      std::fprintf(stderr, "error: bad /timeseries.json: %s\n",
+                   doc.error().c_str());
+      return 1;
+    }
+    render_top(parse_top_view(doc.value()),
+               health ? health.value().body : std::string(),
+               health ? health.value().status : 0, port, clear_screen);
+    if (iterations != 0 && i + 1 == iterations) break;
+    interruptible_sleep_ms(interval_ms);
+  }
+  return 0;
+}
+
 Result<ServiceGraph> load_and_compile(const std::string& path,
                                       CompileReport* report) {
   std::ifstream in(path);
@@ -330,6 +744,10 @@ Result<ServiceGraph> load_and_compile(const std::string& path,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+
+  if (command == "top") {
+    return top_command(argc, argv);
+  }
 
   if (command == "stats") {
     const ActionTable table = ActionTable::with_builtin_nfs();

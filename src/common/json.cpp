@@ -1,0 +1,376 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nfp::json {
+
+namespace {
+
+// Nesting guard: deeper documents are rejected rather than recursed into.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos + 4 > text.size()) return false;
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected '\"'");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return fail("bad \\u escape");
+          // Surrogate pair: \uD8xx must be followed by \uDCxx.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            unsigned low = 0;
+            if (pos + 1 < text.size() && text[pos] == '\\' &&
+                text[pos + 1] == 'u') {
+              pos += 2;
+              if (!parse_hex4(&low) || low < 0xDC00 || low > 0xDFFF) {
+                return fail("bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return fail("lone high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return fail("malformed number");
+    }
+    *out = v;
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      std::vector<Value::Member> members;
+      skip_ws();
+      if (consume('}')) {
+        *out = Value::object();
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        Value member;
+        if (!parse_value(&member, depth + 1)) return false;
+        members.emplace_back(std::move(key), std::move(member));
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        return fail("expected ',' or '}'");
+      }
+      *out = Value::object(std::move(members));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      std::vector<Value> items;
+      skip_ws();
+      if (consume(']')) {
+        *out = Value::array();
+        return true;
+      }
+      while (true) {
+        Value item;
+        if (!parse_value(&item, depth + 1)) return false;
+        items.push_back(std::move(item));
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        return fail("expected ',' or ']'");
+      }
+      *out = Value::array(std::move(items));
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Value::string(std::move(s));
+      return true;
+    }
+    if (literal("true")) {
+      *out = Value::boolean(true);
+      return true;
+    }
+    if (literal("false")) {
+      *out = Value::boolean(false);
+      return true;
+    }
+    if (literal("null")) {
+      *out = Value();
+      return true;
+    }
+    double n = 0;
+    if (!parse_number(&n)) return false;
+    *out = Value::number(n);
+    return true;
+  }
+};
+
+}  // namespace
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::vector<Member> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+Result<Value> Value::parse(std::string_view text) {
+  Parser parser{text, 0, {}};
+  Value out;
+  if (!parser.parse_value(&out, 0)) {
+    return Result<Value>::error("json: " + parser.error);
+  }
+  if (!parser.at_end()) {
+    return Result<Value>::error("json: trailing characters at offset " +
+                                std::to_string(parser.pos));
+  }
+  return out;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const noexcept {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string_view Value::string_or(std::string_view key,
+                                  std::string_view fallback) const noexcept {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? std::string_view(v->as_string())
+                                        : fallback;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Value::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      if (!std::isfinite(number_)) return "null";
+      char buf[48];
+      if (number_ >= -9.2e18 && number_ <= 9.2e18 &&
+          number_ == static_cast<double>(static_cast<long long>(number_))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      return buf;
+    }
+    case Type::kString: return "\"" + escape(string_) + "\"";
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += items_[i].dump();
+      }
+      return out + "]";
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + escape(members_[i].first) + "\":" +
+               members_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+}  // namespace nfp::json

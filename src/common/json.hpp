@@ -1,0 +1,82 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The observability plane speaks JSON in both directions: the stats server
+// renders it, and `nfp_cli top` / the tests parse it back. This is the
+// parsing half — a small, dependency-free reader covering the full JSON
+// grammar (objects, arrays, strings with escapes, numbers, literals) with
+// a depth limit as a malformed-input guard. It keeps numbers as doubles,
+// which is exact for every integer the telemetry layer emits (< 2^53).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace nfp::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Object members keep source order; lookup is linear (documents here are
+  // small and scanned once).
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;  // null
+
+  static Value boolean(bool b);
+  static Value number(double n);
+  static Value string(std::string s);
+  static Value array(std::vector<Value> items = {});
+  static Value object(std::vector<Member> members = {});
+
+  // Parses exactly one JSON document; trailing non-whitespace is an error.
+  static Result<Value> parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<Value>& items() const noexcept { return items_; }
+  const std::vector<Member>& members() const noexcept { return members_; }
+
+  // Object member by key; null when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+
+  // Typed convenience lookups with defaults (for tolerant consumers).
+  double number_or(std::string_view key, double fallback) const noexcept;
+  std::string_view string_or(std::string_view key,
+                             std::string_view fallback) const noexcept;
+
+  std::size_t size() const noexcept {
+    return is_array() ? items_.size() : is_object() ? members_.size() : 0;
+  }
+
+  // Serializes back to compact JSON (strings escaped; non-finite numbers
+  // as null, matching the exporters).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+// Escapes a string for embedding in a JSON document (no surrounding
+// quotes). Control characters use \u00XX.
+std::string escape(std::string_view s);
+
+}  // namespace nfp::json

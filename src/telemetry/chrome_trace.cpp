@@ -1,0 +1,249 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nfp::telemetry {
+
+namespace {
+
+// Track registry: component name -> stable thread id, plus a sort index
+// that lays the timeline out in pipeline order.
+struct Tracks {
+  std::map<std::string, int> tids;
+
+  int tid(const std::string& component) {
+    const auto it = tids.find(component);
+    if (it != tids.end()) return it->second;
+    const int id = static_cast<int>(tids.size()) + 1;
+    tids.emplace(component, id);
+    return id;
+  }
+
+  static int sort_index(const std::string& component) {
+    if (component == "rx-link") return 0;
+    if (component == "classifier" || component == "switch") return 1;
+    if (component.rfind("copy-", 0) == 0) return 2;
+    if (component.rfind("nf:", 0) == 0) return 10;
+    if (component.rfind("merger", 0) == 0) return 100;
+    if (component == "tx-link") return 1000;
+    return 50;
+  }
+};
+
+// One trace event line. ts/dur are simulated nanoseconds, rendered as
+// microseconds (the unit the trace-event format mandates).
+void emit(std::ostringstream& out, bool& first, const char* ph,
+          const std::string& name, const char* cat, double ts_ns, int tid,
+          const std::string& extra = {}) {
+  if (!first) out << ",\n";
+  first = false;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f", ph, tid,
+                ts_ns / 1e3);
+  out << head << ",\"name\":\"" << json::escape(name) << "\",\"cat\":\""
+      << cat << "\"";
+  if (!extra.empty()) out << "," << extra;
+  out << "}";
+}
+
+void emit_slice(std::ostringstream& out, bool& first, const std::string& name,
+                const char* cat, double start_ns, double end_ns, int tid,
+                u64 pid, u8 version) {
+  if (end_ns < start_ns) end_ns = start_ns;
+  char extra[128];
+  std::snprintf(extra, sizeof(extra),
+                "\"dur\":%.3f,\"args\":{\"packet\":%llu,\"version\":%u}",
+                (end_ns - start_ns) / 1e3,
+                static_cast<unsigned long long>(pid),
+                static_cast<unsigned>(version));
+  emit(out, first, "X", name, cat, start_ns, tid, extra);
+}
+
+std::string pkt_label(u64 pid) {
+  return "p" + std::to_string(pid);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  const std::map<u64, std::vector<SpanEvent>> by_pid = tracer.events_by_pid();
+  Tracks tracks;
+  std::ostringstream events;
+  bool first = true;
+  u64 flow_id = 0;
+
+  for (const auto& [pid, spans] : by_pid) {
+    // Walk state: where the packet last became distributable (classify or
+    // merge-complete), per-version copy completion, open NF services, and
+    // the arrivals accumulating toward the next merge.
+    double dispatch_ns = 0;          // classify / merge-complete time
+    bool dispatched = false;
+    std::map<u8, double> copy_done;  // version -> copy completion
+    struct OpenService {
+      std::string component;
+      double enter_ns = 0;
+      u8 version = 1;
+    };
+    std::vector<OpenService> open;  // un-exited nf-enter spans
+    struct Exited {
+      std::string component;
+      double exit_ns = 0;
+    };
+    std::vector<Exited> exited;     // completed services awaiting merge
+    struct Arrival {
+      std::string sender;
+      double at_ns = 0;
+    };
+    std::vector<Arrival> arrivals;
+    double last_ns = 0;  // latest span timestamp seen (for the tx slice)
+
+    for (const SpanEvent& ev : spans) {
+      const auto at = static_cast<double>(ev.at);
+      switch (ev.kind) {
+        case SpanKind::kInject:
+          tracks.tid(ev.component);
+          last_ns = at;
+          break;
+        case SpanKind::kClassify: {
+          const int tid = tracks.tid(ev.component);
+          emit_slice(events, first, pkt_label(pid) + " classify", "classify",
+                     last_ns, at, tid, pid, ev.version);
+          dispatch_ns = at;
+          dispatched = true;
+          last_ns = at;
+          break;
+        }
+        case SpanKind::kCopy: {
+          const int tid = tracks.tid(ev.component);
+          const double start = dispatched ? dispatch_ns : last_ns;
+          emit_slice(events, first,
+                     pkt_label(pid) + " copy v" + std::to_string(ev.version),
+                     "copy", start, at, tid, pid, ev.version);
+          copy_done[ev.version] = at;
+          last_ns = std::max(last_ns, at);
+          break;
+        }
+        case SpanKind::kNfEnter: {
+          const int tid = tracks.tid(ev.component);
+          // Ring-queue wait: from this version's copy (or the dispatch
+          // point) until the NF picked the packet up.
+          double qstart = dispatched ? dispatch_ns : last_ns;
+          const auto copy_it = copy_done.find(ev.version);
+          if (copy_it != copy_done.end()) qstart = copy_it->second;
+          if (at > qstart) {
+            emit_slice(events, first, pkt_label(pid) + " queue", "queue",
+                       qstart, at, tid, pid, ev.version);
+          }
+          open.push_back(OpenService{ev.component, at, ev.version});
+          last_ns = std::max(last_ns, at);
+          break;
+        }
+        case SpanKind::kNfExit: {
+          const int tid = tracks.tid(ev.component);
+          // Pair with the oldest open enter on the same component.
+          double enter_ns = last_ns;
+          u8 version = ev.version;
+          for (std::size_t i = 0; i < open.size(); ++i) {
+            if (open[i].component == ev.component) {
+              enter_ns = open[i].enter_ns;
+              version = open[i].version;
+              open.erase(open.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+              break;
+            }
+          }
+          emit_slice(events, first, pkt_label(pid) + " service", "service",
+                     enter_ns, at, tid, pid, version);
+          exited.push_back(Exited{ev.component, at});
+          last_ns = std::max(last_ns, at);
+          break;
+        }
+        case SpanKind::kMergerArrival:
+          arrivals.push_back(Arrival{ev.component, at});
+          last_ns = std::max(last_ns, at);
+          break;
+        case SpanKind::kMergeComplete: {
+          const int tid = tracks.tid(ev.component);
+          double start = at;
+          for (const Arrival& a : arrivals) start = std::min(start, a.at_ns);
+          emit_slice(events, first, pkt_label(pid) + " merge", "merge", start,
+                     at, tid, pid, ev.version);
+          // One flow arrow per arrival: service slice -> merge slice. The
+          // arrival span's component names the sending NF instance.
+          for (const Arrival& a : arrivals) {
+            ++flow_id;
+            double src_ns = a.at_ns;
+            int src_tid = tid;
+            for (const Exited& x : exited) {
+              if (x.component == a.sender) {
+                src_ns = x.exit_ns;
+                src_tid = tracks.tid(x.component);
+                break;
+              }
+            }
+            char extra[64];
+            std::snprintf(extra, sizeof(extra), "\"id\":%llu",
+                          static_cast<unsigned long long>(flow_id));
+            emit(events, first, "s", pkt_label(pid) + " merge-wait", "flow",
+                 src_ns, src_tid, extra);
+            std::snprintf(extra, sizeof(extra), "\"id\":%llu,\"bp\":\"e\"",
+                          static_cast<unsigned long long>(flow_id));
+            emit(events, first, "f", pkt_label(pid) + " merge-wait", "flow",
+                 at, tid, extra);
+          }
+          arrivals.clear();
+          exited.clear();
+          copy_done.clear();
+          dispatch_ns = at;
+          dispatched = true;
+          last_ns = std::max(last_ns, at);
+          break;
+        }
+        case SpanKind::kOutput: {
+          const int tid = tracks.tid(ev.component);
+          emit_slice(events, first, pkt_label(pid) + " tx", "output", last_ns,
+                     at, tid, pid, ev.version);
+          last_ns = at;
+          break;
+        }
+        case SpanKind::kDrop: {
+          const int tid = tracks.tid(ev.component);
+          emit(events, first, "i", pkt_label(pid) + " drop", "drop", at, tid,
+               "\"s\":\"t\",\"args\":{\"packet\":" + std::to_string(pid) +
+                   "}");
+          last_ns = std::max(last_ns, at);
+          break;
+        }
+      }
+    }
+  }
+
+  // Metadata: process + per-track thread names and pipeline sort order.
+  std::ostringstream meta;
+  meta << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"nfp dataplane\"}}";
+  for (const auto& [component, tid] : tracks.tids) {
+    meta << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << json::escape(component) << "\"}}";
+    meta << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+         << Tracks::sort_index(component) << "}}";
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n" << meta.str();
+  const std::string body = events.str();
+  if (!body.empty()) out << ",\n" << body;
+  out << "\n]}";
+  return out.str();
+}
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,32 @@
+// Chrome trace-event export of per-packet span timelines.
+//
+// Converts a Tracer's retained spans (the shared grammar emitted by the
+// NFP, ONV and RTC planes) into the Chrome trace-event JSON format, so a
+// run can be loaded into ui.perfetto.dev (or chrome://tracing) and read as
+// a real timeline: one track per pipeline component (classifier, each NF
+// instance, each merger, the TX link), one slice per stage a packet spent
+// time in, and flow arrows from every parallel branch's NF-exit into the
+// merge slice — the §5.3 merge-wait made visible as converging arrows.
+//
+// Mapping (trace-event "phases"):
+//  * "X" complete slices: classify [inject → classify], copy, queue-wait,
+//    NF service [nf-enter → nf-exit], merge [first arrival → complete],
+//    tx [merge/exit → output]. Timestamps are simulated-time microseconds.
+//  * "s"/"f" flow events: one arrow per merger arrival, from the sending
+//    branch's service slice to the segment's merge slice.
+//  * "i" instant events: drops.
+//  * "M" metadata: process/thread names and a sort index that orders the
+//    tracks pipeline-first (RX, classifier, copies, NFs, mergers, TX).
+#pragma once
+
+#include <string>
+
+#include "telemetry/tracer.hpp"
+
+namespace nfp::telemetry {
+
+// Renders the full retained window as a Chrome trace JSON document:
+// {"displayTimeUnit":"ns","traceEvents":[...]}.
+std::string to_chrome_trace(const Tracer& tracer);
+
+}  // namespace nfp::telemetry

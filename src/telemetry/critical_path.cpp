@@ -6,7 +6,6 @@
 #include <set>
 #include <sstream>
 
-#include "common/logging.hpp"
 
 namespace nfp::telemetry {
 
@@ -234,12 +233,9 @@ CriticalPathReport CriticalPathProfiler::report() const {
     rep.merge_wait_ns.record(static_cast<u64>(packet_wait));
   }
 
-  if (rep.incomplete > 0) {
-    log_warn("critical-path profiler: ", rep.incomplete,
-             " traced packets had evicted/partial span sets and were "
-             "skipped; raise trace_capacity for full coverage");
-  }
-
+  // `incomplete` (evicted/partial span sets) is reported in to_text() and
+  // to_json() rather than logged: under --serve the profiler runs on every
+  // collector tick, where ring eviction is steady-state, not anomalous.
   rep.nfs.reserve(nfs.size());
   for (auto& [component, share] : nfs) rep.nfs.push_back(std::move(share));
   std::sort(rep.nfs.begin(), rep.nfs.end(),

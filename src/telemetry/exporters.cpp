@@ -1,5 +1,6 @@
 #include "telemetry/exporters.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -38,11 +39,12 @@ std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape_label(v) + "\"";
   }
   if (extra_key != nullptr) {
     if (!first) out += ",";
-    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+    out += std::string(extra_key) + "=\"" + prom_escape_label(extra_value) +
+           "\"";
   }
   out += "}";
   return out;
@@ -60,15 +62,13 @@ std::string json_labels(const Labels& labels) {
   return out;
 }
 
-std::string fmt_double(double v) {
-  char buf[48];
-  // Integral values render without a fractional part (counter-like gauges).
-  if (v == static_cast<double>(static_cast<long long>(v))) {
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-  }
-  return buf;
+std::string fmt_double(double v) { return fmt_prom_double(v); }
+
+// JSON has no literal for non-finite numbers; they render as null so the
+// output stays machine-parseable.
+std::string fmt_json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  return fmt_prom_double(v);
 }
 
 // Matches a metric against (name, plane label) for the report.
@@ -78,6 +78,35 @@ bool in_plane(const MetricKey& key, const std::string& plane) {
 }
 
 }  // namespace
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_prom_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[48];
+  // Integral values render without a fractional part (counter-like gauges).
+  // The finiteness check above keeps the cast defined.
+  if (v >= -9.2e18 && v <= 9.2e18 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
 
 std::string to_prometheus(const MetricsRegistry& registry) {
   std::ostringstream out;
@@ -139,8 +168,8 @@ std::string to_json(const MetricsRegistry& registry) {
     first = false;
     out << "{\"name\":\"" << json_escape(key.name)
         << "\",\"labels\":" << json_labels(key.labels) << ",\"value\":"
-        << fmt_double(g.value) << ",\"high_water\":" << fmt_double(g.high_water)
-        << "}";
+        << fmt_json_double(g.value) << ",\"high_water\":"
+        << fmt_json_double(g.high_water) << "}";
   }
   out << "],\"histograms\":[";
   first = true;
@@ -150,7 +179,7 @@ std::string to_json(const MetricsRegistry& registry) {
     out << "{\"name\":\"" << json_escape(key.name)
         << "\",\"labels\":" << json_labels(key.labels) << ",\"count\":"
         << h.count() << ",\"min\":" << h.min() << ",\"mean\":"
-        << fmt_double(h.mean()) << ",\"p50\":" << h.quantile(0.5)
+        << fmt_json_double(h.mean()) << ",\"p50\":" << h.quantile(0.5)
         << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
         << ",\"max\":" << h.max() << "}";
   }
@@ -270,8 +299,8 @@ std::string component_report(const MetricsRegistry& registry) {
           }
         }
         std::snprintf(line, sizeof(line),
-                      "pool: high-water %.0f / %.0f packets\n", g.high_water,
-                      capacity);
+                      "pool: high-water %.0f / %.0f packets\n",
+                      g.high_water.load(), capacity);
         out << line;
       }
       if (key.name == "merger_at_entries" && in_plane(key, plane)) {
@@ -279,7 +308,8 @@ std::string component_report(const MetricsRegistry& registry) {
         std::snprintf(line, sizeof(line),
                       "merger#%s accumulating table: high-water %.0f "
                       "entries\n",
-                      merger != nullptr ? merger->c_str() : "?", g.high_water);
+                      merger != nullptr ? merger->c_str() : "?",
+                      g.high_water.load());
         out << line;
       }
     }

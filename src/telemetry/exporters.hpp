@@ -24,4 +24,13 @@ std::string to_prometheus(const MetricsRegistry& registry);
 std::string to_json(const MetricsRegistry& registry);
 std::string component_report(const MetricsRegistry& registry);
 
+// Escapes a label value per the Prometheus text exposition format:
+// backslash, double-quote and newline become \\, \" and \n. Shared by
+// to_prometheus and the stats server's /metrics endpoint.
+std::string prom_escape_label(std::string_view value);
+
+// Renders a double the way Prometheus parses it: non-finite values as
+// "NaN", "+Inf", "-Inf"; integral values without a fractional part.
+std::string fmt_prom_double(double v);
+
 }  // namespace nfp::telemetry

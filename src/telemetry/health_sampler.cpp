@@ -81,8 +81,9 @@ bool Watchdog::evaluate() {
 
   for (DropRule& rule : drops_) {
     const u64 value = rule.value();
-    if (rule.primed && value > rule.last &&
-        value - rule.last >= options_.drop_spike) {
+    const bool spiking = rule.primed && value > rule.last &&
+                         value - rule.last >= options_.drop_spike;
+    if (spiking) {
       fired = true;
       std::ostringstream msg;
       msg << "drop spike: +" << (value - rule.last)
@@ -90,6 +91,7 @@ bool Watchdog::evaluate() {
           << ")";
       fire(Severity::kWarn, rule.component, msg.str());
     }
+    rule.firing = spiking;
     rule.last = value;
     rule.primed = true;
   }
@@ -111,12 +113,34 @@ bool Watchdog::evaluate() {
     }
   }
 
+  // Publish the currently-firing set for /healthz readers on other threads.
+  std::vector<std::string> active;
+  for (const HeartbeatRule& rule : heartbeats_) {
+    if (rule.firing) active.push_back(rule.component + ": worker stalled");
+  }
+  for (const DropRule& rule : drops_) {
+    if (rule.firing) active.push_back(rule.component + ": drop spike");
+  }
+  for (const PoolRule& rule : pools_) {
+    if (rule.firing) active.push_back(rule.component + ": pool exhausted");
+  }
+  firing_count_.store(active.size(), std::memory_order_release);
+  {
+    const std::scoped_lock lock(dump_mu_);
+    firing_ = std::move(active);
+  }
+
   return fired;
 }
 
 std::string Watchdog::last_dump() const {
   const std::scoped_lock lock(dump_mu_);
   return last_dump_;
+}
+
+std::vector<std::string> Watchdog::firing() const {
+  const std::scoped_lock lock(dump_mu_);
+  return firing_;
 }
 
 // ---------------------------------------------------------------------------

@@ -8,8 +8,9 @@
 //    set of registered probes (plain `double()` closures over atomics or
 //    briefly-locked state) and records them into registry gauges. Gauges
 //    are resolved once at add_probe(); the sampler thread is their only
-//    writer while running, so readers must stop() first (or accept torn
-//    doubles) — the exporters are run after stop() everywhere in-tree.
+//    writer while running. Gauge cells are relaxed atomics (registry.hpp),
+//    so exporter / stats-server threads may read concurrently without
+//    tearing — no stop() required before scraping.
 //  * Watchdog — anomaly rules evaluated after each sampler tick (or
 //    manually): a worker heartbeat older than `stall_after_ns`, a
 //    drop-counter delta above `drop_spike`, or pool exhaustion. On firing,
@@ -71,6 +72,17 @@ class Watchdog {
   u64 anomalies() const { return anomalies_.load(std::memory_order_acquire); }
   std::string last_dump() const;
 
+  // Liveness view for /healthz: rules whose condition currently holds
+  // (stalled worker, exhausted pool, drop rate above threshold as of the
+  // last evaluation). Readable from any thread while evaluate() runs on
+  // the sampler thread.
+  std::size_t firing_count() const {
+    return firing_count_.load(std::memory_order_acquire);
+  }
+  bool healthy() const { return firing_count() == 0; }
+  // "component: condition" strings for the currently-firing rules.
+  std::vector<std::string> firing() const;
+
  private:
   struct HeartbeatRule {
     std::string component;
@@ -82,6 +94,7 @@ class Watchdog {
     std::function<u64()> value;
     u64 last = 0;
     bool primed = false;
+    bool firing = false;
   };
   struct PoolRule {
     std::string component;
@@ -101,8 +114,10 @@ class Watchdog {
   std::vector<DropRule> drops_;
   std::vector<PoolRule> pools_;
   std::atomic<u64> anomalies_{0};
+  std::atomic<std::size_t> firing_count_{0};
   mutable std::mutex dump_mu_;
   std::string last_dump_;
+  std::vector<std::string> firing_;  // guarded by dump_mu_
 };
 
 class HealthSampler {

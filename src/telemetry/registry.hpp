@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <string>
 #include <utility>
@@ -32,20 +33,53 @@ namespace nfp::telemetry {
 // same time series.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+// Tear-free metric cell: a relaxed atomic with value semantics, so
+// registries stay copyable/mergeable while live-pipeline workers, the
+// health sampler and the stats-server / timeseries threads read and write
+// concurrently. Relaxed ordering is sufficient — each cell is an
+// independent statistic, not a synchronization point. Structural registry
+// mutation (creating new series) is still single-threaded; only the cell
+// values are cross-thread.
+template <typename T>
+class Cell {
+ public:
+  Cell() noexcept = default;
+  Cell(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  Cell(const Cell& other) noexcept : v_(other.load()) {}
+  Cell& operator=(const Cell& other) noexcept {
+    store(other.load());
+    return *this;
+  }
+  Cell& operator=(T v) noexcept {
+    store(v);
+    return *this;
+  }
+  T load() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void store(T v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(T v) noexcept { v_.fetch_add(v, std::memory_order_relaxed); }
+  operator T() const noexcept { return load(); }  // NOLINT
+
+ private:
+  std::atomic<T> v_{};
+};
+
 // Monotone event count.
 struct Counter {
-  u64 value = 0;
-  void inc(u64 n = 1) noexcept { value += n; }
+  Cell<u64> value;
+  void inc(u64 n = 1) noexcept { value.add(n); }
 };
 
 // Point-in-time value with a high-water mark (e.g. packet-pool occupancy,
-// merger accumulating-table size). `set` is the hot-path call.
+// merger accumulating-table size). `set` is the hot-path call. Writers are
+// single-threaded per gauge (the owning component or the sampler thread);
+// the atomic cells make concurrent *reads* from exporter/server threads
+// tear-free.
 struct Gauge {
-  double value = 0;
-  double high_water = 0;
+  Cell<double> value;
+  Cell<double> high_water;
   void set(double v) noexcept {
-    value = v;
-    if (v > high_water) high_water = v;
+    value.store(v);
+    if (v > high_water.load()) high_water.store(v);
   }
 };
 
@@ -77,11 +111,14 @@ class MetricsRegistry {
   // gauges keep the larger value and high-water mark. Series present only
   // in `other` are created.
   void merge(const MetricsRegistry& other) {
-    for (const auto& [k, c] : other.counters_) counters_[k].value += c.value;
+    for (const auto& [k, c] : other.counters_) {
+      counters_[k].value.add(c.value.load());
+    }
     for (const auto& [k, g] : other.gauges_) {
       Gauge& mine = gauges_[k];
-      mine.value = std::max(mine.value, g.value);
-      mine.high_water = std::max(mine.high_water, g.high_water);
+      mine.value.store(std::max(mine.value.load(), g.value.load()));
+      mine.high_water.store(
+          std::max(mine.high_water.load(), g.high_water.load()));
     }
     for (const auto& [k, h] : other.histograms_) histograms_[k].merge(h);
   }

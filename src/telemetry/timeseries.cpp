@@ -1,0 +1,234 @@
+#include "telemetry/timeseries.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "telemetry/health_sampler.hpp"
+
+namespace nfp::telemetry {
+
+namespace {
+
+// Gauge histories for series the collector itself derived would feed back
+// into the scan on the next tick (rate-of-a-rate and so on); derived
+// names are marked with ':' or listed here and skipped.
+bool is_derived_name(const std::string& name) {
+  return name.find(':') != std::string::npos || name == "core_util";
+}
+
+}  // namespace
+
+TimeseriesCollector::TimeseriesCollector(const MetricsRegistry& source,
+                                         Options options)
+    : source_(source), options_(std::move(options)) {
+  if (!options_.clock) options_.clock = mono_now_ns;
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.period_ms == 0) options_.period_ms = 1;
+}
+
+TimeseriesCollector::~TimeseriesCollector() { stop(); }
+
+void TimeseriesCollector::add_probe(std::string name, Labels labels,
+                                    std::function<double()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(
+      Probe{MetricKey{std::move(name), std::move(labels)}, std::move(read)});
+}
+
+bool TimeseriesCollector::append(const MetricKey& key, const std::string& kind,
+                                 u64 t_ns, double value, bool publish) {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) {
+      ++dropped_series_;
+      return false;
+    }
+    Series s;
+    s.key = key;
+    s.kind = kind;
+    if (publish && derived_target_ != nullptr) {
+      s.derived = &derived_target_->gauge(key.name, key.labels);
+    }
+    it = series_.emplace(key, std::move(s)).first;
+  }
+  Series& s = it->second;
+  s.points.push_back(Point{t_ns, value});
+  while (s.points.size() > options_.capacity) s.points.pop_front();
+  s.last = value;
+  if (s.derived != nullptr) s.derived->set(value);
+  return true;
+}
+
+void TimeseriesCollector::tick_locked() {
+  const u64 now = options_.clock();
+  if (first_tick_ns_ == 0) first_tick_ns_ = now;
+  const double elapsed_s =
+      last_tick_ns_ == 0 ? 0 : static_cast<double>(now - last_tick_ns_) / 1e9;
+
+  // Counters -> ":rate" (events/s over the tick interval). The first tick
+  // only primes the deltas; rates start with the second.
+  for (const auto& [key, c] : source_.counters()) {
+    const u64 value = c.value.load();
+    CounterState& st = counter_state_[key];
+    if (st.primed && elapsed_s > 0) {
+      const u64 delta = value >= st.last ? value - st.last : 0;
+      append(MetricKey{key.name + ":rate", key.labels}, "rate", now,
+             static_cast<double>(delta) / elapsed_s, /*publish=*/true);
+    }
+    st.last = value;
+    st.primed = true;
+  }
+
+  // Gauges -> raw histories. Skip series the collector itself published.
+  for (const auto& [key, g] : source_.gauges()) {
+    if (is_derived_name(key.name)) continue;
+    append(key, "gauge", now, g.value.load(), /*publish=*/false);
+  }
+
+  // core_busy_ns / sim_now_ns -> per-component utilization share. Both are
+  // gauges that only grow (cumulative busy time, the sim clock), so the
+  // delta ratio is the share of simulated time the component spent busy
+  // since the last tick.
+  const auto& util_gauges = source_.gauges();
+  std::map<Labels, u64> sim_now;  // plane label set -> sim clock
+  for (const auto& [key, g] : util_gauges) {
+    if (key.name == "sim_now_ns") {
+      sim_now[key.labels] = static_cast<u64>(g.value.load());
+    }
+  }
+  for (const auto& [key, g] : util_gauges) {
+    if (key.name != "core_busy_ns") continue;
+    // Match the sim clock sharing every label except `component`.
+    Labels base;
+    for (const auto& kv : key.labels) {
+      if (kv.first != "component") base.push_back(kv);
+    }
+    u64 clock_now = 0;
+    if (const auto it = sim_now.find(base); it != sim_now.end()) {
+      clock_now = it->second;
+    } else if (!sim_now.empty()) {
+      clock_now = sim_now.begin()->second;
+    }
+    const MetricKey busy_clock{key.name + "#clock", key.labels};
+    CounterState& clock_st = counter_state_[busy_clock];
+    CounterState& busy_st = counter_state_[key];
+    const u64 busy_now = static_cast<u64>(g.value.load());
+    if (busy_st.primed && clock_st.primed && clock_now > clock_st.last) {
+      const u64 busy_delta =
+          busy_now >= busy_st.last ? busy_now - busy_st.last : 0;
+      const double util = static_cast<double>(busy_delta) /
+                          static_cast<double>(clock_now - clock_st.last);
+      append(MetricKey{"core_util", key.labels}, "util", now,
+             util > 1.0 ? 1.0 : util, /*publish=*/true);
+    }
+    busy_st.last = busy_now;
+    busy_st.primed = true;
+    clock_st.last = clock_now;
+    clock_st.primed = true;
+  }
+
+  // Histograms -> cumulative p50/p99 (quantiles over everything recorded
+  // so far; the interesting movement is in fresh runs, and cumulative
+  // avoids holding per-tick histogram snapshots).
+  for (const auto& [key, h] : source_.histograms()) {
+    if (h.count() == 0) continue;
+    append(MetricKey{key.name + ":p50", key.labels}, "quantile", now,
+           h.quantile(0.50), /*publish=*/true);
+    append(MetricKey{key.name + ":p99", key.labels}, "quantile", now,
+           h.quantile(0.99), /*publish=*/true);
+  }
+
+  // Custom probes (critical-path shares, watchdog counts, ...).
+  for (const Probe& p : probes_) {
+    append(p.key, "probe", now, p.read(), /*publish=*/true);
+  }
+
+  last_tick_ns_ = now;
+  ticks_.fetch_add(1, std::memory_order_release);
+}
+
+void TimeseriesCollector::sample_once() {
+  if (external_mu_ != nullptr) {
+    std::lock_guard<std::mutex> outer(*external_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    tick_locked();
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    tick_locked();
+  }
+}
+
+void TimeseriesCollector::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      sample_once();
+      // Sleep in short slices so stop() is prompt at any period.
+      u64 remaining_ms = options_.period_ms;
+      while (remaining_ms > 0 && !stop_.load(std::memory_order_acquire)) {
+        const u64 slice = remaining_ms < 20 ? remaining_ms : 20;
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        remaining_ms -= slice;
+      }
+    }
+  });
+}
+
+void TimeseriesCollector::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+std::vector<TimeseriesCollector::Point> TimeseriesCollector::history(
+    const std::string& name, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(MetricKey{name, labels});
+  if (it == series_.end()) return {};
+  return std::vector<Point>(it->second.points.begin(),
+                            it->second.points.end());
+}
+
+std::string TimeseriesCollector::to_json() const {
+  std::unique_lock<std::mutex> outer;
+  if (external_mu_ != nullptr) {
+    outer = std::unique_lock<std::mutex>(*external_mu_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::ostringstream out;
+  out << "{\"period_ms\":" << options_.period_ms
+      << ",\"ticks\":" << ticks_.load(std::memory_order_acquire)
+      << ",\"dropped_series\":" << dropped_series_ << ",\"series\":[";
+  bool first_series = true;
+  for (const auto& [key, s] : series_) {
+    if (!first_series) out << ",";
+    first_series = false;
+    out << "{\"name\":\"" << json::escape(key.name) << "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : key.labels) {
+      if (!first_label) out << ",";
+      first_label = false;
+      out << "\"" << json::escape(k) << "\":\"" << json::escape(v) << "\"";
+    }
+    out << "},\"kind\":\"" << s.kind << "\",\"last\":"
+        << json::Value::number(s.last).dump() << ",\"points\":[";
+    bool first_point = true;
+    for (const Point& p : s.points) {
+      if (!first_point) out << ",";
+      first_point = false;
+      // Milliseconds since the first tick: small numbers, exact doubles.
+      const double t_ms =
+          static_cast<double>(p.t_ns - first_tick_ns_) / 1e6;
+      out << "[" << json::Value::number(t_ms).dump() << ","
+          << json::Value::number(p.value).dump() << "]";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace nfp::telemetry

@@ -1,0 +1,137 @@
+// Time-series collection over a MetricsRegistry.
+//
+// The registry holds cumulative state (monotone counters, point-in-time
+// gauges, cumulative histograms); operators debugging a *running*
+// dataplane need rates and short histories: packets/s now, drop/s over the
+// last minute, which NF's p99 is climbing. The TimeseriesCollector bridges
+// the two: on a fixed cadence (background thread, or manual sample_once()
+// from a driver loop) it snapshots every series and appends one point per
+// series into a bounded ring-buffer history.
+//
+// Derivations per tick:
+//  * every counter        -> "<name>:rate"  (delta / elapsed seconds)
+//  * every histogram      -> "<name>:p50" and "<name>:p99" (cumulative)
+//  * every gauge          -> raw value history
+//  * core_busy_ns + sim_now_ns pairs -> "core_util{component=...}" in
+//    [0,1]: delta(busy)/delta(sim clock), the live utilization share
+//  * registered probes    -> arbitrary derived values (e.g. the CLI feeds
+//    the critical-path profiler's merge-wait share through one)
+//
+// Rate/util series are additionally published as gauges into an optional
+// target registry, so a plain /metrics scrape sees `pps` and friends
+// without a second collector. Histories are bounded (`capacity` points per
+// series, `max_series` series total — overflow is counted and reported in
+// the JSON, never silent). `/timeseries.json` renders everything for
+// `nfp_cli top` and offline tooling.
+//
+// Threading: sample_once() runs on the collector (or caller) thread. If a
+// mutex is provided via set_mutex(), the tick and to_json() run under it —
+// share that mutex with whatever thread structurally mutates the source
+// registry (creating series) and with the stats server. Metric cell
+// *values* are relaxed atomics and need no lock.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace nfp::telemetry {
+
+struct TimeseriesOptions {
+  u64 period_ms = 1000;        // background cadence
+  std::size_t capacity = 600;  // points retained per series
+  std::size_t max_series = 512;
+  std::function<u64()> clock;  // ns; defaults to mono_now_ns
+};
+
+class TimeseriesCollector {
+ public:
+  using Options = TimeseriesOptions;
+
+  struct Point {
+    u64 t_ns = 0;
+    double value = 0;
+  };
+
+  explicit TimeseriesCollector(const MetricsRegistry& source,
+                               Options options = {});
+  ~TimeseriesCollector();
+
+  TimeseriesCollector(const TimeseriesCollector&) = delete;
+  TimeseriesCollector& operator=(const TimeseriesCollector&) = delete;
+
+  // Derived rate/util gauges are published into `target` (may be the
+  // source registry itself, or null to disable). Call before sampling.
+  void publish_derived(MetricsRegistry* target) { derived_target_ = target; }
+
+  // Custom derived series sampled each tick on the collector thread.
+  void add_probe(std::string name, Labels labels,
+                 std::function<double()> read);
+
+  // Mutex shared with the source registry's structural writer and the
+  // stats server; held across each tick and across to_json().
+  void set_mutex(std::mutex* mu) { external_mu_ = mu; }
+
+  void sample_once();
+  void start();
+  void stop();
+  bool running() const { return thread_.joinable(); }
+  u64 ticks() const { return ticks_.load(std::memory_order_acquire); }
+
+  // History of one series (empty when unknown). Name is the derived name,
+  // e.g. "packets_delivered_total:rate".
+  std::vector<Point> history(const std::string& name,
+                             const Labels& labels) const;
+
+  // {"period_ms":...,"ticks":...,"dropped_series":...,"series":[
+  //   {"name":...,"labels":{...},"kind":"rate|gauge|quantile|probe",
+  //    "last":...,"points":[[t_ms,value],...]},...]}
+  std::string to_json() const;
+
+ private:
+  struct Series {
+    MetricKey key;
+    std::string kind;
+    std::deque<Point> points;  // bounded by options_.capacity
+    double last = 0;
+    Gauge* derived = nullptr;  // published gauge, when enabled
+  };
+  struct CounterState {
+    u64 last = 0;
+    bool primed = false;
+  };
+  struct Probe {
+    MetricKey key;
+    std::function<double()> read;
+  };
+
+  // Appends one point, enforcing per-series capacity and the global
+  // series cap. Returns false when the series table is full.
+  bool append(const MetricKey& key, const std::string& kind, u64 t_ns,
+              double value, bool publish);
+  void tick_locked();
+
+  const MetricsRegistry& source_;
+  Options options_;
+  MetricsRegistry* derived_target_ = nullptr;
+  std::mutex* external_mu_ = nullptr;
+
+  mutable std::mutex mu_;  // guards series_/counter_state_ vs to_json()
+  std::map<MetricKey, Series> series_;
+  std::map<MetricKey, CounterState> counter_state_;
+  std::vector<Probe> probes_;
+  u64 dropped_series_ = 0;
+  u64 last_tick_ns_ = 0;
+  u64 first_tick_ns_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> ticks_{0};
+};
+
+}  // namespace nfp::telemetry

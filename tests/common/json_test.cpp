@@ -1,0 +1,104 @@
+// Tests for the minimal JSON model + parser the observability plane uses
+// to round-trip its own output (stats server -> nfp_cli top / tests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace nfp::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").value().is_null());
+  EXPECT_TRUE(Value::parse("true").value().as_bool());
+  EXPECT_FALSE(Value::parse("false").value().as_bool());
+  EXPECT_DOUBLE_EQ(Value::parse("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::parse("-3.5e2").value().as_number(), -350.0);
+  EXPECT_EQ(Value::parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  const auto parsed = Value::parse(
+      R"({"series":[{"name":"pps","points":[[0,1.5],[1000,2.5]]}],"ticks":2})");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error();
+  const Value& doc = parsed.value();
+  EXPECT_DOUBLE_EQ(doc.number_or("ticks", -1), 2.0);
+  const Value* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  const Value& s0 = series->items()[0];
+  EXPECT_EQ(s0.string_or("name", ""), "pps");
+  const Value* points = s0.find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 2u);
+  EXPECT_DOUBLE_EQ(points->items()[1].items()[0].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(points->items()[1].items()[1].as_number(), 2.5);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const auto parsed = Value::parse(R"("a\"b\\c\n\tAé")");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesSurrogatePairs) {
+  // U+1F600 as 😀 -> 4-byte UTF-8.
+  const auto parsed = Value::parse(R"("😀")");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Value::parse("").is_ok());
+  EXPECT_FALSE(Value::parse("{").is_ok());
+  EXPECT_FALSE(Value::parse("[1,]").is_ok());
+  EXPECT_FALSE(Value::parse("{\"a\":1,}").is_ok());
+  EXPECT_FALSE(Value::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(Value::parse("nul").is_ok());
+  EXPECT_FALSE(Value::parse("1 2").is_ok());  // trailing non-whitespace
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(Value::parse(deep).is_ok());
+}
+
+TEST(JsonTest, FindAndDefaults) {
+  const Value doc =
+      Value::parse(R"({"a":1,"b":"x"})").value();
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("a", -1), 1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1), -1.0);
+  EXPECT_EQ(doc.string_or("b", "?"), "x");
+  EXPECT_EQ(doc.string_or("a", "?"), "?");  // wrong type -> fallback
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text =
+      R"({"n":1.5,"s":"a\"b","arr":[true,null],"obj":{"k":2}})";
+  const Value doc = Value::parse(text).value();
+  const auto reparsed = Value::parse(doc.dump());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_DOUBLE_EQ(reparsed.value().number_or("n", 0), 1.5);
+  EXPECT_EQ(reparsed.value().string_or("s", ""), "a\"b");
+}
+
+TEST(JsonTest, DumpRendersNonFiniteAsNull) {
+  const Value v = Value::number(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.dump(), "null");
+  EXPECT_EQ(Value::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonTest, EscapeCoversControlAndQuotes) {
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace nfp::json

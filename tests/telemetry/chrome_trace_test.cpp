@@ -1,0 +1,178 @@
+// Tests for the Chrome trace-event exporter: the emitted document must be
+// well-formed JSON (parsed back with the in-tree parser, the same check
+// Perfetto's loader would make), slices must nest inside the packet's
+// end-to-end window, and merge-wait must appear as paired flow arrows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+// One packet through a two-branch parallel segment, plus one dropped
+// packet — covers every span kind the exporter maps.
+Tracer parallel_segment_tracer() {
+  Tracer tracer(/*every=*/1, /*capacity=*/64);
+  const u64 pid = 0;
+  tracer.record(pid, SpanKind::kInject, 0, "rx-link");
+  tracer.record(pid, SpanKind::kClassify, 100, "classifier");
+  tracer.record(pid, SpanKind::kCopy, 150, "copy-1", /*version=*/2);
+  tracer.record(pid, SpanKind::kNfEnter, 200, "nf:firewall#0", 1);
+  tracer.record(pid, SpanKind::kNfEnter, 210, "nf:ids#1", 2);
+  tracer.record(pid, SpanKind::kNfExit, 300, "nf:firewall#0", 1);
+  tracer.record(pid, SpanKind::kMergerArrival, 310, "nf:firewall#0", 1);
+  tracer.record(pid, SpanKind::kNfExit, 400, "nf:ids#1", 2);
+  tracer.record(pid, SpanKind::kMergerArrival, 410, "nf:ids#1", 2);
+  tracer.record(pid, SpanKind::kMergeComplete, 420, "merger#0");
+  tracer.record(pid, SpanKind::kOutput, 500, "tx-link");
+
+  tracer.record(1, SpanKind::kInject, 1000, "rx-link");
+  tracer.record(1, SpanKind::kClassify, 1050, "classifier");
+  tracer.record(1, SpanKind::kDrop, 1060, "classifier");
+  return tracer;
+}
+
+std::vector<const json::Value*> events_with_phase(const json::Value& doc,
+                                                 std::string_view ph) {
+  std::vector<const json::Value*> out;
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return out;
+  for (const json::Value& ev : events->items()) {
+    if (ev.string_or("ph", "") == ph) out.push_back(&ev);
+  }
+  return out;
+}
+
+TEST(ChromeTraceTest, EmitsWellFormedJson) {
+  const Tracer tracer = parallel_segment_tracer();
+  const std::string text = to_chrome_trace(tracer);
+  const auto parsed = json::Value::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error();
+  const json::Value& doc = parsed.value();
+  EXPECT_EQ(doc.string_or("displayTimeUnit", ""), "ns");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  EXPECT_GT(events->size(), 0u);
+}
+
+TEST(ChromeTraceTest, EmitsMetadataTracksInPipelineOrder) {
+  const json::Value doc =
+      json::Value::parse(to_chrome_trace(parallel_segment_tracer())).value();
+  bool process_named = false;
+  int rx_sort = -1, nf_sort = -1, tx_sort = -1;
+  std::string current_thread;
+  for (const json::Value* ev : events_with_phase(doc, "M")) {
+    const json::Value* args = ev->find("args");
+    ASSERT_NE(args, nullptr);
+    if (ev->string_or("name", "") == "process_name") process_named = true;
+    if (ev->string_or("name", "") == "thread_name") {
+      current_thread = args->string_or("name", "");
+    }
+    if (ev->string_or("name", "") == "thread_sort_index") {
+      const int sort = static_cast<int>(args->number_or("sort_index", -1));
+      if (current_thread == "rx-link") rx_sort = sort;
+      if (current_thread == "nf:firewall#0") nf_sort = sort;
+      if (current_thread == "tx-link") tx_sort = sort;
+    }
+  }
+  EXPECT_TRUE(process_named);
+  // RX before the NFs before TX on the timeline.
+  ASSERT_GE(rx_sort, 0);
+  EXPECT_LT(rx_sort, nf_sort);
+  EXPECT_LT(nf_sort, tx_sort);
+}
+
+TEST(ChromeTraceTest, SlicesNestInsidePacketWindow) {
+  const json::Value doc =
+      json::Value::parse(to_chrome_trace(parallel_segment_tracer())).value();
+  const auto slices = events_with_phase(doc, "X");
+  ASSERT_FALSE(slices.empty());
+  // Packet 0's journey spans [0ns, 500ns] = [0us, 0.5us].
+  bool saw_service = false, saw_merge = false;
+  double merge_ts = 0, merge_end = 0;
+  for (const json::Value* ev : slices) {
+    const json::Value* args = ev->find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->number_or("packet", -1) != 0) continue;
+    const double ts = ev->number_or("ts", -1);
+    const double dur = ev->number_or("dur", -1);
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    EXPECT_LE(ts + dur, 0.5 + 1e-9);  // inside the packet window (us)
+    if (ev->string_or("cat", "") == "merge") {
+      saw_merge = true;
+      merge_ts = ts;
+      merge_end = ts + dur;
+    }
+    if (ev->string_or("cat", "") == "service") saw_service = true;
+  }
+  EXPECT_TRUE(saw_service);
+  ASSERT_TRUE(saw_merge);
+  // The merge slice opens at the first arrival (310ns) and closes at the
+  // merge-complete (420ns); every service slice ends at or before it.
+  EXPECT_DOUBLE_EQ(merge_ts, 0.310);
+  EXPECT_DOUBLE_EQ(merge_end, 0.420);
+  for (const json::Value* ev : slices) {
+    const json::Value* args = ev->find("args");
+    if (args->number_or("packet", -1) != 0) continue;
+    if (ev->string_or("cat", "") != "service") continue;
+    EXPECT_LE(ev->number_or("ts", 0) + ev->number_or("dur", 0),
+              merge_end + 1e-9);
+  }
+}
+
+TEST(ChromeTraceTest, MergeWaitRendersPairedFlowArrows) {
+  const json::Value doc =
+      json::Value::parse(to_chrome_trace(parallel_segment_tracer())).value();
+  const auto starts = events_with_phase(doc, "s");
+  const auto finishes = events_with_phase(doc, "f");
+  // One arrow per merger arrival: two branches -> two start/finish pairs.
+  ASSERT_EQ(starts.size(), 2u);
+  ASSERT_EQ(finishes.size(), 2u);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(starts[i]->number_or("id", -1),
+                     finishes[i]->number_or("id", -2));
+    // Arrows land on the merge-complete timestamp (420ns = 0.42us).
+    EXPECT_DOUBLE_EQ(finishes[i]->number_or("ts", -1), 0.420);
+    // ...and leave from the sending branch's exit, before the merge.
+    EXPECT_LE(starts[i]->number_or("ts", 999), 0.420);
+  }
+}
+
+TEST(ChromeTraceTest, DropsBecomeInstantEvents) {
+  const json::Value doc =
+      json::Value::parse(to_chrome_trace(parallel_segment_tracer())).value();
+  const auto instants = events_with_phase(doc, "i");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_DOUBLE_EQ(instants[0]->number_or("ts", -1), 1.060);
+  const json::Value* args = instants[0]->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->number_or("packet", -1), 1.0);
+}
+
+TEST(ChromeTraceTest, EmptyTracerStillParses) {
+  Tracer tracer(/*every=*/0);
+  const auto parsed = json::Value::parse(to_chrome_trace(tracer));
+  ASSERT_TRUE(parsed.is_ok());
+  const json::Value* events = parsed.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Only the process-name metadata record.
+  EXPECT_EQ(events->size(), 1u);
+}
+
+TEST(ChromeTraceTest, EscapesComponentNames) {
+  Tracer tracer(1, 16);
+  tracer.record(0, SpanKind::kInject, 0, "rx-link");
+  tracer.record(0, SpanKind::kClassify, 10, "weird\"name");
+  const auto parsed = json::Value::parse(to_chrome_trace(tracer));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error();
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

@@ -187,7 +187,7 @@ TEST(DataplaneTelemetry, SnapshotPublishesUtilizationGauges) {
   double at_high_water = 0;
   for (const auto& [key, g] : m.gauges()) {
     if (key.name == "merger_at_entries") {
-      at_high_water = std::max(at_high_water, g.high_water);
+      at_high_water = std::max(at_high_water, g.high_water.load());
     }
   }
   EXPECT_GE(at_high_water, 1.0);

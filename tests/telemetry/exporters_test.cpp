@@ -2,6 +2,8 @@
 // per-component report.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "telemetry/exporters.hpp"
 #include "telemetry/registry.hpp"
 
@@ -61,6 +63,40 @@ TEST(ExportersTest, JsonEscapesStrings) {
   reg.counter("weird", {{"label", "a\"b\\c"}}).inc();
   const std::string json = to_json(reg);
   EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(ExportersTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("weird", {{"label", "a\\b\"c\nd"}}).inc(3);
+  const std::string text = to_prometheus(reg);
+  // Exposition format: backslash, double-quote, newline in label values
+  // must come out as \\ , \" and \n — one line per series, always.
+  EXPECT_NE(text.find("weird{label=\"a\\\\b\\\"c\\nd\"} 3"),
+            std::string::npos);
+}
+
+TEST(ExportersTest, PromEscapeLabelCoversAllThreeEscapes) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(ExportersTest, FmtPromDoubleSpellsNonFiniteValues) {
+  EXPECT_EQ(fmt_prom_double(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(fmt_prom_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(fmt_prom_double(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(fmt_prom_double(5.0), "5");
+  EXPECT_EQ(fmt_prom_double(2.5), "2.5");
+}
+
+TEST(ExportersTest, PrometheusRendersNonFiniteGauges) {
+  MetricsRegistry reg;
+  reg.gauge("ratio", {}).value.store(
+      std::numeric_limits<double>::quiet_NaN());
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("ratio NaN"), std::string::npos);
 }
 
 TEST(ExportersTest, ComponentReportShowsUtilizationAndLatency) {

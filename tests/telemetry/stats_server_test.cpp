@@ -1,0 +1,320 @@
+// Loopback integration tests for the embedded HTTP stats server: every
+// standard endpoint answers with the right status and content type, the
+// /metrics payload round-trips through a minimal Prometheus line parser,
+// /healthz flips to 503 while a watchdog rule fires, and malformed /
+// oversized / non-GET requests get their 4xx without wedging the server.
+// The concurrent-scrape test doubles as the TSan workload for the server
+// and collector threads.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/health_sampler.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/stats_server.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+// --- minimal Prometheus text parser ------------------------------------------
+// Parses exposition lines of the form `name{k="v",...} value` (comments
+// skipped) into a flat map keyed by the verbatim series part. Quantile and
+// histogram helper lines simply become their own entries.
+
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // The value follows the last space; label values never contain one
+    // unescaped in this codebase's exposition.
+    const std::size_t sep = line.rfind(' ');
+    if (sep == std::string::npos) continue;
+    out[line.substr(0, sep)] = std::strtod(line.c_str() + sep + 1, nullptr);
+  }
+  return out;
+}
+
+// Raw request helper for the malformed-input tests (http_get only speaks
+// well-formed GET). Sends `request` verbatim, returns the status line.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::write(fd, request.data(), request.size());
+  std::string reply;
+  char buf[512];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t eol = reply.find("\r\n");
+  return eol == std::string::npos ? reply : reply.substr(0, eol);
+}
+
+// A fully-populated observability stack behind one server: registry with
+// all three metric kinds, a traced parallel segment, a flight-recorder
+// event, a watchdog, and a primed timeseries collector.
+struct Stack {
+  MetricsRegistry registry;
+  Tracer tracer{1, 256};
+  FlightRecorder recorder;
+  Watchdog watchdog{recorder};
+  std::mutex mu;
+  u64 clock_ns = 1'000'000'000;
+  TimeseriesCollector collector;
+  StatsServer server;
+
+  Stack()
+      : collector(registry, [this] {
+          TimeseriesOptions opt;
+          opt.clock = [this] { return clock_ns; };
+          return opt;
+        }()) {
+    registry.counter("packets_injected_total", {{"plane", "nfp"}}).inc(100);
+    registry.gauge("pool_in_use", {{"plane", "nfp"}}).set(7);
+    Histogram& h =
+        registry.histogram("packet_latency_ns", {{"plane", "nfp"}});
+    for (u64 v = 1; v <= 10; ++v) h.record(v * 100);
+
+    tracer.record(0, SpanKind::kInject, 0, "rx-link");
+    tracer.record(0, SpanKind::kClassify, 100, "classifier");
+    tracer.record(0, SpanKind::kNfEnter, 200, "nf:firewall#0");
+    tracer.record(0, SpanKind::kNfExit, 300, "nf:firewall#0");
+    tracer.record(0, SpanKind::kOutput, 400, "tx-link");
+
+    recorder.note(Severity::kWarn, 42, "pool", "pool pressure test event");
+
+    collector.set_mutex(&mu);
+    collector.publish_derived(&registry);
+    collector.sample_once();
+    clock_ns += 1'000'000'000;
+    registry.counter("packets_injected_total", {{"plane", "nfp"}}).inc(50);
+    collector.sample_once();
+
+    EndpointSources sources;
+    sources.registry = &registry;
+    sources.tracer = &tracer;
+    sources.recorder = &recorder;
+    sources.watchdog = &watchdog;
+    sources.timeseries = &collector;
+    sources.mu = &mu;
+    register_standard_endpoints(server, sources);
+  }
+
+  std::uint16_t start() {
+    StatsServer::Options options;  // port 0: ephemeral
+    const Status started = server.start(options);
+    EXPECT_TRUE(started.is_ok()) << started.message();
+    return server.port();
+  }
+};
+
+TEST(StatsServerTest, ServesAllStandardEndpoints) {
+  Stack stack;
+  const std::uint16_t port = stack.start();
+  ASSERT_NE(port, 0);
+
+  const struct {
+    const char* path;
+    const char* content_type;
+  } endpoints[] = {
+      {"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+      {"/metrics.json", "application/json"},
+      {"/timeseries.json", "application/json"},
+      {"/profile.json", "application/json"},
+      {"/recorder.json", "application/json"},
+      {"/trace.json", "application/json"},
+      {"/healthz", "application/json"},
+  };
+  for (const auto& ep : endpoints) {
+    const auto result = http_get(port, ep.path);
+    ASSERT_TRUE(result.is_ok()) << ep.path << ": " << result.error();
+    EXPECT_EQ(result.value().status, 200) << ep.path;
+    EXPECT_EQ(result.value().content_type, ep.content_type) << ep.path;
+    EXPECT_FALSE(result.value().body.empty()) << ep.path;
+  }
+  // Every *.json endpoint parses.
+  for (const auto& ep : endpoints) {
+    if (std::strcmp(ep.path, "/metrics") == 0) continue;
+    const auto result = http_get(port, ep.path);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_TRUE(json::Value::parse(result.value().body).is_ok()) << ep.path;
+  }
+  EXPECT_GE(stack.server.requests_served(), 13u);
+}
+
+TEST(StatsServerTest, MetricsRoundTripThroughPrometheusParser) {
+  Stack stack;
+  const std::uint16_t port = stack.start();
+  const auto result = http_get(port, "/metrics");
+  ASSERT_TRUE(result.is_ok());
+  const auto series = parse_prometheus(result.value().body);
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.at("packets_injected_total{plane=\"nfp\"}"), 150.0);
+  EXPECT_DOUBLE_EQ(series.at("pool_in_use{plane=\"nfp\"}"), 7.0);
+  EXPECT_DOUBLE_EQ(series.at("packet_latency_ns_count{plane=\"nfp\"}"), 10.0);
+  // The collector published its derived rate back into the registry:
+  // 50 packets over the 1s between the two priming ticks.
+  EXPECT_DOUBLE_EQ(
+      series.at("packets_injected_total:rate{plane=\"nfp\"}"), 50.0);
+}
+
+TEST(StatsServerTest, HealthzFlipsTo503WhileWatchdogFires) {
+  Stack stack;
+  u64 drops = 0;
+  stack.watchdog.watch_drop_counter("nf:firewall#0", [&drops] {
+    return drops;
+  });
+  stack.watchdog.evaluate();  // primes the drop delta
+  const std::uint16_t port = stack.start();
+
+  auto result = http_get(port, "/healthz");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 200);
+
+  drops += 100'000;  // spike far above the threshold
+  EXPECT_TRUE(stack.watchdog.evaluate());
+  result = http_get(port, "/healthz");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 503);
+  const auto doc = json::Value::parse(result.value().body);
+  ASSERT_TRUE(doc.is_ok());
+  const json::Value* firing = doc.value().find("firing");
+  ASSERT_NE(firing, nullptr);
+  ASSERT_EQ(firing->size(), 1u);
+  EXPECT_NE(firing->items()[0].as_string().find("nf:firewall#0"),
+            std::string::npos);
+  // The triage view carries the recorder's recent warn/critical events.
+  EXPECT_NE(result.value().body.find("drop"), std::string::npos);
+
+  // Condition clears (no new drops) -> healthy again.
+  EXPECT_FALSE(stack.watchdog.evaluate());
+  result = http_get(port, "/healthz");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 200);
+}
+
+TEST(StatsServerTest, UnknownPathIs404WithEndpointIndex) {
+  Stack stack;
+  const std::uint16_t port = stack.start();
+  const auto result = http_get(port, "/nope");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 404);
+  EXPECT_NE(result.value().body.find("/metrics"), std::string::npos);
+  EXPECT_NE(result.value().body.find("/healthz"), std::string::npos);
+}
+
+TEST(StatsServerTest, RejectsNonGetMalformedAndOversizedRequests) {
+  Stack stack;
+  StatsServer::Options options;
+  options.max_request_bytes = 256;
+  const Status started = stack.server.start(options);
+  ASSERT_TRUE(started.is_ok()) << started.message();
+  const std::uint16_t port = stack.server.port();
+
+  EXPECT_NE(raw_request(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(raw_request(port, "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(raw_request(port, std::string(1024, 'A')).find("413"),
+            std::string::npos);
+  // The server survives all of the above.
+  const auto result = http_get(port, "/healthz");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 200);
+}
+
+TEST(StatsServerTest, StopReleasesPortAndRefusesConnections) {
+  Stack stack;
+  const std::uint16_t port = stack.start();
+  ASSERT_TRUE(http_get(port, "/healthz").is_ok());
+  stack.server.stop();
+  EXPECT_FALSE(stack.server.running());
+  EXPECT_FALSE(http_get(port, "/healthz").is_ok());
+  // The same object restarts cleanly with its handlers intact.
+  StatsServer::Options options;
+  const Status restarted = stack.server.start(options);
+  ASSERT_TRUE(restarted.is_ok()) << restarted.message();
+  const auto result = http_get(stack.server.port(), "/metrics");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().status, 200);
+}
+
+// TSan workload: scraping threads hammer every endpoint while the "wave
+// loop" thread keeps mutating the registry (new series under the shared
+// mutex, cell updates outside it) and ticking the collector — the exact
+// interleaving `nfp_cli run --serve` produces.
+TEST(StatsServerTest, ConcurrentScrapesDuringLiveMutation) {
+  Stack stack;
+  const std::uint16_t port = stack.start();
+
+  std::atomic<bool> done{false};
+  std::thread mutator([&] {
+    for (int i = 0; i < 60; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(stack.mu);
+        stack.registry
+            .counter("wave_packets_total",
+                     {{"wave", std::to_string(i % 8)}})
+            .inc(17);
+        stack.tracer.record(static_cast<u64>(i), SpanKind::kInject,
+                            static_cast<SimTime>(i) * 10, "rx-link");
+        stack.tracer.record(static_cast<u64>(i), SpanKind::kClassify,
+                            static_cast<SimTime>(i) * 10 + 5, "classifier");
+      }
+      stack.registry.counter("packets_injected_total", {{"plane", "nfp"}})
+          .inc(1);  // cell update: no structural lock needed
+      stack.clock_ns += 10'000'000;
+      stack.collector.sample_once();
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> scrapers;
+  const char* paths[] = {"/metrics", "/metrics.json", "/timeseries.json",
+                         "/trace.json"};
+  for (const char* path : paths) {
+    scrapers.emplace_back([&, path] {
+      while (!done.load()) {
+        const auto result = http_get(port, path);
+        ASSERT_TRUE(result.is_ok()) << path;
+        ASSERT_EQ(result.value().status, 200) << path;
+      }
+    });
+  }
+  mutator.join();
+  for (std::thread& t : scrapers) t.join();
+
+  const auto result = http_get(port, "/metrics.json");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(json::Value::parse(result.value().body).is_ok());
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

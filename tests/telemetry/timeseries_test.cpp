@@ -1,0 +1,223 @@
+// Tests for the TimeseriesCollector: rate/util derivation with an
+// injectable clock, bounded histories, the series cap, probes, and the
+// /timeseries.json document round-tripped through the JSON parser.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace nfp::telemetry {
+namespace {
+
+constexpr u64 kSecond = 1'000'000'000;
+
+TimeseriesOptions manual_clock(u64* now) {
+  TimeseriesOptions opt;
+  opt.clock = [now] { return *now; };
+  return opt;
+}
+
+TEST(TimeseriesTest, CounterDeltasBecomeRates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("packets_delivered_total", {{"plane", "nfp"}});
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+
+  c.inc(100);
+  collector.sample_once();  // primes the delta; no rate yet
+  EXPECT_TRUE(
+      collector.history("packets_delivered_total:rate", {{"plane", "nfp"}})
+          .empty());
+
+  now += 2 * kSecond;
+  c.inc(50);
+  collector.sample_once();
+  const auto points =
+      collector.history("packets_delivered_total:rate", {{"plane", "nfp"}});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 25.0);  // 50 events over 2s
+  EXPECT_EQ(collector.ticks(), 2u);
+}
+
+TEST(TimeseriesTest, PublishesDerivedRatesAsGauges) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("packets_injected_total", {});
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+  collector.publish_derived(&reg);
+
+  c.inc(10);
+  collector.sample_once();
+  now += kSecond;
+  c.inc(30);
+  collector.sample_once();
+  EXPECT_DOUBLE_EQ(reg.gauge("packets_injected_total:rate", {}).value.load(),
+                   30.0);
+}
+
+TEST(TimeseriesTest, HistoriesAreBoundedByCapacity) {
+  MetricsRegistry reg;
+  reg.gauge("pool_in_use", {}).set(1);
+  u64 now = kSecond;
+  TimeseriesOptions opt = manual_clock(&now);
+  opt.capacity = 2;
+  TimeseriesCollector collector(reg, opt);
+
+  for (int i = 0; i < 5; ++i) {
+    reg.gauge("pool_in_use", {}).set(i);
+    collector.sample_once();
+    now += kSecond;
+  }
+  const auto points = collector.history("pool_in_use", {});
+  ASSERT_EQ(points.size(), 2u);  // oldest points evicted
+  EXPECT_DOUBLE_EQ(points[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(points[1].value, 4.0);
+}
+
+TEST(TimeseriesTest, SeriesCapCountsDrops) {
+  MetricsRegistry reg;
+  reg.gauge("a", {}).set(1);
+  reg.gauge("b", {}).set(2);
+  reg.gauge("c", {}).set(3);
+  u64 now = kSecond;
+  TimeseriesOptions opt = manual_clock(&now);
+  opt.max_series = 1;
+  TimeseriesCollector collector(reg, opt);
+  collector.sample_once();
+
+  const auto parsed = json::Value::parse(collector.to_json());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_DOUBLE_EQ(parsed.value().number_or("dropped_series", 0), 2.0);
+  const json::Value* series = parsed.value().find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 1u);
+}
+
+TEST(TimeseriesTest, DerivesCoreUtilizationFromBusyAndClockGauges) {
+  MetricsRegistry reg;
+  const Labels busy_labels = {{"component", "nf:firewall#0"},
+                              {"plane", "nfp"}};
+  reg.gauge("sim_now_ns", {{"plane", "nfp"}}).set(1'000);
+  reg.gauge("core_busy_ns", busy_labels).set(200);
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+  collector.sample_once();  // primes both deltas
+
+  reg.gauge("sim_now_ns", {{"plane", "nfp"}}).set(2'000);
+  reg.gauge("core_busy_ns", busy_labels).set(450);
+  now += kSecond;
+  collector.sample_once();
+
+  const auto points = collector.history("core_util", busy_labels);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 0.25);  // 250ns busy of 1000ns sim time
+}
+
+TEST(TimeseriesTest, CoreUtilizationClampsToOne) {
+  MetricsRegistry reg;
+  const Labels busy_labels = {{"component", "classifier"}};
+  reg.gauge("sim_now_ns", {}).set(0);
+  reg.gauge("core_busy_ns", busy_labels).set(0);
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+  collector.sample_once();
+
+  reg.gauge("sim_now_ns", {}).set(100);
+  reg.gauge("core_busy_ns", busy_labels).set(500);  // busier than elapsed
+  now += kSecond;
+  collector.sample_once();
+  const auto points = collector.history("core_util", busy_labels);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+}
+
+TEST(TimeseriesTest, HistogramsYieldQuantileSeries) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("nf_service_ns", {{"nf", "nf:ids#0"}});
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+  collector.sample_once();
+
+  const auto p50 =
+      collector.history("nf_service_ns:p50", {{"nf", "nf:ids#0"}});
+  const auto p99 =
+      collector.history("nf_service_ns:p99", {{"nf", "nf:ids#0"}});
+  ASSERT_EQ(p50.size(), 1u);
+  ASSERT_EQ(p99.size(), 1u);
+  EXPECT_GE(p99[0].value, p50[0].value);
+}
+
+TEST(TimeseriesTest, ProbesSampleEachTick) {
+  MetricsRegistry reg;
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+  double share = 0.25;
+  collector.add_probe("merge_wait_share", {}, [&share] { return share; });
+
+  collector.sample_once();
+  share = 0.75;
+  now += kSecond;
+  collector.sample_once();
+
+  const auto points = collector.history("merge_wait_share", {});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 0.25);
+  EXPECT_DOUBLE_EQ(points[1].value, 0.75);
+}
+
+TEST(TimeseriesTest, ToJsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("packets_injected_total", {{"plane", "nfp"}});
+  u64 now = kSecond;
+  TimeseriesOptions opt = manual_clock(&now);
+  opt.period_ms = 500;
+  TimeseriesCollector collector(reg, opt);
+  c.inc(10);
+  collector.sample_once();
+  now += kSecond;
+  c.inc(20);
+  collector.sample_once();
+
+  const auto parsed = json::Value::parse(collector.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error();
+  const json::Value& doc = parsed.value();
+  EXPECT_DOUBLE_EQ(doc.number_or("period_ms", 0), 500.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("ticks", 0), 2.0);
+  const json::Value* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  bool found_rate = false;
+  for (const json::Value& s : series->items()) {
+    if (s.string_or("name", "") != "packets_injected_total:rate") continue;
+    found_rate = true;
+    EXPECT_EQ(s.string_or("kind", ""), "rate");
+    const json::Value* labels = s.find("labels");
+    ASSERT_NE(labels, nullptr);
+    EXPECT_EQ(labels->string_or("plane", ""), "nfp");
+    const json::Value* points = s.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->size(), 1u);
+    EXPECT_DOUBLE_EQ(points->items()[0].items()[1].as_number(), 20.0);
+  }
+  EXPECT_TRUE(found_rate);
+}
+
+TEST(TimeseriesTest, BackgroundThreadTicksAndStops) {
+  MetricsRegistry reg;
+  reg.counter("ticks_total", {}).inc(1);
+  TimeseriesOptions opt;
+  opt.period_ms = 5;
+  TimeseriesCollector collector(reg, opt);
+  collector.start();
+  while (collector.ticks() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  collector.stop();
+  EXPECT_FALSE(collector.running());
+  const u64 ticks_at_stop = collector.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(collector.ticks(), ticks_at_stop);
+}
+
+}  // namespace
+}  // namespace nfp::telemetry

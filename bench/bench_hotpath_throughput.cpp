@@ -1,0 +1,196 @@
+// Live-pipeline hot-path throughput: real threads, wall-clock packets/sec.
+//
+// Unlike the figure benches (simulated time), this bench measures the
+// actual concurrent hot path on this host: burst ring I/O, per-thread
+// magazine caches over the lock-free pool, precomputed fanout plans and
+// the sharded merge table. The `perpacket` series runs the same pipeline
+// in per_packet_compat mode — burst 1, no magazines, every pool operation
+// behind one global mutex — which reproduces the pre-batching path and is
+// the baseline the batched series are judged against.
+//
+// Shapes:
+//   seq4   monitor>lb>monitor>lb sequential chain (no merger on the path)
+//   par4   4 parallel monitors, one packet version each (3 header copies,
+//          merge of 4 arrivals per packet — the allocator-heavy case)
+//   tree   1 + 4 + 1: sequential hop, 4-NF parallel stage over two
+//          versions, sequential hop
+//
+// Output: one human table row and (with --json / NFP_BENCH_JSON) one JSON
+// line per series:
+//   {"bench":"hotpath_throughput","series":"par4/burst32",
+//    "meta":{...,"knobs":{...}},"pps":...,"packets":...,"seconds":...}
+// scripts/check_hotpath_regression.py compares the pps values against
+// bench/baselines/BENCH_hotpath_throughput.json in CI.
+//
+// Flags: --json, --packets=N (default 20000).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dataplane/live_pipeline.hpp"
+#include "packet/builder.hpp"
+
+namespace nfp {
+namespace {
+
+std::vector<std::vector<u8>> make_frames(std::size_t count) {
+  PacketPool pool(2);
+  std::vector<std::vector<u8>> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PacketSpec spec;
+    spec.tuple.src_port = static_cast<u16>(7000 + i % 61);
+    spec.tuple.dst_port = static_cast<u16>(80 + i % 7);
+    spec.frame_size = 64 + (i % 5) * 128;
+    Packet* p = build_packet(pool, spec);
+    frames.emplace_back(p->data(), p->data() + p->length());
+    pool.release(p);
+  }
+  return frames;
+}
+
+ServiceGraph make_seq4() {
+  return ServiceGraph::sequential("seq4", {"monitor", "lb", "monitor", "lb"});
+}
+
+ServiceGraph make_par4() {
+  // Four monitors, one version each: 3 header copies per packet plus a
+  // 4-arrival merge — maximal pool and merge-table pressure.
+  return bench::parallel_stage("monitor", 4, /*with_copy=*/true);
+}
+
+ServiceGraph make_tree() {
+  ServiceGraph g("tree");
+  Segment pre;
+  pre.nfs.push_back({"monitor", 0, 1, 0, false});
+  pre.mid = 1;
+  g.segments().push_back(std::move(pre));
+
+  Segment par;
+  par.nfs.push_back({"ids", 1, 1, 0, false});
+  par.nfs.push_back({"monitor", 2, 1, 0, false});
+  par.nfs.push_back({"lb", 3, 2, 1, false});
+  par.nfs.push_back({"monitor", 4, 1, 0, false});
+  par.num_versions = 2;
+  par.merge.total_count = 4;
+  par.merge.ops.push_back({MergeOp::Kind::kModify, 2, Field::kSrcIp});
+  par.merge.ops.push_back({MergeOp::Kind::kModify, 2, Field::kDstIp});
+  par.mid = 2;
+  g.segments().push_back(std::move(par));
+
+  Segment post;
+  post.nfs.push_back({"monitor", 5, 1, 0, false});
+  post.mid = 3;
+  g.segments().push_back(std::move(post));
+  return g;
+}
+
+struct Shape {
+  const char* name;
+  ServiceGraph (*make)();
+};
+
+struct RunResult {
+  double pps = 0;
+  double seconds = 0;
+  u64 delivered = 0;
+  u64 refills = 0;
+  u64 flushes = 0;
+};
+
+RunResult run_series(const Shape& shape,
+                     const std::vector<std::vector<u8>>& frames,
+                     const LivePipelineOptions& opts) {
+  LivePipeline pipe(shape.make(), {}, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const LiveResult result = pipe.run(frames);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.delivered = result.outputs.size() + result.dropped;
+  r.pps = r.seconds > 0 ? static_cast<double>(r.delivered) / r.seconds : 0;
+  r.refills = pipe.magazine_refills();
+  r.flushes = pipe.magazine_flushes();
+  if (pipe.refcnt_underflows() != 0) {
+    std::fprintf(stderr, "BUG: refcount underflows detected in %s\n",
+                 shape.name);
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace nfp
+
+int main(int argc, char** argv) {
+  using namespace nfp;
+  const bool json = bench::json_enabled(argc, argv);
+  std::size_t packets = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+      packets = std::strtoull(argv[i] + 10, nullptr, 10);
+    }
+  }
+
+  const auto frames = make_frames(packets);
+  const Shape shapes[] = {{"seq4", make_seq4},
+                          {"par4", make_par4},
+                          {"tree", make_tree}};
+  const std::size_t bursts[] = {32, 64};
+
+  bench::print_header(
+      "Live hot-path throughput (wall clock, batched vs per-packet)");
+  std::printf("%-16s %12s %10s %10s %10s   %s\n", "series", "pps", "seconds",
+              "refills", "flushes", "speedup vs perpacket");
+
+  for (const Shape& shape : shapes) {
+    LivePipelineOptions compat;
+    compat.per_packet_compat = true;
+    const RunResult base = run_series(shape, frames, compat);
+    std::printf("%-16s %12.0f %10.3f %10s %10s   %s\n",
+                (std::string(shape.name) + "/perpacket").c_str(), base.pps,
+                base.seconds, "-", "-", "1.00x");
+    if (json) {
+      std::printf(
+          "{\"bench\":\"hotpath_throughput\",\"series\":\"%s/perpacket\","
+          "\"meta\":{\"bench\":\"hotpath_throughput\",\"timestamp\":\"%s\","
+          "\"knobs\":{\"shape\":\"%s\",\"mode\":\"perpacket\",\"burst\":1,"
+          "\"magazine\":0,\"packets\":%zu}},"
+          "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f}\n",
+          shape.name, bench::iso8601_utc_now().c_str(), shape.name, packets,
+          base.pps, static_cast<unsigned long long>(base.delivered),
+          base.seconds);
+    }
+
+    for (const std::size_t burst : bursts) {
+      LivePipelineOptions opts;
+      opts.burst_size = burst;
+      opts.magazine_size = 256;
+      opts.ring_depth = 1024;
+      opts.in_flight_window = 512;
+      const RunResult r = run_series(shape, frames, opts);
+      const double speedup = base.pps > 0 ? r.pps / base.pps : 0;
+      std::printf("%-16s %12.0f %10.3f %10llu %10llu   %.2fx\n",
+                  (std::string(shape.name) + "/burst" + std::to_string(burst))
+                      .c_str(),
+                  r.pps, r.seconds,
+                  static_cast<unsigned long long>(r.refills),
+                  static_cast<unsigned long long>(r.flushes), speedup);
+      if (json) {
+        std::printf(
+            "{\"bench\":\"hotpath_throughput\",\"series\":\"%s/burst%zu\","
+            "\"meta\":{\"bench\":\"hotpath_throughput\",\"timestamp\":\"%s\","
+            "\"knobs\":{\"shape\":\"%s\",\"mode\":\"batched\",\"burst\":%zu,"
+            "\"magazine\":256,\"packets\":%zu}},"
+            "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
+            "\"speedup_vs_perpacket\":%.3f}\n",
+            shape.name, burst, bench::iso8601_utc_now().c_str(), shape.name,
+            burst, packets, r.pps,
+            static_cast<unsigned long long>(r.delivered), r.seconds, speedup);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare bench_hotpath_throughput --json output against a checked-in
+baseline and fail on a >30% per-series throughput regression.
+
+Usage:
+  check_hotpath_regression.py --baseline bench/baselines/BENCH_hotpath_throughput.json \
+      --current current.jsonl [--threshold 0.7]
+  check_hotpath_regression.py --merge-min run1.jsonl run2.jsonl ... > baseline.json
+
+Both files hold one JSON object per line as emitted by the bench:
+  {"bench":"hotpath_throughput","series":"par4/burst32",...,"pps":1234.5,...}
+When a file contains several lines for one series (e.g. concatenated runs),
+the *minimum* pps per series is used — conservative for the baseline and
+forgiving of scheduler noise in the current run. `--merge-min` prints that
+reduction, which is how the checked-in baseline is produced.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    """dict series -> min pps across the file's lines."""
+    series = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if row.get("bench") != "hotpath_throughput":
+                continue
+            name, pps = row.get("series"), row.get("pps")
+            if name is None or pps is None:
+                continue
+            if name not in series or pps < series[name]["pps"]:
+                series[name] = row
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
+    parser.add_argument("--threshold", type=float, default=0.7,
+                        help="fail when current < threshold * baseline")
+    parser.add_argument("--merge-min", nargs="+", metavar="RUN",
+                        help="merge runs into a min-per-series baseline")
+    args = parser.parse_args()
+
+    if args.merge_min:
+        merged = {}
+        for path in args.merge_min:
+            for name, row in load_series(path).items():
+                if name not in merged or row["pps"] < merged[name]["pps"]:
+                    merged[name] = row
+        for name in sorted(merged):
+            print(json.dumps(merged[name], sort_keys=True))
+        return 0
+
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or --merge-min)")
+
+    baseline = load_series(args.baseline)
+    current = load_series(args.current)
+    if not baseline:
+        print(f"error: no baseline series in {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no current series in {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(baseline):
+        base_pps = baseline[name]["pps"]
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_pps = current[name]["pps"]
+        ratio = cur_pps / base_pps if base_pps > 0 else float("inf")
+        status = "ok" if ratio >= args.threshold else "REGRESSION"
+        print(f"{name:24s} baseline={base_pps:12.0f} current={cur_pps:12.0f} "
+              f"ratio={ratio:5.2f}  {status}")
+        if ratio < args.threshold:
+            failures.append(
+                f"{name}: {cur_pps:.0f} pps < {args.threshold:.0%} of "
+                f"baseline {base_pps:.0f} pps")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:24s} (new series, no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} series regressed >"
+              f"{(1 - args.threshold):.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} series within "
+          f"{(1 - args.threshold):.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

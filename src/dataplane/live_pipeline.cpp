@@ -1,26 +1,43 @@
 #include "dataplane/live_pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
-#include <map>
 
 #include "dataplane/merge_ops.hpp"
+#include "dataplane/merge_table.hpp"
 #include "packet/packet_view.hpp"
+#include "ring/backoff.hpp"
 #include "telemetry/health_sampler.hpp"
 
 namespace nfp {
 
-namespace {
-
-constexpr std::size_t kRingDepth = 256;
-constexpr std::size_t kPoolSize = 4096;
-
-}  // namespace
-
 LivePipeline::LivePipeline(
     ServiceGraph graph,
-    std::function<std::unique_ptr<NetworkFunction>(const StageNf&)> factory)
-    : graph_(std::move(graph)), pool_(kPoolSize) {
+    std::function<std::unique_ptr<NetworkFunction>(const StageNf&)> factory,
+    LivePipelineOptions options)
+    : graph_(std::move(graph)),
+      opts_(options),
+      pool_(std::max<std::size_t>(1, options.pool_size)) {
+  if (opts_.per_packet_compat) {
+    opts_.burst_size = 1;
+    opts_.magazine_size = 0;
+  }
+  opts_.ring_depth = std::max<std::size_t>(4, opts_.ring_depth);
+  opts_.burst_size =
+      std::clamp<std::size_t>(opts_.burst_size, 1, opts_.ring_depth);
+  // Bound the in-flight window well below the ring depth so a full ring
+  // can never wedge the merger thread against an NF thread (the merger
+  // re-enters segments and would otherwise spin on a ring an NF cannot
+  // drain because its own output ring is full). Each in-flight packet puts
+  // at most one entry on any single ring, so window <= depth/2 keeps every
+  // ring drainable.
+  if (opts_.in_flight_window == 0) {
+    opts_.in_flight_window = opts_.ring_depth / 4;
+  }
+  opts_.in_flight_window = std::clamp<std::size_t>(opts_.in_flight_window, 1,
+                                                   opts_.ring_depth / 2);
+
   int instance = 0;
   for (Segment& seg : graph_.segments()) {
     std::vector<LiveNf> nfs;
@@ -33,13 +50,35 @@ LivePipeline::LivePipeline(
                               meta.name,
                               static_cast<u64>(meta.instance_id) + 1);
       if (nf.impl == nullptr) nf.impl = make_builtin_nf("monitor");
-      nf.in = std::make_unique<SpscRing<Packet*>>(kRingDepth);
-      nf.out = std::make_unique<SpscRing<MergeEnvelope>>(kRingDepth);
+      nf.in = std::make_unique<SpscRing<Packet*>>(opts_.ring_depth);
+      nf.out = std::make_unique<SpscRing<MergeEnvelope>>(opts_.ring_depth);
       nf.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
       nf.processed = std::make_unique<std::atomic<u64>>(0);
       nfs.push_back(std::move(nf));
     }
     segments_.push_back(std::move(nfs));
+
+    // Fanout plan: resolve the segment's copy list and reference counts
+    // once, instead of a vector + count_if per packet in enter_segment.
+    FanoutPlan plan;
+    const auto versions = static_cast<std::size_t>(seg.num_versions);
+    std::vector<u32> consumers(versions + 1, 0);
+    for (const StageNf& nf : seg.nfs) {
+      const auto v = static_cast<std::size_t>(nf.version);
+      if (v >= 1 && v <= versions) ++consumers[v];
+      plan.nf_version.push_back(
+          static_cast<u8>(std::clamp<std::size_t>(v, 1, versions)));
+    }
+    plan.extra_refs.assign(versions + 1, 0);
+    for (std::size_t v = 1; v <= versions; ++v) {
+      if (consumers[v] == 0) continue;
+      plan.extra_refs[v] = consumers[v] - 1;
+      if (v >= 2) {
+        plan.copies.push_back(FanoutPlan::Copy{
+            static_cast<u8>(v), seg.version_needs_full_copy(static_cast<u8>(v))});
+      }
+    }
+    fanout_.push_back(std::move(plan));
   }
 }
 
@@ -53,59 +92,61 @@ LivePipeline::~LivePipeline() {
   if (merger_thread_.joinable()) merger_thread_.join();
 }
 
-Packet* LivePipeline::alloc_copy(const Packet& src, bool full) {
-  const std::scoped_lock lock(pool_mu_);
-  return full ? pool_.clone_full(src) : pool_.clone_header_only(src);
+PacketMagazine LivePipeline::make_magazine() {
+  return PacketMagazine(pool_, opts_.magazine_size, &mag_refill_total_,
+                        &mag_flush_total_,
+                        opts_.per_packet_compat ? &compat_mu_ : nullptr);
 }
 
-void LivePipeline::release(Packet* pkt) {
-  const std::scoped_lock lock(pool_mu_);
-  pool_.release(pkt);
-}
-
-void LivePipeline::add_ref(Packet* pkt) {
-  const std::scoped_lock lock(pool_mu_);
-  pool_.add_ref(pkt);
-}
-
-bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt) {
+bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
+                                 PacketMagazine& mag) {
   const Segment& seg = graph_.segments()[seg_idx];
+  const FanoutPlan& plan = fanout_[seg_idx];
   auto& nfs = segments_[seg_idx];
   pkt->meta().set_mid(seg.mid);
   pkt->meta().set_version(1);
   pkt->set_nil(false);
 
-  std::vector<Packet*> version_pkt(
-      static_cast<std::size_t>(seg.num_versions) + 1, nullptr);
+  std::array<Packet*, Metadata::kMaxVersion + 2> version_pkt{};
   version_pkt[1] = pkt;
-  for (u8 v = 2; v <= seg.num_versions; ++v) {
-    Packet* copy = alloc_copy(*pkt, seg.version_needs_full_copy(v));
+  for (const FanoutPlan::Copy& c : plan.copies) {
+    Packet* copy = c.full ? mag.clone_full(*pkt) : mag.clone_header_only(*pkt);
     if (copy == nullptr) {
-      for (u8 w = 2; w < v; ++w) release(version_pkt[w]);
-      release(pkt);
+      for (const FanoutPlan::Copy& made : plan.copies) {
+        if (made.version == c.version) break;
+        mag.release(version_pkt[made.version]);
+      }
+      mag.release(pkt);
       return false;
     }
-    copy->meta().set_version(v);
+    copy->meta().set_version(c.version);
     copy->set_nil(false);
-    version_pkt[v] = copy;
+    version_pkt[c.version] = copy;
   }
-  for (u8 v = 1; v <= seg.num_versions; ++v) {
-    const auto consumers = static_cast<std::size_t>(std::count_if(
-        seg.nfs.begin(), seg.nfs.end(),
-        [v](const StageNf& nf) { return nf.version == v; }));
-    if (consumers == 0) {
-      if (v > 1) release(version_pkt[v]);
-      continue;
-    }
-    for (std::size_t extra = 1; extra < consumers; ++extra) {
-      add_ref(version_pkt[v]);
-    }
+  for (std::size_t v = 1; v < plan.extra_refs.size(); ++v) {
+    for (u32 r = 0; r < plan.extra_refs[v]; ++r) mag.add_ref(version_pkt[v]);
   }
   for (std::size_t k = 0; k < nfs.size(); ++k) {
-    Packet* version = version_pkt[seg.nfs[k].version];
-    while (!nfs[k].in->push(version)) std::this_thread::yield();
+    Packet* version = version_pkt[plan.nf_version[k]];
+    Backoff backoff;
+    while (!nfs[k].in->push(version)) backoff.pause();
   }
   return true;
+}
+
+void LivePipeline::commit_batch(std::vector<std::vector<u8>>& outputs,
+                                u64 drops, u64 completed) {
+  if (!outputs.empty() || drops > 0) {
+    const std::scoped_lock lock(result_mu_);
+    for (auto& frame : outputs) result_.outputs.push_back(std::move(frame));
+    result_.dropped += drops;
+  }
+  outputs.clear();
+  // After the results are visible: run() treats in_flight_ == 0 as "all
+  // packets accounted for", so the decrement must come last.
+  if (completed > 0) {
+    in_flight_.fetch_sub(completed, std::memory_order_acq_rel);
+  }
 }
 
 void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
@@ -113,149 +154,186 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
   LiveNf& self = segments_[seg_idx][nf_idx];
   const bool parallel = seg.is_parallel();
   const bool last_segment = seg_idx + 1 == graph_.segments().size();
+  const std::size_t burst = opts_.burst_size;
+
+  PacketMagazine mag = make_magazine();
+  std::vector<Packet*> in_burst(burst);
+  std::vector<MergeEnvelope> envelopes;
+  envelopes.reserve(burst);
+  std::vector<std::vector<u8>> out_batch;
+  Backoff idle;
 
   for (;;) {
     // Beat on every iteration, busy or idle: an idle-but-responsive worker
     // keeps beating, one wedged inside process() stops.
     self.heartbeat_ns->store(telemetry::mono_now_ns(),
                              std::memory_order_relaxed);
-    Packet* pkt = nullptr;
-    if (!self.in->pop(pkt)) {
+    const std::size_t n = self.in->pop_burst({in_burst.data(), burst});
+    if (n == 0) {
       if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+      idle.pause();
       continue;
     }
-    self.processed->fetch_add(1, std::memory_order_relaxed);
-
-    PacketView view(*pkt);
-    NfVerdict verdict = NfVerdict::kPass;
-    if (view.valid()) verdict = self.impl->process(view);
+    idle.reset();
+    self.processed->fetch_add(n, std::memory_order_relaxed);
 
     if (parallel) {
       // Nil-packet mechanism (§5.2): the drop intention travels to the
       // merger with the packet. It rides the envelope, not the packet's
       // nil bit — siblings sharing a packet version would race on it.
-      const MergeEnvelope envelope{pkt, verdict == NfVerdict::kDrop};
-      while (!self.out->push(envelope)) std::this_thread::yield();
+      envelopes.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        Packet* pkt = in_burst[i];
+        PacketView view(*pkt);
+        NfVerdict verdict = NfVerdict::kPass;
+        if (view.valid()) verdict = self.impl->process(view);
+        envelopes.push_back(MergeEnvelope{pkt, verdict == NfVerdict::kDrop});
+      }
+      std::size_t sent = 0;
+      Backoff backoff;
+      while (sent < n) {
+        const std::size_t m = self.out->push_burst(
+            {envelopes.data() + sent, n - sent});
+        if (m == 0) {
+          backoff.pause();
+        } else {
+          sent += m;
+          backoff.reset();
+        }
+      }
       continue;
     }
 
-    if (verdict == NfVerdict::kDrop) {
-      release(pkt);
-      const std::scoped_lock lock(result_mu_);
-      ++result_.dropped;
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
-    }
-    if (last_segment) {
-      {
-        const std::scoped_lock lock(result_mu_);
-        result_.outputs.emplace_back(pkt->data(), pkt->data() + pkt->length());
+    u64 drops = 0;
+    u64 completed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Packet* pkt = in_burst[i];
+      PacketView view(*pkt);
+      NfVerdict verdict = NfVerdict::kPass;
+      if (view.valid()) verdict = self.impl->process(view);
+
+      if (verdict == NfVerdict::kDrop) {
+        mag.release(pkt);
+        ++drops;
+        ++completed;
+        continue;
       }
-      release(pkt);
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
+      if (last_segment) {
+        out_batch.emplace_back(pkt->data(), pkt->data() + pkt->length());
+        mag.release(pkt);
+        ++completed;
+        continue;
+      }
+      if (!enter_segment(seg_idx + 1, pkt, mag)) {
+        ++drops;
+        ++completed;
+      }
     }
-    if (!enter_segment(seg_idx + 1, pkt)) {
-      const std::scoped_lock lock(result_mu_);
-      ++result_.dropped;
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    }
+    commit_batch(out_batch, drops, completed);
   }
 }
 
 void LivePipeline::merger_loop() {
-  // (segment, pid) -> arrivals with the sender NF's stage metadata.
-  struct Arrival {
-    Packet* pkt;
-    u8 version;
-    bool drop_intent;
-    int priority;
-    bool can_drop;
-  };
-  std::map<std::pair<std::size_t, u64>, std::vector<Arrival>> at;
+  PacketMagazine mag = make_magazine();
+  const std::size_t burst = opts_.burst_size;
+
+  // One accumulation table per parallel segment (merge_table.hpp).
+  std::vector<std::unique_ptr<MergeTable>> tables(segments_.size());
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& seg = graph_.segments()[s];
+    if (seg.is_parallel()) {
+      tables[s] = std::make_unique<MergeTable>(opts_.in_flight_window,
+                                               seg.merge.total_count);
+    }
+  }
+
+  std::vector<MergeEnvelope> burst_buf(burst);
+  std::vector<std::pair<Packet*, u8>> pairs;
+  std::vector<std::vector<u8>> out_batch;
+  Backoff idle_backoff;
 
   for (;;) {
     merger_heartbeat_ns_.store(telemetry::mono_now_ns(),
                                std::memory_order_relaxed);
     bool idle = true;
+    u64 drops = 0;
+    u64 completed = 0;
     for (std::size_t s = 0; s < segments_.size(); ++s) {
       const Segment& seg = graph_.segments()[s];
       if (!seg.is_parallel()) continue;
+      MergeTable& table = *tables[s];
       for (std::size_t k = 0; k < segments_[s].size(); ++k) {
         LiveNf& nf = segments_[s][k];
-        MergeEnvelope envelope;
-        while (nf.out->pop(envelope)) {
+        std::size_t n;
+        while ((n = nf.out->pop_burst({burst_buf.data(), burst})) > 0) {
           idle = false;
-          Packet* pkt = envelope.pkt;
-          const u64 pid = pkt->meta().pid();
-          auto& arrivals = at[{s, pid}];
-          arrivals.push_back(Arrival{pkt, nf.meta.version,
-                                     envelope.drop_intent, nf.meta.priority,
-                                     nf.meta.can_drop});
-          if (arrivals.size() < seg.merge.total_count) continue;
-          merger_merges_.fetch_add(1, std::memory_order_relaxed);
+          for (std::size_t i = 0; i < n; ++i) {
+            const MergeEnvelope& env = burst_buf[i];
+            const std::span<MergeArrival> done = table.add(
+                env.pkt->meta().pid(),
+                MergeArrival{env.pkt, nf.meta.version, env.drop_intent,
+                             nf.meta.priority, nf.meta.can_drop});
+            if (done.empty()) continue;
+            merger_merges_.fetch_add(1, std::memory_order_relaxed);
 
-          // Complete: resolve drops, merge, forward.
-          bool dropped = false;
-          if (seg.merge.drop_resolution == DropResolution::kAnyDrop) {
-            for (const Arrival& a : arrivals) dropped |= a.drop_intent;
-          } else {
-            int best = -1;
-            for (const Arrival& a : arrivals) {
-              if (a.can_drop && a.priority > best) {
-                best = a.priority;
-                dropped = a.drop_intent;
+            // Complete: resolve drops, merge, forward.
+            bool dropped = false;
+            if (seg.merge.drop_resolution == DropResolution::kAnyDrop) {
+              for (const MergeArrival& a : done) dropped |= a.drop_intent;
+            } else {
+              i32 best = -1;
+              for (const MergeArrival& a : done) {
+                if (a.can_drop && a.priority > best) {
+                  best = a.priority;
+                  dropped = a.drop_intent;
+                }
+              }
+            }
+
+            Packet* merged = nullptr;
+            if (!dropped) {
+              pairs.clear();
+              for (const MergeArrival& a : done) {
+                pairs.emplace_back(a.pkt, a.version);
+              }
+              merged = apply_merge_operations(seg, pairs);
+            }
+            bool kept_one = false;
+            for (const MergeArrival& a : done) {
+              if (a.pkt == merged && !kept_one) {
+                kept_one = true;
+                continue;
+              }
+              mag.release(a.pkt);
+            }
+
+            if (merged == nullptr) {
+              ++drops;
+              ++completed;
+            } else if (s + 1 == segments_.size()) {
+              out_batch.emplace_back(merged->data(),
+                                     merged->data() + merged->length());
+              merged->set_nil(false);
+              mag.release(merged);
+              ++completed;
+            } else {
+              merged->set_nil(false);
+              if (!enter_segment(s + 1, merged, mag)) {
+                ++drops;
+                ++completed;
               }
             }
           }
-
-          Packet* merged = nullptr;
-          if (!dropped) {
-            std::vector<std::pair<Packet*, u8>> pairs;
-            pairs.reserve(arrivals.size());
-            for (const Arrival& a : arrivals) {
-              pairs.emplace_back(a.pkt, a.version);
-            }
-            merged = apply_merge_operations(seg, pairs);
-          }
-          bool kept_one = false;
-          for (const Arrival& a : arrivals) {
-            if (a.pkt == merged && !kept_one) {
-              kept_one = true;
-              continue;
-            }
-            release(a.pkt);
-          }
-          at.erase({s, pid});
-
-          if (merged == nullptr) {
-            const std::scoped_lock lock(result_mu_);
-            ++result_.dropped;
-            in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-          } else if (s + 1 == segments_.size()) {
-            {
-              const std::scoped_lock lock(result_mu_);
-              result_.outputs.emplace_back(merged->data(),
-                                           merged->data() + merged->length());
-            }
-            merged->set_nil(false);
-            release(merged);
-            in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-          } else {
-            merged->set_nil(false);
-            if (!enter_segment(s + 1, merged)) {
-              const std::scoped_lock lock(result_mu_);
-              ++result_.dropped;
-              in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-            }
-          }
+          if (n < burst) break;  // ring drained for now; visit the next one
         }
       }
     }
+    commit_batch(out_batch, drops, completed);
     if (idle) {
       if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
+      idle_backoff.pause();
+    } else {
+      idle_backoff.reset();
     }
   }
 }
@@ -306,11 +384,6 @@ std::size_t LivePipeline::ring_depth_out(std::size_t w) const {
   return nf == nullptr ? 0 : nf->out->size();
 }
 
-std::size_t LivePipeline::pool_in_use() {
-  const std::scoped_lock lock(pool_mu_);
-  return pool_.in_use();
-}
-
 u64 LivePipeline::dropped_so_far() {
   const std::scoped_lock lock(result_mu_);
   return result_.dropped;
@@ -342,6 +415,17 @@ void LivePipeline::register_health(telemetry::HealthSampler& sampler,
   sampler.add_probe("pool_in_use", {{"plane", "live"}}, [this] {
     return static_cast<double>(pool_in_use());
   });
+  // Allocator pressure: magazine↔pool batch traffic and refcount misuse.
+  sampler.add_probe("pool_magazine_refill_total", {{"plane", "live"}}, [this] {
+    return static_cast<double>(magazine_refills());
+  });
+  sampler.add_probe("pool_magazine_flush_total", {{"plane", "live"}}, [this] {
+    return static_cast<double>(magazine_flushes());
+  });
+  sampler.add_probe("pool_refcnt_underflow_total", {{"plane", "live"}},
+                    [this] {
+                      return static_cast<double>(refcnt_underflows());
+                    });
   if (watchdog != nullptr) {
     watchdog->watch_pool(
         "live-pool", [this] { return static_cast<u64>(pool_in_use()); },
@@ -361,28 +445,23 @@ LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
   }
   merger_thread_ = std::thread([this] { merger_loop(); });
 
+  PacketMagazine mag = make_magazine();
   u64 pid = 0;
   for (const auto& frame : frames) {
-    // Bound the in-flight window well below the ring depth so a full ring
-    // can never wedge the merger-thread against an NF thread (the merger
-    // re-enters segments and would otherwise spin on a ring an NF cannot
-    // drain because its own output ring is full).
-    while (in_flight_.load(std::memory_order_acquire) >= kRingDepth / 4) {
-      std::this_thread::yield();
+    Backoff window_backoff;
+    while (in_flight_.load(std::memory_order_acquire) >=
+           opts_.in_flight_window) {
+      window_backoff.pause();
     }
     Packet* pkt = nullptr;
-    for (;;) {
-      {
-        const std::scoped_lock lock(pool_mu_);
-        pkt = pool_.alloc(frame.size());
-      }
-      if (pkt != nullptr) break;
-      std::this_thread::yield();
+    Backoff alloc_backoff;
+    while ((pkt = mag.alloc(frame.size())) == nullptr) {
+      alloc_backoff.pause();
     }
     std::memcpy(pkt->data(), frame.data(), frame.size());
     pkt->meta().set_pid(pid++ & Metadata::kMaxPid);
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    if (!enter_segment(0, pkt)) {
+    if (!enter_segment(0, pkt, mag)) {
       const std::scoped_lock lock(result_mu_);
       ++result_.dropped;
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -399,6 +478,7 @@ LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
     }
   }
   if (merger_thread_.joinable()) merger_thread_.join();
+  mag.drain();
 
   const std::scoped_lock lock(result_mu_);
   return std::move(result_);

@@ -7,10 +7,21 @@
 // classifier thread and a merger thread — with packets really copied,
 // processed and merged under true parallelism.
 //
-// Performance numbers from this mode are meaningless on a single-core host
-// (threads time-share), so it exposes functional results only: processed
-// packets out, drops, and NF state. Tests compare its output against the
-// simulated dataplane's byte-for-byte.
+// The hot path is built on the DPDK idioms of the paper's infrastructure
+// layer (§5, Fig 3):
+//   * burst ring I/O — packets move between threads in bursts with one
+//     index publish per burst (SpscRing::push_burst/pop_burst),
+//   * per-thread magazine caches over a lock-free packet pool — alloc,
+//     release and add_ref never take a lock (PacketMagazine / PacketPool),
+//   * precomputed fanout plans — each segment's version-copy list and
+//     per-version reference counts are resolved at construction, not per
+//     packet,
+//   * a sharded, allocation-free merge table — one open-addressing
+//     MergeTable per parallel segment with fixed-capacity arrival rows,
+//   * batched result delivery — completed outputs and drops are buffered
+//     thread-locally and the result lock is taken once per burst.
+// bench_hotpath_throughput measures the effect; `per_packet_compat` in the
+// options reproduces the old serialized per-packet path as its baseline.
 #pragma once
 
 #include <atomic>
@@ -22,6 +33,7 @@
 
 #include "graph/service_graph.hpp"
 #include "nfs/nf.hpp"
+#include "packet/packet_magazine.hpp"
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
 
@@ -38,12 +50,26 @@ struct LiveResult {
   u64 dropped = 0;
 };
 
+// Hot-path knobs, constructor-configurable so benches can sweep them.
+struct LivePipelineOptions {
+  std::size_t ring_depth = 256;     // per-NF RX/TX ring capacity (pow2)
+  std::size_t pool_size = 4096;     // shared packet-pool slots
+  std::size_t in_flight_window = 0; // 0 => ring_depth / 4
+  std::size_t magazine_size = 64;   // per-thread free-slot cache; 0 = none
+  std::size_t burst_size = 32;      // ring burst granularity
+  // Reproduces the pre-batching hot path — burst 1, no magazines, every
+  // pool operation behind one global mutex — as the measurable baseline
+  // for bench_hotpath_throughput. Output-equivalent to the batched path.
+  bool per_packet_compat = false;
+};
+
 class LivePipeline {
  public:
   // `factory` defaults to make_builtin_nf (instance id as seed).
   explicit LivePipeline(ServiceGraph graph,
                         std::function<std::unique_ptr<NetworkFunction>(
-                            const StageNf&)> factory = {});
+                            const StageNf&)> factory = {},
+                        LivePipelineOptions options = {});
   ~LivePipeline();
 
   LivePipeline(const LivePipeline&) = delete;
@@ -57,6 +83,8 @@ class LivePipeline {
     return segments_.at(segment).at(index).impl.get();
   }
 
+  const LivePipelineOptions& options() const noexcept { return opts_; }
+
   // Health-instrumentation surface. Workers are indexed NFs-in-graph-order
   // first, then the merger last; all reads are safe from a sampler thread
   // while run() executes.
@@ -68,9 +96,19 @@ class LivePipeline {
   u64 worker_packets(std::size_t w) const;
   std::size_t ring_depth_in(std::size_t w) const;   // merger: 0
   std::size_t ring_depth_out(std::size_t w) const;  // merger: 0
-  std::size_t pool_in_use();
+  std::size_t pool_in_use() const { return pool_.in_use(); }
   std::size_t pool_capacity() const { return pool_.capacity(); }
   u64 dropped_so_far();
+  // Allocator-pressure counters: batch refills/flushes between the
+  // per-thread magazines and the shared pool, and detected refcount
+  // underflows. Exported via register_health for `nfp_cli top`.
+  u64 magazine_refills() const {
+    return mag_refill_total_.load(std::memory_order_relaxed);
+  }
+  u64 magazine_flushes() const {
+    return mag_flush_total_.load(std::memory_order_relaxed);
+  }
+  u64 refcnt_underflows() const { return pool_.refcnt_underflow_total(); }
   // Registers ring/pool/heartbeat probes on `sampler` and stall / pool /
   // drop-spike rules on `watchdog` (null to skip). Call before run().
   void register_health(telemetry::HealthSampler& sampler,
@@ -99,33 +137,52 @@ class LivePipeline {
     std::unique_ptr<std::atomic<u64>> processed;
   };
 
-  // Thread-safe facade over the packet pool (the pool itself is
-  // single-threaded by design; live mode serializes metadata operations).
-  Packet* alloc_copy(const Packet& src, bool full);
-  void release(Packet* pkt);
-  void add_ref(Packet* pkt);
+  // Per-segment fanout plan, resolved once at construction (which versions
+  // need a copy, whether it is a full copy, and how many extra references
+  // each version carries) so enter_segment does no per-packet counting.
+  struct FanoutPlan {
+    struct Copy {
+      u8 version = 0;
+      bool full = false;
+    };
+    std::vector<Copy> copies;          // versions >= 2 with consumers
+    std::vector<u32> extra_refs;       // [version] -> consumers - 1
+    std::vector<u8> nf_version;        // [nf index] -> version consumed
+  };
+
+  // Builds a thread's magazine wired to this pipeline's counters (and the
+  // compat mutex in per-packet mode).
+  PacketMagazine make_magazine();
 
   void nf_loop(std::size_t seg_idx, std::size_t nf_idx);
   void merger_loop();
-  // Distributes a packet into segment `seg_idx`; returns false on pool
-  // exhaustion (packet released, counted as drop).
-  bool enter_segment(std::size_t seg_idx, Packet* pkt);
+  // Distributes a packet into segment `seg_idx` using the caller's
+  // magazine; returns false on pool exhaustion (packet released, counted
+  // as drop by the caller).
+  bool enter_segment(std::size_t seg_idx, Packet* pkt, PacketMagazine& mag);
+
+  // Flushes a thread-local result batch under one result_mu_ acquisition
+  // and retires the completed packets from the in-flight window.
+  void commit_batch(std::vector<std::vector<u8>>& outputs, u64 drops,
+                    u64 completed);
 
   // Resolves a worker index to its LiveNf, or nullptr for the merger slot.
   const LiveNf* worker_nf(std::size_t w) const;
 
   ServiceGraph graph_;
+  LivePipelineOptions opts_;
   PacketPool pool_;
-  std::mutex pool_mu_;
   std::vector<std::vector<LiveNf>> segments_;
+  std::vector<FanoutPlan> fanout_;
   std::thread merger_thread_;
   std::atomic<u64> merger_heartbeat_ns_{0};
   std::atomic<u64> merger_merges_{0};
 
-  // Merger bookkeeping (single merger thread => plain maps suffice).
-  struct PendingMerge {
-    std::vector<std::pair<Packet*, bool>> arrivals;  // packet, drop_intent
-  };
+  // Aggregated magazine traffic across all pipeline threads.
+  std::atomic<u64> mag_refill_total_{0};
+  std::atomic<u64> mag_flush_total_{0};
+  // Serializes pool access in per_packet_compat mode only.
+  std::mutex compat_mu_;
 
   std::atomic<bool> stop_{false};
   std::atomic<u64> in_flight_{0};

@@ -1,0 +1,97 @@
+#include "dataplane/merge_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfp {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MergeTable::MergeTable(std::size_t expected_pids, u32 arrivals_per_pid)
+    : per_pid_(std::max<u32>(1, arrivals_per_pid)) {
+  const std::size_t cap =
+      round_up_pow2(std::max<std::size_t>(16, expected_pids * 2));
+  mask_ = cap - 1;
+  slots_.resize(cap);
+  arrivals_.resize(cap * per_pid_);
+  completed_.reserve(per_pid_);
+}
+
+std::span<MergeArrival> MergeTable::add(u64 pid, const MergeArrival& arrival) {
+  if ((live_ + 1) * 2 > slots_.size()) grow();
+
+  std::size_t idx = home(pid);
+  for (;;) {
+    Slot& s = slots_[idx];
+    if (s.pid_plus1 == 0) {
+      s.pid_plus1 = pid + 1;
+      s.count = 0;
+      ++live_;
+      break;
+    }
+    if (s.pid_plus1 == pid + 1) break;
+    idx = (idx + 1) & mask_;
+  }
+
+  Slot& s = slots_[idx];
+  assert(s.count < per_pid_ && "more arrivals than merge.total_count");
+  arrivals_[idx * per_pid_ + s.count] = arrival;
+  ++s.count;
+  if (s.count < per_pid_) return {};
+
+  const MergeArrival* row = &arrivals_[idx * per_pid_];
+  completed_.assign(row, row + per_pid_);
+  erase_at(idx);
+  --live_;
+  return {completed_.data(), per_pid_};
+}
+
+// Backward-shift deletion: close the hole by sliding back every entry of
+// the probe cluster that had probed through it, so lookups never need
+// tombstones and probe chains stay as short as the live occupancy allows.
+void MergeTable::erase_at(std::size_t idx) {
+  std::size_t hole = idx;
+  slots_[hole] = Slot{};
+  std::size_t j = (hole + 1) & mask_;
+  while (slots_[j].pid_plus1 != 0) {
+    const std::size_t h = home(slots_[j].pid_plus1 - 1);
+    const std::size_t dist_from_home = (j - h) & mask_;
+    const std::size_t dist_from_hole = (j - hole) & mask_;
+    if (dist_from_home >= dist_from_hole) {
+      slots_[hole] = slots_[j];
+      std::copy_n(&arrivals_[j * per_pid_], slots_[hole].count,
+                  &arrivals_[hole * per_pid_]);
+      slots_[j] = Slot{};
+      hole = j;
+    }
+    j = (j + 1) & mask_;
+  }
+}
+
+void MergeTable::grow() {
+  std::vector<Slot> old_slots = std::move(slots_);
+  std::vector<MergeArrival> old_arrivals = std::move(arrivals_);
+  const std::size_t cap = old_slots.size() * 2;
+  mask_ = cap - 1;
+  slots_.assign(cap, Slot{});
+  arrivals_.assign(cap * per_pid_, MergeArrival{});
+  for (std::size_t i = 0; i < old_slots.size(); ++i) {
+    const Slot& s = old_slots[i];
+    if (s.pid_plus1 == 0) continue;
+    std::size_t idx = home(s.pid_plus1 - 1);
+    while (slots_[idx].pid_plus1 != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = s;
+    std::copy_n(&old_arrivals[i * per_pid_], s.count,
+                &arrivals_[idx * per_pid_]);
+  }
+}
+
+}  // namespace nfp

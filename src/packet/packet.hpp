@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <span>
 
@@ -124,7 +125,9 @@ class Packet {
 
   // --- pool bookkeeping -------------------------------------------------------
   u32 pool_index() const noexcept { return pool_index_; }
-  i32 ref_count() const noexcept { return refcnt_; }
+  u32 ref_count() const noexcept {
+    return refcnt_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PacketPool;
@@ -135,7 +138,9 @@ class Packet {
   Metadata meta_{};
   SimTime inject_time_ = 0;
   bool nil_ = false;
-  i32 refcnt_ = 0;
+  // Atomic so parallel NFs sharing one packet version can add_ref/release
+  // without a pool lock (paper §5.2 reference-counted zero-copy delivery).
+  std::atomic<u32> refcnt_{0};
   u32 pool_index_ = 0;
 };
 

@@ -2,28 +2,48 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
 #include "packet/headers.hpp"
 
 namespace nfp {
 
-Packet* PacketPool::clone_header_only(const Packet& src) noexcept {
+void PacketPool::copy_packet_full(Packet& dst, const Packet& src) noexcept {
+  std::memcpy(dst.data(), src.data(), src.length());
+  dst.meta() = src.meta();
+  dst.set_inject_time(src.inject_time());
+}
+
+void PacketPool::copy_packet_header_only(Packet& dst,
+                                         const Packet& src) noexcept {
   const std::size_t copy_len = std::min(src.length(), kHeaderCopyBytes);
-  Packet* dst = alloc(copy_len);
-  if (dst == nullptr) return nullptr;
-  std::memcpy(dst->data(), src.data(), copy_len);
-  dst->meta() = src.meta();
-  dst->set_inject_time(src.inject_time());
+  std::memcpy(dst.data(), src.data(), copy_len);
+  dst.meta() = src.meta();
+  dst.set_inject_time(src.inject_time());
 
   // Fix up the copied IP total-length so the truncated copy is a valid
   // packet from the parallel NF's point of view (§5.2 "copy" action).
   if (copy_len >= kEthHeaderLen + kIpv4HeaderLen) {
-    Ipv4View ip(dst->data() + kEthHeaderLen);
+    Ipv4View ip(dst.data() + kEthHeaderLen);
     if (ip.version() == 4) {
       const std::size_t ip_bytes = copy_len - kEthHeaderLen;
       ip.set_total_length(static_cast<u16>(ip_bytes));
     }
   }
+}
+
+Packet* PacketPool::clone_header_only(const Packet& src) noexcept {
+  const std::size_t copy_len = std::min(src.length(), kHeaderCopyBytes);
+  Packet* dst = alloc(copy_len);
+  if (dst == nullptr) return nullptr;
+  copy_packet_header_only(*dst, src);
   return dst;
+}
+
+void PacketPool::note_underflow(u32 slot) noexcept {
+  if (underflow_total_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    log_error("PacketPool: refcount underflow on slot ", slot,
+              " (double release?) — slot withheld from the free list");
+  }
 }
 
 }  // namespace nfp

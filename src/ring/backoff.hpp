@@ -1,0 +1,56 @@
+// Tiered busy-wait backoff for ring producers/consumers.
+//
+// The live pipeline's threads wait on ring space the way a DPDK poll-mode
+// driver waits on a NIC queue: never blocking in the kernel, but not
+// hammering the shared cache line either. The ladder is
+//   spin   — a handful of empty iterations for sub-100ns waits,
+//   pause  — the CPU's spin-wait hint (x86 PAUSE / ARM YIELD) which
+//            de-prioritizes the hardware thread and cuts the exit penalty
+//            of the spin loop,
+//   yield  — hand the core to the scheduler; essential on machines with
+//            fewer cores than pipeline threads, where the peer we are
+//            waiting on cannot run until we get off the core.
+#pragma once
+
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  asm volatile("pause" ::: "memory");
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  // One wait step; escalates spin -> pause -> yield across calls.
+  void pause() noexcept {
+    if (round_ < kSpinRounds) {
+      ++round_;
+    } else if (round_ < kSpinRounds + kPauseRounds) {
+      ++round_;
+      // Exponentially widening pause bursts within the tier.
+      const u32 reps = 1u << ((round_ - kSpinRounds) / 4);
+      for (u32 i = 0; i < reps; ++i) cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  // Call after the awaited condition held so the next wait starts cheap.
+  void reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr u32 kSpinRounds = 4;
+  static constexpr u32 kPauseRounds = 16;
+  u32 round_ = 0;
+};
+
+}  // namespace nfp

@@ -1,0 +1,147 @@
+// MergeTable: the merger's per-segment open-addressing arrival table.
+// Unit tests for the completion contract plus a randomized differential
+// test against a std::map reference model that forces growth and the
+// backward-shift deletion path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/merge_table.hpp"
+
+namespace nfp {
+namespace {
+
+MergeArrival arrival(u8 version, bool drop = false, i32 prio = 0) {
+  MergeArrival a;
+  a.pkt = nullptr;
+  a.version = version;
+  a.drop_intent = drop;
+  a.priority = prio;
+  a.can_drop = drop;
+  return a;
+}
+
+TEST(MergeTable, CompletesOnlyWhenAllArrivalsLand) {
+  MergeTable table(8, 3);
+  EXPECT_EQ(table.arrivals_per_pid(), 3u);
+  EXPECT_TRUE(table.add(7, arrival(1)).empty());
+  EXPECT_TRUE(table.add(7, arrival(2)).empty());
+  EXPECT_EQ(table.pending(), 1u);
+  const auto done = table.add(7, arrival(3, true, 5));
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].version, 1);
+  EXPECT_EQ(done[1].version, 2);
+  EXPECT_EQ(done[2].version, 3);
+  EXPECT_TRUE(done[2].drop_intent);
+  EXPECT_EQ(done[2].priority, 5);
+  EXPECT_EQ(table.pending(), 0u);
+}
+
+TEST(MergeTable, SingleArrivalCompletesImmediately) {
+  MergeTable table(4, 1);
+  const auto done = table.add(42, arrival(1));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].version, 1);
+  EXPECT_EQ(table.pending(), 0u);
+}
+
+TEST(MergeTable, InterleavedPidsDoNotCrossTalk) {
+  MergeTable table(4, 2);
+  EXPECT_TRUE(table.add(1, arrival(10)).empty());
+  EXPECT_TRUE(table.add(2, arrival(20)).empty());
+  const auto first = table.add(2, arrival(21));
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].version, 20);
+  EXPECT_EQ(first[1].version, 21);
+  const auto second = table.add(1, arrival(11));
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].version, 10);
+  EXPECT_EQ(second[1].version, 11);
+}
+
+TEST(MergeTable, CompletedSpanValidUntilNextAdd) {
+  MergeTable table(4, 1);
+  const auto done = table.add(5, arrival(7));
+  ASSERT_EQ(done.size(), 1u);
+  // The span aliases internal scratch; copy before the next add.
+  const MergeArrival copy = done[0];
+  (void)table.add(6, arrival(8));
+  EXPECT_EQ(copy.version, 7);
+}
+
+TEST(MergeTable, GrowsBeyondExpectedPids) {
+  // expected_pids=2 -> tiny table; 1000 simultaneously-open pids force
+  // several grow() rehashes.
+  MergeTable table(2, 2);
+  for (u64 pid = 0; pid < 1000; ++pid) {
+    EXPECT_TRUE(table.add(pid, arrival(1)).empty());
+  }
+  EXPECT_EQ(table.pending(), 1000u);
+  for (u64 pid = 0; pid < 1000; ++pid) {
+    const auto done = table.add(pid, arrival(2));
+    ASSERT_EQ(done.size(), 2u) << "pid " << pid;
+    EXPECT_EQ(done[0].version, 1);
+    EXPECT_EQ(done[1].version, 2);
+  }
+  EXPECT_EQ(table.pending(), 0u);
+}
+
+// Differential fuzz against a std::map model. Random pids collide in the
+// table's probe clusters; completions erase from the middle of clusters,
+// exercising backward-shift deletion under every interleaving the rng
+// produces.
+TEST(MergeTable, RandomizedMatchesReferenceModel) {
+  Rng rng(1234);
+  constexpr u32 kPerPid = 4;
+  MergeTable table(8, kPerPid);
+  std::map<u64, std::vector<MergeArrival>> model;
+
+  for (int step = 0; step < 200'000; ++step) {
+    // Small pid range => heavy clustering; occasional wide pid => spread.
+    const u64 pid = rng.uniform() < 0.9 ? rng.bounded(64)
+                                        : (rng.next() & 0xFFFFFF);
+    auto& ref = model[pid];
+    if (ref.size() >= kPerPid) continue;  // completed and reopened later
+    const MergeArrival a =
+        arrival(static_cast<u8>(ref.size() + 1), rng.uniform() < 0.2,
+                static_cast<i32>(rng.bounded(10)));
+    ref.push_back(a);
+    const auto done = table.add(pid, a);
+    if (ref.size() < kPerPid) {
+      ASSERT_TRUE(done.empty()) << "premature completion for pid " << pid;
+    } else {
+      ASSERT_EQ(done.size(), static_cast<std::size_t>(kPerPid));
+      for (u32 i = 0; i < kPerPid; ++i) {
+        ASSERT_EQ(done[i].version, ref[i].version);
+        ASSERT_EQ(done[i].drop_intent, ref[i].drop_intent);
+        ASSERT_EQ(done[i].priority, ref[i].priority);
+      }
+      model.erase(pid);
+    }
+    ASSERT_EQ(table.pending(), model.size());
+  }
+
+  // Flush every open pid; order and contents must still match.
+  for (auto& [pid, ref] : model) {
+    while (ref.size() < kPerPid) {
+      const MergeArrival a = arrival(static_cast<u8>(ref.size() + 1));
+      ref.push_back(a);
+      const auto done = table.add(pid, a);
+      if (ref.size() == kPerPid) {
+        ASSERT_EQ(done.size(), static_cast<std::size_t>(kPerPid));
+        for (u32 i = 0; i < kPerPid; ++i) {
+          ASSERT_EQ(done[i].version, ref[i].version);
+        }
+      } else {
+        ASSERT_TRUE(done.empty());
+      }
+    }
+  }
+  EXPECT_EQ(table.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace nfp

@@ -1,0 +1,170 @@
+// Sharded-dataplane scaling: aggregate wall-clock pps vs shard count.
+//
+// Measures the full sharded path — flow-consistent director, per-shard
+// ingest rings, microflow-cache classification, pinned LivePipeline shards —
+// at 1/2/4/8 shards on two shapes:
+//   par4   4 parallel monitors (copy fanout + 4-arrival merge per packet)
+//   chain  vpn>monitor>lb sequential chain (per-packet AES — the compute-
+//          bound real-world case from the paper's §6.4 chains)
+//
+// On a multi-core host the aggregate pps should grow near-linearly until
+// shards exceed cores; on a single-core container every shard time-slices
+// one CPU and the curve is flat — CI guards the per-series numbers, not the
+// ratio, so both environments are regression-checked honestly.
+//
+// Output: one table row and (with --json / NFP_BENCH_JSON) one JSON line
+// per series:
+//   {"bench":"shard_scaling","series":"par4/shards4","meta":{...},
+//    "pps":...,"mf_hit_rate":...,"scaling_vs_1shard":...}
+// scripts/check_hotpath_regression.py --bench shard_scaling compares pps
+// against bench/baselines/BENCH_shard_scaling.json in CI.
+//
+// Flags: --json, --packets=N (default 20000), --flows=N (default 256),
+//        --skew=uniform|zipf (flow-popularity model, default uniform).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cpu_affinity.hpp"
+#include "dataplane/sharded_dataplane.hpp"
+#include "packet/builder.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+namespace {
+
+std::vector<std::vector<u8>> make_frames(std::size_t count,
+                                         std::size_t flows, FlowSkew skew) {
+  sim::Simulator sim;
+  PacketPool pool(4);
+  TrafficConfig cfg;
+  cfg.flows = flows;
+  cfg.flow_skew = skew;
+  TrafficGenerator gen(sim, pool, cfg);
+  std::vector<std::vector<u8>> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet* p =
+        gen.make_packet(pool, gen.next_flow(), 64 + (i % 5) * 128);
+    frames.emplace_back(p->data(), p->data() + p->length());
+    pool.release(p);
+  }
+  return frames;
+}
+
+ServiceGraph make_par4() {
+  return bench::parallel_stage("monitor", 4, /*with_copy=*/true);
+}
+
+ServiceGraph make_chain() {
+  return ServiceGraph::sequential("chain", {"vpn", "monitor", "lb"});
+}
+
+struct Shape {
+  const char* name;
+  ServiceGraph (*make)();
+};
+
+struct RunResult {
+  double pps = 0;
+  double seconds = 0;
+  u64 delivered = 0;
+  double mf_hit_rate = 0;
+  bool affinity_applied = false;
+};
+
+RunResult run_series(const Shape& shape, std::size_t shards,
+                     const std::vector<std::vector<u8>>& frames) {
+  ShardedDataplaneOptions opts;
+  opts.shards = shards;
+  opts.pipeline.burst_size = 32;
+  opts.pipeline.magazine_size = 256;
+  opts.pipeline.ring_depth = 1024;
+  opts.pipeline.in_flight_window = 512;
+  ShardedDataplane dp({shape.make()}, {}, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ShardedResult result = dp.run(frames);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!result.status.is_ok()) {
+    std::fprintf(stderr, "BUG: %s\n", result.status.message().c_str());
+  }
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.delivered = result.outputs.size() + result.dropped;
+  r.pps = r.seconds > 0 ? static_cast<double>(r.delivered) / r.seconds : 0;
+  const u64 hits = dp.microflow_hits();
+  const u64 misses = dp.microflow_misses();
+  r.mf_hit_rate = (hits + misses) > 0
+                      ? static_cast<double>(hits) /
+                            static_cast<double>(hits + misses)
+                      : 0;
+  r.affinity_applied = dp.affinity_applied();
+  return r;
+}
+
+}  // namespace
+}  // namespace nfp
+
+int main(int argc, char** argv) {
+  using namespace nfp;
+  const bool json = bench::json_enabled(argc, argv);
+  std::size_t packets = 20000;
+  std::size_t flows = 256;
+  FlowSkew skew = FlowSkew::kUniform;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+      packets = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--flows=", 8) == 0) {
+      flows = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--skew=zipf") == 0) {
+      skew = FlowSkew::kZipf;
+    } else if (std::strcmp(argv[i], "--skew=uniform") == 0) {
+      skew = FlowSkew::kUniform;
+    }
+  }
+  const char* skew_name = skew == FlowSkew::kZipf ? "zipf" : "uniform";
+
+  const auto frames = make_frames(packets, flows, skew);
+  const Shape shapes[] = {{"par4", make_par4}, {"chain", make_chain}};
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+
+  bench::print_header("Sharded dataplane scaling (aggregate wall-clock pps)");
+  std::printf("online CPUs: %zu\n", online_cpu_count());
+  std::printf("%-16s %12s %10s %10s %8s   %s\n", "series", "pps", "seconds",
+              "mf_hit", "pinned", "scaling vs 1 shard");
+
+  for (const Shape& shape : shapes) {
+    double base_pps = 0;
+    for (const std::size_t shards : shard_counts) {
+      const RunResult r = run_series(shape, shards, frames);
+      if (shards == 1) base_pps = r.pps;
+      const double scaling = base_pps > 0 ? r.pps / base_pps : 0;
+      std::printf(
+          "%-16s %12.0f %10.3f %9.1f%% %8s   %.2fx\n",
+          (std::string(shape.name) + "/shards" + std::to_string(shards))
+              .c_str(),
+          r.pps, r.seconds, r.mf_hit_rate * 100,
+          r.affinity_applied ? "yes" : "no", scaling);
+      if (json) {
+        std::printf(
+            "{\"bench\":\"shard_scaling\",\"series\":\"%s/shards%zu\","
+            "\"meta\":{\"bench\":\"shard_scaling\",\"timestamp\":\"%s\","
+            "\"knobs\":{\"shape\":\"%s\",\"shards\":%zu,\"flows\":%zu,"
+            "\"skew\":\"%s\",\"packets\":%zu,\"online_cpus\":%zu}},"
+            "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
+            "\"mf_hit_rate\":%.4f,\"affinity_applied\":%s,"
+            "\"scaling_vs_1shard\":%.3f}\n",
+            shape.name, shards, bench::iso8601_utc_now().c_str(), shape.name,
+            shards, flows, skew_name, packets, online_cpu_count(), r.pps,
+            static_cast<unsigned long long>(r.delivered), r.seconds,
+            r.mf_hit_rate, r.affinity_applied ? "true" : "false", scaling);
+      }
+    }
+  }
+  return 0;
+}

@@ -6,6 +6,9 @@
 //   nfp_cli plan <policy-file> [cores]    partition across servers (§7)
 //   nfp_cli stats                         print the §4.3 pair statistics
 //   nfp_cli run <policy-file> [options]   run traffic through the dataplane
+//   nfp_cli live <policy-file> [options]  run the policy on the sharded
+//                                         multi-core live dataplane (real
+//                                         threads, RSS flow sharding)
 //   nfp_cli profile <policy-file> [opts]  critical-path bottleneck report
 //   nfp_cli top [--port=P] [options]      live terminal dashboard against a
 //                                         --serve'd run (pps, per-NF p99,
@@ -20,6 +23,16 @@
 //   --packets=N        packets to inject (default 2000)
 //   --rate=PPS         injection rate (default 10000)
 //   --size=BYTES       frame size (default 128)
+//
+// `live` options:
+//   --shards=N         shard count (default 0 = one per online CPU)
+//   --packets=N        frames per wave (default 20000)
+//   --flows=N          distinct 5-tuples in the generated traffic
+//   --skew=uniform|zipf  flow-popularity model (default uniform)
+//   --size=BYTES       frame size (default 256)
+//   --serve=PORT       stream waves forever and serve /metrics,
+//                      /timeseries.json, /healthz — `nfp_cli top` then shows
+//                      per-shard pps and core utilization live
 //
 // `profile` options (in addition to --packets/--rate/--size/--json):
 //   --plane=nfp|onv|rtc  which dataplane to profile (default nfp; onv/rtc
@@ -54,8 +67,10 @@
 #include "baseline/onv_dataplane.hpp"
 #include "baseline/rtc_dataplane.hpp"
 #include "cluster/partition.hpp"
+#include "common/cpu_affinity.hpp"
 #include "common/json.hpp"
 #include "dataplane/nfp_dataplane.hpp"
+#include "dataplane/sharded_dataplane.hpp"
 #include "nfs/firewall.hpp"
 #include "orch/compiler.hpp"
 #include "orch/pair_stats.hpp"
@@ -81,6 +96,10 @@ int usage() {
                "               [--prometheus] [--packets=N] [--rate=PPS] "
                "[--size=BYTES]\n"
                "               [--serve=PORT]\n"
+               "       nfp_cli live <policy-file> [--shards=N] [--packets=N] "
+               "[--flows=N]\n"
+               "               [--skew=uniform|zipf] [--size=BYTES] "
+               "[--serve=PORT]\n"
                "       nfp_cli profile <policy-file> [--plane=nfp|onv|rtc] "
                "[--packets=N]\n"
                "               [--rate=PPS] [--size=BYTES] [--trace-every=N] "
@@ -378,6 +397,223 @@ std::unique_ptr<NetworkFunction> pass_all_factory(const StageNf& nf) {
     return std::make_unique<Firewall>(std::move(acl));
   }
   return make_builtin_nf(nf.name, static_cast<u64>(nf.instance_id) + 1);
+}
+
+// --- nfp_cli live: the sharded multi-core dataplane on real threads -----
+
+// One wave of frames with the requested flow count / skew / size, built
+// through the traffic generator so live and simulated runs share the same
+// packet shapes.
+std::vector<std::vector<u8>> make_live_frames(u64 packets, u64 flows,
+                                              bool zipf, u64 frame_size) {
+  sim::Simulator sim;
+  PacketPool pool(4);
+  TrafficConfig cfg;
+  cfg.flows = static_cast<std::size_t>(flows);
+  cfg.flow_skew = zipf ? FlowSkew::kZipf : FlowSkew::kUniform;
+  TrafficGenerator gen(sim, pool, cfg);
+  std::vector<std::vector<u8>> frames;
+  frames.reserve(static_cast<std::size_t>(packets));
+  for (u64 i = 0; i < packets; ++i) {
+    Packet* p = gen.make_packet(pool, gen.next_flow(),
+                                static_cast<std::size_t>(frame_size));
+    frames.emplace_back(p->data(), p->data() + p->length());
+    pool.release(p);
+  }
+  return frames;
+}
+
+void print_live_summary(ShardedDataplane& dp, const ShardedResult& res,
+                        double seconds, u64 injected) {
+  std::printf("live run: %llu frames, %zu shards (%zu online CPUs, "
+              "pinned=%s): delivered=%zu dropped=%llu",
+              static_cast<unsigned long long>(injected), dp.shard_count(),
+              online_cpu_count(), dp.affinity_applied() ? "yes" : "no",
+              res.outputs.size(),
+              static_cast<unsigned long long>(res.dropped));
+  if (seconds > 0) {
+    std::printf(" %.0f pps", static_cast<double>(injected) / seconds);
+  }
+  std::printf("\n");
+  const u64 hits = dp.microflow_hits();
+  const u64 misses = dp.microflow_misses();
+  if (hits + misses > 0) {
+    std::printf("microflow cache: %.1f%% hit rate (%llu hits, %llu misses, "
+                "%llu invalidations)\n",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(dp.microflow_invalidations()));
+  }
+  std::printf("  %-8s %10s %10s %10s %8s\n", "shard", "rx", "delivered",
+              "dropped", "mf hit");
+  for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+    const u64 sh = dp.shard_hits(s);
+    const u64 sm = dp.shard_misses(s);
+    const double rate =
+        (sh + sm) > 0
+            ? static_cast<double>(sh) / static_cast<double>(sh + sm)
+            : 0;
+    std::printf("  %-8zu %10llu %10zu %10llu %7.1f%%\n", s,
+                static_cast<unsigned long long>(dp.shard_received(s)),
+                s < res.per_shard.size() ? res.per_shard[s].outputs.size() : 0,
+                static_cast<unsigned long long>(
+                    s < res.per_shard.size() ? res.per_shard[s].dropped : 0),
+                100.0 * rate);
+  }
+}
+
+int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
+  u64 shards = 0;
+  u64 packets = 20'000;
+  u64 flows = 64;
+  u64 frame_size = 256;
+  u64 serve_port = 0;
+  std::string skew = "uniform";
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (flag_value(arg, "--shards", &shards) ||
+        flag_value(arg, "--packets", &packets) ||
+        flag_value(arg, "--flows", &flows) ||
+        flag_value(arg, "--size", &frame_size) ||
+        flag_value(arg, "--serve", &serve_port) ||
+        flag_string(arg, "--skew", &skew)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown live option '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (skew != "uniform" && skew != "zipf") {
+    std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
+    return usage();
+  }
+  if (packets == 0) packets = 1;
+  if (flows == 0) flows = 1;
+
+  const auto frames =
+      make_live_frames(packets, flows, skew == "zipf", frame_size);
+
+  ShardedDataplaneOptions opts;
+  opts.shards = static_cast<std::size_t>(shards);
+  ShardedDataplane dp({graph}, pass_all_factory, opts);
+
+  if (serve_port == 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ShardedResult res = dp.run(frames);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!res.status.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", res.status.message().c_str());
+      return 1;
+    }
+    print_live_summary(dp, res,
+                       std::chrono::duration<double>(t1 - t0).count(),
+                       frames.size());
+    return 0;
+  }
+
+  // --serve: stream waves of the same flow set forever with the
+  // observability plane live. All registry series are created here, before
+  // any server or sampler thread can scan the maps; afterwards only the
+  // atomic cells are touched.
+  telemetry::MetricsRegistry registry;
+  telemetry::FlightRecorder recorder;
+  telemetry::Watchdog watchdog(recorder);
+  watchdog.set_registry(&registry);
+  telemetry::HealthSampler sampler(registry);
+  sampler.set_watchdog(&watchdog);
+  dp.register_health(sampler, &watchdog);
+
+  telemetry::Counter& injected =
+      registry.counter("packets_injected_total", {{"plane", "sharded"}});
+  telemetry::Counter& dropped_total =
+      registry.counter("packets_dropped_total", {{"plane", "sharded"}});
+  std::vector<telemetry::Counter*> delivered_counters;
+  for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+    delivered_counters.push_back(&registry.counter(
+        "packets_delivered_total",
+        {{"plane", "sharded"}, {"shard", std::to_string(s)}}));
+  }
+
+  std::mutex mu;
+  telemetry::TimeseriesCollector::Options ts_options;
+  ts_options.period_ms = 500;
+  telemetry::TimeseriesCollector collector(registry, ts_options);
+  collector.publish_derived(&registry);
+  collector.set_mutex(&mu);
+  collector.add_probe("microflow_hit_rate", {}, [&dp] {
+    const u64 hits = dp.microflow_hits();
+    const u64 misses = dp.microflow_misses();
+    return (hits + misses) > 0 ? static_cast<double>(hits) /
+                                     static_cast<double>(hits + misses)
+                               : 0.0;
+  });
+
+  if (const Status st = dp.start(); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  telemetry::StatsServer server;
+  telemetry::EndpointSources sources;
+  sources.registry = &registry;
+  sources.recorder = &recorder;
+  sources.watchdog = &watchdog;
+  sources.timeseries = &collector;
+  sources.mu = &mu;
+  telemetry::register_standard_endpoints(server, sources);
+  telemetry::StatsServer::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(serve_port);
+  if (const Status started = server.start(server_options); !started) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("live dataplane: %zu shards (%zu online CPUs) serving on "
+              "http://127.0.0.1:%u — /metrics /timeseries.json /healthz — "
+              "`nfp_cli top --port=%u` for the dashboard, Ctrl-C to stop\n",
+              dp.shard_count(), online_cpu_count(),
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  install_stop_handler();
+  sampler.start();
+  collector.start();
+
+  std::vector<u64> last_delivered(dp.shard_count(), 0);
+  u64 last_dropped = 0;
+  u64 waves = 0;
+  while (g_stop == 0) {
+    for (const auto& frame : frames) {
+      if (g_stop != 0) break;
+      dp.feed({frame.data(), frame.size()});
+      injected.inc();
+    }
+    for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+      const u64 now = dp.shard_delivered(s);
+      delivered_counters[s]->inc(now - last_delivered[s]);
+      last_delivered[s] = now;
+    }
+    u64 dropped_now = 0;
+    for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+      dropped_now += dp.shard_dropped(s);
+    }
+    dropped_total.inc(dropped_now - last_dropped);
+    last_dropped = dropped_now;
+    ++waves;
+    interruptible_sleep_ms(200);
+  }
+
+  collector.stop();
+  sampler.stop();
+  server.stop();
+  const ShardedResult res = dp.drain();
+  std::printf("\nstopped after %llu waves; served %llu requests\n",
+              static_cast<unsigned long long>(waves),
+              static_cast<unsigned long long>(server.requests_served()));
+  print_live_summary(dp, res, 0, injected.value.load());
+  return res.status.is_ok() ? 0 : 1;
 }
 
 int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
@@ -785,6 +1021,9 @@ int main(int argc, char** argv) {
   }
   if (command == "run") {
     return run_dataplane(graph.value(), argc, argv);
+  }
+  if (command == "live") {
+    return live_dataplane(graph.value(), argc, argv);
   }
   if (command == "profile") {
     return profile_dataplane(graph.value(), argc, argv);

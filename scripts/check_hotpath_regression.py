@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Compare bench_hotpath_throughput --json output against a checked-in
-baseline and fail on a >30% per-series throughput regression.
+"""Compare a bench's --json output against a checked-in baseline and fail
+on a >30% per-series throughput regression.
 
 Usage:
   check_hotpath_regression.py --baseline bench/baselines/BENCH_hotpath_throughput.json \
-      --current current.jsonl [--threshold 0.7]
+      --current current.jsonl [--threshold 0.7] [--bench hotpath_throughput]
   check_hotpath_regression.py --merge-min run1.jsonl run2.jsonl ... > baseline.json
+
+--bench selects which bench's rows to read (default hotpath_throughput;
+shard_scaling for bench_shard_scaling output).
 
 Both files hold one JSON object per line as emitted by the bench:
   {"bench":"hotpath_throughput","series":"par4/burst32",...,"pps":1234.5,...}
@@ -20,7 +23,7 @@ import json
 import sys
 
 
-def load_series(path):
+def load_series(path, bench):
     """dict series -> min pps across the file's lines."""
     series = {}
     with open(path, encoding="utf-8") as fh:
@@ -32,7 +35,7 @@ def load_series(path):
                 row = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if row.get("bench") != "hotpath_throughput":
+            if row.get("bench") != bench:
                 continue
             name, pps = row.get("series"), row.get("pps")
             if name is None or pps is None:
@@ -50,12 +53,14 @@ def main():
                         help="fail when current < threshold * baseline")
     parser.add_argument("--merge-min", nargs="+", metavar="RUN",
                         help="merge runs into a min-per-series baseline")
+    parser.add_argument("--bench", default="hotpath_throughput",
+                        help="bench name whose JSON rows to compare")
     args = parser.parse_args()
 
     if args.merge_min:
         merged = {}
         for path in args.merge_min:
-            for name, row in load_series(path).items():
+            for name, row in load_series(path, args.bench).items():
                 if name not in merged or row["pps"] < merged[name]["pps"]:
                     merged[name] = row
         for name in sorted(merged):
@@ -65,8 +70,8 @@ def main():
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required (or --merge-min)")
 
-    baseline = load_series(args.baseline)
-    current = load_series(args.current)
+    baseline = load_series(args.baseline, args.bench)
+    current = load_series(args.current, args.bench)
     if not baseline:
         print(f"error: no baseline series in {args.baseline}", file=sys.stderr)
         return 2

@@ -1,0 +1,63 @@
+#include "common/cpu_affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nfp {
+
+bool cpu_affinity_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t online_cpu_count() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool pin_current_thread_to_core(std::size_t core) noexcept {
+#if defined(__linux__)
+  // The affinity mask may be sparse (e.g. cores {2,5,7} in a container);
+  // walk the allowed set and pick the (core % allowed)-th entry.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int allowed_count = CPU_COUNT(&allowed);
+  if (allowed_count <= 0) return false;
+  std::size_t want = core % static_cast<std::size_t>(allowed_count);
+  int target = -1;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (want == 0) {
+      target = cpu;
+      break;
+    }
+    --want;
+  }
+  if (target < 0) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(target, &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace nfp

@@ -1,0 +1,30 @@
+// CPU pinning for the sharded live dataplane.
+//
+// The paper's infrastructure (and Maestro-style shared-nothing scaling)
+// assumes each shard's threads own a core. This wrapper applies
+// sched_setaffinity on Linux and degrades to a graceful no-op elsewhere
+// (or inside restricted containers), reporting whether the pin actually
+// took effect so tests and CI can branch on `affinity_applied` instead of
+// silently assuming multi-core behaviour.
+#pragma once
+
+#include <cstddef>
+
+namespace nfp {
+
+// True when this platform/build can pin threads at all (compile-time
+// capability; a runtime sched_setaffinity failure is still reported as a
+// false return from pin_current_thread_to_core).
+bool cpu_affinity_supported() noexcept;
+
+// Number of CPUs this process may run on (the affinity mask's popcount on
+// Linux, falling back to hardware_concurrency; never 0).
+std::size_t online_cpu_count() noexcept;
+
+// Pins the calling thread to `core` (taken modulo online_cpu_count so shard
+// indices above the host's core count wrap instead of failing). Returns
+// true when the affinity call succeeded, false on unsupported platforms or
+// when the kernel rejected the mask (e.g. a cgroup-restricted container).
+bool pin_current_thread_to_core(std::size_t core) noexcept;
+
+}  // namespace nfp

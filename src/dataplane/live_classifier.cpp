@@ -1,0 +1,76 @@
+#include "dataplane/live_classifier.hpp"
+
+#include <algorithm>
+
+#include "packet/headers.hpp"
+
+namespace nfp {
+
+void LiveClassificationTable::add_exact(const FiveTuple& flow,
+                                        std::size_t graph) {
+  {
+    const std::scoped_lock lock(mu_);
+    exact_[flow] = clamp_graph(graph);
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void LiveClassificationTable::add_rule(CtRule rule) {
+  rule.graph = clamp_graph(rule.graph);
+  {
+    const std::scoped_lock lock(mu_);
+    rules_.push_back(rule);
+    std::stable_sort(rules_.begin(), rules_.end(),
+                     [](const CtRule& a, const CtRule& b) {
+                       return a.priority > b.priority;
+                     });
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::size_t LiveClassificationTable::classify(const FiveTuple& flow) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = exact_.find(flow);
+  if (it != exact_.end()) return it->second;
+  for (const CtRule& rule : rules_) {  // sorted by descending priority
+    if (rule.matches(flow)) return rule.graph;
+  }
+  return 0;
+}
+
+std::size_t LiveClassificationTable::exact_entries() const {
+  const std::scoped_lock lock(mu_);
+  return exact_.size();
+}
+
+std::size_t LiveClassificationTable::rule_entries() const {
+  const std::scoped_lock lock(mu_);
+  return rules_.size();
+}
+
+std::optional<FiveTuple> parse_five_tuple(
+    std::span<const u8> frame) noexcept {
+  if (frame.size() < kEthHeaderLen + kIpv4HeaderLen) return std::nullopt;
+  u8* base = const_cast<u8*>(frame.data());  // views are read-only here
+  const EthView eth(base);
+  if (eth.ether_type() != kEtherTypeIpv4) return std::nullopt;
+  const Ipv4View ip(base + kEthHeaderLen);
+  if (ip.version() != 4) return std::nullopt;
+  const std::size_t ip_len = ip.header_len();
+  if (ip_len < kIpv4HeaderLen ||
+      frame.size() < kEthHeaderLen + ip_len + 4) {
+    return std::nullopt;
+  }
+  FiveTuple t;
+  t.src_ip = ip.src_ip();
+  t.dst_ip = ip.dst_ip();
+  t.proto = ip.protocol();
+  if (t.proto != kProtoTcp && t.proto != kProtoUdp) return std::nullopt;
+  // TCP and UDP both lead with the 16-bit source and destination ports.
+  const u8* l4 = base + kEthHeaderLen + ip_len;
+  t.src_port = static_cast<u16>((l4[0] << 8) | l4[1]);
+  t.dst_port = static_cast<u16>((l4[2] << 8) | l4[3]);
+  return t;
+}
+
+}  // namespace nfp

@@ -1,0 +1,159 @@
+// Live multi-graph classification (paper §5.1) for the sharded dataplane.
+//
+// The compiler's Classification Table steers each flow into one of the
+// service graphs deployed on a server. The simulated dataplane consults an
+// exact-match map per packet; at live speeds that full lookup — exact rules
+// first, then a priority-ordered masked-rule scan — is the expensive slow
+// path, so every shard puts an exact-match *microflow cache* in front of it
+// (the role OVS's EMC plays in front of its megaflow classifier): the first
+// packet of a flow pays the full classification, every later packet is one
+// bounded-LRU hash lookup, O(1) amortized.
+//
+// Concurrency: the table is shared by all shard workers. classify() and the
+// rule mutators serialize on an internal mutex — acceptable because workers
+// only call classify() on a microflow-cache miss. Rule mutations bump a
+// version counter that shard workers poll (relaxed) once per burst; on a
+// change each worker clears its own cache, so stale verdicts never outlive
+// the burst that observed the bump.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "flow/flow_table.hpp"
+
+namespace nfp {
+
+// One masked Classification Table rule (the live analogue of the compiler's
+// CtEntry match spec): every enabled predicate must hold. mask == 0
+// wildcards an address; the port/proto predicates are opt-in flags.
+struct CtRule {
+  u32 src_ip = 0;
+  u32 src_mask = 0;
+  u32 dst_ip = 0;
+  u32 dst_mask = 0;
+  u16 src_port = 0;
+  bool match_src_port = false;
+  u16 dst_port = 0;
+  bool match_dst_port = false;
+  u8 proto = 0;
+  bool match_proto = false;
+  int priority = 0;          // higher wins among matching rules
+  std::size_t graph = 0;     // verdict: index of the service graph
+
+  bool matches(const FiveTuple& t) const noexcept {
+    if ((t.src_ip & src_mask) != (src_ip & src_mask)) return false;
+    if ((t.dst_ip & dst_mask) != (dst_ip & dst_mask)) return false;
+    if (match_src_port && t.src_port != src_port) return false;
+    if (match_dst_port && t.dst_port != dst_port) return false;
+    if (match_proto && t.proto != proto) return false;
+    return true;
+  }
+};
+
+class LiveClassificationTable {
+ public:
+  explicit LiveClassificationTable(std::size_t graph_count = 1)
+      : graph_count_(graph_count == 0 ? 1 : graph_count) {}
+
+  // Exact 5-tuple rule (mirrors NfpDataplane::add_flow_rule). Out-of-range
+  // graph indices clamp to graph 0, matching the "unmatched flows take
+  // graph 0" default.
+  void add_exact(const FiveTuple& flow, std::size_t graph);
+  // Masked rule; matched after the exact rules, highest priority first.
+  void add_rule(CtRule rule);
+
+  // Full classification: exact match, then best masked rule, else graph 0.
+  std::size_t classify(const FiveTuple& flow) const;
+
+  std::size_t graph_count() const noexcept { return graph_count_; }
+  std::size_t exact_entries() const;
+  std::size_t rule_entries() const;
+
+  // Monotone generation stamp; bumped by every rule mutation. Shard workers
+  // compare it (relaxed) against their cache's stamp once per burst and
+  // clear the cache on mismatch.
+  u64 version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t clamp_graph(std::size_t g) const noexcept {
+    return g < graph_count_ ? g : 0;
+  }
+
+  const std::size_t graph_count_;
+  mutable std::mutex mu_;
+  std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> exact_;
+  std::vector<CtRule> rules_;  // kept sorted by descending priority
+  std::atomic<u64> version_{0};
+};
+
+// Per-shard exact-match microflow cache over the CT verdict. Owned and
+// touched by exactly one shard worker; the hit/miss counters are atomics
+// only so telemetry probes can read them from the sampler thread.
+class MicroflowCache {
+ public:
+  explicit MicroflowCache(const LiveClassificationTable& ct,
+                          std::size_t capacity)
+      : ct_(ct), table_(capacity == 0 ? 1 : capacity) {}
+
+  // Classifies through the cache; O(1) amortized per packet.
+  std::size_t classify(const FiveTuple& flow) {
+    const std::size_t* cached = table_.peek(flow);
+    if (cached != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Refresh LRU position without a second hash walk being observable to
+      // callers; get_or_create on a present key is the splice-only path.
+      return table_.get_or_create(flow);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t verdict = ct_.classify(flow);
+    table_.get_or_create(flow) = verdict;
+    return verdict;
+  }
+
+  // Drops every cached verdict when the CT generation moved (rule change);
+  // call once per burst, before classifying it.
+  void sync_generation() {
+    const u64 v = ct_.version();
+    if (v != seen_version_) {
+      table_.clear();
+      ++invalidations_;
+      seen_version_ = v;
+    }
+  }
+
+  u64 hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  u64 misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  u64 invalidations() const noexcept { return invalidations_; }
+  u64 evictions() const noexcept { return table_.evictions(); }
+  std::size_t size() const noexcept { return table_.size(); }
+  std::size_t capacity() const noexcept { return table_.capacity(); }
+
+ private:
+  const LiveClassificationTable& ct_;
+  FlowTable<std::size_t> table_;
+  u64 seen_version_ = 0;
+  u64 invalidations_ = 0;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+};
+
+// Parses the IPv4 5-tuple out of a raw Ethernet frame (the director needs
+// it before any Packet object exists). Returns nullopt for frames that are
+// not IPv4/TCP/UDP — callers treat those as one anonymous flow.
+std::optional<FiveTuple> parse_five_tuple(std::span<const u8> frame) noexcept;
+
+}  // namespace nfp

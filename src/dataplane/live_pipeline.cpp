@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "common/cpu_affinity.hpp"
 #include "dataplane/merge_ops.hpp"
 #include "dataplane/merge_table.hpp"
 #include "packet/packet_view.hpp"
@@ -98,6 +99,14 @@ PacketMagazine LivePipeline::make_magazine() {
                         opts_.per_packet_compat ? &compat_mu_ : nullptr);
 }
 
+void LivePipeline::maybe_pin_current_thread() {
+  if (opts_.pin_core < 0) return;
+  affinity_attempts_.fetch_add(1, std::memory_order_relaxed);
+  if (pin_current_thread_to_core(static_cast<std::size_t>(opts_.pin_core))) {
+    affinity_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
                                  PacketMagazine& mag) {
   const Segment& seg = graph_.segments()[seg_idx];
@@ -150,6 +159,7 @@ void LivePipeline::commit_batch(std::vector<std::vector<u8>>& outputs,
 }
 
 void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
+  maybe_pin_current_thread();
   const Segment& seg = graph_.segments()[seg_idx];
   LiveNf& self = segments_[seg_idx][nf_idx];
   const bool parallel = seg.is_parallel();
@@ -234,6 +244,7 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
 }
 
 void LivePipeline::merger_loop() {
+  maybe_pin_current_thread();
   PacketMagazine mag = make_magazine();
   const std::size_t burst = opts_.burst_size;
 
@@ -389,12 +400,26 @@ u64 LivePipeline::dropped_so_far() {
   return result_.dropped;
 }
 
+u64 LivePipeline::delivered_so_far() {
+  const std::scoped_lock lock(result_mu_);
+  return result_.outputs.size();
+}
+
 void LivePipeline::register_health(telemetry::HealthSampler& sampler,
-                                   telemetry::Watchdog* watchdog) {
+                                   telemetry::Watchdog* watchdog,
+                                   const std::string& shard) {
+  // With a shard tag every probe carries a {"shard", N} label and every
+  // watchdog component gets a "shardN/" prefix, so S pipelines share one
+  // registry without metric collisions.
+  telemetry::Labels plane_labels{{"plane", "live"}};
+  if (!shard.empty()) plane_labels.emplace_back("shard", shard);
+  const std::string prefix = shard.empty() ? "" : "shard" + shard + "/";
+
   const std::size_t workers = worker_count();
   for (std::size_t w = 0; w < workers; ++w) {
     const std::string name = worker_name(w);
-    const telemetry::Labels labels{{"plane", "live"}, {"worker", name}};
+    telemetry::Labels labels = plane_labels;
+    labels.emplace_back("worker", name);
     sampler.add_probe("worker_heartbeat_ns", labels, [this, w] {
       return static_cast<double>(worker_heartbeat_ns(w));
     });
@@ -409,34 +434,44 @@ void LivePipeline::register_health(telemetry::HealthSampler& sampler,
     });
     if (watchdog != nullptr) {
       watchdog->watch_heartbeat(
-          name, [this, w] { return worker_heartbeat_ns(w); });
+          prefix + name, [this, w] { return worker_heartbeat_ns(w); });
     }
   }
-  sampler.add_probe("pool_in_use", {{"plane", "live"}}, [this] {
+  sampler.add_probe("pool_in_use", plane_labels, [this] {
     return static_cast<double>(pool_in_use());
   });
   // Allocator pressure: magazine↔pool batch traffic and refcount misuse.
-  sampler.add_probe("pool_magazine_refill_total", {{"plane", "live"}}, [this] {
+  sampler.add_probe("pool_magazine_refill_total", plane_labels, [this] {
     return static_cast<double>(magazine_refills());
   });
-  sampler.add_probe("pool_magazine_flush_total", {{"plane", "live"}}, [this] {
+  sampler.add_probe("pool_magazine_flush_total", plane_labels, [this] {
     return static_cast<double>(magazine_flushes());
   });
-  sampler.add_probe("pool_refcnt_underflow_total", {{"plane", "live"}},
+  sampler.add_probe("pool_refcnt_underflow_total", plane_labels,
                     [this] {
                       return static_cast<double>(refcnt_underflows());
                     });
   if (watchdog != nullptr) {
     watchdog->watch_pool(
-        "live-pool", [this] { return static_cast<u64>(pool_in_use()); },
+        prefix + "live-pool",
+        [this] { return static_cast<u64>(pool_in_use()); },
         pool_capacity());
-    watchdog->watch_drop_counter("live-pipeline",
+    watchdog->watch_drop_counter(prefix + "live-pipeline",
                                  [this] { return dropped_so_far(); });
   }
 }
 
-LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
-  // Spin up the workers.
+Status LivePipeline::start() {
+  RunState expected = RunState::kNew;
+  if (!state_.compare_exchange_strong(expected, RunState::kRunning,
+                                      std::memory_order_acq_rel)) {
+    return Status::error(
+        "LivePipeline::start(): pipeline already started — each LivePipeline "
+        "runs exactly once; construct a fresh instance for another run");
+  }
+  feeder_mag_ = std::make_unique<PacketMagazine>(
+      pool_, opts_.magazine_size, &mag_refill_total_, &mag_flush_total_,
+      opts_.per_packet_compat ? &compat_mu_ : nullptr);
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     for (std::size_t k = 0; k < segments_[s].size(); ++k) {
       segments_[s][k].thread =
@@ -444,30 +479,44 @@ LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
     }
   }
   merger_thread_ = std::thread([this] { merger_loop(); });
+  return Status::ok();
+}
 
-  PacketMagazine mag = make_magazine();
-  u64 pid = 0;
-  for (const auto& frame : frames) {
-    Backoff window_backoff;
-    while (in_flight_.load(std::memory_order_acquire) >=
-           opts_.in_flight_window) {
-      window_backoff.pause();
-    }
-    Packet* pkt = nullptr;
-    Backoff alloc_backoff;
-    while ((pkt = mag.alloc(frame.size())) == nullptr) {
-      alloc_backoff.pause();
-    }
-    std::memcpy(pkt->data(), frame.data(), frame.size());
-    pkt->meta().set_pid(pid++ & Metadata::kMaxPid);
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    if (!enter_segment(0, pkt, mag)) {
-      const std::scoped_lock lock(result_mu_);
-      ++result_.dropped;
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    }
+bool LivePipeline::feed(std::span<const u8> frame) {
+  if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
+    return false;
   }
+  PacketMagazine& mag = *feeder_mag_;
+  Backoff window_backoff;
+  while (in_flight_.load(std::memory_order_acquire) >=
+         opts_.in_flight_window) {
+    window_backoff.pause();
+  }
+  Packet* pkt = nullptr;
+  Backoff alloc_backoff;
+  while ((pkt = mag.alloc(frame.size())) == nullptr) {
+    alloc_backoff.pause();
+  }
+  std::memcpy(pkt->data(), frame.data(), frame.size());
+  pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!enter_segment(0, pkt, mag)) {
+    const std::scoped_lock lock(result_mu_);
+    ++result_.dropped;
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
 
+LiveResult LivePipeline::drain() {
+  if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
+    LiveResult bad;
+    bad.status = Status::error(
+        "LivePipeline::drain(): pipeline is not running (call start() first; "
+        "drain() may only be called once)");
+    return bad;
+  }
   while (in_flight_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
@@ -478,10 +527,24 @@ LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
     }
   }
   if (merger_thread_.joinable()) merger_thread_.join();
-  mag.drain();
+  feeder_mag_->drain();
+  feeder_mag_.reset();
+  state_.store(RunState::kFinished, std::memory_order_release);
 
   const std::scoped_lock lock(result_mu_);
   return std::move(result_);
+}
+
+LiveResult LivePipeline::run(const std::vector<std::vector<u8>>& frames) {
+  if (Status st = start(); !st.is_ok()) {
+    LiveResult bad;
+    bad.status = std::move(st);
+    return bad;
+  }
+  for (const auto& frame : frames) {
+    feed(std::span<const u8>(frame.data(), frame.size()));
+  }
+  return drain();
 }
 
 }  // namespace nfp

@@ -28,9 +28,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/status.hpp"
 #include "graph/service_graph.hpp"
 #include "nfs/nf.hpp"
 #include "packet/packet_magazine.hpp"
@@ -48,6 +51,9 @@ struct LiveResult {
   // Delivered packets in merger-completion order, as raw frames.
   std::vector<std::vector<u8>> outputs;
   u64 dropped = 0;
+  // Error status for misuse (run()/start() on an already-used pipeline);
+  // ok on every normal completion.
+  Status status;
 };
 
 // Hot-path knobs, constructor-configurable so benches can sweep them.
@@ -61,6 +67,11 @@ struct LivePipelineOptions {
   // pool operation behind one global mutex — as the measurable baseline
   // for bench_hotpath_throughput. Output-equivalent to the batched path.
   bool per_packet_compat = false;
+  // When >= 0, every pipeline thread (NFs + merger) pins itself to this
+  // core via cpu_affinity — the sharded dataplane's shared-nothing
+  // one-core-per-shard placement. Pin failures degrade to unpinned
+  // threads; affinity_applied() reports the outcome.
+  int pin_core = -1;
 };
 
 class LivePipeline {
@@ -76,8 +87,22 @@ class LivePipeline {
   LivePipeline& operator=(const LivePipeline&) = delete;
 
   // Feeds `frames` through the graph and blocks until every packet has been
-  // delivered or dropped. May be called once per pipeline.
+  // delivered or dropped. May be called once per pipeline; a second call
+  // returns a LiveResult whose status carries the violation.
   LiveResult run(const std::vector<std::vector<u8>>& frames);
+
+  // Streaming ingest, the API the sharded dataplane drives continuously:
+  //   start()  spawn the worker threads (once per pipeline — a second call
+  //            errors, enforcing the old run()-once contract in code);
+  //   feed()   copy one frame in (blocking under the in-flight window and
+  //            pool backpressure); single-ingest-thread discipline — only
+  //            one thread may call feed(), segment-0 rings are SPSC;
+  //   drain()  wait for every in-flight packet, stop and join the workers,
+  //            and hand back the accumulated result.
+  // run() is now a start + feed-loop + drain composition.
+  Status start();
+  bool feed(std::span<const u8> frame);
+  LiveResult drain();
 
   NetworkFunction* nf(std::size_t segment, std::size_t index) {
     return segments_.at(segment).at(index).impl.get();
@@ -99,6 +124,7 @@ class LivePipeline {
   std::size_t pool_in_use() const { return pool_.in_use(); }
   std::size_t pool_capacity() const { return pool_.capacity(); }
   u64 dropped_so_far();
+  u64 delivered_so_far();
   // Allocator-pressure counters: batch refills/flushes between the
   // per-thread magazines and the shared pool, and detected refcount
   // underflows. Exported via register_health for `nfp_cli top`.
@@ -109,10 +135,24 @@ class LivePipeline {
     return mag_flush_total_.load(std::memory_order_relaxed);
   }
   u64 refcnt_underflows() const { return pool_.refcnt_underflow_total(); }
+  // Pin outcome under options().pin_core: true once every spawned thread
+  // that attempted a pin succeeded (false with pin_core < 0, on platforms
+  // without affinity support, or when the kernel rejected the mask).
+  bool affinity_applied() const {
+    const u64 attempts = affinity_attempts_.load(std::memory_order_relaxed);
+    return attempts > 0 &&
+           affinity_ok_.load(std::memory_order_relaxed) == attempts;
+  }
+  u64 affinity_attempts() const {
+    return affinity_attempts_.load(std::memory_order_relaxed);
+  }
   // Registers ring/pool/heartbeat probes on `sampler` and stall / pool /
   // drop-spike rules on `watchdog` (null to skip). Call before run().
+  // A non-empty `shard` tags every probe with a {"shard", ...} label and
+  // prefixes watchdog component names so S shards coexist in one registry.
   void register_health(telemetry::HealthSampler& sampler,
-                       telemetry::Watchdog* watchdog);
+                       telemetry::Watchdog* watchdog,
+                       const std::string& shard = {});
 
  private:
   // NF → merger hand-off. The drop intent travels out-of-band rather than
@@ -154,6 +194,10 @@ class LivePipeline {
   // compat mutex in per-packet mode).
   PacketMagazine make_magazine();
 
+  // Applies opts_.pin_core to the calling pipeline thread, keeping the
+  // attempt/success tally behind affinity_applied().
+  void maybe_pin_current_thread();
+
   void nf_loop(std::size_t seg_idx, std::size_t nf_idx);
   void merger_loop();
   // Distributes a packet into segment `seg_idx` using the caller's
@@ -183,6 +227,19 @@ class LivePipeline {
   std::atomic<u64> mag_flush_total_{0};
   // Serializes pool access in per_packet_compat mode only.
   std::mutex compat_mu_;
+
+  // Streaming lifecycle: kNew --start()--> kRunning --drain()--> kFinished.
+  // The CAS in start() is what turns the documented run-once contract into
+  // an enforced one.
+  enum class RunState : int { kNew = 0, kRunning = 1, kFinished = 2 };
+  std::atomic<RunState> state_{RunState::kNew};
+  // Ingest-thread state; feed() is single-threaded by contract, so these
+  // need no synchronisation beyond the pipeline lifecycle itself.
+  std::unique_ptr<PacketMagazine> feeder_mag_;
+  u64 next_pid_ = 0;
+
+  std::atomic<u64> affinity_attempts_{0};
+  std::atomic<u64> affinity_ok_{0};
 
   std::atomic<bool> stop_{false};
   std::atomic<u64> in_flight_{0};

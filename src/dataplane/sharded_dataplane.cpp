@@ -1,0 +1,315 @@
+#include "dataplane/sharded_dataplane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/cpu_affinity.hpp"
+#include "common/hash.hpp"
+#include "ring/backoff.hpp"
+#include "telemetry/health_sampler.hpp"
+
+namespace nfp {
+
+ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
+                                   NfFactory factory,
+                                   ShardedDataplaneOptions options)
+    : graphs_(std::move(graphs)),
+      opts_(options),
+      ct_(graphs_.empty() ? 1 : graphs_.size()) {
+  if (graphs_.empty()) graphs_.emplace_back();
+  if (opts_.shards == 0) opts_.shards = online_cpu_count();
+  opts_.shards = std::max<std::size_t>(1, opts_.shards);
+  opts_.ingest_ring_depth = std::max<std::size_t>(4, opts_.ingest_ring_depth);
+  opts_.ingest_burst =
+      std::clamp<std::size_t>(opts_.ingest_burst, 1, opts_.ingest_ring_depth);
+  // The ingest pool must cover a full ring plus the burst in the worker's
+  // hands, or the director could starve against its own shard.
+  opts_.ingest_pool_size =
+      std::max(opts_.ingest_pool_size,
+               opts_.ingest_ring_depth + opts_.ingest_burst);
+
+  shards_.resize(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    Shard& sh = shards_[s];
+    sh.ingest_pool = std::make_unique<PacketPool>(opts_.ingest_pool_size);
+    sh.ring = std::make_unique<SpscRing<Packet*>>(opts_.ingest_ring_depth);
+    sh.cache =
+        std::make_unique<MicroflowCache>(ct_, opts_.microflow_capacity);
+    sh.received = std::make_unique<std::atomic<u64>>(0);
+    sh.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
+    sh.busy_ns = std::make_unique<std::atomic<u64>>(0);
+    LivePipelineOptions popts = opts_.pipeline;
+    popts.pin_core = opts_.pin_threads ? static_cast<int>(s) : -1;
+    for (std::size_t g = 0; g < graphs_.size(); ++g) {
+      sh.pipelines.push_back(
+          std::make_unique<LivePipeline>(graphs_[g], factory, popts));
+      sh.graph_counts.push_back(std::make_unique<std::atomic<u64>>(0));
+    }
+  }
+}
+
+ShardedDataplane::~ShardedDataplane() {
+  // Unblock and join the shard workers before the pipelines (members) are
+  // torn down — a worker may be mid-feed() into one of them.
+  ingest_stop_.store(true, std::memory_order_release);
+  for (Shard& sh : shards_) {
+    if (sh.worker.joinable()) sh.worker.join();
+  }
+}
+
+void ShardedDataplane::add_flow_rule(const FiveTuple& flow,
+                                     std::size_t graph) {
+  ct_.add_exact(flow, graph);
+}
+
+void ShardedDataplane::add_rule(const CtRule& rule) { ct_.add_rule(rule); }
+
+std::size_t ShardedDataplane::shard_for(std::span<const u8> frame) const {
+  // Non-IP frames hash a default tuple: one consistent "anonymous" flow.
+  FiveTuple t;
+  if (const auto parsed = parse_five_tuple(frame)) t = *parsed;
+  return static_cast<std::size_t>(hash_five_tuple(t)) % shards_.size();
+}
+
+Status ShardedDataplane::start() {
+  RunState expected = RunState::kNew;
+  if (!state_.compare_exchange_strong(expected, RunState::kRunning,
+                                      std::memory_order_acq_rel)) {
+    return Status::error(
+        "ShardedDataplane::start(): dataplane already started — each "
+        "instance runs exactly once");
+  }
+  for (Shard& sh : shards_) {
+    for (auto& pipeline : sh.pipelines) {
+      if (Status st = pipeline->start(); !st.is_ok()) return st;
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].worker = std::thread([this, s] { worker_loop(s); });
+  }
+  return Status::ok();
+}
+
+bool ShardedDataplane::feed(std::span<const u8> frame) {
+  if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
+    return false;
+  }
+  Shard& sh = shards_[shard_for(frame)];
+  Packet* pkt = nullptr;
+  Backoff alloc_backoff;
+  while ((pkt = sh.ingest_pool->alloc(frame.size())) == nullptr) {
+    alloc_backoff.pause();
+  }
+  std::memcpy(pkt->data(), frame.data(), frame.size());
+  Backoff ring_backoff;
+  while (!sh.ring->push(pkt)) ring_backoff.pause();
+  sh.received->fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedDataplane::worker_loop(std::size_t shard_idx) {
+  if (opts_.pin_threads) {
+    affinity_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (pin_current_thread_to_core(shard_idx)) {
+      affinity_ok_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Shard& sh = shards_[shard_idx];
+  std::vector<Packet*> burst(opts_.ingest_burst);
+  Backoff idle;
+  for (;;) {
+    sh.heartbeat_ns->store(telemetry::mono_now_ns(),
+                           std::memory_order_relaxed);
+    const std::size_t n = sh.ring->pop_burst({burst.data(), burst.size()});
+    if (n == 0) {
+      // Exit only once the director has stopped AND the ring is drained,
+      // so drain() never strands enqueued frames.
+      if (ingest_stop_.load(std::memory_order_acquire) &&
+          sh.ring->size() == 0) {
+        return;
+      }
+      idle.pause();
+      continue;
+    }
+    idle.reset();
+    const u64 burst_start = telemetry::mono_now_ns();
+    sh.cache->sync_generation();
+    for (std::size_t i = 0; i < n; ++i) {
+      Packet* pkt = burst[i];
+      const std::span<const u8> bytes(pkt->data(), pkt->length());
+      std::size_t g = 0;
+      if (const auto tuple = parse_five_tuple(bytes)) {
+        g = sh.cache->classify(*tuple);
+      }
+      sh.graph_counts[g]->fetch_add(1, std::memory_order_relaxed);
+      sh.pipelines[g]->feed(bytes);
+      sh.ingest_pool->release(pkt);
+    }
+    sh.busy_ns->fetch_add(telemetry::mono_now_ns() - burst_start,
+                          std::memory_order_relaxed);
+  }
+}
+
+ShardedResult ShardedDataplane::drain() {
+  ShardedResult res;
+  if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
+    res.status = Status::error(
+        "ShardedDataplane::drain(): dataplane is not running (call start() "
+        "first; drain() may only be called once)");
+    return res;
+  }
+  ingest_stop_.store(true, std::memory_order_release);
+  for (Shard& sh : shards_) {
+    if (sh.worker.joinable()) sh.worker.join();
+  }
+  for (Shard& sh : shards_) {
+    LiveResult merged;
+    for (auto& pipeline : sh.pipelines) {
+      LiveResult r = pipeline->drain();
+      if (!r.status.is_ok() && merged.status.is_ok()) {
+        merged.status = r.status;
+      }
+      merged.dropped += r.dropped;
+      for (auto& frame : r.outputs) {
+        merged.outputs.push_back(std::move(frame));
+      }
+    }
+    res.dropped += merged.dropped;
+    for (const auto& frame : merged.outputs) res.outputs.push_back(frame);
+    if (!merged.status.is_ok() && res.status.is_ok()) {
+      res.status = merged.status;
+    }
+    res.per_shard.push_back(std::move(merged));
+  }
+  state_.store(RunState::kFinished, std::memory_order_release);
+  return res;
+}
+
+ShardedResult ShardedDataplane::run(
+    const std::vector<std::vector<u8>>& frames) {
+  if (Status st = start(); !st.is_ok()) {
+    ShardedResult bad;
+    bad.status = std::move(st);
+    return bad;
+  }
+  for (const auto& frame : frames) {
+    feed(std::span<const u8>(frame.data(), frame.size()));
+  }
+  return drain();
+}
+
+bool ShardedDataplane::affinity_applied() const {
+  const u64 attempts = affinity_attempts_.load(std::memory_order_relaxed);
+  bool any = attempts > 0;
+  bool all = affinity_ok_.load(std::memory_order_relaxed) == attempts;
+  for (const Shard& sh : shards_) {
+    for (const auto& pipeline : sh.pipelines) {
+      if (pipeline->affinity_attempts() > 0) {
+        any = true;
+        all = all && pipeline->affinity_applied();
+      }
+    }
+  }
+  return any && all;
+}
+
+u64 ShardedDataplane::microflow_hits() const {
+  u64 total = 0;
+  for (const Shard& sh : shards_) total += sh.cache->hits();
+  return total;
+}
+
+u64 ShardedDataplane::microflow_misses() const {
+  u64 total = 0;
+  for (const Shard& sh : shards_) total += sh.cache->misses();
+  return total;
+}
+
+u64 ShardedDataplane::microflow_invalidations() const {
+  u64 total = 0;
+  for (const Shard& sh : shards_) total += sh.cache->invalidations();
+  return total;
+}
+
+u64 ShardedDataplane::shard_hits(std::size_t s) const {
+  return shards_.at(s).cache->hits();
+}
+
+u64 ShardedDataplane::shard_misses(std::size_t s) const {
+  return shards_.at(s).cache->misses();
+}
+
+u64 ShardedDataplane::shard_received(std::size_t s) const {
+  return shards_.at(s).received->load(std::memory_order_relaxed);
+}
+
+u64 ShardedDataplane::shard_graph_count(std::size_t s, std::size_t g) const {
+  return shards_.at(s).graph_counts.at(g)->load(std::memory_order_relaxed);
+}
+
+u64 ShardedDataplane::shard_busy_ns(std::size_t s) const {
+  return shards_.at(s).busy_ns->load(std::memory_order_relaxed);
+}
+
+u64 ShardedDataplane::shard_delivered(std::size_t s) {
+  u64 total = 0;
+  for (auto& pipeline : shards_.at(s).pipelines) {
+    total += pipeline->delivered_so_far();
+  }
+  return total;
+}
+
+u64 ShardedDataplane::shard_dropped(std::size_t s) {
+  u64 total = 0;
+  for (auto& pipeline : shards_.at(s).pipelines) {
+    total += pipeline->dropped_so_far();
+  }
+  return total;
+}
+
+void ShardedDataplane::register_health(telemetry::HealthSampler& sampler,
+                                       telemetry::Watchdog* watchdog) {
+  const bool multi_graph = graphs_.size() > 1;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string shard_tag = std::to_string(s);
+    for (std::size_t g = 0; g < shards_[s].pipelines.size(); ++g) {
+      const std::string tag =
+          multi_graph ? shard_tag + ".g" + std::to_string(g) : shard_tag;
+      shards_[s].pipelines[g]->register_health(sampler, watchdog, tag);
+    }
+    const telemetry::Labels labels{{"plane", "sharded"},
+                                   {"shard", shard_tag}};
+    sampler.add_probe("shard_rx_total", labels, [this, s] {
+      return static_cast<double>(shard_received(s));
+    });
+    sampler.add_probe("microflow_hit_total", labels, [this, s] {
+      return static_cast<double>(shard_hits(s));
+    });
+    sampler.add_probe("microflow_miss_total", labels, [this, s] {
+      return static_cast<double>(shard_misses(s));
+    });
+    sampler.add_probe("microflow_cache_entries", labels, [this, s] {
+      return static_cast<double>(shards_[s].cache->size());
+    });
+    sampler.add_probe("ingest_ring_depth", labels, [this, s] {
+      return static_cast<double>(shards_[s].ring->size());
+    });
+    // core_busy_ns + the sim_now_ns wall clock below let the timeseries
+    // collector derive core_util{component=shardN} for `nfp_cli top`.
+    sampler.add_probe(
+        "core_busy_ns",
+        {{"component", "shard" + shard_tag}, {"plane", "sharded"}},
+        [this, s] { return static_cast<double>(shard_busy_ns(s)); });
+    if (watchdog != nullptr) {
+      watchdog->watch_heartbeat("shard" + shard_tag + "/ingest", [this, s] {
+        return shards_[s].heartbeat_ns->load(std::memory_order_relaxed);
+      });
+    }
+  }
+  // The live plane runs on the wall clock; publishing it as sim_now_ns
+  // gives the collector's utilization derivation its denominator.
+  sampler.add_probe("sim_now_ns", {{"plane", "sharded"}},
+                    [] { return static_cast<double>(telemetry::mono_now_ns()); });
+}
+
+}  // namespace nfp

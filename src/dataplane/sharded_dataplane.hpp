@@ -1,0 +1,172 @@
+// Sharded multi-core live dataplane: RSS-style flow sharding over S
+// LivePipeline shards.
+//
+// NFP's server dataplane (§5) is single-box but multi-core: the NIC's RSS
+// hash spreads flows across cores and every core runs the full NF graph on
+// its own slice of the traffic, shared-nothing. This layer reproduces that
+// scaling model in software:
+//
+//   * a flow-consistent director — the software RSS — parses each frame's
+//     5-tuple and dispatches it to shard hash_five_tuple(t) % S, so every
+//     packet of a flow lands on the same shard. Per-flow ordering and
+//     shard-local NF state (monitors, NAT maps, shapers) follow for free;
+//     cross-flow ordering is intentionally unspecified, exactly as with
+//     hardware RSS.
+//   * one worker thread + G LivePipelines per shard, all pinned to the
+//     shard's core (cpu_affinity; graceful no-op where pinning is denied,
+//     reported via affinity_applied()).
+//   * live multi-graph classification: the shard worker consults the shared
+//     LiveClassificationTable through a per-shard exact-match microflow
+//     cache (live_classifier.hpp), so steady-state classification is one
+//     bounded-LRU lookup instead of a mutex-guarded rule scan.
+//
+// Dataflow per frame: director copies it into the shard's ingest pool and
+// SPSC ring (the RX queue); the shard worker classifies it and feeds the
+// bytes into the verdict graph's pipeline. The second copy at the pipeline
+// boundary is the software analogue of the NIC-to-mbuf RX copy and keeps
+// every pipeline's pool strictly shard-private.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataplane/live_classifier.hpp"
+#include "dataplane/live_pipeline.hpp"
+#include "graph/service_graph.hpp"
+#include "nfs/nf.hpp"
+#include "packet/packet_pool.hpp"
+#include "ring/spsc_ring.hpp"
+
+namespace nfp {
+
+namespace telemetry {
+class HealthSampler;
+class Watchdog;
+}  // namespace telemetry
+
+struct ShardedDataplaneOptions {
+  // Shard count; 0 = one shard per online CPU (the RSS default).
+  std::size_t shards = 0;
+  // Applied to every shard pipeline. pin_core is overwritten per shard
+  // when pin_threads is set.
+  LivePipelineOptions pipeline;
+  // Pin each shard's worker + pipeline threads to core (shard % online).
+  bool pin_threads = true;
+  // Per-shard microflow-cache entries (bounded LRU ahead of the CT).
+  std::size_t microflow_capacity = 1024;
+  // Director -> shard-worker RX ring and its backing pool.
+  std::size_t ingest_ring_depth = 1024;
+  std::size_t ingest_pool_size = 2048;
+  // Worker-side dequeue burst.
+  std::size_t ingest_burst = 32;
+};
+
+// Aggregate of one run. `outputs` concatenates shards in shard order (order
+// across shards is not meaningful — per-flow order within a shard is).
+struct ShardedResult {
+  std::vector<std::vector<u8>> outputs;
+  u64 dropped = 0;
+  // Per-shard results, each merged across the shard's G graph pipelines.
+  std::vector<LiveResult> per_shard;
+  Status status;
+};
+
+class ShardedDataplane {
+ public:
+  using NfFactory =
+      std::function<std::unique_ptr<NetworkFunction>(const StageNf&)>;
+
+  // One pipeline per (shard, graph); `graphs` must be non-empty and
+  // unmatched flows take graphs[0].
+  explicit ShardedDataplane(std::vector<ServiceGraph> graphs,
+                            NfFactory factory = {},
+                            ShardedDataplaneOptions options = {});
+  ~ShardedDataplane();
+
+  ShardedDataplane(const ShardedDataplane&) = delete;
+  ShardedDataplane& operator=(const ShardedDataplane&) = delete;
+
+  // Classification Table management; safe before start() and mid-run
+  // (workers observe the version bump and invalidate their caches).
+  void add_flow_rule(const FiveTuple& flow, std::size_t graph);
+  void add_rule(const CtRule& rule);
+
+  // Streaming lifecycle, mirroring LivePipeline: start() spawns the shard
+  // workers and their pipelines (once per instance), feed() dispatches one
+  // frame (single director thread; blocks while the target ring is full),
+  // drain() flushes everything and joins. run() composes the three.
+  Status start();
+  bool feed(std::span<const u8> frame);
+  ShardedResult drain();
+  ShardedResult run(const std::vector<std::vector<u8>>& frames);
+
+  // The director's dispatch decision for `frame`, exposed so tests can
+  // assert flow affinity without reaching into the hash.
+  std::size_t shard_for(std::span<const u8> frame) const;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t graph_count() const noexcept { return graphs_.size(); }
+
+  // True once every pin attempt across shard workers and pipeline threads
+  // succeeded (requires pin_threads and a started dataplane; false in
+  // containers that deny sched_setaffinity).
+  bool affinity_applied() const;
+
+  // Microflow-cache telemetry, aggregated and per shard.
+  u64 microflow_hits() const;
+  u64 microflow_misses() const;
+  u64 microflow_invalidations() const;
+  u64 shard_hits(std::size_t s) const;
+  u64 shard_misses(std::size_t s) const;
+  // Frames the director dispatched to shard s.
+  u64 shard_received(std::size_t s) const;
+  // Frames shard s classified into graph g.
+  u64 shard_graph_count(std::size_t s, std::size_t g) const;
+  // Cumulative wall-clock ns shard s's worker spent processing bursts
+  // (excludes idle polling) — the numerator of its core utilization.
+  u64 shard_busy_ns(std::size_t s) const;
+  // Live progress across a shard's pipelines (safe from a sampler thread).
+  u64 shard_delivered(std::size_t s);
+  u64 shard_dropped(std::size_t s);
+
+  // Registers every shard pipeline's probes (tagged {"shard", "<s>"} or
+  // "<s>.g<g>" with multiple graphs) plus shard-level rx/microflow/ring
+  // probes and worker-stall watchdog rules. Call before start().
+  void register_health(telemetry::HealthSampler& sampler,
+                       telemetry::Watchdog* watchdog);
+
+ private:
+  struct Shard {
+    std::unique_ptr<PacketPool> ingest_pool;
+    std::unique_ptr<SpscRing<Packet*>> ring;
+    std::thread worker;
+    std::vector<std::unique_ptr<LivePipeline>> pipelines;  // [graph]
+    std::unique_ptr<MicroflowCache> cache;
+    // Heap-allocated atomics: Shard lives in a vector.
+    std::unique_ptr<std::atomic<u64>> received;
+    std::unique_ptr<std::atomic<u64>> heartbeat_ns;
+    std::unique_ptr<std::atomic<u64>> busy_ns;
+    std::vector<std::unique_ptr<std::atomic<u64>>> graph_counts;
+  };
+
+  void worker_loop(std::size_t shard_idx);
+
+  std::vector<ServiceGraph> graphs_;
+  ShardedDataplaneOptions opts_;
+  LiveClassificationTable ct_;
+  std::vector<Shard> shards_;
+
+  enum class RunState : int { kNew = 0, kRunning = 1, kFinished = 2 };
+  std::atomic<RunState> state_{RunState::kNew};
+  std::atomic<bool> ingest_stop_{false};
+  std::atomic<u64> affinity_attempts_{0};
+  std::atomic<u64> affinity_ok_{0};
+};
+
+}  // namespace nfp

@@ -38,10 +38,28 @@ class ScalableNfGroup {
   std::size_t replica_count() const noexcept { return replicas_.size(); }
   NfT& replica(std::size_t i) { return *replicas_.at(i); }
 
-  // The forwarding-table routing function: flow -> replica index.
+  // The forwarding-table routing function: flow -> replica index, by
+  // rendezvous (highest-random-weight) hashing: each replica mixes its index
+  // into the flow hash and the highest weight wins. Unlike the old modulo
+  // router, adding a replica only reroutes the flows the newcomer wins —
+  // ~1/(k+1) of them — instead of reshuffling ~k/(k+1) of all flow state.
   std::size_t route(const FiveTuple& flow) const noexcept {
-    return static_cast<std::size_t>(hash_five_tuple(flow) %
-                                    replicas_.size());
+    return rendezvous_route(flow, replicas_.size());
+  }
+
+  static std::size_t rendezvous_route(const FiveTuple& flow,
+                                      std::size_t count) noexcept {
+    const u64 h = hash_five_tuple(flow);
+    std::size_t best = 0;
+    u64 best_weight = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const u64 weight = mix64(h ^ mix64(0x9e3779b97f4a7c15ull + i));
+      if (i == 0 || weight > best_weight) {
+        best_weight = weight;
+        best = i;
+      }
+    }
+    return best;
   }
 
   // Dispatches a packet to its replica (the role the per-NF forwarding
@@ -50,17 +68,17 @@ class ScalableNfGroup {
     return replicas_[route(packet.five_tuple())]->process(packet);
   }
 
-  // Adds one replica and migrates every flow whose route changes under the
-  // widened modulo (a k -> k+1 resize reshuffles ~k/(k+1) of the flows —
-  // the cost §7 attributes to scaling; a consistent-hash router would
-  // shrink it to ~1/(k+1)). Returns the number of migrated flows.
+  // Adds one replica and migrates every flow whose rendezvous route
+  // changes — under HRW only the flows the new replica wins move, ~1/(k+1)
+  // of them, the minimum any consistent placement allows (§7's migration
+  // cost at its floor). Returns the number of migrated flows.
   std::size_t scale_up() {
     replicas_.push_back(factory_());
     const std::size_t new_count = replicas_.size();
     std::size_t migrated = 0;
     for (std::size_t i = 0; i + 1 < new_count; ++i) {
       auto moving = replicas_[i]->extract_flows([&](const FiveTuple& flow) {
-        return hash_five_tuple(flow) % new_count != i;
+        return rendezvous_route(flow, new_count) != i;
       });
       migrated += moving.size();
       for (const auto& entry : moving) {

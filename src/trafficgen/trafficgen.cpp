@@ -1,6 +1,7 @@
 #include "trafficgen/trafficgen.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "telemetry/registry.hpp"
 
@@ -28,6 +29,18 @@ constexpr SizeBucket kDcBuckets[] = {
 TrafficGenerator::TrafficGenerator(sim::Simulator& sim, PacketPool& pool,
                                    TrafficConfig config)
     : sim_(sim), pool_(pool), config_(config), rng_(config.seed) {
+  if (config_.flows == 0) config_.flows = 1;
+  if (config_.flow_skew == FlowSkew::kZipf) {
+    // CDF over ranks: weight(k) = 1/(k+1)^s, normalised. Built once; each
+    // draw is then one uniform + binary search.
+    zipf_cdf_.reserve(config_.flows);
+    double total = 0;
+    for (std::size_t k = 0; k < config_.flows; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), config_.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (double& c : zipf_cdf_) c /= total;
+  }
   if (config_.metrics != nullptr) {
     m_generated_ = &config_.metrics->counter("trafficgen_packets_total");
     m_retries_ =
@@ -54,6 +67,17 @@ std::size_t TrafficGenerator::next_size() {
     p -= b.weight;
   }
   return 1500;
+}
+
+std::size_t TrafficGenerator::next_flow() {
+  if (zipf_cdf_.empty()) {
+    return static_cast<std::size_t>(rng_.bounded(config_.flows));
+  }
+  const double p = rng_.uniform();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), p);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - zipf_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(config_.flows) - 1));
 }
 
 FiveTuple TrafficGenerator::flow_tuple(std::size_t flow) const {
@@ -91,9 +115,7 @@ void TrafficGenerator::try_inject(const Injector& inject, u64 index) {
   const std::size_t reserve =
       std::min<std::size_t>(kPoolReserve, pool_.capacity() / 4);
   if (pool_.available() > reserve) {
-    const std::size_t flow = static_cast<std::size_t>(
-        rng_.bounded(config_.flows == 0 ? 1 : config_.flows));
-    pkt = make_packet(pool_, flow, next_size());
+    pkt = make_packet(pool_, next_flow(), next_size());
   }
   if (pkt == nullptr) {
     // Pool back-pressure: at saturation the generator is pacing the

@@ -28,10 +28,19 @@ enum class SizeModel : u8 {
   kDataCenter,  // bimodal mice/elephants mix, mean ≈ 724 B
 };
 
+// Flow-popularity model: which of the `flows` 5-tuples each packet uses.
+enum class FlowSkew : u8 {
+  kUniform,  // every flow equally likely
+  kZipf,     // rank-k flow has weight 1/(k+1)^zipf_s — the heavy-tailed mix
+             // real traffic shows; exercises microflow-cache hit rates
+};
+
 struct TrafficConfig {
   SizeModel size_model = SizeModel::kFixed;
   std::size_t fixed_size = 64;
   std::size_t flows = 64;           // distinct 5-tuples
+  FlowSkew flow_skew = FlowSkew::kUniform;
+  double zipf_s = 1.0;              // skew exponent (kZipf only)
   double rate_pps = 100'000;        // injection rate
   u64 packets = 10'000;             // total packets to inject
   u64 seed = 42;
@@ -57,8 +66,16 @@ class TrafficGenerator {
   // Draws one frame size from the configured model.
   std::size_t next_size();
 
+  // Draws one flow index from the configured popularity model.
+  std::size_t next_flow();
+
   // Builds one packet for flow index `flow` (used by tests directly).
   Packet* make_packet(PacketPool& pool, std::size_t flow, std::size_t size);
+
+  // The deterministic 5-tuple of flow index `flow` (what make_packet stamps
+  // into the headers); exposed so benches and shard tests can predict
+  // dispatch without parsing frames back.
+  FiveTuple flow_tuple(std::size_t flow) const;
 
   u64 generated() const noexcept { return generated_; }
   u64 backpressure_retries() const noexcept { return backpressure_retries_; }
@@ -71,12 +88,14 @@ class TrafficGenerator {
   static constexpr std::size_t kPoolReserve = 64;
 
   void try_inject(const Injector& inject, u64 index);
-  FiveTuple flow_tuple(std::size_t flow) const;
 
   sim::Simulator& sim_;
   PacketPool& pool_;
   TrafficConfig config_;
   Rng rng_;
+  // Zipf CDF over flow ranks, precomputed once (empty under kUniform);
+  // next_flow() binary-searches it.
+  std::vector<double> zipf_cdf_;
   u64 generated_ = 0;
   u64 backpressure_retries_ = 0;
   // Resolved from config_.metrics (null when metrics are off).

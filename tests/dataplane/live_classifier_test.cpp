@@ -1,0 +1,124 @@
+// Unit tests for the live Classification Table, the microflow cache in
+// front of it, and raw-frame 5-tuple parsing.
+#include <gtest/gtest.h>
+
+#include "dataplane/live_classifier.hpp"
+#include "packet/builder.hpp"
+#include "packet/packet_pool.hpp"
+
+namespace nfp {
+namespace {
+
+FiveTuple tuple(u32 src_ip, u16 src_port) {
+  return FiveTuple{src_ip, 0x0B000001, src_port, 80, kProtoTcp};
+}
+
+TEST(LiveClassifier, ExactRulesBeatMaskedRulesBeatDefault) {
+  LiveClassificationTable ct(3);
+  CtRule subnet;
+  subnet.src_ip = 0x0A000000;
+  subnet.src_mask = 0xFF000000;
+  subnet.priority = 1;
+  subnet.graph = 1;
+  ct.add_rule(subnet);
+  ct.add_exact(tuple(0x0A000005, 1000), 2);
+
+  EXPECT_EQ(ct.classify(tuple(0x0A000005, 1000)), 2u);  // exact wins
+  EXPECT_EQ(ct.classify(tuple(0x0A000006, 1000)), 1u);  // subnet rule
+  EXPECT_EQ(ct.classify(tuple(0x0C000001, 1000)), 0u);  // default graph
+}
+
+TEST(LiveClassifier, HigherPriorityRuleWins) {
+  LiveClassificationTable ct(3);
+  CtRule broad;
+  broad.priority = 1;
+  broad.graph = 1;  // matches everything
+  CtRule narrow;
+  narrow.proto = kProtoTcp;
+  narrow.match_proto = true;
+  narrow.priority = 5;
+  narrow.graph = 2;
+  ct.add_rule(broad);
+  ct.add_rule(narrow);
+  EXPECT_EQ(ct.classify(tuple(1, 1)), 2u);
+  FiveTuple udp = tuple(1, 1);
+  udp.proto = kProtoUdp;
+  EXPECT_EQ(ct.classify(udp), 1u);
+}
+
+TEST(LiveClassifier, OutOfRangeGraphClampsToDefault) {
+  LiveClassificationTable ct(2);
+  ct.add_exact(tuple(1, 1), 9);
+  EXPECT_EQ(ct.classify(tuple(1, 1)), 0u);
+}
+
+TEST(LiveClassifier, MicroflowCacheHitsAfterFirstLookup) {
+  LiveClassificationTable ct(2);
+  ct.add_exact(tuple(1, 1), 1);
+  MicroflowCache cache(ct, 64);
+  cache.sync_generation();
+  EXPECT_EQ(cache.classify(tuple(1, 1)), 1u);
+  EXPECT_EQ(cache.classify(tuple(1, 1)), 1u);
+  EXPECT_EQ(cache.classify(tuple(2, 2)), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(LiveClassifier, RuleChangeInvalidatesCachedVerdicts) {
+  LiveClassificationTable ct(2);
+  MicroflowCache cache(ct, 64);
+  cache.sync_generation();
+  EXPECT_EQ(cache.classify(tuple(1, 1)), 0u);  // cached: default
+
+  ct.add_exact(tuple(1, 1), 1);
+  // Until the generation sync the stale verdict is served (bounded by one
+  // burst in the dataplane)...
+  EXPECT_EQ(cache.classify(tuple(1, 1)), 0u);
+  // ...and the sync drops it.
+  cache.sync_generation();
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.classify(tuple(1, 1)), 1u);
+}
+
+TEST(LiveClassifier, EvictionKeepsVerdictsCorrect) {
+  LiveClassificationTable ct(2);
+  ct.add_exact(tuple(1, 1), 1);
+  MicroflowCache cache(ct, 2);
+  cache.sync_generation();
+  // Three flows through a 2-entry cache: evictions happen, answers do not
+  // change.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(cache.classify(tuple(1, 1)), 1u);
+    EXPECT_EQ(cache.classify(tuple(2, 2)), 0u);
+    EXPECT_EQ(cache.classify(tuple(3, 3)), 0u);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.size(), 2u);
+}
+
+TEST(LiveClassifier, ParsesFiveTupleFromBuiltFrames) {
+  PacketPool pool(2);
+  PacketSpec spec;
+  spec.tuple = FiveTuple{0x0A0B0C0D, 0x01020304, 4321, 443, kProtoTcp};
+  Packet* p = build_packet(pool, spec);
+  const auto parsed = parse_five_tuple({p->data(), p->length()});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_ip, spec.tuple.src_ip);
+  EXPECT_EQ(parsed->dst_ip, spec.tuple.dst_ip);
+  EXPECT_EQ(parsed->src_port, spec.tuple.src_port);
+  EXPECT_EQ(parsed->dst_port, spec.tuple.dst_port);
+  EXPECT_EQ(parsed->proto, spec.tuple.proto);
+  pool.release(p);
+}
+
+TEST(LiveClassifier, RejectsTruncatedAndNonIpFrames) {
+  const std::vector<u8> tiny(10, 0);
+  EXPECT_FALSE(parse_five_tuple({tiny.data(), tiny.size()}).has_value());
+  std::vector<u8> arp(64, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;  // EtherType ARP
+  EXPECT_FALSE(parse_five_tuple({arp.data(), arp.size()}).has_value());
+}
+
+}  // namespace
+}  // namespace nfp

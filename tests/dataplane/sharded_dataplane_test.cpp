@@ -1,0 +1,257 @@
+// Tests for the sharded live dataplane: output equivalence with a single
+// pipeline, flow-consistent dispatch, live multi-graph classification
+// through the microflow cache, CPU-pinning reporting, and the streaming /
+// run-once lifecycle contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/cpu_affinity.hpp"
+#include "dataplane/live_pipeline.hpp"
+#include "dataplane/sharded_dataplane.hpp"
+#include "nfs/firewall.hpp"
+#include "nfs/monitor.hpp"
+#include "orch/compiler.hpp"
+#include "packet/builder.hpp"
+#include "policy/policy.hpp"
+
+namespace nfp {
+namespace {
+
+ServiceGraph compile_chain(const std::vector<std::string>& chain) {
+  const ActionTable table = ActionTable::with_builtin_nfs();
+  auto g =
+      compile_policy(Policy::from_sequential_chain("shard", chain), table);
+  EXPECT_TRUE(g.is_ok()) << g.error();
+  return std::move(g).take();
+}
+
+FiveTuple test_tuple(std::size_t flow) {
+  return FiveTuple{0x0A300000 + static_cast<u32>(flow),
+                   0x0A400000 + static_cast<u32>(flow % 11),
+                   static_cast<u16>(20'000 + flow),
+                   static_cast<u16>(443 + flow % 3), kProtoTcp};
+}
+
+// `flows` distinct 5-tuples round-robined across `count` frames, with real
+// Ethernet/IPv4/TCP headers so the director can parse them back out.
+std::vector<std::vector<u8>> make_flow_frames(std::size_t count,
+                                              std::size_t flows) {
+  PacketPool pool(4);
+  std::vector<std::vector<u8>> frames;
+  for (std::size_t i = 0; i < count; ++i) {
+    PacketSpec spec;
+    spec.tuple = test_tuple(i % flows);
+    spec.frame_size = 64 + (i % 4) * 64;
+    Packet* p = build_packet(pool, spec);
+    frames.emplace_back(p->data(), p->data() + p->length());
+    pool.release(p);
+  }
+  return frames;
+}
+
+TEST(ShardedDataplane, EquivalentToSinglePipeline) {
+  const auto frames = make_flow_frames(240, 16);
+
+  // monitor + lb: deterministic per 5-tuple (ECMP hash rewrite), so the
+  // delivered multiset is shard-count invariant. Order-stamping NFs like
+  // vpn (AH sequence numbers) are intentionally not equivalence candidates.
+  LivePipeline single(compile_chain({"monitor", "lb"}));
+  LiveResult expected = single.run(frames);
+  ASSERT_TRUE(expected.status.is_ok());
+
+  ShardedDataplaneOptions opts;
+  opts.shards = 4;
+  ShardedDataplane sharded({compile_chain({"monitor", "lb"})}, {}, opts);
+  ShardedResult got = sharded.run(frames);
+  ASSERT_TRUE(got.status.is_ok());
+
+  EXPECT_EQ(got.dropped, expected.dropped);
+  ASSERT_EQ(got.outputs.size(), expected.outputs.size());
+  // Sharding reorders across flows; the delivered multiset must not change.
+  std::sort(got.outputs.begin(), got.outputs.end());
+  std::sort(expected.outputs.begin(), expected.outputs.end());
+  EXPECT_EQ(got.outputs, expected.outputs);
+}
+
+TEST(ShardedDataplane, AllPacketsOfAFlowExitOneShard) {
+  // Monitor passes frames through unmodified, so each output frame still
+  // carries its flow's 5-tuple and can be attributed.
+  const std::size_t kFlows = 24;
+  const auto frames = make_flow_frames(360, kFlows);
+
+  ShardedDataplaneOptions opts;
+  opts.shards = 4;
+  ShardedDataplane dp({compile_chain({"monitor"})}, {}, opts);
+  ShardedResult res = dp.run(frames);
+  ASSERT_TRUE(res.status.is_ok());
+  ASSERT_EQ(res.per_shard.size(), 4u);
+
+  std::map<u16, std::set<std::size_t>> shards_seen;  // src_port -> shards
+  std::size_t delivered = 0;
+  for (std::size_t s = 0; s < res.per_shard.size(); ++s) {
+    for (const auto& frame : res.per_shard[s].outputs) {
+      const auto tuple =
+          parse_five_tuple({frame.data(), frame.size()});
+      ASSERT_TRUE(tuple.has_value());
+      shards_seen[tuple->src_port].insert(s);
+      // The shard that emitted the frame must be the director's choice.
+      EXPECT_EQ(s, dp.shard_for({frame.data(), frame.size()}));
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, frames.size());
+  EXPECT_EQ(shards_seen.size(), kFlows);
+  for (const auto& [port, shards] : shards_seen) {
+    EXPECT_EQ(shards.size(), 1u)
+        << "flow with src_port " << port << " crossed shards";
+  }
+}
+
+TEST(ShardedDataplane, MultiGraphClassificationSteersFlows) {
+  // Graph 0 passes everything; graph 1 drops everything. Flows steered to
+  // graph 1 by exact CT rules must vanish, the rest must survive.
+  const auto drop_factory =
+      [](const StageNf& nf) -> std::unique_ptr<NetworkFunction> {
+    if (nf.name == "firewall") {
+      AclTable acl;
+      acl.set_default_action(AclAction::kDrop);
+      return std::make_unique<Firewall>(std::move(acl));
+    }
+    return make_builtin_nf(nf.name);
+  };
+
+  const std::size_t kFlows = 12;
+  const auto frames = make_flow_frames(240, kFlows);
+
+  ShardedDataplaneOptions opts;
+  opts.shards = 3;
+  std::vector<ServiceGraph> graphs;
+  graphs.push_back(compile_chain({"monitor"}));
+  graphs.push_back(compile_chain({"firewall"}));
+  ShardedDataplane dp(std::move(graphs), drop_factory, opts);
+  // Steer the even flows into the dropping graph.
+  for (std::size_t f = 0; f < kFlows; f += 2) {
+    dp.add_flow_rule(test_tuple(f), 1);
+  }
+
+  ShardedResult res = dp.run(frames);
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_EQ(res.dropped, 120u);       // 240 frames, half on even flows
+  EXPECT_EQ(res.outputs.size(), 120u);
+  for (const auto& frame : res.outputs) {
+    const auto tuple = parse_five_tuple({frame.data(), frame.size()});
+    ASSERT_TRUE(tuple.has_value());
+    EXPECT_EQ(tuple->src_port % 2, 1u) << "even flow escaped graph 1";
+  }
+  // Per-shard graph counters must account for every frame.
+  u64 g0 = 0, g1 = 0;
+  for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+    g0 += dp.shard_graph_count(s, 0);
+    g1 += dp.shard_graph_count(s, 1);
+  }
+  EXPECT_EQ(g0, 120u);
+  EXPECT_EQ(g1, 120u);
+}
+
+TEST(ShardedDataplane, MicroflowCacheAbsorbsSteadyState) {
+  const std::size_t kFlows = 32;
+  const auto frames = make_flow_frames(3200, kFlows);
+
+  ShardedDataplaneOptions opts;
+  opts.shards = 2;
+  ShardedDataplane dp({compile_chain({"monitor"})}, {}, opts);
+  ShardedResult res = dp.run(frames);
+  ASSERT_TRUE(res.status.is_ok());
+
+  const u64 hits = dp.microflow_hits();
+  const u64 misses = dp.microflow_misses();
+  EXPECT_EQ(hits + misses, 3200u);
+  // Every flow misses exactly once (capacity far above the flow count),
+  // then hits for the rest of the run: >= 99% here, >= 90% demanded.
+  EXPECT_EQ(misses, kFlows);
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(hits + misses),
+            0.9);
+}
+
+TEST(ShardedDataplane, StreamingFeedMatchesBatchRun) {
+  const auto frames = make_flow_frames(180, 9);
+
+  LivePipeline batch(compile_chain({"monitor", "lb"}));
+  LiveResult expected = batch.run(frames);
+
+  LivePipeline streaming(compile_chain({"monitor", "lb"}));
+  ASSERT_TRUE(streaming.start().is_ok());
+  for (const auto& frame : frames) {
+    streaming.feed({frame.data(), frame.size()});
+  }
+  LiveResult got = streaming.drain();
+  ASSERT_TRUE(got.status.is_ok());
+
+  EXPECT_EQ(got.dropped, expected.dropped);
+  ASSERT_EQ(got.outputs.size(), expected.outputs.size());
+  std::sort(got.outputs.begin(), got.outputs.end());
+  std::sort(expected.outputs.begin(), expected.outputs.end());
+  EXPECT_EQ(got.outputs, expected.outputs);
+}
+
+TEST(ShardedDataplane, PipelineRunsExactlyOnce) {
+  LivePipeline pipe(compile_chain({"monitor"}));
+  const auto frames = make_flow_frames(8, 2);
+  const LiveResult first = pipe.run(frames);
+  EXPECT_TRUE(first.status.is_ok());
+  EXPECT_EQ(first.outputs.size(), 8u);
+
+  // The old contract was a comment; now it is a Status.
+  const LiveResult second = pipe.run(frames);
+  EXPECT_FALSE(second.status.is_ok());
+  EXPECT_NE(second.status.message().find("already started"),
+            std::string::npos);
+  EXPECT_TRUE(second.outputs.empty());
+
+  EXPECT_FALSE(pipe.start().is_ok());
+  EXPECT_FALSE(pipe.feed({frames[0].data(), frames[0].size()}));
+  EXPECT_FALSE(pipe.drain().status.is_ok());
+}
+
+TEST(ShardedDataplane, DataplaneRunsExactlyOnce) {
+  ShardedDataplaneOptions opts;
+  opts.shards = 2;
+  ShardedDataplane dp({compile_chain({"monitor"})}, {}, opts);
+  const auto frames = make_flow_frames(8, 2);
+  EXPECT_TRUE(dp.run(frames).status.is_ok());
+  const ShardedResult again = dp.run(frames);
+  EXPECT_FALSE(again.status.is_ok());
+  EXPECT_TRUE(again.outputs.empty());
+}
+
+TEST(ShardedDataplane, DrainBeforeStartErrors) {
+  ShardedDataplaneOptions opts;
+  opts.shards = 1;
+  ShardedDataplane dp({compile_chain({"monitor"})}, {}, opts);
+  EXPECT_FALSE(dp.drain().status.is_ok());
+}
+
+TEST(ShardedDataplane, ReportsAffinityOutcome) {
+  ShardedDataplaneOptions opts;
+  opts.shards = 2;
+  opts.pin_threads = true;
+  ShardedDataplane dp({compile_chain({"monitor"})}, {}, opts);
+  ShardedResult res = dp.run(make_flow_frames(32, 4));
+  ASSERT_TRUE(res.status.is_ok());
+  // Shard indices wrap modulo the online-CPU count, so pinning succeeds on
+  // any Linux host (including single-core containers); elsewhere the no-op
+  // fallback must report false rather than pretend.
+  EXPECT_EQ(dp.affinity_applied(), cpu_affinity_supported());
+
+  ShardedDataplaneOptions unpinned = opts;
+  unpinned.pin_threads = false;
+  ShardedDataplane dp2({compile_chain({"monitor"})}, {}, unpinned);
+  ASSERT_TRUE(dp2.run(make_flow_frames(8, 2)).status.is_ok());
+  EXPECT_FALSE(dp2.affinity_applied());
+}
+
+}  // namespace
+}  // namespace nfp

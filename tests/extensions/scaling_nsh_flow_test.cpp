@@ -185,6 +185,36 @@ TEST(ScalingTest, ScaleDownFoldsStateBack) {
   EXPECT_EQ(group.scale_events(), 1u);
 }
 
+TEST(ScalingTest, RendezvousRoutingMigratesSmallFraction) {
+  // With HRW routing a k -> k+1 resize moves only the flows the new
+  // replica wins: ~1/(k+1). The old modulo router reshuffled ~k/(k+1) —
+  // here that would be ~80% of all flow state instead of ~20%.
+  scaling::ScalableNfGroup<Monitor> group(
+      [] { return std::make_unique<Monitor>(); }, 4);
+  const u32 kFlows = 2000;
+  for (u32 i = 0; i < kFlows; ++i) {
+    const auto entry = count_flow(100 + i, 1);
+    group.replica(group.route(entry.first)).absorb_flows({entry});
+  }
+  const std::size_t migrated = group.scale_up();
+  ASSERT_EQ(group.replica_count(), 5u);
+  const double fraction =
+      static_cast<double>(migrated) / static_cast<double>(kFlows);
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.35) << "migration fraction regressed toward the "
+                               "modulo router's ~k/(k+1) reshuffle";
+  // No state lost, and every flow sits where route() now points.
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < group.replica_count(); ++r) {
+    total += group.replica(r).flow_count();
+  }
+  EXPECT_EQ(total, kFlows);
+  for (u32 i = 0; i < kFlows; i += 97) {
+    const FiveTuple flow{100 + i, 1, 2, 3, 6};
+    EXPECT_NE(group.replica(group.route(flow)).flow(flow), nullptr);
+  }
+}
+
 // --- NSH -------------------------------------------------------------------------
 
 TEST(NshTest, EncapDecapRoundTrip) {

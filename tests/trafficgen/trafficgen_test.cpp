@@ -57,6 +57,43 @@ TEST(TrafficGen, DeterministicAcrossRuns) {
   EXPECT_NE(sizes_of(1), sizes_of(2));
 }
 
+TEST(TrafficGen, UniformSkewSpreadsFlowsEvenly) {
+  sim::Simulator sim;
+  PacketPool pool(8);
+  TrafficConfig cfg;
+  cfg.flows = 10;
+  cfg.flow_skew = FlowSkew::kUniform;
+  TrafficGenerator gen(sim, pool, cfg);
+  std::vector<int> counts(cfg.flows, 0);
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next_flow()];
+  for (std::size_t f = 0; f < cfg.flows; ++f) {
+    EXPECT_NEAR(counts[f], kN / 10, kN / 40) << "flow " << f;
+  }
+}
+
+TEST(TrafficGen, ZipfSkewConcentratesOnHeadFlows) {
+  sim::Simulator sim;
+  PacketPool pool(8);
+  TrafficConfig cfg;
+  cfg.flows = 100;
+  cfg.flow_skew = FlowSkew::kZipf;
+  cfg.zipf_s = 1.0;
+  TrafficGenerator gen(sim, pool, cfg);
+  std::vector<int> counts(cfg.flows, 0);
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t f = gen.next_flow();
+    ASSERT_LT(f, cfg.flows);
+    ++counts[f];
+  }
+  // Rank-0 carries ~1/H(100) ≈ 19% of the traffic; under uniform it would
+  // be 1%. The tail must still be reachable.
+  EXPECT_GT(counts[0], kN / 8);
+  EXPECT_GT(counts[0], counts[9] * 4);
+  EXPECT_GT(counts[99], 0);
+}
+
 TEST(TrafficGen, InjectsRequestedPacketCountAtRate) {
   sim::Simulator sim;
   PacketPool pool(512);

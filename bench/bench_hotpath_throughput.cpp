@@ -22,6 +22,14 @@
 // scripts/check_hotpath_regression.py compares the pps values against
 // bench/baselines/BENCH_hotpath_throughput.json in CI.
 //
+// Each shape also runs an overhead-gate pair: `burst32-acct` (cycle
+// accounting on, the shipped default) vs `burst32-noacct` (accounting
+// off). Run position is a real confound on small hosts — a later
+// identical run can measure 1.5x faster than an earlier one — so the
+// pair is interleaved: one discarded warm-up, then acct/noacct
+// alternating for three reps, best-of-3 each. check_hotpath_regression.py
+// --overhead fails CI when the always-on counters cost more than 5% pps.
+//
 // Flags: --json, --packets=N (default 20000).
 #include <chrono>
 #include <cstdio>
@@ -189,6 +197,63 @@ int main(int argc, char** argv) {
             shape.name, burst, bench::iso8601_utc_now().c_str(), shape.name,
             burst, packets, r.pps,
             static_cast<unsigned long long>(r.delivered), r.seconds, speedup);
+      }
+    }
+
+    // The overhead gate: cycle accounting on (the shipped default) vs off,
+    // interleaved so run position cannot masquerade as accounting cost.
+    // One warm-up run is discarded, then the pair alternates for three
+    // reps; the best pps of each side is what the gate compares —
+    // enforced by check_hotpath_regression.py --overhead in CI.
+    {
+      LivePipelineOptions on_opts;
+      on_opts.burst_size = 32;
+      on_opts.magazine_size = 256;
+      on_opts.ring_depth = 1024;
+      on_opts.in_flight_window = 512;
+      LivePipelineOptions off_opts = on_opts;
+      off_opts.cycle_accounting = false;
+
+      run_series(shape, frames, on_opts);  // warm-up, discarded
+      RunResult best_on{};
+      RunResult best_off{};
+      for (int rep = 0; rep < 3; ++rep) {
+        const RunResult on = run_series(shape, frames, on_opts);
+        const RunResult off = run_series(shape, frames, off_opts);
+        if (on.pps > best_on.pps) best_on = on;
+        if (off.pps > best_off.pps) best_off = off;
+      }
+
+      const struct {
+        const char* suffix;
+        const char* mode;
+        const RunResult* r;
+      } sides[] = {{"burst32-acct", "batched-acct", &best_on},
+                   {"burst32-noacct", "batched-noacct", &best_off}};
+      for (const auto& side : sides) {
+        const RunResult& r = *side.r;
+        const double speedup = base.pps > 0 ? r.pps / base.pps : 0;
+        std::printf("%-16s %12.0f %10.3f %10llu %10llu   %.2fx\n",
+                    (std::string(shape.name) + "/" + side.suffix).c_str(),
+                    r.pps, r.seconds,
+                    static_cast<unsigned long long>(r.refills),
+                    static_cast<unsigned long long>(r.flushes), speedup);
+        if (json) {
+          std::printf(
+              "{\"bench\":\"hotpath_throughput\","
+              "\"series\":\"%s/%s\","
+              "\"meta\":{\"bench\":\"hotpath_throughput\","
+              "\"timestamp\":\"%s\","
+              "\"knobs\":{\"shape\":\"%s\",\"mode\":\"%s\","
+              "\"burst\":32,\"magazine\":256,\"packets\":%zu,"
+              "\"reps\":3,\"reduce\":\"max\"}},"
+              "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
+              "\"speedup_vs_perpacket\":%.3f}\n",
+              shape.name, side.suffix, bench::iso8601_utc_now().c_str(),
+              shape.name, side.mode, packets, r.pps,
+              static_cast<unsigned long long>(r.delivered), r.seconds,
+              speedup);
+        }
       }
     }
   }

@@ -15,12 +15,16 @@
 // Output: one table row and (with --json / NFP_BENCH_JSON) one JSON line
 // per series:
 //   {"bench":"shard_scaling","series":"par4/shards4","meta":{...},
-//    "pps":...,"mf_hit_rate":...,"scaling_vs_1shard":...}
-// scripts/check_hotpath_regression.py --bench shard_scaling compares pps
-// against bench/baselines/BENCH_shard_scaling.json in CI.
+//    "pps":...,"mf_hit_rate":...,"scaling_vs_1shard":...,
+//    "attribution":{"useful":...,...,"top_contention_source":"..."}}
+// The attribution block is the ScalabilityProfiler's aggregate bucket
+// shares for the run — the answer to *where* sub-linear series lost
+// their pps. scripts/check_hotpath_regression.py --bench shard_scaling
+// compares pps against bench/baselines/BENCH_shard_scaling.json in CI.
 //
 // Flags: --json, --packets=N (default 20000), --flows=N (default 256),
 //        --skew=uniform|zipf (flow-popularity model, default uniform).
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +35,7 @@
 #include "common/cpu_affinity.hpp"
 #include "dataplane/sharded_dataplane.hpp"
 #include "packet/builder.hpp"
+#include "telemetry/scalability_profiler.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 namespace nfp {
@@ -74,6 +79,9 @@ struct RunResult {
   u64 delivered = 0;
   double mf_hit_rate = 0;
   bool affinity_applied = false;
+  // Aggregate cycle-bucket shares (sum ~1) + headline contention source.
+  std::array<double, telemetry::kCycleBucketCount> share{};
+  std::string top_source;
 };
 
 RunResult run_series(const Shape& shape, std::size_t shards,
@@ -86,12 +94,19 @@ RunResult run_series(const Shape& shape, std::size_t shards,
   opts.pipeline.in_flight_window = 512;
   ShardedDataplane dp({shape.make()}, {}, opts);
 
+  // Registered before start() (inside run()) so every accounting thread is
+  // covered; spawn cost stays in the measured window exactly as before so
+  // the pps series remains comparable with its baseline.
+  telemetry::ScalabilityProfiler profiler;
+  dp.register_scalability(profiler);
+
   const auto t0 = std::chrono::steady_clock::now();
   const ShardedResult result = dp.run(frames);
   const auto t1 = std::chrono::steady_clock::now();
   if (!result.status.is_ok()) {
     std::fprintf(stderr, "BUG: %s\n", result.status.message().c_str());
   }
+  const telemetry::ScalabilityReport rep = profiler.report();
 
   RunResult r;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -104,6 +119,8 @@ RunResult run_series(const Shape& shape, std::size_t shards,
                             static_cast<double>(hits + misses)
                       : 0;
   r.affinity_applied = dp.affinity_applied();
+  r.share = rep.total_share;
+  r.top_source = rep.top_contention_source();
   return r;
 }
 
@@ -135,8 +152,8 @@ int main(int argc, char** argv) {
 
   bench::print_header("Sharded dataplane scaling (aggregate wall-clock pps)");
   std::printf("online CPUs: %zu\n", online_cpu_count());
-  std::printf("%-16s %12s %10s %10s %8s   %s\n", "series", "pps", "seconds",
-              "mf_hit", "pinned", "scaling vs 1 shard");
+  std::printf("%-16s %12s %10s %10s %8s   %-9s %s\n", "series", "pps",
+              "seconds", "mf_hit", "pinned", "scaling", "top contention");
 
   for (const Shape& shape : shapes) {
     double base_pps = 0;
@@ -144,12 +161,15 @@ int main(int argc, char** argv) {
       const RunResult r = run_series(shape, shards, frames);
       if (shards == 1) base_pps = r.pps;
       const double scaling = base_pps > 0 ? r.pps / base_pps : 0;
+      char scale_buf[16];
+      std::snprintf(scale_buf, sizeof scale_buf, "%.2fx", scaling);
       std::printf(
-          "%-16s %12.0f %10.3f %9.1f%% %8s   %.2fx\n",
+          "%-16s %12.0f %10.3f %9.1f%% %8s   %-9s %s\n",
           (std::string(shape.name) + "/shards" + std::to_string(shards))
               .c_str(),
           r.pps, r.seconds, r.mf_hit_rate * 100,
-          r.affinity_applied ? "yes" : "no", scaling);
+          r.affinity_applied ? "yes" : "no", scale_buf,
+          r.top_source.empty() ? "-" : r.top_source.c_str());
       if (json) {
         std::printf(
             "{\"bench\":\"shard_scaling\",\"series\":\"%s/shards%zu\","
@@ -158,11 +178,19 @@ int main(int argc, char** argv) {
             "\"skew\":\"%s\",\"packets\":%zu,\"online_cpus\":%zu}},"
             "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
             "\"mf_hit_rate\":%.4f,\"affinity_applied\":%s,"
-            "\"scaling_vs_1shard\":%.3f}\n",
+            "\"scaling_vs_1shard\":%.3f,\"attribution\":{",
             shape.name, shards, bench::iso8601_utc_now().c_str(), shape.name,
             shards, flows, skew_name, packets, online_cpu_count(), r.pps,
             static_cast<unsigned long long>(r.delivered), r.seconds,
             r.mf_hit_rate, r.affinity_applied ? "true" : "false", scaling);
+        for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+          std::printf("\"%s\":%.4f,",
+                      telemetry::cycle_bucket_name(
+                          static_cast<telemetry::CycleBucket>(b)),
+                      r.share[b]);
+        }
+        std::printf("\"top_contention_source\":\"%s\"}}\n",
+                    r.top_source.c_str());
       }
     }
   }

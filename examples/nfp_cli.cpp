@@ -12,7 +12,12 @@
 //   nfp_cli profile <policy-file> [opts]  critical-path bottleneck report
 //   nfp_cli top [--port=P] [options]      live terminal dashboard against a
 //                                         --serve'd run (pps, per-NF p99,
-//                                         utilization, bottleneck share)
+//                                         utilization, bottleneck share,
+//                                         per-shard cycle attribution)
+//   nfp_cli scalability [policy] [opts]   sweep shard counts and attribute
+//                                         every lost packet-per-second to
+//                                         a cycle bucket (useful/starved/
+//                                         ring/pool/merge/classifier-miss)
 //
 // `run` options (telemetry):
 //   --metrics          per-component utilization/latency report
@@ -49,6 +54,7 @@
 //
 // Policy files use the text format of src/policy/parser.hpp.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -79,6 +85,7 @@
 #include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/scalability_profiler.hpp"
 #include "telemetry/stats_server.hpp"
 #include "telemetry/timeseries.hpp"
 #include "trafficgen/trafficgen.hpp"
@@ -106,7 +113,11 @@ int usage() {
                "[--json] [--watch=MS]\n"
                "               [--serve=PORT]\n"
                "       nfp_cli top [--port=P] [--interval=MS] "
-               "[--iterations=N]\n");
+               "[--iterations=N]\n"
+               "       nfp_cli scalability [policy-file] [--shards=1,2,4] "
+               "[--packets=N]\n"
+               "               [--flows=N] [--skew=uniform|zipf] "
+               "[--size=BYTES] [--json]\n");
   return 2;
 }
 
@@ -550,10 +561,17 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
                                : 0.0;
   });
 
+  // Constructed before start() so perf_event's inherit flag covers the
+  // dataplane threads about to spawn.
+  telemetry::ScalabilityProfiler profiler;
+  dp.register_scalability(profiler);
+  profiler.register_probes(collector);
+
   if (const Status st = dp.start(); !st.is_ok()) {
     std::fprintf(stderr, "error: %s\n", st.message().c_str());
     return 1;
   }
+  profiler.reset_baseline();
 
   telemetry::StatsServer server;
   telemetry::EndpointSources sources;
@@ -561,6 +579,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   sources.recorder = &recorder;
   sources.watchdog = &watchdog;
   sources.timeseries = &collector;
+  sources.scalability = &profiler;
   sources.mu = &mu;
   telemetry::register_standard_endpoints(server, sources);
   telemetry::StatsServer::Options server_options;
@@ -570,7 +589,8 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     return 1;
   }
   std::printf("live dataplane: %zu shards (%zu online CPUs) serving on "
-              "http://127.0.0.1:%u — /metrics /timeseries.json /healthz — "
+              "http://127.0.0.1:%u — /metrics /timeseries.json "
+              "/scalability.json /healthz — "
               "`nfp_cli top --port=%u` for the dashboard, Ctrl-C to stop\n",
               dp.shard_count(), online_cpu_count(),
               static_cast<unsigned>(server.port()),
@@ -592,14 +612,21 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     }
     for (std::size_t s = 0; s < dp.shard_count(); ++s) {
       const u64 now = dp.shard_delivered(s);
-      delivered_counters[s]->inc(now - last_delivered[s]);
+      // Guard the delta against a source reading below the last one (a
+      // restarted/reset source): the raw u64 subtraction would wrap and
+      // inc() the counter by ~2^64, which reads as a counter that jumped
+      // *backwards* and poisons every later :rate sample.
+      delivered_counters[s]->inc(now >= last_delivered[s]
+                                     ? now - last_delivered[s]
+                                     : now);
       last_delivered[s] = now;
     }
     u64 dropped_now = 0;
     for (std::size_t s = 0; s < dp.shard_count(); ++s) {
       dropped_now += dp.shard_dropped(s);
     }
-    dropped_total.inc(dropped_now - last_dropped);
+    dropped_total.inc(dropped_now >= last_dropped ? dropped_now - last_dropped
+                                                  : dropped_now);
     last_dropped = dropped_now;
     ++waves;
     interruptible_sleep_ms(200);
@@ -774,6 +801,14 @@ int profile_dataplane(const ServiceGraph& graph, int argc, char** argv) {
 
 // --- nfp_cli top: live dashboard over /timeseries.json + /healthz -------
 
+// One /scalability.json shard row: where its accounted time went.
+struct TopShardAttribution {
+  std::string name;
+  std::array<double, 6> share{};  // useful..classifier_miss (bucket order)
+  double pps = 0;
+  double projected_pps = 0;
+};
+
 struct TopView {
   double pps_in = 0;
   double pps_out = 0;
@@ -784,6 +819,10 @@ struct TopView {
   std::map<std::string, double> p99_ns;     // nf -> nf_service_ns:p99
   std::map<std::string, double> bn_share;   // nf -> bottleneck share
   std::vector<double> out_history;          // delivered pps points
+  // Filled from /scalability.json when the server exposes it (the sharded
+  // live dataplane); empty otherwise — the panel is simply omitted.
+  std::vector<TopShardAttribution> shard_attrib;
+  std::string top_contention;
 };
 
 std::string series_label(const json::Value& series, const char* key) {
@@ -825,6 +864,31 @@ TopView parse_top_view(const json::Value& doc) {
     }
   }
   return view;
+}
+
+// Folds /scalability.json (when present) into the view. Tolerates the
+// endpoint being absent: servers without a sharded dataplane 404 and the
+// attribution panel is skipped.
+void parse_scalability_view(const json::Value& doc, TopView* view) {
+  static const char* kBuckets[] = {"useful",    "starved",   "ring_wait",
+                                   "pool_wait", "merge_wait",
+                                   "classifier_miss"};
+  view->top_contention =
+      std::string(doc.string_or("top_contention_source", ""));
+  const json::Value* shards = doc.find("shards");
+  if (shards == nullptr || !shards->is_array()) return;
+  for (const json::Value& s : shards->items()) {
+    TopShardAttribution row;
+    row.name = std::string(s.string_or("name", "?"));
+    row.pps = s.number_or("pps", 0);
+    row.projected_pps = s.number_or("projected_pps", 0);
+    if (const json::Value* shares = s.find("shares"); shares != nullptr) {
+      for (std::size_t b = 0; b < 6; ++b) {
+        row.share[b] = shares->number_or(kBuckets[b], 0);
+      }
+    }
+    view->shard_attrib.push_back(std::move(row));
+  }
 }
 
 std::string util_bar(double fraction, int width = 20) {
@@ -913,6 +977,25 @@ void render_top(const TopView& view, const std::string& health_body,
     }
     std::printf("\n");
   }
+
+  // Per-shard cycle attribution (only when /scalability.json is served).
+  if (!view.shard_attrib.empty()) {
+    std::printf("\n  %-10s %10s %10s %7s %7s %7s %7s %7s %7s\n", "shard",
+                "pps", "proj pps", "useful", "starve", "ring", "pool",
+                "merge", "miss");
+    for (const TopShardAttribution& row : view.shard_attrib) {
+      std::printf("  %-10s %10.0f %10.0f", row.name.c_str(), row.pps,
+                  row.projected_pps);
+      for (std::size_t b = 0; b < 6; ++b) {
+        std::printf(" %6.1f%%", 100.0 * row.share[b]);
+      }
+      std::printf("\n");
+    }
+    if (!view.top_contention.empty()) {
+      std::printf("  top contention source: %s\n",
+                  view.top_contention.c_str());
+    }
+  }
   std::fflush(stdout);
 }
 
@@ -952,8 +1035,16 @@ int top_command(int argc, char** argv) {
                    doc.error().c_str());
       return 1;
     }
-    render_top(parse_top_view(doc.value()),
-               health ? health.value().body : std::string(),
+    TopView view = parse_top_view(doc.value());
+    // Optional: per-shard attribution. Older / non-sharded servers 404.
+    if (auto scal = telemetry::http_get(static_cast<std::uint16_t>(port),
+                                        "/scalability.json");
+        scal && scal.value().status == 200) {
+      if (const auto sdoc = json::Value::parse(scal.value().body); sdoc) {
+        parse_scalability_view(sdoc.value(), &view);
+      }
+    }
+    render_top(view, health ? health.value().body : std::string(),
                health ? health.value().status : 0, port, clear_screen);
     if (iterations != 0 && i + 1 == iterations) break;
     interruptible_sleep_ms(interval_ms);
@@ -975,6 +1066,157 @@ Result<ServiceGraph> load_and_compile(const std::string& path,
   return compile_policy(policy.value(), table, {}, report);
 }
 
+// --- nfp_cli scalability: shard-sweep with lost-pps attribution ---------
+
+// The default workload when no policy file is given: 4 parallel monitors
+// with per-branch copies and a 4-arrival merge — the shape whose 2-shard
+// scaling loss motivated the profiler (BENCH_shard_scaling.json par4).
+ServiceGraph make_scalability_par4() {
+  ServiceGraph g("par4");
+  Segment seg;
+  seg.mid = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    seg.nfs.push_back(StageNf{"monitor", static_cast<int>(i),
+                              static_cast<u8>(i + 1), static_cast<int>(i),
+                              false});
+  }
+  seg.num_versions = 4;
+  seg.merge.total_count = 4;
+  g.segments().push_back(std::move(seg));
+  return g;
+}
+
+std::vector<std::size_t> parse_shard_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const u64 v = std::strtoull(item.c_str(), nullptr, 10);
+    if (v > 0) out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+int scalability_command(int argc, char** argv) {
+  std::vector<std::size_t> shard_counts = {1, 2, 4};
+  u64 packets = 20'000;
+  u64 flows = 64;
+  u64 frame_size = 256;
+  std::string skew = "uniform";
+  bool want_json = false;
+
+  // Optional policy file directly after the command; flags otherwise.
+  ServiceGraph graph = make_scalability_par4();
+  int first_flag = 2;
+  if (argc > 2 && argv[2][0] != '-') {
+    CompileReport report;
+    auto compiled = load_and_compile(argv[2], &report);
+    if (!compiled) {
+      std::fprintf(stderr, "error: %s\n", compiled.error().c_str());
+      return 1;
+    }
+    graph = compiled.value();
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string shard_list;
+    if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (flag_string(arg, "--shards", &shard_list)) {
+      shard_counts = parse_shard_list(shard_list);
+      if (shard_counts.empty()) {
+        std::fprintf(stderr, "bad --shards list '%s'\n", shard_list.c_str());
+        return usage();
+      }
+    } else if (flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--flows", &flows) ||
+               flag_value(arg, "--size", &frame_size) ||
+               flag_string(arg, "--skew", &skew)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown scalability option '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (skew != "uniform" && skew != "zipf") {
+    std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
+    return usage();
+  }
+  if (packets == 0) packets = 1;
+  if (flows == 0) flows = 1;
+
+  const auto frames =
+      make_live_frames(packets, flows, skew == "zipf", frame_size);
+
+  if (!want_json) {
+    std::printf("scalability sweep: policy='%s' (%s), %llu packets, "
+                "%llu flows, %s skew, %zu online CPUs\n",
+                graph.name().c_str(), graph.structure().c_str(),
+                static_cast<unsigned long long>(packets),
+                static_cast<unsigned long long>(flows), skew.c_str(),
+                online_cpu_count());
+  }
+
+  double base_pps = 0;
+  for (const std::size_t shards : shard_counts) {
+    ShardedDataplaneOptions opts;
+    opts.shards = shards;
+    ShardedDataplane dp({graph}, pass_all_factory, opts);
+
+    // Profiler before start() so perf_event inheritance covers the
+    // dataplane threads; baseline after start() to exclude spawn cost.
+    telemetry::ScalabilityProfiler profiler;
+    dp.register_scalability(profiler);
+    if (const Status st = dp.start(); !st.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", st.message().c_str());
+      return 1;
+    }
+    profiler.reset_baseline();
+
+    for (const auto& frame : frames) {
+      dp.feed({frame.data(), frame.size()});
+    }
+    // Report before drain() joins the workers: the wall clock then matches
+    // the window the threads were actually accounting.
+    while (true) {
+      u64 done = 0;
+      for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+        done += dp.shard_delivered(s) + dp.shard_dropped(s);
+      }
+      if (done >= frames.size()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const telemetry::ScalabilityReport report = profiler.report();
+    const ShardedResult res = dp.drain();
+    if (!res.status.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", res.status.message().c_str());
+      return 1;
+    }
+
+    if (shards == shard_counts.front()) base_pps = report.total_pps;
+    const double scaling =
+        base_pps > 0 ? report.total_pps / base_pps : 0;
+    if (want_json) {
+      std::printf("{\"command\":\"scalability\",\"policy\":\"%s\","
+                  "\"shards\":%zu,\"packets\":%llu,\"flows\":%llu,"
+                  "\"skew\":\"%s\",\"online_cpus\":%zu,"
+                  "\"scaling_vs_first\":%.3f,\"report\":%s}\n",
+                  graph.name().c_str(), shards,
+                  static_cast<unsigned long long>(packets),
+                  static_cast<unsigned long long>(flows), skew.c_str(),
+                  online_cpu_count(), scaling, report.to_json().c_str());
+    } else {
+      std::printf("\n=== shards=%zu  (%.0f pps aggregate, %.2fx vs "
+                  "shards=%zu) ===\n%s",
+                  shards, report.total_pps, scaling, shard_counts.front(),
+                  report.to_text().c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -983,6 +1225,10 @@ int main(int argc, char** argv) {
 
   if (command == "top") {
     return top_command(argc, argv);
+  }
+
+  if (command == "scalability") {
+    return scalability_command(argc, argv);
   }
 
   if (command == "stats") {

@@ -6,9 +6,19 @@ Usage:
   check_hotpath_regression.py --baseline bench/baselines/BENCH_hotpath_throughput.json \
       --current current.jsonl [--threshold 0.7] [--bench hotpath_throughput]
   check_hotpath_regression.py --merge-min run1.jsonl run2.jsonl ... > baseline.json
+  check_hotpath_regression.py --overhead current.jsonl [--overhead-threshold 0.05]
 
 --bench selects which bench's rows to read (default hotpath_throughput;
 shard_scaling for bench_shard_scaling output).
+
+--overhead gates the scalability profiler's always-on cycle counters: for
+every `<shape>/burst32-acct` / `<shape>/burst32-noacct` pair in one run of
+bench_hotpath_throughput, fail when the accounting-on series is more than
+--overhead-threshold (default 5%) slower than its accounting-off control.
+Run position is a real confound (later identical runs measure faster on
+small hosts), so the bench emits interleaved best-of-3 pairs from the same
+process invocation; `<base>-noacct` pairs with `<base>-acct` when present,
+else with the plain `<base>` series.
 
 Both files hold one JSON object per line as emitted by the bench:
   {"bench":"hotpath_throughput","series":"par4/burst32",...,"pps":1234.5,...}
@@ -55,7 +65,48 @@ def main():
                         help="merge runs into a min-per-series baseline")
     parser.add_argument("--bench", default="hotpath_throughput",
                         help="bench name whose JSON rows to compare")
+    parser.add_argument("--overhead", metavar="RUN",
+                        help="check acct/noacct series pairs in one run")
+    parser.add_argument("--overhead-threshold", type=float, default=0.05,
+                        help="max tolerated accounting overhead (fraction)")
     args = parser.parse_args()
+
+    if args.overhead:
+        current = load_series(args.overhead, args.bench)
+        pairs = []
+        for name in sorted(current):
+            if not name.endswith("-noacct"):
+                continue
+            base = name[: -len("-noacct")]
+            acct_name = base + "-acct" if base + "-acct" in current else base
+            if acct_name in current:
+                pairs.append((acct_name, name))
+        if not pairs:
+            print(f"error: no acct/noacct series pairs in {args.overhead}",
+                  file=sys.stderr)
+            return 2
+        failures = []
+        for acct_name, noacct_name in pairs:
+            acct = current[acct_name]["pps"]
+            noacct = current[noacct_name]["pps"]
+            overhead = 1 - acct / noacct if noacct > 0 else 0.0
+            status = ("ok" if overhead <= args.overhead_threshold
+                      else "OVERHEAD")
+            print(f"{acct_name:24s} acct={acct:12.0f} noacct={noacct:12.0f} "
+                  f"overhead={overhead:7.1%}  {status}")
+            if overhead > args.overhead_threshold:
+                failures.append(
+                    f"{acct_name}: cycle accounting costs {overhead:.1%} pps "
+                    f"(> {args.overhead_threshold:.0%})")
+        if failures:
+            print(f"\n{len(failures)} series exceed the accounting-overhead "
+                  f"budget:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"\nall {len(pairs)} acct/noacct pairs within "
+              f"{args.overhead_threshold:.0%} overhead")
+        return 0
 
     if args.merge_min:
         merged = {}

@@ -31,6 +31,10 @@
 
 namespace nfp {
 
+namespace telemetry {
+u64 mono_now_ns() noexcept;  // health_sampler.hpp
+}  // namespace telemetry
+
 // One masked Classification Table rule (the live analogue of the compiler's
 // CtEntry match spec): every enabled predicate must hold. mask == 0
 // wildcards an address; the port/proto predicates are opt-in flags.
@@ -90,10 +94,15 @@ class LiveClassificationTable {
   }
 
   const std::size_t graph_count_;
-  mutable std::mutex mu_;
+  // The table is the one structure every shard touches: version_ is polled
+  // (relaxed) once per burst by every worker, and mu_ is locked by every
+  // microflow miss. Each gets its own cacheline so a miss-path lock on one
+  // shard does not invalidate the version poll line of all the others —
+  // exactly the cross-shard bouncing ROADMAP item 2 names.
+  alignas(kCacheLineSize) mutable std::mutex mu_;
   std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> exact_;
   std::vector<CtRule> rules_;  // kept sorted by descending priority
-  std::atomic<u64> version_{0};
+  alignas(kCacheLineSize) std::atomic<u64> version_{0};
 };
 
 // Per-shard exact-match microflow cache over the CT verdict. Owned and
@@ -115,7 +124,14 @@ class MicroflowCache {
       return table_.get_or_create(flow);
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    // The miss path crosses into the mutex-guarded shared CT — the slow
+    // path whose latency the scalability profiler attributes. Misses are
+    // rare (first packet of a flow / post-invalidation), so two clock
+    // reads here cost nothing on the steady-state path.
+    const u64 t0 = telemetry::mono_now_ns();
     const std::size_t verdict = ct_.classify(flow);
+    miss_ns_.fetch_add(telemetry::mono_now_ns() - t0,
+                       std::memory_order_relaxed);
     table_.get_or_create(flow) = verdict;
     return verdict;
   }
@@ -137,6 +153,11 @@ class MicroflowCache {
   u64 misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Cumulative wall time the owning worker spent inside CT lookups on the
+  // miss path (lock wait + rule scan).
+  u64 miss_ns() const noexcept {
+    return miss_ns_.load(std::memory_order_relaxed);
+  }
   u64 invalidations() const noexcept { return invalidations_; }
   u64 evictions() const noexcept { return table_.evictions(); }
   std::size_t size() const noexcept { return table_.size(); }
@@ -147,8 +168,12 @@ class MicroflowCache {
   FlowTable<std::size_t> table_;
   u64 seen_version_ = 0;
   u64 invalidations_ = 0;
-  std::atomic<u64> hits_{0};
+  // Own cacheline: the worker bumps these per packet while sampler/server
+  // threads read them; unaligned they share a line with the FlowTable's
+  // LRU bookkeeping and every telemetry scrape steals it from the worker.
+  alignas(kCacheLineSize) std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> miss_ns_{0};
 };
 
 // Parses the IPv4 5-tuple out of a raw Ethernet frame (the director needs

@@ -81,6 +81,15 @@ LivePipeline::LivePipeline(
     }
     fanout_.push_back(std::move(plan));
   }
+  if (opts_.cycle_accounting) {
+    for (auto& seg : segments_) {
+      for (LiveNf& nf : seg) {
+        nf.cycles = std::make_unique<telemetry::CycleCounters>();
+      }
+    }
+    merger_cycles_ = std::make_unique<telemetry::CycleCounters>();
+    feeder_cycles_ = std::make_unique<telemetry::CycleCounters>();
+  }
 }
 
 LivePipeline::~LivePipeline() {
@@ -108,7 +117,8 @@ void LivePipeline::maybe_pin_current_thread() {
 }
 
 bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
-                                 PacketMagazine& mag) {
+                                 PacketMagazine& mag,
+                                 telemetry::CycleAccountant* acct) {
   const Segment& seg = graph_.segments()[seg_idx];
   const FanoutPlan& plan = fanout_[seg_idx];
   auto& nfs = segments_[seg_idx];
@@ -137,8 +147,19 @@ bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
   }
   for (std::size_t k = 0; k < nfs.size(); ++k) {
     Packet* version = version_pkt[plan.nf_version[k]];
+    if (nfs[k].in->push(version)) continue;
+    // Contended: the consumer NF is behind. Timestamps only on this slow
+    // path; the span is carved out of the caller's current lap.
+    const bool timed = acct != nullptr && acct->enabled();
+    const u64 t0 = timed ? telemetry::mono_now_ns() : 0;
     Backoff backoff;
-    while (!nfs[k].in->push(version)) backoff.pause();
+    do {
+      backoff.pause();
+    } while (!nfs[k].in->push(version));
+    if (timed) {
+      acct->carve(telemetry::CycleBucket::kRingWait,
+                  telemetry::mono_now_ns() - t0);
+    }
   }
   return true;
 }
@@ -173,15 +194,22 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
   std::vector<std::vector<u8>> out_batch;
   Backoff idle;
 
+  // Cycle accounting reuses the one clock read per iteration the heartbeat
+  // already pays: `beat` closes the previous interval and opens the next,
+  // so every iteration's wall time lands in exactly one bucket.
+  u64 beat = telemetry::mono_now_ns();
+  telemetry::CycleAccountant acct(self.cycles.get(), beat);
+
   for (;;) {
     // Beat on every iteration, busy or idle: an idle-but-responsive worker
     // keeps beating, one wedged inside process() stops.
-    self.heartbeat_ns->store(telemetry::mono_now_ns(),
-                             std::memory_order_relaxed);
+    self.heartbeat_ns->store(beat, std::memory_order_relaxed);
     const std::size_t n = self.in->pop_burst({in_burst.data(), burst});
     if (n == 0) {
       if (stop_.load(std::memory_order_acquire)) return;
       idle.pause();
+      beat = telemetry::mono_now_ns();
+      acct.lap(beat, telemetry::CycleBucket::kStarved);
       continue;
     }
     idle.reset();
@@ -201,16 +229,27 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
       }
       std::size_t sent = 0;
       Backoff backoff;
+      u64 wait_start = 0;
       while (sent < n) {
         const std::size_t m = self.out->push_burst(
             {envelopes.data() + sent, n - sent});
         if (m == 0) {
+          if (acct.enabled() && wait_start == 0) {
+            wait_start = telemetry::mono_now_ns();
+          }
           backoff.pause();
         } else {
+          if (wait_start != 0) {
+            acct.carve(telemetry::CycleBucket::kRingWait,
+                       telemetry::mono_now_ns() - wait_start);
+            wait_start = 0;
+          }
           sent += m;
           backoff.reset();
         }
       }
+      beat = telemetry::mono_now_ns();
+      acct.lap(beat, telemetry::CycleBucket::kUseful);
       continue;
     }
 
@@ -234,12 +273,14 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
         ++completed;
         continue;
       }
-      if (!enter_segment(seg_idx + 1, pkt, mag)) {
+      if (!enter_segment(seg_idx + 1, pkt, mag, &acct)) {
         ++drops;
         ++completed;
       }
     }
     commit_batch(out_batch, drops, completed);
+    beat = telemetry::mono_now_ns();
+    acct.lap(beat, telemetry::CycleBucket::kUseful);
   }
 }
 
@@ -263,9 +304,11 @@ void LivePipeline::merger_loop() {
   std::vector<std::vector<u8>> out_batch;
   Backoff idle_backoff;
 
+  u64 beat = telemetry::mono_now_ns();
+  telemetry::CycleAccountant acct(merger_cycles_.get(), beat);
+
   for (;;) {
-    merger_heartbeat_ns_.store(telemetry::mono_now_ns(),
-                               std::memory_order_relaxed);
+    merger_heartbeat_ns_.store(beat, std::memory_order_relaxed);
     bool idle = true;
     u64 drops = 0;
     u64 completed = 0;
@@ -329,7 +372,7 @@ void LivePipeline::merger_loop() {
               ++completed;
             } else {
               merged->set_nil(false);
-              if (!enter_segment(s + 1, merged, mag)) {
+              if (!enter_segment(s + 1, merged, mag, &acct)) {
                 ++drops;
                 ++completed;
               }
@@ -343,8 +386,17 @@ void LivePipeline::merger_loop() {
     if (idle) {
       if (stop_.load(std::memory_order_acquire)) return;
       idle_backoff.pause();
+      beat = telemetry::mono_now_ns();
+      // Idle with packets in flight is the merge-wait the paper's §5.2
+      // mergers exist to hide: siblings of accepted packets are still
+      // upstream. Idle with nothing in flight is plain ingest starvation.
+      acct.lap(beat, in_flight_.load(std::memory_order_acquire) > 0
+                         ? telemetry::CycleBucket::kMergeWait
+                         : telemetry::CycleBucket::kStarved);
     } else {
       idle_backoff.reset();
+      beat = telemetry::mono_now_ns();
+      acct.lap(beat, telemetry::CycleBucket::kUseful);
     }
   }
 }
@@ -403,6 +455,42 @@ u64 LivePipeline::dropped_so_far() {
 u64 LivePipeline::delivered_so_far() {
   const std::scoped_lock lock(result_mu_);
   return result_.outputs.size();
+}
+
+telemetry::ShardScalabilitySnapshot LivePipeline::scalability_snapshot() {
+  telemetry::ShardScalabilitySnapshot snap;
+  auto fold = [&snap](const telemetry::CycleCounters* cycles) {
+    if (cycles == nullptr) return;
+    for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+      snap.ns[b] += cycles->get(static_cast<telemetry::CycleBucket>(b));
+    }
+  };
+  for (const auto& seg : segments_) {
+    for (const LiveNf& nf : seg) {
+      fold(nf.cycles.get());
+      snap.ring_full_events += nf.in->full_events() + nf.out->full_events();
+      ++snap.threads;
+    }
+  }
+  fold(merger_cycles_.get());
+  ++snap.threads;  // merger
+  // The feeder is the caller's thread, not a pipeline thread: its waits
+  // count, its useful time belongs to the caller.
+  fold(feeder_cycles_.get());
+  snap.pool_cas_retries = pool_.cas_retry_total();
+  snap.backoff_spins = feeder_spin_total_.load(std::memory_order_relaxed);
+  snap.delivered = delivered_so_far();
+  snap.dropped = dropped_so_far();
+  return snap;
+}
+
+u64 LivePipeline::feeder_wait_ns() const {
+  if (feeder_cycles_ == nullptr) return 0;
+  u64 total = 0;
+  for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+    total += feeder_cycles_->get(static_cast<telemetry::CycleBucket>(b));
+  }
+  return total;
 }
 
 void LivePipeline::register_health(telemetry::HealthSampler& sampler,
@@ -487,20 +575,41 @@ bool LivePipeline::feed(std::span<const u8> frame) {
     return false;
   }
   PacketMagazine& mag = *feeder_mag_;
-  Backoff window_backoff;
-  while (in_flight_.load(std::memory_order_acquire) >=
-         opts_.in_flight_window) {
-    window_backoff.pause();
+  telemetry::CycleAccountant facct(feeder_cycles_.get(), 0);
+  // Window full means downstream (rings/merger) has not retired packets
+  // fast enough — ingest backpressure, timed only when actually contended.
+  if (in_flight_.load(std::memory_order_acquire) >= opts_.in_flight_window) {
+    const u64 t0 = facct.enabled() ? telemetry::mono_now_ns() : 0;
+    Backoff window_backoff;
+    do {
+      window_backoff.pause();
+    } while (in_flight_.load(std::memory_order_acquire) >=
+             opts_.in_flight_window);
+    if (t0 != 0) {
+      facct.carve(telemetry::CycleBucket::kRingWait,
+                  telemetry::mono_now_ns() - t0);
+      feeder_spin_total_.fetch_add(window_backoff.total_pauses(),
+                                   std::memory_order_relaxed);
+    }
   }
-  Packet* pkt = nullptr;
-  Backoff alloc_backoff;
-  while ((pkt = mag.alloc(frame.size())) == nullptr) {
-    alloc_backoff.pause();
+  Packet* pkt = mag.alloc(frame.size());
+  if (pkt == nullptr) {
+    const u64 t0 = facct.enabled() ? telemetry::mono_now_ns() : 0;
+    Backoff alloc_backoff;
+    do {
+      alloc_backoff.pause();
+    } while ((pkt = mag.alloc(frame.size())) == nullptr);
+    if (t0 != 0) {
+      facct.carve(telemetry::CycleBucket::kPoolWait,
+                  telemetry::mono_now_ns() - t0);
+      feeder_spin_total_.fetch_add(alloc_backoff.total_pauses(),
+                                   std::memory_order_relaxed);
+    }
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
   pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (!enter_segment(0, pkt, mag)) {
+  if (!enter_segment(0, pkt, mag, &facct)) {
     const std::scoped_lock lock(result_mu_);
     ++result_.dropped;
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);

@@ -39,6 +39,7 @@
 #include "packet/packet_magazine.hpp"
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
+#include "telemetry/scalability_profiler.hpp"
 
 namespace nfp {
 
@@ -72,6 +73,11 @@ struct LivePipelineOptions {
   // one-core-per-shard placement. Pin failures degrade to unpinned
   // threads; affinity_applied() reports the outcome.
   int pin_core = -1;
+  // Per-thread cycle accounting for the scalability profiler. On by
+  // default: the hot-path cost is one relaxed add to a thread-private
+  // cacheline per loop iteration (bench_hotpath_throughput's noacct series
+  // measures it). Off disables all bucket/wait attribution.
+  bool cycle_accounting = true;
 };
 
 class LivePipeline {
@@ -146,6 +152,14 @@ class LivePipeline {
   u64 affinity_attempts() const {
     return affinity_attempts_.load(std::memory_order_relaxed);
   }
+  // Scrape-time fold of every thread's cycle buckets plus the pool/ring
+  // contention evidence (zeroed buckets when cycle_accounting is off).
+  // Safe from a profiler/sampler thread while the pipeline runs.
+  telemetry::ShardScalabilitySnapshot scalability_snapshot();
+  // Feed-side wait time (in-flight window + pool alloc + segment-0 ring),
+  // already inside the snapshot's ring/pool buckets; exposed separately so
+  // the sharded dataplane can carve it out of its worker's useful time.
+  u64 feeder_wait_ns() const;
   // Registers ring/pool/heartbeat probes on `sampler` and stall / pool /
   // drop-spike rules on `watchdog` (null to skip). Call before run().
   // A non-empty `shard` tags every probe with a {"shard", ...} label and
@@ -175,6 +189,8 @@ class LivePipeline {
     // Heap-allocated: LiveNf is moved into segments_ and atomics can't move.
     std::unique_ptr<std::atomic<u64>> heartbeat_ns;
     std::unique_ptr<std::atomic<u64>> processed;
+    // Thread-private cycle buckets; null when cycle_accounting is off.
+    std::unique_ptr<telemetry::CycleCounters> cycles;
   };
 
   // Per-segment fanout plan, resolved once at construction (which versions
@@ -202,8 +218,10 @@ class LivePipeline {
   void merger_loop();
   // Distributes a packet into segment `seg_idx` using the caller's
   // magazine; returns false on pool exhaustion (packet released, counted
-  // as drop by the caller).
-  bool enter_segment(std::size_t seg_idx, Packet* pkt, PacketMagazine& mag);
+  // as drop by the caller). Contended ring pushes are credited to the
+  // caller's accountant as ring_wait (null to skip).
+  bool enter_segment(std::size_t seg_idx, Packet* pkt, PacketMagazine& mag,
+                     telemetry::CycleAccountant* acct);
 
   // Flushes a thread-local result batch under one result_mu_ acquisition
   // and retires the completed packets from the in-flight window.
@@ -221,6 +239,11 @@ class LivePipeline {
   std::thread merger_thread_;
   std::atomic<u64> merger_heartbeat_ns_{0};
   std::atomic<u64> merger_merges_{0};
+  // Merger / feed-side accounting blocks; null when accounting is off.
+  std::unique_ptr<telemetry::CycleCounters> merger_cycles_;
+  std::unique_ptr<telemetry::CycleCounters> feeder_cycles_;
+  // Backoff::pause calls spent in feed()'s window/alloc waits.
+  std::atomic<u64> feeder_spin_total_{0};
 
   // Aggregated magazine traffic across all pipeline threads.
   std::atomic<u64> mag_refill_total_{0};

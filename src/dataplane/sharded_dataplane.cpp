@@ -7,6 +7,7 @@
 #include "common/hash.hpp"
 #include "ring/backoff.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/scalability_profiler.hpp"
 
 namespace nfp {
 
@@ -38,6 +39,11 @@ ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
     sh.received = std::make_unique<std::atomic<u64>>(0);
     sh.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
     sh.busy_ns = std::make_unique<std::atomic<u64>>(0);
+    if (opts_.pipeline.cycle_accounting) {
+      sh.cycles = std::make_unique<telemetry::CycleCounters>();
+      sh.director_cycles = std::make_unique<telemetry::CycleCounters>();
+      sh.director_spins = std::make_unique<std::atomic<u64>>(0);
+    }
     LivePipelineOptions popts = opts_.pipeline;
     popts.pin_core = opts_.pin_threads ? static_cast<int>(s) : -1;
     for (std::size_t g = 0; g < graphs_.size(); ++g) {
@@ -95,14 +101,39 @@ bool ShardedDataplane::feed(std::span<const u8> frame) {
     return false;
   }
   Shard& sh = shards_[shard_for(frame)];
-  Packet* pkt = nullptr;
-  Backoff alloc_backoff;
-  while ((pkt = sh.ingest_pool->alloc(frame.size())) == nullptr) {
-    alloc_backoff.pause();
+  telemetry::CycleCounters* dsink = sh.director_cycles.get();
+  Packet* pkt = sh.ingest_pool->alloc(frame.size());
+  if (pkt == nullptr) {
+    // Ingest pool dry: the shard worker is not returning slots fast
+    // enough. Timed only on this contended path and attributed to the
+    // stalling shard, since it is that shard's lost injection throughput.
+    const u64 t0 = dsink != nullptr ? telemetry::mono_now_ns() : 0;
+    Backoff alloc_backoff;
+    do {
+      alloc_backoff.pause();
+    } while ((pkt = sh.ingest_pool->alloc(frame.size())) == nullptr);
+    if (dsink != nullptr) {
+      dsink->add(telemetry::CycleBucket::kPoolWait,
+                 telemetry::mono_now_ns() - t0);
+      sh.director_spins->fetch_add(alloc_backoff.total_pauses(),
+                                   std::memory_order_relaxed);
+    }
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
-  Backoff ring_backoff;
-  while (!sh.ring->push(pkt)) ring_backoff.pause();
+  if (!sh.ring->push(pkt)) {
+    // RX ring full: classic ingest backpressure.
+    const u64 t0 = dsink != nullptr ? telemetry::mono_now_ns() : 0;
+    Backoff ring_backoff;
+    do {
+      ring_backoff.pause();
+    } while (!sh.ring->push(pkt));
+    if (dsink != nullptr) {
+      dsink->add(telemetry::CycleBucket::kRingWait,
+                 telemetry::mono_now_ns() - t0);
+      sh.director_spins->fetch_add(ring_backoff.total_pauses(),
+                                   std::memory_order_relaxed);
+    }
+  }
   sh.received->fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -117,9 +148,17 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
   Shard& sh = shards_[shard_idx];
   std::vector<Packet*> burst(opts_.ingest_burst);
   Backoff idle;
+
+  // One clock read per iteration (the heartbeat's) closes the previous
+  // accounting interval and opens the next. Classifier-miss time and
+  // pipeline feed waits land inside the useful lap here and are carved
+  // out at scrape time from their own monotone counters.
+  u64 beat = telemetry::mono_now_ns();
+  telemetry::CycleAccountant acct(sh.cycles.get(), beat);
+
   for (;;) {
-    sh.heartbeat_ns->store(telemetry::mono_now_ns(),
-                           std::memory_order_relaxed);
+    sh.heartbeat_ns->store(beat, std::memory_order_relaxed);
+    const u64 iter_start = beat;
     const std::size_t n = sh.ring->pop_burst({burst.data(), burst.size()});
     if (n == 0) {
       // Exit only once the director has stopped AND the ring is drained,
@@ -129,10 +168,11 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
         return;
       }
       idle.pause();
+      beat = telemetry::mono_now_ns();
+      acct.lap(beat, telemetry::CycleBucket::kStarved);
       continue;
     }
     idle.reset();
-    const u64 burst_start = telemetry::mono_now_ns();
     sh.cache->sync_generation();
     for (std::size_t i = 0; i < n; ++i) {
       Packet* pkt = burst[i];
@@ -145,8 +185,11 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
       sh.pipelines[g]->feed(bytes);
       sh.ingest_pool->release(pkt);
     }
-    sh.busy_ns->fetch_add(telemetry::mono_now_ns() - burst_start,
-                          std::memory_order_relaxed);
+    beat = telemetry::mono_now_ns();
+    // busy_ns now spans the whole busy iteration (pop included — it is
+    // work); the same interval feeds the useful bucket.
+    sh.busy_ns->fetch_add(beat - iter_start, std::memory_order_relaxed);
+    acct.lap(beat, telemetry::CycleBucket::kUseful);
   }
 }
 
@@ -265,6 +308,59 @@ u64 ShardedDataplane::shard_dropped(std::size_t s) {
     total += pipeline->dropped_so_far();
   }
   return total;
+}
+
+telemetry::ShardScalabilitySnapshot ShardedDataplane::scalability_snapshot(
+    std::size_t s) {
+  Shard& sh = shards_.at(s);
+  telemetry::ShardScalabilitySnapshot snap;
+
+  // The worker's exact per-iteration buckets. Its useful lap contains two
+  // spans measured elsewhere on their own monotone counters — CT miss
+  // resolution (cache miss_ns) and pipeline feed waits — so re-bucket
+  // them: subtract from useful (saturating; both are sub-intervals of
+  // useful by construction), then add them back under their own category.
+  // The per-shard bucket sum is preserved exactly.
+  if (sh.cycles != nullptr) {
+    for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+      snap.ns[b] += sh.cycles->get(static_cast<telemetry::CycleBucket>(b));
+    }
+    u64 carve = sh.cache->miss_ns();
+    for (const auto& pipeline : sh.pipelines) {
+      carve += pipeline->feeder_wait_ns();
+    }
+    const auto useful = static_cast<std::size_t>(
+        telemetry::CycleBucket::kUseful);
+    const auto miss = static_cast<std::size_t>(
+        telemetry::CycleBucket::kClassifierMiss);
+    snap.ns[useful] = snap.ns[useful] >= carve ? snap.ns[useful] - carve : 0;
+    snap.ns[miss] += sh.cache->miss_ns();
+    ++snap.threads;
+  }
+  if (sh.director_cycles != nullptr) {
+    for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+      snap.ns[b] +=
+          sh.director_cycles->get(static_cast<telemetry::CycleBucket>(b));
+    }
+    snap.backoff_spins +=
+        sh.director_spins->load(std::memory_order_relaxed);
+  }
+  for (auto& pipeline : sh.pipelines) {
+    snap += pipeline->scalability_snapshot();
+  }
+  snap.pool_cas_retries += sh.ingest_pool->cas_retry_total();
+  snap.ring_full_events += sh.ring->full_events();
+  snap.classifier_hits = sh.cache->hits();
+  snap.classifier_misses = sh.cache->misses();
+  return snap;
+}
+
+void ShardedDataplane::register_scalability(
+    telemetry::ScalabilityProfiler& profiler) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    profiler.add_shard("shard" + std::to_string(s),
+                       [this, s] { return scalability_snapshot(s); });
+  }
 }
 
 void ShardedDataplane::register_health(telemetry::HealthSampler& sampler,

@@ -47,6 +47,7 @@ namespace nfp {
 
 namespace telemetry {
 class HealthSampler;
+class ScalabilityProfiler;
 class Watchdog;
 }  // namespace telemetry
 
@@ -141,6 +142,15 @@ class ShardedDataplane {
   void register_health(telemetry::HealthSampler& sampler,
                        telemetry::Watchdog* watchdog);
 
+  // Shard-level cycle/contention fold for the scalability profiler: the
+  // worker's buckets (classifier-miss and pipeline feed waits carved out
+  // of useful), every pipeline thread's buckets, the director's waits on
+  // this shard, and the pool/ring contention evidence. Scrape-time only.
+  telemetry::ShardScalabilitySnapshot scalability_snapshot(std::size_t s);
+  // add_shard("shard<s>", ...) for every shard. Call before start();
+  // reset the profiler's baseline after start() to exclude spawn cost.
+  void register_scalability(telemetry::ScalabilityProfiler& profiler);
+
  private:
   struct Shard {
     std::unique_ptr<PacketPool> ingest_pool;
@@ -153,6 +163,13 @@ class ShardedDataplane {
     std::unique_ptr<std::atomic<u64>> heartbeat_ns;
     std::unique_ptr<std::atomic<u64>> busy_ns;
     std::vector<std::unique_ptr<std::atomic<u64>>> graph_counts;
+    // Cycle accounting (null when pipeline.cycle_accounting is off):
+    // `cycles` is written by the shard worker, `director_cycles` by the
+    // director when it waits on this shard's pool/ring — separate blocks,
+    // so neither thread dirties the other's line.
+    std::unique_ptr<telemetry::CycleCounters> cycles;
+    std::unique_ptr<telemetry::CycleCounters> director_cycles;
+    std::unique_ptr<std::atomic<u64>> director_spins;
   };
 
   void worker_loop(std::size_t shard_idx);

@@ -103,6 +103,7 @@ class PacketPool {
         free_count_.fetch_sub(got, std::memory_order_relaxed);
         return got;
       }
+      cas_retry_total_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -125,6 +126,7 @@ class PacketPool {
         free_count_.fetch_add(n, std::memory_order_relaxed);
         return;
       }
+      cas_retry_total_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -160,6 +162,12 @@ class PacketPool {
   u64 refcnt_underflow_total() const noexcept {
     return underflow_total_.load(std::memory_order_relaxed);
   }
+  // Failed head-CAS attempts across alloc_raw/free_raw: direct evidence of
+  // cross-thread free-list contention (each retry is one extra bounce of
+  // the free_head_ cacheline). Read by the scalability profiler.
+  u64 cas_retry_total() const noexcept {
+    return cas_retry_total_.load(std::memory_order_relaxed);
+  }
 
   // The copy bodies behind clone_full/clone_header_only, usable on slots
   // allocated elsewhere (magazine caches).
@@ -187,7 +195,11 @@ class PacketPool {
   // a pop-repush of the same head slot cannot ABA a concurrent chain walk.
   alignas(kCacheLineSize) std::atomic<u64> free_head_{0};
   alignas(kCacheLineSize) std::atomic<std::size_t> free_count_{0};
-  std::atomic<u64> underflow_total_{0};
+  // Diagnostic counters on their own line: free_count_ is hammered by
+  // every alloc/free batch, and the cold counters would otherwise ride
+  // (and bounce) that same cacheline for every telemetry read.
+  alignas(kCacheLineSize) std::atomic<u64> underflow_total_{0};
+  std::atomic<u64> cas_retry_total_{0};
 };
 
 // Length in bytes of the region copied by Header-Only Copying. The paper

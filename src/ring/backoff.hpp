@@ -32,6 +32,7 @@ class Backoff {
  public:
   // One wait step; escalates spin -> pause -> yield across calls.
   void pause() noexcept {
+    ++total_;
     if (round_ < kSpinRounds) {
       ++round_;
     } else if (round_ < kSpinRounds + kPauseRounds) {
@@ -47,10 +48,16 @@ class Backoff {
   // Call after the awaited condition held so the next wait starts cheap.
   void reset() noexcept { round_ = 0; }
 
+  // Cumulative pause() calls over the object's lifetime (reset() does not
+  // clear it). Backoff objects are thread-local, so a plain counter is
+  // enough; the scalability profiler reads it after the wait loop exits.
+  u64 total_pauses() const noexcept { return total_; }
+
  private:
   static constexpr u32 kSpinRounds = 4;
   static constexpr u32 kPauseRounds = 16;
   u32 round_ = 0;
+  u64 total_ = 0;
 };
 
 }  // namespace nfp

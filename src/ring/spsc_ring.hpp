@@ -43,7 +43,10 @@ class SpscRing {
     const u64 tail = tail_cache_;
     if (head - tail >= capacity_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head - tail_cache_ >= capacity_) return false;
+      if (head - tail_cache_ >= capacity_) {
+        full_events_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
     slots_[head & mask_] = std::move(value);
     head_.store(head + 1, std::memory_order_release);
@@ -71,7 +74,10 @@ class SpscRing {
     if (free < items.size()) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
       free = capacity_ - (head - tail_cache_);
-      if (free == 0) return 0;
+      if (free == 0) {
+        full_events_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
     }
     const std::size_t n = std::min<std::size_t>(items.size(), free);
     for (std::size_t i = 0; i < n; ++i) {
@@ -118,6 +124,13 @@ class SpscRing {
 
   std::size_t capacity() const noexcept { return capacity_; }
 
+  // Failed pushes against a genuinely full ring (after the consumer index
+  // re-read). Producer-written on the already-slow full path only;
+  // backpressure evidence for the scalability profiler.
+  u64 full_events() const noexcept {
+    return full_events_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
     std::size_t p = 1;
@@ -133,6 +146,9 @@ class SpscRing {
   alignas(kCacheLineSize) u64 tail_cache_ = 0;        // producer's view
   alignas(kCacheLineSize) std::atomic<u64> tail_{0};  // consumer index
   alignas(kCacheLineSize) u64 head_cache_ = 0;        // consumer's view
+  // Own line: written by the producer on full pushes, read by scrapers —
+  // must not share the consumer's head_cache_ line.
+  alignas(kCacheLineSize) std::atomic<u64> full_events_{0};
 };
 
 }  // namespace nfp

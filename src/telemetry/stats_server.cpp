@@ -20,6 +20,7 @@
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/health_sampler.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/scalability_profiler.hpp"
 #include "telemetry/timeseries.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -290,6 +291,14 @@ void register_standard_endpoints(StatsServer& server,
     server.handle("/timeseries.json", [timeseries] {
       return StatsServer::Response{200, "application/json",
                                    timeseries->to_json()};
+    });
+  }
+  if (sources.scalability != nullptr) {
+    const ScalabilityProfiler* scalability = sources.scalability;
+    // Internally synchronized; snapshot callbacks read relaxed atomics.
+    server.handle("/scalability.json", [scalability] {
+      return StatsServer::Response{200, "application/json",
+                                   scalability->to_json()};
     });
   }
   if (sources.tracer != nullptr) {

@@ -7,6 +7,7 @@
 //   GET /metrics          Prometheus text exposition (to_prometheus)
 //   GET /metrics.json     the same registry as JSON (to_json)
 //   GET /timeseries.json  TimeseriesCollector histories + derived rates
+//   GET /scalability.json per-shard lost-pps attribution (ScalabilityReport)
 //   GET /profile.json     critical-path attribution (CriticalPathReport)
 //   GET /recorder.json    flight-recorder window (most recent events)
 //   GET /trace.json       Chrome trace-event JSON (load in ui.perfetto.dev)
@@ -44,6 +45,7 @@ class Tracer;
 class FlightRecorder;
 class Watchdog;
 class TimeseriesCollector;
+class ScalabilityProfiler;
 
 class StatsServer {
  public:
@@ -103,6 +105,10 @@ struct EndpointSources {
   const FlightRecorder* recorder = nullptr;
   const Watchdog* watchdog = nullptr;
   TimeseriesCollector* timeseries = nullptr;
+  // Serves /scalability.json (per-shard lost-pps attribution). The
+  // profiler is internally synchronized; its snapshot callbacks read only
+  // relaxed atomics, so no shared mutex is needed.
+  const ScalabilityProfiler* scalability = nullptr;
   // Held by handlers that iterate structurally-mutable state; share it
   // with whatever thread creates new series / records spans.
   std::mutex* mu = nullptr;

@@ -72,7 +72,13 @@ void TimeseriesCollector::tick_locked() {
     const u64 value = c.value.load();
     CounterState& st = counter_state_[key];
     if (st.primed && elapsed_s > 0) {
-      const u64 delta = value >= st.last ? value - st.last : 0;
+      // A value below the primed base means the counter reset (pipeline
+      // restart re-registering the series, or a producer-side u64 wrap).
+      // The raw subtraction would wrap to a colossal positive rate — and
+      // a signed reading of it to a negative one — so apply the standard
+      // counter-reset convention: the post-reset value IS the delta
+      // (everything since the restart), which is always >= 0.
+      const u64 delta = value >= st.last ? value - st.last : value;
       append(MetricKey{key.name + ":rate", key.labels}, "rate", now,
              static_cast<double>(delta) / elapsed_s, /*publish=*/true);
     }

@@ -39,6 +39,29 @@ TEST(TimeseriesTest, CounterDeltasBecomeRates) {
   EXPECT_EQ(collector.ticks(), 2u);
 }
 
+TEST(TimeseriesTest, CounterResetYieldsPostResetRate) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("packets_delivered_total", {{"plane", "nfp"}});
+  u64 now = kSecond;
+  TimeseriesCollector collector(reg, manual_clock(&now));
+
+  c.inc(1'000);
+  collector.sample_once();  // primes the delta at 1000
+
+  // The producer restarts and re-counts from zero: the sampled value drops
+  // below the primed base. Prometheus counter-reset convention: the
+  // post-reset total IS the delta — the rate must never go negative or
+  // wrap to a colossal positive from the u64 subtraction.
+  now += 2 * kSecond;
+  c.value.store(250);
+  collector.sample_once();
+  const auto points =
+      collector.history("packets_delivered_total:rate", {{"plane", "nfp"}});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 125.0);  // 250 post-reset events / 2s
+  EXPECT_GE(points[0].value, 0.0);
+}
+
 TEST(TimeseriesTest, PublishesDerivedRatesAsGauges) {
   MetricsRegistry reg;
   Counter& c = reg.counter("packets_injected_total", {});

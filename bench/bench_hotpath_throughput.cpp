@@ -256,6 +256,63 @@ int main(int argc, char** argv) {
         }
       }
     }
+
+    // Second overhead gate: stage-latency sampling (PR 7) at the shipped
+    // 1-in-64 rate vs off. Same interleaved best-of-3 protocol; the
+    // `lat32-noacct` name keys check_hotpath_regression.py --overhead's
+    // auto-pairing against `lat32-acct`.
+    {
+      LivePipelineOptions on_opts;
+      on_opts.burst_size = 32;
+      on_opts.magazine_size = 256;
+      on_opts.ring_depth = 1024;
+      on_opts.in_flight_window = 512;
+      on_opts.latency_sample_every = 64;
+      LivePipelineOptions off_opts = on_opts;
+      off_opts.latency_sample_every = 0;
+
+      run_series(shape, frames, on_opts);  // warm-up, discarded
+      RunResult best_on{};
+      RunResult best_off{};
+      for (int rep = 0; rep < 3; ++rep) {
+        const RunResult on = run_series(shape, frames, on_opts);
+        const RunResult off = run_series(shape, frames, off_opts);
+        if (on.pps > best_on.pps) best_on = on;
+        if (off.pps > best_off.pps) best_off = off;
+      }
+
+      const struct {
+        const char* suffix;
+        const char* mode;
+        const RunResult* r;
+      } sides[] = {{"lat32-acct", "latency-sampled", &best_on},
+                   {"lat32-noacct", "latency-off", &best_off}};
+      for (const auto& side : sides) {
+        const RunResult& r = *side.r;
+        const double speedup = base.pps > 0 ? r.pps / base.pps : 0;
+        std::printf("%-16s %12.0f %10.3f %10llu %10llu   %.2fx\n",
+                    (std::string(shape.name) + "/" + side.suffix).c_str(),
+                    r.pps, r.seconds,
+                    static_cast<unsigned long long>(r.refills),
+                    static_cast<unsigned long long>(r.flushes), speedup);
+        if (json) {
+          std::printf(
+              "{\"bench\":\"hotpath_throughput\","
+              "\"series\":\"%s/%s\","
+              "\"meta\":{\"bench\":\"hotpath_throughput\","
+              "\"timestamp\":\"%s\","
+              "\"knobs\":{\"shape\":\"%s\",\"mode\":\"%s\","
+              "\"burst\":32,\"magazine\":256,\"packets\":%zu,"
+              "\"lat_every\":64,\"reps\":3,\"reduce\":\"max\"}},"
+              "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
+              "\"speedup_vs_perpacket\":%.3f}\n",
+              shape.name, side.suffix, bench::iso8601_utc_now().c_str(),
+              shape.name, side.mode, packets, r.pps,
+              static_cast<unsigned long long>(r.delivered), r.seconds,
+              speedup);
+        }
+      }
+    }
   }
   return 0;
 }

@@ -18,6 +18,12 @@
 //                                         every lost packet-per-second to
 //                                         a cycle bucket (useful/starved/
 //                                         ring/pool/merge/classifier-miss)
+//   nfp_cli latency [policy] [opts]       the paper's core experiment live:
+//                                         run the NFP-parallel graph and its
+//                                         flattened sequential chain on the
+//                                         sharded dataplane and print the
+//                                         stage-resolved latency-reduction
+//                                         table (p50/p99/p99.9 per stage)
 //
 // `run` options (telemetry):
 //   --metrics          per-component utilization/latency report
@@ -36,8 +42,11 @@
 //   --skew=uniform|zipf  flow-popularity model (default uniform)
 //   --size=BYTES       frame size (default 256)
 //   --serve=PORT       stream waves forever and serve /metrics,
-//                      /timeseries.json, /healthz — `nfp_cli top` then shows
-//                      per-shard pps and core utilization live
+//                      /timeseries.json, /latency.json, /healthz —
+//                      `nfp_cli top` then shows per-shard pps, core
+//                      utilization and stage latency live
+//   --lat-every=N      sample every-Nth flow for stage latency (default 8
+//                      under --serve, 0 = off otherwise)
 //
 // `profile` options (in addition to --packets/--rate/--size/--json):
 //   --plane=nfp|onv|rtc  which dataplane to profile (default nfp; onv/rtc
@@ -85,6 +94,7 @@
 #include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/latency_observatory.hpp"
 #include "telemetry/scalability_profiler.hpp"
 #include "telemetry/stats_server.hpp"
 #include "telemetry/timeseries.hpp"
@@ -117,7 +127,11 @@ int usage() {
                "       nfp_cli scalability [policy-file] [--shards=1,2,4] "
                "[--packets=N]\n"
                "               [--flows=N] [--skew=uniform|zipf] "
-               "[--size=BYTES] [--json]\n");
+               "[--size=BYTES] [--json]\n"
+               "       nfp_cli latency [policy-file] [--shards=N] "
+               "[--packets=N] [--flows=N]\n"
+               "               [--skew=uniform|zipf] [--size=BYTES] "
+               "[--sample-every=N] [--json]\n");
   return 2;
 }
 
@@ -481,21 +495,29 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 flows = 64;
   u64 frame_size = 256;
   u64 serve_port = 0;
+  u64 lat_every = 0;
+  bool lat_every_set = false;
   std::string skew = "uniform";
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
-    if (flag_value(arg, "--shards", &shards) ||
-        flag_value(arg, "--packets", &packets) ||
-        flag_value(arg, "--flows", &flows) ||
-        flag_value(arg, "--size", &frame_size) ||
-        flag_value(arg, "--serve", &serve_port) ||
-        flag_string(arg, "--skew", &skew)) {
+    if (flag_value(arg, "--lat-every", &lat_every)) {
+      lat_every_set = true;
+    } else if (flag_value(arg, "--shards", &shards) ||
+               flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--flows", &flows) ||
+               flag_value(arg, "--size", &frame_size) ||
+               flag_value(arg, "--serve", &serve_port) ||
+               flag_string(arg, "--skew", &skew)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown live option '%s'\n", arg);
       return usage();
     }
   }
+  // Serve mode defaults the stage-latency sampler on: 1-in-8 flows keeps
+  // the panel populated at the default 64-flow workload while the off-path
+  // cost stays one branch per packet per hop.
+  if (serve_port != 0 && !lat_every_set) lat_every = 8;
   if (skew != "uniform" && skew != "zipf") {
     std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
     return usage();
@@ -508,6 +530,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
 
   ShardedDataplaneOptions opts;
   opts.shards = static_cast<std::size_t>(shards);
+  opts.pipeline.latency_sample_every = static_cast<std::size_t>(lat_every);
   ShardedDataplane dp({graph}, pass_all_factory, opts);
 
   if (serve_port == 0) {
@@ -567,11 +590,18 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   dp.register_scalability(profiler);
   profiler.register_probes(collector);
 
+  telemetry::LatencyObservatory::Options lat_options;
+  lat_options.sample_every = opts.pipeline.latency_sample_every;
+  telemetry::LatencyObservatory latency_obs(lat_options);
+  dp.register_latency(latency_obs);
+  latency_obs.register_probes(collector);
+
   if (const Status st = dp.start(); !st.is_ok()) {
     std::fprintf(stderr, "error: %s\n", st.message().c_str());
     return 1;
   }
   profiler.reset_baseline();
+  latency_obs.reset_baseline();
 
   telemetry::StatsServer server;
   telemetry::EndpointSources sources;
@@ -580,6 +610,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   sources.watchdog = &watchdog;
   sources.timeseries = &collector;
   sources.scalability = &profiler;
+  sources.latency = &latency_obs;
   sources.mu = &mu;
   telemetry::register_standard_endpoints(server, sources);
   telemetry::StatsServer::Options server_options;
@@ -590,7 +621,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   }
   std::printf("live dataplane: %zu shards (%zu online CPUs) serving on "
               "http://127.0.0.1:%u — /metrics /timeseries.json "
-              "/scalability.json /healthz — "
+              "/scalability.json /latency.json /healthz — "
               "`nfp_cli top --port=%u` for the dashboard, Ctrl-C to stop\n",
               dp.shard_count(), online_cpu_count(),
               static_cast<unsigned>(server.port()),
@@ -809,6 +840,16 @@ struct TopShardAttribution {
   double projected_pps = 0;
 };
 
+// One /latency.json stage row (folded across shards).
+struct TopLatencyStage {
+  std::string name;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+  u64 count = 0;
+};
+
 struct TopView {
   double pps_in = 0;
   double pps_out = 0;
@@ -817,12 +858,19 @@ struct TopView {
   u64 ticks = 0;
   std::map<std::string, double> util;       // component -> core_util
   std::map<std::string, double> p99_ns;     // nf -> nf_service_ns:p99
+  std::map<std::string, double> p999_ns;    // nf -> nf_service_ns:p999
   std::map<std::string, double> bn_share;   // nf -> bottleneck share
   std::vector<double> out_history;          // delivered pps points
   // Filled from /scalability.json when the server exposes it (the sharded
   // live dataplane); empty otherwise — the panel is simply omitted.
   std::vector<TopShardAttribution> shard_attrib;
   std::string top_contention;
+  // Filled from /latency.json when served; empty otherwise.
+  std::vector<TopLatencyStage> latency_stages;
+  u64 latency_sampled = 0;
+  u64 latency_sample_every = 0;
+  double latency_queue_depth = 0;
+  double latency_ingest_depth = 0;
 };
 
 std::string series_label(const json::Value& series, const char* key) {
@@ -859,6 +907,8 @@ TopView parse_top_view(const json::Value& doc) {
       view.util[series_label(s, "component")] = last;
     } else if (name == "nf_service_ns:p99") {
       view.p99_ns[series_label(s, "nf")] = last;
+    } else if (name == "nf_service_ns:p999") {
+      view.p999_ns[series_label(s, "nf")] = last;
     } else if (name == "bottleneck_share") {
       view.bn_share[series_label(s, "nf")] = last;
     }
@@ -888,6 +938,35 @@ void parse_scalability_view(const json::Value& doc, TopView* view) {
       }
     }
     view->shard_attrib.push_back(std::move(row));
+  }
+}
+
+// Folds /latency.json (when present) into the view; absent on servers
+// without a latency observatory (or with sampling off), which 404 — the
+// latency panel is then skipped.
+void parse_latency_view(const json::Value& doc, TopView* view) {
+  static const char* kStages[] = {"ingest", "queue",  "service",
+                                  "merge_wait", "egress", "total"};
+  view->latency_sampled = static_cast<u64>(doc.number_or("sampled", 0));
+  view->latency_sample_every =
+      static_cast<u64>(doc.number_or("sample_every", 0));
+  const json::Value* total = doc.find("total");
+  if (total == nullptr) return;
+  view->latency_queue_depth = total->number_or("queue_depth", 0);
+  view->latency_ingest_depth = total->number_or("ingest_queue_depth", 0);
+  const json::Value* stages = total->find("stages");
+  if (stages == nullptr) return;
+  for (const char* name : kStages) {
+    const json::Value* s = stages->find(name);
+    if (s == nullptr) continue;
+    TopLatencyStage row;
+    row.name = name;
+    row.count = static_cast<u64>(s->number_or("count", 0));
+    row.p50_us = s->number_or("p50_us", 0);
+    row.p99_us = s->number_or("p99_us", 0);
+    row.p999_us = s->number_or("p999_us", 0);
+    row.max_us = s->number_or("max_us", 0);
+    view->latency_stages.push_back(std::move(row));
   }
 }
 
@@ -960,8 +1039,8 @@ void render_top(const TopView& view, const std::string& health_body,
                 bottleneck.c_str(), 100.0 * bottleneck_share);
   }
 
-  std::printf("\n  %-22s %-22s %6s %12s %10s\n", "component", "utilization",
-              "", "p99 service", "bn share");
+  std::printf("\n  %-22s %-22s %6s %12s %12s %10s\n", "component",
+              "utilization", "", "p99 service", "p99.9 svc", "bn share");
   for (const auto& [component, util] : view.util) {
     std::printf("  %-22s %s %5.1f%%", component.c_str(),
                 util_bar(util).c_str(), 100.0 * util);
@@ -971,11 +1050,35 @@ void render_top(const TopView& view, const std::string& health_body,
     } else {
       std::printf(" %12s", "—");
     }
+    const auto p999 = view.p999_ns.find(component);
+    if (p999 != view.p999_ns.end()) {
+      std::printf(" %9.1f us", p999->second / 1e3);
+    } else {
+      std::printf(" %12s", "—");
+    }
     const auto share = view.bn_share.find(component);
     if (share != view.bn_share.end()) {
       std::printf(" %8.1f%%", 100.0 * share->second);
     }
     std::printf("\n");
+  }
+
+  // Stage-resolved tail latency (only when /latency.json is served with
+  // sampling enabled and at least one sampled packet has completed).
+  if (!view.latency_stages.empty() && view.latency_sampled > 0) {
+    std::printf("\n  latency (sampled 1/%llu flows, %llu samples)   "
+                "queue depth %.0f   ingest depth %.0f\n",
+                static_cast<unsigned long long>(
+                    view.latency_sample_every ? view.latency_sample_every : 1),
+                static_cast<unsigned long long>(view.latency_sampled),
+                view.latency_queue_depth, view.latency_ingest_depth);
+    std::printf("  %-12s %9s %9s %9s %9s\n", "stage", "p50us", "p99us",
+                "p99.9us", "maxus");
+    for (const TopLatencyStage& row : view.latency_stages) {
+      if (row.count == 0) continue;
+      std::printf("  %-12s %9.1f %9.1f %9.1f %9.1f\n", row.name.c_str(),
+                  row.p50_us, row.p99_us, row.p999_us, row.max_us);
+    }
   }
 
   // Per-shard cycle attribution (only when /scalability.json is served).
@@ -1042,6 +1145,14 @@ int top_command(int argc, char** argv) {
         scal && scal.value().status == 200) {
       if (const auto sdoc = json::Value::parse(scal.value().body); sdoc) {
         parse_scalability_view(sdoc.value(), &view);
+      }
+    }
+    // Optional: stage latency. Servers without an observatory 404.
+    if (auto lat = telemetry::http_get(static_cast<std::uint16_t>(port),
+                                       "/latency.json");
+        lat && lat.value().status == 200) {
+      if (const auto ldoc = json::Value::parse(lat.value().body); ldoc) {
+        parse_latency_view(ldoc.value(), &view);
       }
     }
     render_top(view, health ? health.value().body : std::string(),
@@ -1217,6 +1328,192 @@ int scalability_command(int argc, char** argv) {
   return 0;
 }
 
+// --- nfp_cli latency: the paper's core experiment, live -----------------
+
+// Flattens the graph's NFs into one sequential chain — the ONV/RTC view
+// of the same policy — so the comparison isolates graph shape.
+ServiceGraph flatten_sequential(const ServiceGraph& graph) {
+  std::vector<std::string> chain;
+  for (const Segment& seg : graph.segments()) {
+    for (const StageNf& nf : seg.nfs) chain.push_back(nf.name);
+  }
+  return ServiceGraph::sequential(graph.name() + "-chain", chain);
+}
+
+// One live run of `graph` with stage-latency sampling on; fills `out`
+// with the observatory's report over exactly this run's packets.
+int run_latency_plane(const ServiceGraph& graph,
+                      const std::vector<std::vector<u8>>& frames,
+                      std::size_t shards, std::size_t sample_every,
+                      telemetry::LatencyReport* out) {
+  ShardedDataplaneOptions opts;
+  opts.shards = shards;
+  opts.pipeline.latency_sample_every = sample_every;
+  ShardedDataplane dp({graph}, pass_all_factory, opts);
+
+  telemetry::LatencyObservatory::Options lat_options;
+  lat_options.sample_every = sample_every;
+  telemetry::LatencyObservatory obs(lat_options);
+  dp.register_latency(obs);
+
+  if (const Status st = dp.start(); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.message().c_str());
+    return 1;
+  }
+  obs.reset_baseline();
+  for (const auto& frame : frames) {
+    dp.feed({frame.data(), frame.size()});
+  }
+  // Report after the last packet resolves but before drain() joins the
+  // workers, so the wall window matches the accounted one.
+  while (true) {
+    u64 done = 0;
+    for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+      done += dp.shard_delivered(s) + dp.shard_dropped(s);
+    }
+    if (done >= frames.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  *out = obs.report();
+  const ShardedResult res = dp.drain();
+  if (!res.status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", res.status.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int latency_command(int argc, char** argv) {
+  u64 shards = 2;
+  u64 packets = 20'000;
+  u64 flows = 64;
+  u64 frame_size = 256;
+  u64 sample_every = 8;
+  std::string skew = "uniform";
+  bool want_json = false;
+
+  // Optional policy file directly after the command; the default workload
+  // is the 4-wide parallel monitor stage (vs. its 4-hop chain).
+  ServiceGraph graph = make_scalability_par4();
+  int first_flag = 2;
+  if (argc > 2 && argv[2][0] != '-') {
+    CompileReport report;
+    auto compiled = load_and_compile(argv[2], &report);
+    if (!compiled) {
+      std::fprintf(stderr, "error: %s\n", compiled.error().c_str());
+      return 1;
+    }
+    graph = compiled.value();
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (flag_value(arg, "--shards", &shards) ||
+               flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--flows", &flows) ||
+               flag_value(arg, "--size", &frame_size) ||
+               flag_value(arg, "--sample-every", &sample_every) ||
+               flag_string(arg, "--skew", &skew)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown latency option '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (skew != "uniform" && skew != "zipf") {
+    std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
+    return usage();
+  }
+  if (packets == 0) packets = 1;
+  if (flows == 0) flows = 1;
+  if (shards == 0) shards = 1;
+  if (sample_every == 0) sample_every = 1;
+  if (graph.is_sequential()) {
+    std::fprintf(stderr,
+                 "warning: policy '%s' has no parallel stage; both runs "
+                 "are sequential chains\n",
+                 graph.name().c_str());
+  }
+
+  const auto frames =
+      make_live_frames(packets, flows, skew == "zipf", frame_size);
+  const ServiceGraph chain = flatten_sequential(graph);
+
+  if (!want_json) {
+    std::printf("latency experiment: '%s' (%s) vs sequential chain (%s), "
+                "%llu packets/plane, %llu flows, %s skew, %zu shards, "
+                "sampling 1/%llu flows\n",
+                graph.name().c_str(), graph.structure().c_str(),
+                chain.structure().c_str(),
+                static_cast<unsigned long long>(packets),
+                static_cast<unsigned long long>(flows), skew.c_str(),
+                static_cast<std::size_t>(shards),
+                static_cast<unsigned long long>(sample_every));
+  }
+
+  telemetry::LatencyReport seq_rep;
+  telemetry::LatencyReport par_rep;
+  if (const int rc = run_latency_plane(
+          chain, frames, static_cast<std::size_t>(shards),
+          static_cast<std::size_t>(sample_every), &seq_rep);
+      rc != 0) {
+    return rc;
+  }
+  if (const int rc = run_latency_plane(
+          graph, frames, static_cast<std::size_t>(shards),
+          static_cast<std::size_t>(sample_every), &par_rep);
+      rc != 0) {
+    return rc;
+  }
+
+  using telemetry::LatencyStage;
+  const telemetry::HdrSnapshot& st = seq_rep.stage(LatencyStage::kTotal);
+  const telemetry::HdrSnapshot& pt = par_rep.stage(LatencyStage::kTotal);
+  const auto reduction = [](double seq, double par) {
+    return seq > 0 ? 100.0 * (seq - par) / seq : 0.0;
+  };
+  const double red_p50 = reduction(static_cast<double>(st.quantile(0.50)),
+                                   static_cast<double>(pt.quantile(0.50)));
+  const double red_p99 = reduction(static_cast<double>(st.quantile(0.99)),
+                                   static_cast<double>(pt.quantile(0.99)));
+  const double red_p999 = reduction(static_cast<double>(st.quantile(0.999)),
+                                    static_cast<double>(pt.quantile(0.999)));
+  const double red_mean = reduction(st.mean(), pt.mean());
+
+  if (want_json) {
+    std::printf("{\"command\":\"latency\",\"policy\":\"%s\","
+                "\"structure\":\"%s\",\"chain_structure\":\"%s\","
+                "\"shards\":%zu,\"packets\":%llu,\"flows\":%llu,"
+                "\"skew\":\"%s\",\"sample_every\":%llu,"
+                "\"sequential\":%s,\"parallel\":%s,"
+                "\"reduction_pct\":{\"p50\":%.1f,\"p99\":%.1f,"
+                "\"p999\":%.1f,\"mean\":%.1f}}\n",
+                graph.name().c_str(), graph.structure().c_str(),
+                chain.structure().c_str(), static_cast<std::size_t>(shards),
+                static_cast<unsigned long long>(packets),
+                static_cast<unsigned long long>(flows), skew.c_str(),
+                static_cast<unsigned long long>(sample_every),
+                seq_rep.to_json().c_str(), par_rep.to_json().c_str(),
+                red_p50, red_p99, red_p999, red_mean);
+    return 0;
+  }
+
+  std::printf("\n=== sequential chain (%s) — %llu sampled ===\n%s",
+              chain.structure().c_str(),
+              static_cast<unsigned long long>(seq_rep.sampled()),
+              seq_rep.to_text().c_str());
+  std::printf("\n=== NFP parallel (%s) — %llu sampled ===\n%s",
+              graph.structure().c_str(),
+              static_cast<unsigned long long>(par_rep.sampled()),
+              par_rep.to_text().c_str());
+  std::printf("\nlatency reduction (NFP vs sequential, positive = faster): "
+              "p50 %.1f%%  p99 %.1f%%  p99.9 %.1f%%  mean %.1f%%\n",
+              red_p50, red_p99, red_p999, red_mean);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1229,6 +1526,10 @@ int main(int argc, char** argv) {
 
   if (command == "scalability") {
     return scalability_command(argc, argv);
+  }
+
+  if (command == "latency") {
+    return latency_command(argc, argv);
   }
 
   if (command == "stats") {

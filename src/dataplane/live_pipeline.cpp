@@ -13,6 +13,10 @@
 
 namespace nfp {
 
+namespace {
+inline u64 sat_sub(u64 a, u64 b) noexcept { return a >= b ? a - b : 0; }
+}  // namespace
+
 LivePipeline::LivePipeline(
     ServiceGraph graph,
     std::function<std::unique_ptr<NetworkFunction>(const StageNf&)> factory,
@@ -90,6 +94,35 @@ LivePipeline::LivePipeline(
     merger_cycles_ = std::make_unique<telemetry::CycleCounters>();
     feeder_cycles_ = std::make_unique<telemetry::CycleCounters>();
   }
+  if (opts_.latency_sample_every > 0) {
+    for (auto& seg : segments_) {
+      for (LiveNf& nf : seg) {
+        nf.lat_block = std::make_unique<telemetry::StageLatencyBlock>();
+      }
+    }
+    merger_lat_block_ = std::make_unique<telemetry::StageLatencyBlock>();
+  }
+}
+
+void LivePipeline::finalize_latency(const Packet& pkt,
+                                    telemetry::StageLatencyBlock* block,
+                                    u64 now) {
+  const LatencyStamps& lat = pkt.lat();
+  if (lat.origin_ns == 0 || block == nullptr) return;
+  const u64 total = sat_sub(now, lat.origin_ns);
+  const u64 accounted =
+      lat.ingest_ns + lat.queue_ns + lat.service_ns + lat.merge_ns;
+  block->record(telemetry::LatencyStage::kIngest, lat.ingest_ns);
+  block->record(telemetry::LatencyStage::kQueue, lat.queue_ns);
+  block->record(telemetry::LatencyStage::kService, lat.service_ns);
+  // merge_wait only counts packets that actually crossed a merge point:
+  // a purely sequential path contributes no sample rather than a zero,
+  // so the stage's count doubles as "packets merged" in reports.
+  if (lat.merges != 0) {
+    block->record(telemetry::LatencyStage::kMergeWait, lat.merge_ns);
+  }
+  block->record(telemetry::LatencyStage::kEgress, sat_sub(total, accounted));
+  block->record(telemetry::LatencyStage::kTotal, total);
 }
 
 LivePipeline::~LivePipeline() {
@@ -222,10 +255,22 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
       envelopes.clear();
       for (std::size_t i = 0; i < n; ++i) {
         Packet* pkt = in_burst[i];
+        // Sampled packets: time the hop, but report through the envelope —
+        // siblings share this packet version, so its stamp bytes are
+        // read-only here (same rule as drop_intent).
+        const bool sampled = pkt->lat().origin_ns != 0;
+        const u64 t0 = sampled ? telemetry::mono_now_ns() : 0;
         PacketView view(*pkt);
         NfVerdict verdict = NfVerdict::kPass;
         if (view.valid()) verdict = self.impl->process(view);
-        envelopes.push_back(MergeEnvelope{pkt, verdict == NfVerdict::kDrop});
+        MergeEnvelope env{pkt, verdict == NfVerdict::kDrop};
+        if (sampled) {
+          const u64 t1 = telemetry::mono_now_ns();
+          env.queue_ns = sat_sub(t0, pkt->lat().mark_ns);
+          env.service_ns = sat_sub(t1, t0);
+          env.out_ns = t1;
+        }
+        envelopes.push_back(env);
       }
       std::size_t sent = 0;
       Backoff backoff;
@@ -257,9 +302,24 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
     u64 completed = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Packet* pkt = in_burst[i];
+      // Sequential hop: this thread owns the packet, so the telescoping
+      // marks live on the packet itself. queue = mark -> pre-process clock
+      // (includes in-burst head-of-line time), service = the process span.
+      const bool sampled = pkt->lat().origin_ns != 0;
+      u64 t1 = 0;
+      if (sampled) {
+        const u64 t0 = telemetry::mono_now_ns();
+        pkt->lat().queue_ns += sat_sub(t0, pkt->lat().mark_ns);
+        pkt->lat().mark_ns = t0;
+      }
       PacketView view(*pkt);
       NfVerdict verdict = NfVerdict::kPass;
       if (view.valid()) verdict = self.impl->process(view);
+      if (sampled) {
+        t1 = telemetry::mono_now_ns();
+        pkt->lat().service_ns += sat_sub(t1, pkt->lat().mark_ns);
+        pkt->lat().mark_ns = t1;
+      }
 
       if (verdict == NfVerdict::kDrop) {
         mag.release(pkt);
@@ -269,6 +329,7 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
       }
       if (last_segment) {
         out_batch.emplace_back(pkt->data(), pkt->data() + pkt->length());
+        if (sampled) finalize_latency(*pkt, self.lat_block.get(), t1);
         mag.release(pkt);
         ++completed;
         continue;
@@ -326,7 +387,8 @@ void LivePipeline::merger_loop() {
             const std::span<MergeArrival> done = table.add(
                 env.pkt->meta().pid(),
                 MergeArrival{env.pkt, nf.meta.version, env.drop_intent,
-                             nf.meta.priority, nf.meta.can_drop});
+                             nf.meta.priority, nf.meta.can_drop,
+                             env.queue_ns, env.service_ns, env.out_ns});
             if (done.empty()) continue;
             merger_merges_.fetch_add(1, std::memory_order_relaxed);
 
@@ -352,6 +414,24 @@ void LivePipeline::merger_loop() {
               }
               merged = apply_merge_operations(seg, pairs);
             }
+            // Critical-branch latency combining: the arrival whose out-push
+            // completed the set defines the segment's span. Its queue /
+            // service accumulate onto the survivor and merge-wait is the
+            // merger's reaction time from that push — the telescoping marks
+            // stay exact (queue+service+merge == now - prev mark).
+            if (merged != nullptr && merged->lat().origin_ns != 0) {
+              const MergeArrival* critical = &done[0];
+              for (const MergeArrival& a : done) {
+                if (a.out_ns > critical->out_ns) critical = &a;
+              }
+              const u64 tm = telemetry::mono_now_ns();
+              LatencyStamps& lat = merged->lat();
+              lat.queue_ns += critical->queue_ns;
+              lat.service_ns += critical->service_ns;
+              lat.merge_ns += sat_sub(tm, critical->out_ns);
+              lat.merges += 1;
+              lat.mark_ns = tm;
+            }
             bool kept_one = false;
             for (const MergeArrival& a : done) {
               if (a.pkt == merged && !kept_one) {
@@ -367,6 +447,8 @@ void LivePipeline::merger_loop() {
             } else if (s + 1 == segments_.size()) {
               out_batch.emplace_back(merged->data(),
                                      merged->data() + merged->length());
+              finalize_latency(*merged, merger_lat_block_.get(),
+                               merged->lat().mark_ns);
               merged->set_nil(false);
               mag.release(merged);
               ++completed;
@@ -484,6 +566,25 @@ telemetry::ShardScalabilitySnapshot LivePipeline::scalability_snapshot() {
   return snap;
 }
 
+telemetry::ShardLatencySnapshot LivePipeline::latency_snapshot() const {
+  telemetry::ShardLatencySnapshot snap;
+  auto fold = [&snap](const telemetry::StageLatencyBlock* block) {
+    if (block == nullptr) return;
+    for (std::size_t s = 0; s < telemetry::kLatencyStageCount; ++s) {
+      snap.stages[s] +=
+          block->snapshot(static_cast<telemetry::LatencyStage>(s));
+    }
+  };
+  for (const auto& seg : segments_) {
+    for (const LiveNf& nf : seg) {
+      fold(nf.lat_block.get());
+      snap.queue_depth += static_cast<double>(nf.in->size() + nf.out->size());
+    }
+  }
+  fold(merger_lat_block_.get());
+  return snap;
+}
+
 u64 LivePipeline::feeder_wait_ns() const {
   if (feeder_cycles_ == nullptr) return 0;
   u64 total = 0;
@@ -571,9 +672,22 @@ Status LivePipeline::start() {
 }
 
 bool LivePipeline::feed(std::span<const u8> frame) {
+  // Standalone sampling: no flow hash at this layer, so sample by pid.
+  u64 origin = 0;
+  if (opts_.latency_sample_every != 0 &&
+      next_pid_ % opts_.latency_sample_every == 0) {
+    origin = telemetry::mono_now_ns();
+  }
+  return feed_stamped(frame, origin);
+}
+
+bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns) {
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
     return false;
   }
+  // No recording blocks (latency_sample_every == 0) means nowhere to land
+  // the sample — drop the stamp rather than half-instrument the packet.
+  if (merger_lat_block_ == nullptr) origin_ns = 0;
   PacketMagazine& mag = *feeder_mag_;
   telemetry::CycleAccountant facct(feeder_cycles_.get(), 0);
   // Window full means downstream (rings/merger) has not retired packets
@@ -608,6 +722,16 @@ bool LivePipeline::feed(std::span<const u8> frame) {
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
   pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  if (origin_ns != 0) {
+    // Ingest closes here: origin -> ready-to-enqueue covers the caller's
+    // spans (director pool/ring/classify) plus this feed's window + alloc
+    // backpressure. The mark opens the first queue span.
+    const u64 now = telemetry::mono_now_ns();
+    LatencyStamps& lat = pkt->lat();
+    lat.origin_ns = origin_ns;
+    lat.ingest_ns = sat_sub(now, origin_ns);
+    lat.mark_ns = now;
+  }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!enter_segment(0, pkt, mag, &facct)) {
     const std::scoped_lock lock(result_mu_);

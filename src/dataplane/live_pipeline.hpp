@@ -39,6 +39,7 @@
 #include "packet/packet_magazine.hpp"
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
+#include "telemetry/latency_observatory.hpp"
 #include "telemetry/scalability_profiler.hpp"
 
 namespace nfp {
@@ -78,6 +79,12 @@ struct LivePipelineOptions {
   // cacheline per loop iteration (bench_hotpath_throughput's noacct series
   // measures it). Off disables all bucket/wait attribution.
   bool cycle_accounting = true;
+  // Latency-observatory sampling: stamp and stage-time 1 in N packets
+  // (0 = off, the default). feed() samples pid % N; feed_stamped() lets the
+  // sharded director pass its own flow-hash decision + origin stamp in.
+  // Unsampled packets pay one zero-check branch per hop; sampled ones two
+  // clock reads per NF hop (bench's lat32-acct/noacct pair gates the cost).
+  std::size_t latency_sample_every = 0;
 };
 
 class LivePipeline {
@@ -108,6 +115,13 @@ class LivePipeline {
   // run() is now a start + feed-loop + drain composition.
   Status start();
   bool feed(std::span<const u8> frame);
+  // feed() with the latency-sampling decision made by the caller:
+  // origin_ns != 0 marks the packet sampled with that ingest timestamp
+  // (the sharded director stamps at its own feed() so the span includes
+  // director pool/ring/classify time); origin_ns == 0 means unsampled —
+  // no fallback to the pid heuristic. Plain feed() self-samples by
+  // pid % latency_sample_every when the knob is set.
+  bool feed_stamped(std::span<const u8> frame, u64 origin_ns);
   LiveResult drain();
 
   NetworkFunction* nf(std::size_t segment, std::size_t index) {
@@ -156,6 +170,11 @@ class LivePipeline {
   // contention evidence (zeroed buckets when cycle_accounting is off).
   // Safe from a profiler/sampler thread while the pipeline runs.
   telemetry::ShardScalabilitySnapshot scalability_snapshot();
+  // Scrape-time fold of every thread's stage-latency histograms plus the
+  // current ring occupancy (queue_depth). Zero histograms when
+  // latency_sample_every is 0. Safe from an observatory thread while the
+  // pipeline runs.
+  telemetry::ShardLatencySnapshot latency_snapshot() const;
   // Feed-side wait time (in-flight window + pool alloc + segment-0 ring),
   // already inside the snapshot's ring/pool buckets; exposed separately so
   // the sharded dataplane can carve it out of its worker's useful time.
@@ -176,6 +195,13 @@ class LivePipeline {
   struct MergeEnvelope {
     Packet* pkt = nullptr;
     bool drop_intent = false;
+    // Latency spans for sampled packets (zero otherwise): parallel NFs
+    // report out-of-band for the same no-shared-packet-writes reason as
+    // drop_intent. out_ns is the push timestamp the merger subtracts to
+    // get merge-wait on the critical branch.
+    u64 queue_ns = 0;
+    u64 service_ns = 0;
+    u64 out_ns = 0;
   };
 
   struct LiveNf {
@@ -191,6 +217,9 @@ class LivePipeline {
     std::unique_ptr<std::atomic<u64>> processed;
     // Thread-private cycle buckets; null when cycle_accounting is off.
     std::unique_ptr<telemetry::CycleCounters> cycles;
+    // Thread-private stage-latency histograms; null when
+    // latency_sample_every is 0.
+    std::unique_ptr<telemetry::StageLatencyBlock> lat_block;
   };
 
   // Per-segment fanout plan, resolved once at construction (which versions
@@ -228,6 +257,12 @@ class LivePipeline {
   void commit_batch(std::vector<std::vector<u8>>& outputs, u64 drops,
                     u64 completed);
 
+  // Records all six stage spans for a sampled packet into `block` at
+  // delivery time `now` (egress = saturating remainder, so the stages
+  // telescope to total by construction). No-op when origin_ns == 0.
+  static void finalize_latency(const Packet& pkt,
+                               telemetry::StageLatencyBlock* block, u64 now);
+
   // Resolves a worker index to its LiveNf, or nullptr for the merger slot.
   const LiveNf* worker_nf(std::size_t w) const;
 
@@ -242,6 +277,9 @@ class LivePipeline {
   // Merger / feed-side accounting blocks; null when accounting is off.
   std::unique_ptr<telemetry::CycleCounters> merger_cycles_;
   std::unique_ptr<telemetry::CycleCounters> feeder_cycles_;
+  // Merger-thread stage-latency block (the merger finalizes every sampled
+  // packet that exits through a parallel segment); null when sampling off.
+  std::unique_ptr<telemetry::StageLatencyBlock> merger_lat_block_;
   // Backoff::pause calls spent in feed()'s window/alloc waits.
   std::atomic<u64> feeder_spin_total_{0};
 

@@ -7,6 +7,7 @@
 #include "common/hash.hpp"
 #include "ring/backoff.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/latency_observatory.hpp"
 #include "telemetry/scalability_profiler.hpp"
 
 namespace nfp {
@@ -100,7 +101,19 @@ bool ShardedDataplane::feed(std::span<const u8> frame) {
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
     return false;
   }
-  Shard& sh = shards_[shard_for(frame)];
+  // Parse + hash once: the same flow hash drives shard selection and the
+  // (decorrelated) latency-sampling decision. The origin stamp is taken
+  // before the pool/ring waits below so ingest latency includes director
+  // backpressure.
+  FiveTuple tuple;
+  if (const auto parsed = parse_five_tuple(frame)) tuple = *parsed;
+  const u64 flow_hash = hash_five_tuple(tuple);
+  Shard& sh = shards_[static_cast<std::size_t>(flow_hash) % shards_.size()];
+  const u64 origin_ns =
+      telemetry::latency_sample_hash(flow_hash,
+                                     opts_.pipeline.latency_sample_every)
+          ? telemetry::mono_now_ns()
+          : 0;
   telemetry::CycleCounters* dsink = sh.director_cycles.get();
   Packet* pkt = sh.ingest_pool->alloc(frame.size());
   if (pkt == nullptr) {
@@ -120,6 +133,7 @@ bool ShardedDataplane::feed(std::span<const u8> frame) {
     }
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
+  pkt->lat().origin_ns = origin_ns;
   if (!sh.ring->push(pkt)) {
     // RX ring full: classic ingest backpressure.
     const u64 t0 = dsink != nullptr ? telemetry::mono_now_ns() : 0;
@@ -182,7 +196,9 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
         g = sh.cache->classify(*tuple);
       }
       sh.graph_counts[g]->fetch_add(1, std::memory_order_relaxed);
-      sh.pipelines[g]->feed(bytes);
+      // The director made the sampling decision; origin_ns == 0 means
+      // unsampled (feed_stamped applies no pid fallback).
+      sh.pipelines[g]->feed_stamped(bytes, pkt->lat().origin_ns);
       sh.ingest_pool->release(pkt);
     }
     beat = telemetry::mono_now_ns();
@@ -360,6 +376,25 @@ void ShardedDataplane::register_scalability(
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     profiler.add_shard("shard" + std::to_string(s),
                        [this, s] { return scalability_snapshot(s); });
+  }
+}
+
+telemetry::ShardLatencySnapshot ShardedDataplane::latency_snapshot(
+    std::size_t s) const {
+  const Shard& sh = shards_.at(s);
+  telemetry::ShardLatencySnapshot snap;
+  for (const auto& pipeline : sh.pipelines) {
+    snap += pipeline->latency_snapshot();
+  }
+  snap.ingest_queue_depth += static_cast<double>(sh.ring->size());
+  return snap;
+}
+
+void ShardedDataplane::register_latency(
+    telemetry::LatencyObservatory& observatory) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    observatory.add_shard("shard" + std::to_string(s),
+                          [this, s] { return latency_snapshot(s); });
   }
 }
 

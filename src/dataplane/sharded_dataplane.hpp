@@ -47,6 +47,7 @@ namespace nfp {
 
 namespace telemetry {
 class HealthSampler;
+class LatencyObservatory;
 class ScalabilityProfiler;
 class Watchdog;
 }  // namespace telemetry
@@ -150,6 +151,17 @@ class ShardedDataplane {
   // add_shard("shard<s>", ...) for every shard. Call before start();
   // reset the profiler's baseline after start() to exclude spawn cost.
   void register_scalability(telemetry::ScalabilityProfiler& profiler);
+
+  // Shard-level latency fold: every pipeline's stage histograms plus the
+  // shard's current ring occupancies (queue_depth from the NF rings,
+  // ingest_queue_depth from the director RX ring). Histograms are empty
+  // unless options.pipeline.latency_sample_every > 0 — the director then
+  // samples by flow hash (latency_sample_hash) and stamps origin at its
+  // own feed(), so ingest covers director pool/ring + classify time.
+  telemetry::ShardLatencySnapshot latency_snapshot(std::size_t s) const;
+  // add_shard("shard<s>", ...) for every shard. Call before start();
+  // reset the observatory's baseline after start().
+  void register_latency(telemetry::LatencyObservatory& observatory);
 
  private:
   struct Shard {

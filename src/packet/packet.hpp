@@ -59,6 +59,21 @@ class Metadata {
   u64 raw_ = 0;
 };
 
+// Latency-observatory stamps carried by sampled packets (all zero — in
+// particular origin_ns == 0 — on unsampled ones, so the hot path pays one
+// branch). Written only by the thread that currently owns the packet
+// version: parallel NFs sharing a version report their spans through the
+// merge envelope instead of touching these bytes.
+struct LatencyStamps {
+  u64 origin_ns = 0;   // director/pipeline ingest stamp; 0 = not sampled
+  u64 mark_ns = 0;     // last hop boundary (telescoping mark)
+  u64 ingest_ns = 0;   // origin -> first pipeline feed
+  u64 queue_ns = 0;    // accumulated ring-residency spans
+  u64 service_ns = 0;  // accumulated NetworkFunction::process spans
+  u64 merge_ns = 0;    // accumulated merge-wait spans
+  u64 merges = 0;      // merge points traversed; 0 = purely sequential path
+};
+
 class Packet {
  public:
   static constexpr std::size_t kBufferSize = 2048;
@@ -82,6 +97,7 @@ class Packet {
     meta_ = Metadata{};
     nil_ = false;
     inject_time_ = 0;
+    lat_ = LatencyStamps{};
   }
   void set_length(std::size_t len) noexcept { data_len_ = len; }
 
@@ -123,6 +139,9 @@ class Packet {
   SimTime inject_time() const noexcept { return inject_time_; }
   void set_inject_time(SimTime t) noexcept { inject_time_ = t; }
 
+  LatencyStamps& lat() noexcept { return lat_; }
+  const LatencyStamps& lat() const noexcept { return lat_; }
+
   // --- pool bookkeeping -------------------------------------------------------
   u32 pool_index() const noexcept { return pool_index_; }
   u32 ref_count() const noexcept {
@@ -137,6 +156,7 @@ class Packet {
   u32 data_len_ = 0;
   Metadata meta_{};
   SimTime inject_time_ = 0;
+  LatencyStamps lat_{};
   bool nil_ = false;
   // Atomic so parallel NFs sharing one packet version can add_ref/release
   // without a pool lock (paper §5.2 reference-counted zero-copy delivery).

@@ -11,6 +11,7 @@ void PacketPool::copy_packet_full(Packet& dst, const Packet& src) noexcept {
   std::memcpy(dst.data(), src.data(), src.length());
   dst.meta() = src.meta();
   dst.set_inject_time(src.inject_time());
+  dst.lat() = src.lat();
 }
 
 void PacketPool::copy_packet_header_only(Packet& dst,
@@ -19,6 +20,7 @@ void PacketPool::copy_packet_header_only(Packet& dst,
   std::memcpy(dst.data(), src.data(), copy_len);
   dst.meta() = src.meta();
   dst.set_inject_time(src.inject_time());
+  dst.lat() = src.lat();
 
   // Fix up the copied IP total-length so the truncated copy is a valid
   // packet from the parallel NF's point of view (§5.2 "copy" action).

@@ -37,8 +37,22 @@ class Histogram {
   }
 
   u64 count() const noexcept { return total_; }
+  u64 sum() const noexcept { return sum_; }
   u64 min() const noexcept { return total_ ? min_ : 0; }
   u64 max() const noexcept { return max_; }
+
+  // Count of samples in buckets entirely below `bound` — exact when
+  // `bound` is a bucket boundary (powers of two always are, since no
+  // bucket straddles one), otherwise it includes the whole bucket
+  // containing `bound`. Feeds the Prometheus cumulative `le` exposition;
+  // values exactly equal to a boundary land in the next bucket up.
+  u64 count_below(u64 bound) const noexcept {
+    u64 c = 0;
+    for (std::size_t i = 0; i < kBuckets && value_of(i) < bound; ++i) {
+      c += counts_[i];
+    }
+    return c;
+  }
   double mean() const noexcept {
     return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
                   : 0.0;

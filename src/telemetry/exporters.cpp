@@ -135,16 +135,30 @@ std::string to_prometheus(const MetricsRegistry& registry) {
         << fmt_double(g.high_water) << "\n";
   }
   for (const auto& [key, h] : registry.histograms()) {
-    type_line(key.name, "summary");
-    for (const double q : {0.5, 0.9, 0.99}) {
-      char qs[8];
-      std::snprintf(qs, sizeof(qs), "%g", q);
-      out << key.name << prom_labels(key.labels, "quantile", qs) << " "
-          << h.quantile(q) << "\n";
+    // Native histogram exposition so external Prometheus/Grafana can
+    // re-aggregate quantiles across shards. One cumulative bucket per
+    // power of two over the recorded range: powers of two are exact
+    // bucket edges of the log-bucketed Histogram (count_below), with the
+    // convention that a value exactly equal to a boundary counts in the
+    // next bucket up.
+    type_line(key.name, "histogram");
+    const u64 count = h.count();
+    if (count > 0) {
+      u64 bound = Histogram::kSubBuckets;  // first log-bucket edge
+      while ((bound << 1) != 0 && bound <= h.min()) bound <<= 1;
+      for (; bound != 0; bound <<= 1) {
+        const u64 below = h.count_below(bound);
+        out << key.name << "_bucket"
+            << prom_labels(key.labels, "le", std::to_string(bound).c_str())
+            << " " << below << "\n";
+        if (below == count) break;
+      }
     }
-    out << key.name << "_sum" << prom_labels(key.labels) << " "
-        << fmt_double(h.mean() * static_cast<double>(h.count())) << "\n";
-    out << key.name << "_count" << prom_labels(key.labels) << " " << h.count()
+    out << key.name << "_bucket" << prom_labels(key.labels, "le", "+Inf")
+        << " " << count << "\n";
+    out << key.name << "_sum" << prom_labels(key.labels) << " " << h.sum()
+        << "\n";
+    out << key.name << "_count" << prom_labels(key.labels) << " " << count
         << "\n";
   }
   return out.str();

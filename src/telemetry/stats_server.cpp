@@ -19,6 +19,7 @@
 #include "telemetry/exporters.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/latency_observatory.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scalability_profiler.hpp"
 #include "telemetry/timeseries.hpp"
@@ -299,6 +300,14 @@ void register_standard_endpoints(StatsServer& server,
     server.handle("/scalability.json", [scalability] {
       return StatsServer::Response{200, "application/json",
                                    scalability->to_json()};
+    });
+  }
+  if (sources.latency != nullptr) {
+    const LatencyObservatory* latency = sources.latency;
+    // Internally synchronized; snapshot callbacks read relaxed atomics.
+    server.handle("/latency.json", [latency] {
+      return StatsServer::Response{200, "application/json",
+                                   latency->to_json()};
     });
   }
   if (sources.tracer != nullptr) {

@@ -8,6 +8,7 @@
 //   GET /metrics.json     the same registry as JSON (to_json)
 //   GET /timeseries.json  TimeseriesCollector histories + derived rates
 //   GET /scalability.json per-shard lost-pps attribution (ScalabilityReport)
+//   GET /latency.json     stage-resolved tail-latency report (LatencyReport)
 //   GET /profile.json     critical-path attribution (CriticalPathReport)
 //   GET /recorder.json    flight-recorder window (most recent events)
 //   GET /trace.json       Chrome trace-event JSON (load in ui.perfetto.dev)
@@ -46,6 +47,7 @@ class FlightRecorder;
 class Watchdog;
 class TimeseriesCollector;
 class ScalabilityProfiler;
+class LatencyObservatory;
 
 class StatsServer {
  public:
@@ -109,6 +111,9 @@ struct EndpointSources {
   // profiler is internally synchronized; its snapshot callbacks read only
   // relaxed atomics, so no shared mutex is needed.
   const ScalabilityProfiler* scalability = nullptr;
+  // Serves /latency.json (stage-resolved tail latency). Internally
+  // synchronized like the profiler.
+  const LatencyObservatory* latency = nullptr;
   // Held by handlers that iterate structurally-mutable state; share it
   // with whatever thread creates new series / records spans.
   std::mutex* mu = nullptr;

@@ -134,15 +134,17 @@ void TimeseriesCollector::tick_locked() {
     clock_st.primed = true;
   }
 
-  // Histograms -> cumulative p50/p99 (quantiles over everything recorded
-  // so far; the interesting movement is in fresh runs, and cumulative
-  // avoids holding per-tick histogram snapshots).
+  // Histograms -> cumulative p50/p99/p999 (quantiles over everything
+  // recorded so far; the interesting movement is in fresh runs, and
+  // cumulative avoids holding per-tick histogram snapshots).
   for (const auto& [key, h] : source_.histograms()) {
     if (h.count() == 0) continue;
     append(MetricKey{key.name + ":p50", key.labels}, "quantile", now,
            h.quantile(0.50), /*publish=*/true);
     append(MetricKey{key.name + ":p99", key.labels}, "quantile", now,
            h.quantile(0.99), /*publish=*/true);
+    append(MetricKey{key.name + ":p999", key.labels}, "quantile", now,
+           h.quantile(0.999), /*publish=*/true);
   }
 
   // Custom probes (critical-path shares, watchdog counts, ...).

@@ -1,4 +1,10 @@
 // Latency and throughput accounting for benches and tests.
+//
+// Retained samples are capped: below the cap every sample is kept and the
+// percentiles are exact (interpolated between ranks, as before); past it
+// the recorder switches to uniform reservoir sampling (Algorithm R with a
+// deterministic xorshift64 stream), so count/mean/max stay exact while
+// memory stays O(cap) — the property long `--serve` daemon runs need.
 #pragma once
 
 #include <algorithm>
@@ -10,25 +16,46 @@ namespace nfp {
 
 class LatencyRecorder {
  public:
+  static constexpr std::size_t kDefaultCap = std::size_t{1} << 16;
+
+  explicit LatencyRecorder(std::size_t cap = kDefaultCap)
+      : cap_(cap == 0 ? 1 : cap) {}
+
   void record(SimTime inject_ns, SimTime out_ns) {
-    samples_.push_back(out_ns - inject_ns);
-    sorted_valid_ = false;
+    const SimTime sample = out_ns - inject_ns;
+    ++count_;
+    sum_ += static_cast<double>(sample);
+    if (sample > max_) max_ = sample;
+    if (samples_.size() < cap_) {
+      samples_.push_back(sample);
+      sorted_valid_ = false;
+    } else {
+      // Reservoir replacement: keep with probability cap/count, evicting a
+      // uniformly random retained sample.
+      const u64 slot = next_random() % count_;
+      if (slot < cap_) {
+        samples_[static_cast<std::size_t>(slot)] = sample;
+        sorted_valid_ = false;
+      }
+    }
     if (first_out_ == 0 || out_ns < first_out_) first_out_ = out_ns;
     if (out_ns > last_out_) last_out_ = out_ns;
   }
 
-  std::size_t count() const noexcept { return samples_.size(); }
+  std::size_t count() const noexcept { return count_; }
+  // Samples currently held; == count() until the cap is reached.
+  std::size_t retained() const noexcept { return samples_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
 
   double mean_us() const {
-    if (samples_.empty()) return 0;
-    double sum = 0;
-    for (const SimTime s : samples_) sum += static_cast<double>(s);
-    return sum / static_cast<double>(samples_.size()) / 1e3;
+    if (count_ == 0) return 0;
+    return sum_ / static_cast<double>(count_) / 1e3;
   }
 
   // Linear interpolation between the two nearest ranks, so e.g. the median
-  // of {1, 2} is 1.5 rather than the truncated lower sample. The sorted
-  // copy is cached across calls and invalidated by record().
+  // of {1, 2} is 1.5 rather than the truncated lower sample. Exact below
+  // the cap, reservoir-estimated above it. The sorted copy is cached
+  // across calls and invalidated by record().
   double percentile_us(double p) const {
     if (samples_.empty()) return 0;
     if (!sorted_valid_) {
@@ -50,25 +77,35 @@ class LatencyRecorder {
   double p99_us() const { return percentile_us(0.99); }
 
   double max_us() const {
-    if (samples_.empty()) return 0;
-    return static_cast<double>(
-               *std::max_element(samples_.begin(), samples_.end())) /
-           1e3;
+    return count_ == 0 ? 0 : static_cast<double>(max_) / 1e3;
   }
 
   // Egress rate over the output interval, in Mpps.
   double rate_mpps() const {
-    if (samples_.size() < 2 || last_out_ <= first_out_) return 0;
-    return static_cast<double>(samples_.size() - 1) /
-           (static_cast<double>(last_out_ - first_out_) / 1e3) ;
+    if (count_ < 2 || last_out_ <= first_out_) return 0;
+    return static_cast<double>(count_ - 1) /
+           (static_cast<double>(last_out_ - first_out_) / 1e3);
   }
 
  private:
-  std::vector<SimTime> samples_;
+  u64 next_random() noexcept {
+    // xorshift64: deterministic, fast, and plenty for eviction slots.
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+  }
+
+  std::size_t cap_;
+  std::vector<SimTime> samples_;         // the reservoir
   mutable std::vector<SimTime> sorted_;  // cache for percentile queries
   mutable bool sorted_valid_ = false;
+  std::size_t count_ = 0;  // exact, independent of the cap
+  double sum_ = 0;         // exact running sum (ns)
+  SimTime max_ = 0;        // exact running max
   SimTime first_out_ = 0;
   SimTime last_out_ = 0;
+  u64 rng_ = 0x9E3779B97F4A7C15ull;
 };
 
 }  // namespace nfp

@@ -33,14 +33,37 @@ TEST(ExportersTest, PrometheusGolden) {
       std::string::npos);
   EXPECT_NE(text.find("# TYPE pool_in_use gauge"), std::string::npos);
   EXPECT_NE(text.find("pool_in_use{plane=\"nfp\"} 7"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE packet_latency_ns summary"), std::string::npos);
+  // Histograms expose as native Prometheus histogram series: cumulative
+  // le-buckets at power-of-two boundaries (exact bucket edges), then the
+  // mandatory +Inf bucket, _sum and _count.
+  EXPECT_NE(text.find("# TYPE packet_latency_ns histogram"),
+            std::string::npos);
   EXPECT_NE(
-      text.find("packet_latency_ns{plane=\"nfp\",quantile=\"0.5\"} 5"),
+      text.find("packet_latency_ns_bucket{plane=\"nfp\",le=\"16\"} 10"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("packet_latency_ns_bucket{plane=\"nfp\",le=\"+Inf\"} 10"),
       std::string::npos);
   EXPECT_NE(text.find("packet_latency_ns_count{plane=\"nfp\"} 10"),
             std::string::npos);
   EXPECT_NE(text.find("packet_latency_ns_sum{plane=\"nfp\"} 55"),
             std::string::npos);
+}
+
+TEST(ExportersTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("spread_ns", {});
+  h.record(3);     // below the first le=16 edge
+  h.record(40);    // in [32, 64)
+  h.record(40);
+  h.record(1024);  // exactly on a boundary: le is exclusive, lands above
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("spread_ns_bucket{le=\"16\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("spread_ns_bucket{le=\"64\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("spread_ns_bucket{le=\"1024\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("spread_ns_bucket{le=\"2048\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("spread_ns_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("spread_ns_count 4"), std::string::npos);
 }
 
 TEST(ExportersTest, JsonGolden) {

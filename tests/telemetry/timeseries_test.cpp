@@ -166,9 +166,13 @@ TEST(TimeseriesTest, HistogramsYieldQuantileSeries) {
       collector.history("nf_service_ns:p50", {{"nf", "nf:ids#0"}});
   const auto p99 =
       collector.history("nf_service_ns:p99", {{"nf", "nf:ids#0"}});
+  const auto p999 =
+      collector.history("nf_service_ns:p999", {{"nf", "nf:ids#0"}});
   ASSERT_EQ(p50.size(), 1u);
   ASSERT_EQ(p99.size(), 1u);
+  ASSERT_EQ(p999.size(), 1u);
   EXPECT_GE(p99[0].value, p50[0].value);
+  EXPECT_GE(p999[0].value, p99[0].value);
 }
 
 TEST(TimeseriesTest, ProbesSampleEachTick) {

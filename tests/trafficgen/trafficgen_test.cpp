@@ -181,6 +181,30 @@ TEST(LatencyRecorderTest, RateFromOutputSpan) {
   EXPECT_NEAR(rec.rate_mpps(), 10.0, 1e-9);
 }
 
+TEST(LatencyRecorderTest, ReservoirCapsRetainedSamples) {
+  LatencyRecorder rec(64);
+  for (SimTime i = 0; i < 10'000; ++i) {
+    rec.record(0, 1'000 + i);
+  }
+  // Exact counters keep counting past the cap; retained memory does not.
+  EXPECT_EQ(rec.count(), 10'000u);
+  EXPECT_EQ(rec.retained(), 64u);
+  EXPECT_EQ(rec.capacity(), 64u);
+  EXPECT_NEAR(rec.max_us(), (1'000.0 + 9'999.0) / 1e3, 1e-9);
+  EXPECT_NEAR(rec.mean_us(), (1'000.0 + (9'999.0 / 2)) / 1e3, 1e-6);
+  // The reservoir is a uniform sample, so the median estimate stays in
+  // the central region of the true distribution.
+  EXPECT_GT(rec.median_us(), 2.0);
+  EXPECT_LT(rec.median_us(), 10.0);
+}
+
+TEST(LatencyRecorderTest, BelowCapStaysExact) {
+  LatencyRecorder rec(1'000);
+  for (SimTime i = 1; i <= 100; ++i) rec.record(0, i * 1'000);
+  EXPECT_EQ(rec.count(), rec.retained());
+  EXPECT_NEAR(rec.median_us(), 50.5, 1e-9);  // interpolated, exact samples
+}
+
 TEST(LatencyRecorderTest, EmptyIsSafe) {
   LatencyRecorder rec;
   EXPECT_EQ(rec.mean_us(), 0.0);

@@ -24,6 +24,12 @@
 //                                         sharded dataplane and print the
 //                                         stage-resolved latency-reduction
 //                                         table (p50/p99/p99.9 per stage)
+//   nfp_cli flows [policy] [opts]         run a zipf elephant/mice workload
+//                                         and print the flow observatory's
+//                                         merged top-K heavy hitters, flow
+//                                         churn and per-reason drop
+//                                         attribution (--pool=N for a
+//                                         tail-drop overload demo)
 //
 // `run` options (telemetry):
 //   --metrics          per-component utilization/latency report
@@ -93,6 +99,7 @@
 #include "policy/parser.hpp"
 #include "telemetry/critical_path.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/flow_observatory.hpp"
 #include "telemetry/health_sampler.hpp"
 #include "telemetry/latency_observatory.hpp"
 #include "telemetry/scalability_profiler.hpp"
@@ -131,7 +138,11 @@ int usage() {
                "       nfp_cli latency [policy-file] [--shards=N] "
                "[--packets=N] [--flows=N]\n"
                "               [--skew=uniform|zipf] [--size=BYTES] "
-               "[--sample-every=N] [--json]\n");
+               "[--sample-every=N] [--json]\n"
+               "       nfp_cli flows [policy-file] [--shards=N] "
+               "[--packets=N] [--flows=N]\n"
+               "               [--skew=uniform|zipf] [--top=K] [--pool=N] "
+               "[--json]\n");
   return 2;
 }
 
@@ -596,12 +607,17 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   dp.register_latency(latency_obs);
   latency_obs.register_probes(collector);
 
+  telemetry::FlowObservatory flow_obs;
+  dp.register_flows(flow_obs);
+  flow_obs.register_probes(collector);
+
   if (const Status st = dp.start(); !st.is_ok()) {
     std::fprintf(stderr, "error: %s\n", st.message().c_str());
     return 1;
   }
   profiler.reset_baseline();
   latency_obs.reset_baseline();
+  flow_obs.reset_baseline();
 
   telemetry::StatsServer server;
   telemetry::EndpointSources sources;
@@ -611,6 +627,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   sources.timeseries = &collector;
   sources.scalability = &profiler;
   sources.latency = &latency_obs;
+  sources.flows = &flow_obs;
   sources.mu = &mu;
   telemetry::register_standard_endpoints(server, sources);
   telemetry::StatsServer::Options server_options;
@@ -621,7 +638,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   }
   std::printf("live dataplane: %zu shards (%zu online CPUs) serving on "
               "http://127.0.0.1:%u — /metrics /timeseries.json "
-              "/scalability.json /latency.json /healthz — "
+              "/scalability.json /latency.json /flows.json /healthz — "
               "`nfp_cli top --port=%u` for the dashboard, Ctrl-C to stop\n",
               dp.shard_count(), online_cpu_count(),
               static_cast<unsigned>(server.port()),
@@ -850,6 +867,14 @@ struct TopLatencyStage {
   u64 count = 0;
 };
 
+// One /flows.json heavy-hitter row (cross-shard merged).
+struct TopFlowRow {
+  std::string flow;  // rendered 5-tuple
+  double packets = 0;
+  double bytes = 0;
+  double share = 0;  // fraction of counted packets
+};
+
 struct TopView {
   double pps_in = 0;
   double pps_out = 0;
@@ -871,6 +896,12 @@ struct TopView {
   u64 latency_sample_every = 0;
   double latency_queue_depth = 0;
   double latency_ingest_depth = 0;
+  // Filled from /flows.json when served; empty otherwise — the flows
+  // panel is simply omitted.
+  std::vector<TopFlowRow> top_flows;
+  double flows_active = 0;
+  double flow_packets = 0;
+  std::map<std::string, double> flow_drops;  // reason -> total
 };
 
 std::string series_label(const json::Value& series, const char* key) {
@@ -967,6 +998,33 @@ void parse_latency_view(const json::Value& doc, TopView* view) {
     row.p999_us = s->number_or("p999_us", 0);
     row.max_us = s->number_or("max_us", 0);
     view->latency_stages.push_back(std::move(row));
+  }
+}
+
+// Folds /flows.json (when present) into the view; absent on servers
+// without a flow observatory, which 404 — the flows panel is skipped.
+void parse_flows_view(const json::Value& doc, TopView* view) {
+  view->flows_active = doc.number_or("flows_active", 0);
+  view->flow_packets = doc.number_or("packets", 0);
+  const json::Value* top = doc.find("top");
+  if (top != nullptr && top->is_array()) {
+    for (const json::Value& f : top->items()) {
+      TopFlowRow row;
+      row.flow = std::string(f.string_or("flow", "?"));
+      row.packets = f.number_or("packets", 0);
+      row.bytes = f.number_or("bytes", 0);
+      row.share = f.number_or("share", 0);
+      view->top_flows.push_back(std::move(row));
+    }
+  }
+  static const char* kReasons[] = {"ring_full",       "pool_exhausted",
+                                   "nf_verdict",      "classifier_miss",
+                                   "merge_overflow",  "shutdown_drain"};
+  if (const json::Value* drops = doc.find("drops"); drops != nullptr) {
+    for (const char* reason : kReasons) {
+      const double n = drops->number_or(reason, 0);
+      if (n > 0) view->flow_drops[reason] = n;
+    }
   }
 }
 
@@ -1081,6 +1139,28 @@ void render_top(const TopView& view, const std::string& health_body,
     }
   }
 
+  // Heavy hitters + drop taxonomy (only when /flows.json is served).
+  if (!view.top_flows.empty()) {
+    std::printf("\n  top flows (%.0f active)\n", view.flows_active);
+    std::printf("  %-4s %-34s %10s %12s %7s\n", "#", "flow", "packets",
+                "bytes", "share");
+    std::size_t rank = 1;
+    for (const TopFlowRow& row : view.top_flows) {
+      if (rank > 5) break;  // the dashboard shows the head; flows.json has K
+      std::printf("  %-4zu %-34s %10.0f %12.0f %6.1f%%\n", rank,
+                  row.flow.c_str(), row.packets, row.bytes,
+                  100.0 * row.share);
+      ++rank;
+    }
+  }
+  if (!view.flow_drops.empty()) {
+    std::printf("  drops by reason:");
+    for (const auto& [reason, n] : view.flow_drops) {
+      std::printf(" %s=%.0f", reason.c_str(), n);
+    }
+    std::printf("\n");
+  }
+
   // Per-shard cycle attribution (only when /scalability.json is served).
   if (!view.shard_attrib.empty()) {
     std::printf("\n  %-10s %10s %10s %7s %7s %7s %7s %7s %7s\n", "shard",
@@ -1153,6 +1233,14 @@ int top_command(int argc, char** argv) {
         lat && lat.value().status == 200) {
       if (const auto ldoc = json::Value::parse(lat.value().body); ldoc) {
         parse_latency_view(ldoc.value(), &view);
+      }
+    }
+    // Optional: heavy hitters + drop taxonomy. Absent servers 404.
+    if (auto flows = telemetry::http_get(static_cast<std::uint16_t>(port),
+                                         "/flows.json");
+        flows && flows.value().status == 200) {
+      if (const auto fdoc = json::Value::parse(flows.value().body); fdoc) {
+        parse_flows_view(fdoc.value(), &view);
       }
     }
     render_top(view, health ? health.value().body : std::string(),
@@ -1383,6 +1471,121 @@ int run_latency_plane(const ServiceGraph& graph,
   return 0;
 }
 
+// `nfp_cli flows`: run a zipf elephant/mice workload through the sharded
+// dataplane and print the flow observatory's live view — cross-shard
+// merged top-K heavy hitters, flow churn, per-reason drop attribution and
+// per-graph accounting. --pool=N switches the director to NIC-like tail
+// drops with an N-slot ingest pool, so the drop-reason table fills with
+// ring_full/pool_exhausted attribution under overload.
+int flows_command(int argc, char** argv) {
+  u64 shards = 2;
+  u64 packets = 50'000;
+  u64 flows = 256;
+  u64 frame_size = 256;
+  u64 top_k = 10;
+  u64 pool = 0;
+  bool want_json = false;
+  std::string skew = "zipf";
+
+  // Optional policy file directly after the command; flags otherwise.
+  ServiceGraph graph = make_scalability_par4();
+  int first_flag = 2;
+  if (argc > 2 && argv[2][0] != '-') {
+    CompileReport report;
+    auto compiled = load_and_compile(argv[2], &report);
+    if (!compiled) {
+      std::fprintf(stderr, "error: %s\n", compiled.error().c_str());
+      return 1;
+    }
+    graph = compiled.value();
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (flag_value(arg, "--shards", &shards) ||
+               flag_value(arg, "--packets", &packets) ||
+               flag_value(arg, "--flows", &flows) ||
+               flag_value(arg, "--size", &frame_size) ||
+               flag_value(arg, "--top", &top_k) ||
+               flag_value(arg, "--pool", &pool) ||
+               flag_string(arg, "--skew", &skew)) {
+      // parsed into the matching variable
+    } else {
+      std::fprintf(stderr, "unknown flows option '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (skew != "uniform" && skew != "zipf") {
+    std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
+    return usage();
+  }
+  if (packets == 0) packets = 1;
+  if (flows == 0) flows = 1;
+  if (top_k == 0) top_k = 1;
+
+  const auto frames =
+      make_live_frames(packets, flows, skew == "zipf", frame_size);
+
+  ShardedDataplaneOptions opts;
+  opts.shards = static_cast<std::size_t>(shards);
+  if (pool != 0) {
+    // Overload demo: a tiny RX path with tail drops instead of blocking.
+    // The constructor keeps pool >= ring + burst, so the ring is the
+    // binding constraint and the drop table fills with ring_full.
+    opts.ingest_pool_size = static_cast<std::size_t>(pool);
+    opts.ingest_ring_depth = static_cast<std::size_t>(pool);
+    opts.drop_on_ingest_backpressure = true;
+  }
+  ShardedDataplane dp({graph}, pass_all_factory, opts);
+
+  telemetry::FlowObservatoryOptions fopts;
+  fopts.top_k = static_cast<std::size_t>(top_k);
+  telemetry::FlowObservatory flow_obs(fopts);
+  dp.register_flows(flow_obs);
+
+  if (const Status st = dp.start(); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.message().c_str());
+    return 1;
+  }
+  flow_obs.reset_baseline();
+
+  for (const auto& frame : frames) {
+    dp.feed({frame.data(), frame.size()});
+  }
+  // Wait for the shards to finish the injected traffic (delivered or
+  // dropped-with-reason) before reporting, so the table is complete.
+  while (true) {
+    u64 done = 0;
+    for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+      done += dp.shard_delivered(s) + dp.shard_dropped(s);
+    }
+    if (done >= frames.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const telemetry::FlowReport report = flow_obs.report();
+  const ShardedResult res = dp.drain();
+  if (!res.status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", res.status.message().c_str());
+    return 1;
+  }
+
+  if (want_json) {
+    std::printf("%s\n", report.to_json().c_str());
+    return 0;
+  }
+  std::printf("flows: policy='%s' (%s), %llu packets, %llu flows, %s skew, "
+              "%zu shards%s\n",
+              graph.name().c_str(), graph.structure().c_str(),
+              static_cast<unsigned long long>(packets),
+              static_cast<unsigned long long>(flows), skew.c_str(),
+              dp.shard_count(),
+              pool != 0 ? " (tail-drop ingest)" : "");
+  std::printf("%s", report.to_text().c_str());
+  return 0;
+}
+
 int latency_command(int argc, char** argv) {
   u64 shards = 2;
   u64 packets = 20'000;
@@ -1530,6 +1733,10 @@ int main(int argc, char** argv) {
 
   if (command == "latency") {
     return latency_command(argc, argv);
+  }
+
+  if (command == "flows") {
+    return flows_command(argc, argv);
   }
 
   if (command == "stats") {

@@ -63,4 +63,16 @@ struct FiveTupleHash {
   }
 };
 
+// A parsed-and-hashed flow identity, computed exactly once per frame (the
+// sharded director's parse_five_tuple + hash_five_tuple) and carried on the
+// packet so every later hop — shard selection, latency sampling,
+// classification, heavy-hitter accounting, drop exemplars — reuses it
+// instead of re-deriving it. `valid` is false for frames that are not
+// IPv4/TCP/UDP; those hash the default tuple (one "anonymous" flow).
+struct FlowRef {
+  FiveTuple tuple{};
+  u64 hash = hash_five_tuple(FiveTuple{});
+  bool valid = false;
+};
+
 }  // namespace nfp

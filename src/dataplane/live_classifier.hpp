@@ -64,6 +64,11 @@ struct CtRule {
 
 class LiveClassificationTable {
  public:
+  // Sentinel verdict: drop the flow at classification time (a CT drop rule
+  // — the DDoS-scrubbing use in the paper's policy examples). Shard workers
+  // count these under DropReason::kClassifierMiss.
+  static constexpr std::size_t kDropGraph = static_cast<std::size_t>(-1);
+
   explicit LiveClassificationTable(std::size_t graph_count = 1)
       : graph_count_(graph_count == 0 ? 1 : graph_count) {}
 
@@ -90,6 +95,7 @@ class LiveClassificationTable {
 
  private:
   std::size_t clamp_graph(std::size_t g) const noexcept {
+    if (g == kDropGraph) return g;  // the drop verdict survives clamping
     return g < graph_count_ ? g : 0;
   }
 

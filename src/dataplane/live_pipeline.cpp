@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/cpu_affinity.hpp"
+#include "dataplane/live_classifier.hpp"
 #include "dataplane/merge_ops.hpp"
 #include "dataplane/merge_table.hpp"
 #include "packet/packet_view.hpp"
@@ -168,7 +169,9 @@ bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
         if (made.version == c.version) break;
         mag.release(version_pkt[made.version]);
       }
-      mag.release(pkt);
+      // The original stays with the caller: it still carries the FlowRef
+      // the drop exemplar needs, so the caller tags the reason first and
+      // releases it after.
       return false;
     }
     copy->meta().set_version(c.version);
@@ -197,6 +200,15 @@ bool LivePipeline::enter_segment(std::size_t seg_idx, Packet* pkt,
   return true;
 }
 
+void LivePipeline::note_drop(telemetry::DropReason reason, const char* stage,
+                             const FlowRef* flow) {
+  drop_reasons_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (drop_exemplars_ != nullptr) {
+    drop_exemplars_->record(reason, stage, flow, telemetry::mono_now_ns());
+  }
+}
+
 void LivePipeline::commit_batch(std::vector<std::vector<u8>>& outputs,
                                 u64 drops, u64 completed) {
   if (!outputs.empty() || drops > 0) {
@@ -219,6 +231,8 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
   const bool parallel = seg.is_parallel();
   const bool last_segment = seg_idx + 1 == graph_.segments().size();
   const std::size_t burst = opts_.burst_size;
+  const std::string stage_name =
+      "nf:" + self.meta.name + "#" + std::to_string(self.meta.instance_id);
 
   PacketMagazine mag = make_magazine();
   std::vector<Packet*> in_burst(burst);
@@ -322,6 +336,8 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
       }
 
       if (verdict == NfVerdict::kDrop) {
+        note_drop(telemetry::DropReason::kNfVerdict, stage_name.c_str(),
+                  &pkt->flow());
         mag.release(pkt);
         ++drops;
         ++completed;
@@ -335,6 +351,9 @@ void LivePipeline::nf_loop(std::size_t seg_idx, std::size_t nf_idx) {
         continue;
       }
       if (!enter_segment(seg_idx + 1, pkt, mag, &acct)) {
+        note_drop(telemetry::DropReason::kPoolExhausted, stage_name.c_str(),
+                  &pkt->flow());
+        mag.release(pkt);
         ++drops;
         ++completed;
       }
@@ -432,6 +451,13 @@ void LivePipeline::merger_loop() {
               lat.merges += 1;
               lat.mark_ns = tm;
             }
+            // The merge drop-resolution is an NF verdict exercised at the
+            // merge point; tag it while the arrivals are still alive so
+            // the exemplar carries the flow.
+            if (merged == nullptr) {
+              note_drop(telemetry::DropReason::kNfVerdict, "merger",
+                        &done[0].pkt->flow());
+            }
             bool kept_one = false;
             for (const MergeArrival& a : done) {
               if (a.pkt == merged && !kept_one) {
@@ -455,6 +481,9 @@ void LivePipeline::merger_loop() {
             } else {
               merged->set_nil(false);
               if (!enter_segment(s + 1, merged, mag, &acct)) {
+                note_drop(telemetry::DropReason::kPoolExhausted, "merger",
+                          &merged->flow());
+                mag.release(merged);
                 ++drops;
                 ++completed;
               }
@@ -681,7 +710,8 @@ bool LivePipeline::feed(std::span<const u8> frame) {
   return feed_stamped(frame, origin);
 }
 
-bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns) {
+bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns,
+                                const FlowRef* flow) {
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
     return false;
   }
@@ -722,6 +752,7 @@ bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns) {
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
   pkt->meta().set_pid(next_pid_++ & Metadata::kMaxPid);
+  if (flow != nullptr) pkt->flow() = *flow;
   if (origin_ns != 0) {
     // Ingest closes here: origin -> ready-to-enqueue covers the caller's
     // spans (director pool/ring/classify) plus this feed's window + alloc
@@ -734,6 +765,17 @@ bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns) {
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!enter_segment(0, pkt, mag, &facct)) {
+    // Standalone feeds have no caller-parsed FlowRef; parse it here — the
+    // drop path is cold — so the exemplar still names the flow.
+    if (!pkt->flow().valid && flow == nullptr) {
+      if (const auto parsed = parse_five_tuple(frame)) {
+        pkt->flow().tuple = *parsed;
+        pkt->flow().hash = hash_five_tuple(*parsed);
+        pkt->flow().valid = true;
+      }
+    }
+    note_drop(telemetry::DropReason::kPoolExhausted, "feeder", &pkt->flow());
+    mag.release(pkt);
     const std::scoped_lock lock(result_mu_);
     ++result_.dropped;
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);

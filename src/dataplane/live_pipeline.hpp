@@ -24,6 +24,7 @@
 // options reproduces the old serialized per-packet path as its baseline.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -39,6 +40,7 @@
 #include "packet/packet_magazine.hpp"
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
+#include "telemetry/flow_observatory.hpp"
 #include "telemetry/latency_observatory.hpp"
 #include "telemetry/scalability_profiler.hpp"
 
@@ -121,7 +123,13 @@ class LivePipeline {
   // director pool/ring/classify time); origin_ns == 0 means unsampled —
   // no fallback to the pid heuristic. Plain feed() self-samples by
   // pid % latency_sample_every when the knob is set.
-  bool feed_stamped(std::span<const u8> frame, u64 origin_ns);
+  // `flow` (optional) is the caller's already-parsed flow identity (the
+  // sharded director computes it once per frame); it is copied onto the
+  // pipeline's packet so drop exemplars and flow accounting reuse it
+  // instead of reparsing. nullptr leaves the packet's FlowRef invalid and
+  // drop paths parse lazily (they are cold).
+  bool feed_stamped(std::span<const u8> frame, u64 origin_ns,
+                    const FlowRef* flow = nullptr);
   LiveResult drain();
 
   NetworkFunction* nf(std::size_t segment, std::size_t index) {
@@ -145,6 +153,20 @@ class LivePipeline {
   std::size_t pool_capacity() const { return pool_.capacity(); }
   u64 dropped_so_far();
   u64 delivered_so_far();
+  // Per-reason drop attribution: every path that counts a drop into the
+  // result also tags exactly one DropReason, so the sum over reasons
+  // equals dropped_so_far() once the pipeline is drained (the flow
+  // observatory's taxonomy invariant).
+  u64 dropped_by(telemetry::DropReason reason) const {
+    return drop_reasons_[static_cast<std::size_t>(reason)].load(
+        std::memory_order_relaxed);
+  }
+  // Optional sink for sampled drop exemplars (5-tuple, stage, reason,
+  // timestamp); the sharded dataplane points every pipeline of a shard at
+  // the shard's ring. Call before start().
+  void set_drop_exemplar_ring(telemetry::DropExemplarRing* ring) {
+    drop_exemplars_ = ring;
+  }
   // Allocator-pressure counters: batch refills/flushes between the
   // per-thread magazines and the shared pool, and detected refcount
   // underflows. Exported via register_health for `nfp_cli top`.
@@ -246,11 +268,18 @@ class LivePipeline {
   void nf_loop(std::size_t seg_idx, std::size_t nf_idx);
   void merger_loop();
   // Distributes a packet into segment `seg_idx` using the caller's
-  // magazine; returns false on pool exhaustion (packet released, counted
-  // as drop by the caller). Contended ring pushes are credited to the
-  // caller's accountant as ring_wait (null to skip).
+  // magazine; returns false on pool exhaustion (fanout copies already made
+  // are released; `pkt` itself stays with the caller, which records the
+  // drop reason and releases it). Contended ring pushes are credited to
+  // the caller's accountant as ring_wait (null to skip).
   bool enter_segment(std::size_t seg_idx, Packet* pkt, PacketMagazine& mag,
                      telemetry::CycleAccountant* acct);
+
+  // Tags one dropped packet with its reason (relaxed counter) and samples
+  // it into the exemplar ring when one is attached. Cold path by
+  // definition — dropping is the exception.
+  void note_drop(telemetry::DropReason reason, const char* stage,
+                 const FlowRef* flow);
 
   // Flushes a thread-local result batch under one result_mu_ acquisition
   // and retires the completed packets from the in-flight window.
@@ -306,6 +335,11 @@ class LivePipeline {
   std::atomic<u64> in_flight_{0};
   std::mutex result_mu_;
   LiveResult result_;
+
+  // Drop-reason taxonomy: one relaxed counter per reason (any pipeline
+  // thread may drop) plus the optional shared exemplar ring.
+  std::array<std::atomic<u64>, telemetry::kDropReasonCount> drop_reasons_{};
+  telemetry::DropExemplarRing* drop_exemplars_ = nullptr;
 };
 
 }  // namespace nfp

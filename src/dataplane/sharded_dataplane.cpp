@@ -12,6 +12,90 @@
 
 namespace nfp {
 
+namespace {
+
+// Worker-private flow-sample accumulator: collapses same-flow packets
+// across bursts into one FlowSample per (flow, graph) via a small
+// open-addressed table, then folds the whole epoch into the shard's
+// accountant under one mutex acquisition. Amortizing across bursts (not
+// just within one) is what keeps the sketch cost off the hot path: a
+// mouse-heavy mix would otherwise pay one Space-Saving replacement per
+// packet; per-epoch it pays one per distinct flow per epoch. The flush
+// policy in worker_loop keeps epochs off the critical path: fold during
+// idle streaks (time the worker would spend starved anyway) and on stop,
+// with kFlushPackets as the staleness backstop under sustained
+// saturation.
+struct FlowAccumulator {
+  // Sized so a few thousand concurrent flows stay under ~50% load: at high
+  // load linear probing overflows kMaxProbe constantly and every overflow
+  // forces a premature full flush — the table must comfortably hold one
+  // epoch's working set, not just fit in L1.
+  static constexpr std::size_t kSlots = 4096;  // power of two
+  static constexpr std::size_t kMask = kSlots - 1;
+  static constexpr std::size_t kMaxProbe = 16;
+  // Staleness bound under *sustained* saturation, not the normal flush
+  // trigger: almost all flushes should ride the idle-streak path in
+  // worker_loop, where the fold overlaps time the worker would spend
+  // starved anyway. Folding mid-saturation instead adds the whole epoch's
+  // sketch work to the critical path, which is exactly what the
+  // flow32-acct/noacct gate caught. 64Ki packets is ~40 ms at 1.5 Mpps —
+  // still well inside the probe cache's 200 ms refresh.
+  static constexpr u64 kFlushPackets = 64 * 1024;
+
+  // One cache line per slot: a probe hit reads and writes exactly one
+  // line instead of straddling two at FlowSample's natural size.
+  struct alignas(64) Slot {
+    telemetry::FlowSample s;
+  };
+
+  std::vector<Slot> slots{kSlots};
+  std::vector<u32> used;
+  std::vector<telemetry::FlowSample> scratch;
+  u64 pending = 0;
+
+  // False when the probe cluster is full — caller flushes and retries.
+  bool add(const FlowRef& flow, std::size_t bytes, u32 graph) {
+    std::size_t idx = static_cast<std::size_t>(flow.hash) & kMask;
+    for (std::size_t probe = 0; probe < kMaxProbe;
+         ++probe, idx = (idx + 1) & kMask) {
+      telemetry::FlowSample& s = slots[idx].s;
+      if (s.packets == 0) {
+        s.tuple = flow.tuple;
+        s.hash = flow.hash;
+        s.graph = graph;
+        s.packets = 1;
+        s.bytes = bytes;
+        s.tuple_valid = flow.valid;
+        used.push_back(static_cast<u32>(idx));
+        ++pending;
+        return true;
+      }
+      if (s.hash == flow.hash && s.graph == graph) {
+        ++s.packets;
+        s.bytes += bytes;
+        ++pending;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void flush(telemetry::ShardFlowAccountant& acct) {
+    if (used.empty()) return;
+    scratch.clear();
+    scratch.reserve(used.size());
+    for (const u32 idx : used) {
+      scratch.push_back(slots[idx].s);
+      slots[idx].s.packets = 0;
+    }
+    used.clear();
+    pending = 0;
+    acct.record_burst(std::span<const telemetry::FlowSample>(scratch));
+  }
+};
+
+}  // namespace
+
 ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
                                    NfFactory factory,
                                    ShardedDataplaneOptions options)
@@ -40,6 +124,9 @@ ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
     sh.received = std::make_unique<std::atomic<u64>>(0);
     sh.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
     sh.busy_ns = std::make_unique<std::atomic<u64>>(0);
+    sh.flows = std::make_unique<telemetry::ShardFlowAccountant>(
+        opts_.heavy_hitter_capacity, graphs_.size(),
+        opts_.drop_exemplar_capacity);
     if (opts_.pipeline.cycle_accounting) {
       sh.cycles = std::make_unique<telemetry::CycleCounters>();
       sh.director_cycles = std::make_unique<telemetry::CycleCounters>();
@@ -50,6 +137,7 @@ ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
     for (std::size_t g = 0; g < graphs_.size(); ++g) {
       sh.pipelines.push_back(
           std::make_unique<LivePipeline>(graphs_[g], factory, popts));
+      sh.pipelines.back()->set_drop_exemplar_ring(&sh.flows->exemplars());
       sh.graph_counts.push_back(std::make_unique<std::atomic<u64>>(0));
     }
   }
@@ -98,25 +186,39 @@ Status ShardedDataplane::start() {
 }
 
 bool ShardedDataplane::feed(std::span<const u8> frame) {
+  // Parse + hash once: the same flow hash drives shard selection, the
+  // (decorrelated) latency-sampling decision, classification and the flow
+  // observatory's heavy-hitter keys — carried on the packet as its FlowRef
+  // so no later hop reparses. The origin stamp is taken before the
+  // pool/ring waits below so ingest latency includes director backpressure.
+  FlowRef flow;
+  if (const auto parsed = parse_five_tuple(frame)) {
+    flow.tuple = *parsed;
+    flow.valid = true;
+  }
+  flow.hash = hash_five_tuple(flow.tuple);
+  Shard& sh = shards_[static_cast<std::size_t>(flow.hash) % shards_.size()];
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
+    // Offered while not running: still a packet the caller lost — tag it so
+    // sum(reasons) keeps matching everything the plane refused.
+    sh.flows->record_drop(telemetry::DropReason::kShutdownDrain, "director",
+                          &flow, telemetry::mono_now_ns());
     return false;
   }
-  // Parse + hash once: the same flow hash drives shard selection and the
-  // (decorrelated) latency-sampling decision. The origin stamp is taken
-  // before the pool/ring waits below so ingest latency includes director
-  // backpressure.
-  FiveTuple tuple;
-  if (const auto parsed = parse_five_tuple(frame)) tuple = *parsed;
-  const u64 flow_hash = hash_five_tuple(tuple);
-  Shard& sh = shards_[static_cast<std::size_t>(flow_hash) % shards_.size()];
   const u64 origin_ns =
-      telemetry::latency_sample_hash(flow_hash,
+      telemetry::latency_sample_hash(flow.hash,
                                      opts_.pipeline.latency_sample_every)
           ? telemetry::mono_now_ns()
           : 0;
   telemetry::CycleCounters* dsink = sh.director_cycles.get();
   Packet* pkt = sh.ingest_pool->alloc(frame.size());
   if (pkt == nullptr) {
+    if (opts_.drop_on_ingest_backpressure) {
+      // NIC-like tail drop: the shard's RX pool is dry, the frame is lost.
+      sh.flows->record_drop(telemetry::DropReason::kPoolExhausted,
+                            "director", &flow, telemetry::mono_now_ns());
+      return false;
+    }
     // Ingest pool dry: the shard worker is not returning slots fast
     // enough. Timed only on this contended path and attributed to the
     // stalling shard, since it is that shard's lost injection throughput.
@@ -134,7 +236,15 @@ bool ShardedDataplane::feed(std::span<const u8> frame) {
   }
   std::memcpy(pkt->data(), frame.data(), frame.size());
   pkt->lat().origin_ns = origin_ns;
+  pkt->flow() = flow;
   if (!sh.ring->push(pkt)) {
+    if (opts_.drop_on_ingest_backpressure) {
+      // NIC-like tail drop: RX ring full, the frame is lost.
+      sh.ingest_pool->release(pkt);
+      sh.flows->record_drop(telemetry::DropReason::kRingFull, "director",
+                            &flow, telemetry::mono_now_ns());
+      return false;
+    }
     // RX ring full: classic ingest backpressure.
     const u64 t0 = dsink != nullptr ? telemetry::mono_now_ns() : 0;
     Backoff ring_backoff;
@@ -161,6 +271,15 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
   }
   Shard& sh = shards_[shard_idx];
   std::vector<Packet*> burst(opts_.ingest_burst);
+  // Epoch-amortized flow accounting (see FlowAccumulator above). An idle
+  // flush needs this many consecutive empty polls: enough that the
+  // sub-microsecond gaps of a director that merely trickles rarely
+  // complete a streak, few enough to stay inside Backoff's spin/pause
+  // tiers — once it escalates to yields, a loaded host can stall the
+  // streak (and with it scrape freshness) for whole scheduler quanta.
+  constexpr std::size_t kIdleFlushStreak = 20;
+  FlowAccumulator acc;
+  std::size_t empty_streak = 0;
   Backoff idle;
 
   // One clock read per iteration (the heartbeat's) closes the previous
@@ -176,31 +295,67 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
     const std::size_t n = sh.ring->pop_burst({burst.data(), burst.size()});
     if (n == 0) {
       // Exit only once the director has stopped AND the ring is drained,
-      // so drain() never strands enqueued frames.
-      if (ingest_stop_.load(std::memory_order_acquire) &&
-          sh.ring->size() == 0) {
-        return;
+      // so drain() never strands enqueued frames. Publish accumulated
+      // samples on stop, and during a genuine lull (a streak of empty
+      // polls) so scrapes of a quiet plane see exact counts — but not on
+      // every empty poll: when the worker merely outpaces the director,
+      // empty pops interleave with tiny bursts and flushing each one
+      // would shrink the accounting epoch to a handful of packets.
+      const bool stopping = ingest_stop_.load(std::memory_order_acquire) &&
+                            sh.ring->size() == 0;
+      if (acc.pending != 0 &&
+          (stopping || ++empty_streak >= kIdleFlushStreak)) {
+        acc.flush(*sh.flows);
+        empty_streak = 0;
       }
+      if (stopping) return;
       idle.pause();
       beat = telemetry::mono_now_ns();
       acct.lap(beat, telemetry::CycleBucket::kStarved);
       continue;
     }
+    empty_streak = 0;
     idle.reset();
     sh.cache->sync_generation();
     for (std::size_t i = 0; i < n; ++i) {
       Packet* pkt = burst[i];
       const std::span<const u8> bytes(pkt->data(), pkt->length());
+      // The director already parsed + hashed the 5-tuple; reuse its FlowRef
+      // for classification and the observatory keys — no reparse.
+      const FlowRef& flow = pkt->flow();
       std::size_t g = 0;
-      if (const auto tuple = parse_five_tuple(bytes)) {
-        g = sh.cache->classify(*tuple);
+      if (flow.valid) g = sh.cache->classify(flow.tuple);
+      if (g == LiveClassificationTable::kDropGraph) {
+        // CT drop rule: the flow is scrubbed at classification time. Still
+        // counted as observed traffic (graph-less) so heavy hitters show
+        // the attacker flow that the drop rule is absorbing.
+        sh.flows->record_drop(telemetry::DropReason::kClassifierMiss,
+                              "classifier", &flow, telemetry::mono_now_ns());
+        if (opts_.flow_accounting &&
+            !acc.add(flow, pkt->length(), telemetry::FlowSample::kNoGraph)) {
+          acc.flush(*sh.flows);
+          acc.add(flow, pkt->length(), telemetry::FlowSample::kNoGraph);
+        }
+        sh.ingest_pool->release(pkt);
+        continue;
       }
       sh.graph_counts[g]->fetch_add(1, std::memory_order_relaxed);
+      if (opts_.flow_accounting &&
+          !acc.add(flow, pkt->length(), static_cast<u32>(g))) {
+        acc.flush(*sh.flows);
+        acc.add(flow, pkt->length(), static_cast<u32>(g));
+      }
       // The director made the sampling decision; origin_ns == 0 means
       // unsampled (feed_stamped applies no pid fallback).
-      sh.pipelines[g]->feed_stamped(bytes, pkt->lat().origin_ns);
+      sh.pipelines[g]->feed_stamped(bytes, pkt->lat().origin_ns, &flow);
       sh.ingest_pool->release(pkt);
     }
+    // Flush only when the epoch is full; the n == 0 branch above publishes
+    // the moment the ring runs dry. A partial burst (n < burst.size()) is
+    // NOT a flush trigger: when the director merely trickles, the very
+    // next pop returns 0 and flushes anyway, and flushing every partial
+    // burst would pay a heap build per handful of packets.
+    if (acc.pending >= FlowAccumulator::kFlushPackets) acc.flush(*sh.flows);
     beat = telemetry::mono_now_ns();
     // busy_ns now spans the whole busy iteration (pop included — it is
     // work); the same interval feeds the useful bucket.
@@ -221,7 +376,8 @@ ShardedResult ShardedDataplane::drain() {
   for (Shard& sh : shards_) {
     if (sh.worker.joinable()) sh.worker.join();
   }
-  for (Shard& sh : shards_) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = shards_[s];
     LiveResult merged;
     for (auto& pipeline : sh.pipelines) {
       LiveResult r = pipeline->drain();
@@ -233,6 +389,10 @@ ShardedResult ShardedDataplane::drain() {
         merged.outputs.push_back(std::move(frame));
       }
     }
+    // Director-level drops (tail drops, CT drop rules, shutdown drains)
+    // never reached a pipeline; fold them in so dropped covers every frame
+    // the plane refused — and stays equal to the per-reason sum.
+    merged.dropped += shard_director_dropped(s);
     res.dropped += merged.dropped;
     for (const auto& frame : merged.outputs) res.outputs.push_back(frame);
     if (!merged.status.is_ok() && res.status.is_ok()) {
@@ -319,9 +479,18 @@ u64 ShardedDataplane::shard_delivered(std::size_t s) {
 }
 
 u64 ShardedDataplane::shard_dropped(std::size_t s) {
-  u64 total = 0;
+  u64 total = shard_director_dropped(s);
   for (auto& pipeline : shards_.at(s).pipelines) {
     total += pipeline->dropped_so_far();
+  }
+  return total;
+}
+
+u64 ShardedDataplane::shard_director_dropped(std::size_t s) const {
+  const Shard& sh = shards_.at(s);
+  u64 total = 0;
+  for (std::size_t r = 0; r < telemetry::kDropReasonCount; ++r) {
+    total += sh.flows->drops(static_cast<telemetry::DropReason>(r));
   }
   return total;
 }
@@ -395,6 +564,39 @@ void ShardedDataplane::register_latency(
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     observatory.add_shard("shard" + std::to_string(s),
                           [this, s] { return latency_snapshot(s); });
+  }
+}
+
+telemetry::ShardFlowSnapshot ShardedDataplane::flow_snapshot(std::size_t s) {
+  Shard& sh = shards_.at(s);
+  // Sketches + director drop counters + per-graph traffic come from the
+  // accountant; pipeline drops and latency are folded on top so the
+  // snapshot covers the whole shard.
+  telemetry::ShardFlowSnapshot snap = sh.flows->snapshot();
+  if (snap.graphs.size() < sh.pipelines.size()) {
+    snap.graphs.resize(sh.pipelines.size());
+  }
+  for (std::size_t g = 0; g < sh.pipelines.size(); ++g) {
+    LivePipeline& pipeline = *sh.pipelines[g];
+    u64 pipeline_drops = 0;
+    for (std::size_t r = 0; r < telemetry::kDropReasonCount; ++r) {
+      const u64 d =
+          pipeline.dropped_by(static_cast<telemetry::DropReason>(r));
+      snap.drops[r] += d;
+      pipeline_drops += d;
+    }
+    snap.graphs[g].drops += pipeline_drops;
+    snap.graphs[g].latency +=
+        pipeline.latency_snapshot().stage(telemetry::LatencyStage::kTotal);
+  }
+  return snap;
+}
+
+void ShardedDataplane::register_flows(
+    telemetry::FlowObservatory& observatory) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    observatory.add_shard("shard" + std::to_string(s),
+                          [this, s] { return flow_snapshot(s); });
   }
 }
 

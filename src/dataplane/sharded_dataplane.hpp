@@ -42,10 +42,12 @@
 #include "nfs/nf.hpp"
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
+#include "telemetry/flow_observatory.hpp"
 
 namespace nfp {
 
 namespace telemetry {
+class FlowObservatory;
 class HealthSampler;
 class LatencyObservatory;
 class ScalabilityProfiler;
@@ -67,6 +69,21 @@ struct ShardedDataplaneOptions {
   std::size_t ingest_pool_size = 2048;
   // Worker-side dequeue burst.
   std::size_t ingest_burst = 32;
+  // Flow observatory recording (heavy hitters, churn, per-graph traffic).
+  // On by default like cycle_accounting: the per-burst amortized cost is
+  // gated at 5% by bench_hotpath_throughput's flow32-acct/noacct pair.
+  // Drop-reason counting is NOT gated by this — drops always carry a
+  // reason; this only disables the per-burst sketch updates.
+  bool flow_accounting = true;
+  // Space-Saving slots per shard (flows with count > N/capacity are
+  // guaranteed present).
+  std::size_t heavy_hitter_capacity = 128;
+  // Sampled drop exemplars retained per shard.
+  std::size_t drop_exemplar_capacity = 64;
+  // When set, the director drops (with a reason) instead of blocking when
+  // a shard's ingest pool is dry or its RX ring is full — the NIC-like
+  // tail-drop policy. Default keeps the lossless blocking behaviour.
+  bool drop_on_ingest_backpressure = false;
 };
 
 // Aggregate of one run. `outputs` concatenates shards in shard order (order
@@ -163,6 +180,19 @@ class ShardedDataplane {
   // reset the observatory's baseline after start().
   void register_latency(telemetry::LatencyObservatory& observatory);
 
+  // Shard-level flow fold: the shard accountant's sketches + director drop
+  // counters, plus every pipeline's per-reason drops folded into both the
+  // per-reason totals and the per-graph accounting (with the graph's
+  // total-stage latency histogram). Scrape-safe mid-run.
+  telemetry::ShardFlowSnapshot flow_snapshot(std::size_t s);
+  // add_shard("shard<s>", ...) for every shard. Call before start();
+  // reset the observatory's baseline after start().
+  void register_flows(telemetry::FlowObservatory& observatory);
+  // Director-recorded drops for shard s (ring_full/pool_exhausted under
+  // drop_on_ingest_backpressure, classifier_miss, shutdown_drain) — the
+  // part of shard_dropped() that never reached a pipeline.
+  u64 shard_director_dropped(std::size_t s) const;
+
  private:
   struct Shard {
     std::unique_ptr<PacketPool> ingest_pool;
@@ -170,6 +200,9 @@ class ShardedDataplane {
     std::thread worker;
     std::vector<std::unique_ptr<LivePipeline>> pipelines;  // [graph]
     std::unique_ptr<MicroflowCache> cache;
+    // Flow sketches + drop taxonomy; always present (drop reasons are not
+    // optional), sketch recording gated by opts_.flow_accounting.
+    std::unique_ptr<telemetry::ShardFlowAccountant> flows;
     // Heap-allocated atomics: Shard lives in a vector.
     std::unique_ptr<std::atomic<u64>> received;
     std::unique_ptr<std::atomic<u64>> heartbeat_ns;

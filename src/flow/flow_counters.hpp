@@ -1,0 +1,88 @@
+// The one per-flow packet/byte counting code path.
+//
+// Every place that tallies traffic per 5-tuple — the Monitor NF's NetFlow
+// table, the flow observatory's heavy-hitter entries and per-graph tenant
+// accounting — counts in the same unit (PacketByteCount) through the same
+// accumulator so the semantics (what a "packet" and a "byte" mean, how
+// state migrates) cannot drift between the NF layer and the telemetry
+// layer.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "flow/flow_table.hpp"
+
+namespace nfp {
+
+// The counting unit: frames seen and their cumulative wire bytes.
+struct PacketByteCount {
+  u64 packets = 0;
+  u64 bytes = 0;
+
+  PacketByteCount& operator+=(const PacketByteCount& other) noexcept {
+    packets += other.packets;
+    bytes += other.bytes;
+    return *this;
+  }
+  friend bool operator==(const PacketByteCount&,
+                         const PacketByteCount&) = default;
+};
+
+// Exact per-flow counters over a bounded LRU FlowTable: the substrate the
+// Monitor NF exposes per-flow and the observatory's exact-side tests
+// compare sketches against. Single-threaded like the NFs that own it.
+class ExactFlowCounters {
+ public:
+  using ExportedFlow = std::pair<FiveTuple, PacketByteCount>;
+
+  explicit ExactFlowCounters(std::size_t capacity = 65536)
+      : flows_(capacity) {}
+
+  PacketByteCount& record(const FiveTuple& key, u64 bytes) {
+    PacketByteCount& c = flows_.get_or_create(key);
+    ++c.packets;
+    c.bytes += bytes;
+    ++total_packets_;
+    return c;
+  }
+
+  const PacketByteCount* flow(const FiveTuple& key) const {
+    return flows_.peek(key);
+  }
+
+  std::size_t size() const noexcept { return flows_.size(); }
+  std::size_t capacity() const noexcept { return flows_.capacity(); }
+  u64 evictions() const noexcept { return flows_.evictions(); }
+  u64 total_packets() const noexcept { return total_packets_; }
+
+  // Iteration in most-recently-used order (state export / top-N scans).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    flows_.for_each(std::forward<Fn>(fn));
+  }
+
+  // --- state migration (paper §7 scaling) -----------------------------------
+  // Removes and returns every flow for which `pred(key)` holds.
+  template <typename Pred>
+  std::vector<ExportedFlow> extract_if(Pred&& pred) {
+    std::vector<ExportedFlow> out;
+    flows_.for_each([&](const FiveTuple& key, const PacketByteCount& c) {
+      if (pred(key)) out.emplace_back(key, c);
+    });
+    for (const auto& [key, c] : out) flows_.erase(key);
+    return out;
+  }
+
+  void absorb(const std::vector<ExportedFlow>& flows) {
+    for (const auto& [key, c] : flows) flows_.get_or_create(key) = c;
+  }
+
+ private:
+  FlowTable<PacketByteCount> flows_;
+  u64 total_packets_ = 0;
+};
+
+}  // namespace nfp

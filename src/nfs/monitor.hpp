@@ -2,28 +2,28 @@
 // (paper §6.1: "maintains per-flow counters ... the counter table uses the
 // hash value of the 5-tuple as the key"), NetFlow-style.
 //
-// State lives in a bounded LRU FlowTable and is exportable/importable so an
-// overloaded monitor can be scaled out with flow migration (paper §7's
-// "migrate some states ... redirect some flows to the new instance").
+// Counting is delegated to ExactFlowCounters (flow/flow_counters.hpp) — the
+// same unit and accumulator the flow observatory's heavy-hitter and tenant
+// accounting use, so there is exactly one flow-counting code path. State is
+// exportable/importable so an overloaded monitor can be scaled out with
+// flow migration (paper §7's "migrate some states ... redirect some flows
+// to the new instance").
 #pragma once
 
 #include <utility>
 #include <vector>
 
-#include "flow/flow_table.hpp"
+#include "flow/flow_counters.hpp"
 #include "nfs/nf.hpp"
 
 namespace nfp {
 
 class Monitor final : public NetworkFunction {
  public:
-  struct FlowStats {
-    u64 packets = 0;
-    u64 bytes = 0;
-
-    friend bool operator==(const FlowStats&, const FlowStats&) = default;
-  };
-  using ExportedFlow = std::pair<FiveTuple, FlowStats>;
+  // Kept as an alias so existing callers (and migrated state) read in the
+  // shared counting unit.
+  using FlowStats = PacketByteCount;
+  using ExportedFlow = ExactFlowCounters::ExportedFlow;
 
   explicit Monitor(std::size_t flow_capacity = 65536)
       : flows_(flow_capacity) {}
@@ -31,10 +31,7 @@ class Monitor final : public NetworkFunction {
   std::string_view type_name() const override { return "monitor"; }
 
   NfVerdict process(PacketView& packet) override {
-    FlowStats& stats = flows_.get_or_create(packet.five_tuple());
-    ++stats.packets;
-    stats.bytes += packet.packet().length();
-    ++total_packets_;
+    flows_.record(packet.five_tuple(), packet.packet().length());
     return NfVerdict::kPass;
   }
 
@@ -49,31 +46,26 @@ class Monitor final : public NetworkFunction {
   }
 
   std::size_t flow_count() const noexcept { return flows_.size(); }
-  u64 total_packets() const noexcept { return total_packets_; }
+  u64 total_packets() const noexcept { return flows_.total_packets(); }
   u64 evictions() const noexcept { return flows_.evictions(); }
-  const FlowStats* flow(const FiveTuple& t) const { return flows_.peek(t); }
+  const FlowStats* flow(const FiveTuple& t) const { return flows_.flow(t); }
+
+  // Read-only view for telemetry scans (top-N, exact-vs-sketch checks).
+  const ExactFlowCounters& counters() const noexcept { return flows_; }
 
   // --- state migration (§7 scaling) ------------------------------------------
   // Removes and returns every flow for which `pred(key)` holds.
   template <typename Pred>
   std::vector<ExportedFlow> extract_flows(Pred&& pred) {
-    std::vector<ExportedFlow> out;
-    flows_.for_each([&](const FiveTuple& key, const FlowStats& stats) {
-      if (pred(key)) out.emplace_back(key, stats);
-    });
-    for (const auto& [key, stats] : out) flows_.erase(key);
-    return out;
+    return flows_.extract_if(std::forward<Pred>(pred));
   }
 
   void absorb_flows(const std::vector<ExportedFlow>& flows) {
-    for (const auto& [key, stats] : flows) {
-      flows_.get_or_create(key) = stats;
-    }
+    flows_.absorb(flows);
   }
 
  private:
-  FlowTable<FlowStats> flows_;
-  u64 total_packets_ = 0;
+  ExactFlowCounters flows_;
 };
 
 }  // namespace nfp

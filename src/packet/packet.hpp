@@ -19,6 +19,7 @@
 #include <cstring>
 #include <span>
 
+#include "common/hash.hpp"
 #include "common/types.hpp"
 #include "packet/headers.hpp"
 
@@ -98,6 +99,7 @@ class Packet {
     nil_ = false;
     inject_time_ = 0;
     lat_ = LatencyStamps{};
+    flow_ = FlowRef{};
   }
   void set_length(std::size_t len) noexcept { data_len_ = len; }
 
@@ -142,6 +144,13 @@ class Packet {
   LatencyStamps& lat() noexcept { return lat_; }
   const LatencyStamps& lat() const noexcept { return lat_; }
 
+  // Flow identity, parsed + hashed exactly once (by the sharded director or
+  // the pipeline feeder) and reused by every later hop: shard-worker
+  // classification, heavy-hitter keys, drop exemplars. Written only by the
+  // thread that owns the packet, like LatencyStamps.
+  FlowRef& flow() noexcept { return flow_; }
+  const FlowRef& flow() const noexcept { return flow_; }
+
   // --- pool bookkeeping -------------------------------------------------------
   u32 pool_index() const noexcept { return pool_index_; }
   u32 ref_count() const noexcept {
@@ -157,6 +166,7 @@ class Packet {
   Metadata meta_{};
   SimTime inject_time_ = 0;
   LatencyStamps lat_{};
+  FlowRef flow_{};
   bool nil_ = false;
   // Atomic so parallel NFs sharing one packet version can add_ref/release
   // without a pool lock (paper §5.2 reference-counted zero-copy delivery).

@@ -12,6 +12,7 @@ void PacketPool::copy_packet_full(Packet& dst, const Packet& src) noexcept {
   dst.meta() = src.meta();
   dst.set_inject_time(src.inject_time());
   dst.lat() = src.lat();
+  dst.flow() = src.flow();
 }
 
 void PacketPool::copy_packet_header_only(Packet& dst,
@@ -21,6 +22,7 @@ void PacketPool::copy_packet_header_only(Packet& dst,
   dst.meta() = src.meta();
   dst.set_inject_time(src.inject_time());
   dst.lat() = src.lat();
+  dst.flow() = src.flow();
 
   // Fix up the copied IP total-length so the truncated copy is a valid
   // packet from the parallel NF's point of view (§5.2 "copy" action).

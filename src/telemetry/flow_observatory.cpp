@@ -1,0 +1,627 @@
+#include "telemetry/flow_observatory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/health_sampler.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace nfp::telemetry {
+
+namespace {
+
+constexpr std::array<const char*, kDropReasonCount> kReasonNames = {
+    "ring_full",     "pool_exhausted", "nf_verdict",
+    "classifier_miss", "merge_overflow", "shutdown_drain",
+};
+
+u64 saturating_sub(u64 a, u64 b) noexcept { return a >= b ? a - b : 0; }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string tuple_str(const FiveTuple& t, bool valid) {
+  if (!valid) return "(non-ip)";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u->%u.%u.%u.%u:%u/%u",
+                t.src_ip >> 24, (t.src_ip >> 16) & 0xff,
+                (t.src_ip >> 8) & 0xff, t.src_ip & 0xff, t.src_port,
+                t.dst_ip >> 24, (t.dst_ip >> 16) & 0xff,
+                (t.dst_ip >> 8) & 0xff, t.dst_ip & 0xff, t.dst_port,
+                t.proto);
+  return buf;
+}
+
+}  // namespace
+
+const char* drop_reason_name(DropReason r) noexcept {
+  const auto i = static_cast<std::size_t>(r);
+  return i < kReasonNames.size() ? kReasonNames[i] : "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Space-Saving.
+
+namespace {
+// Min-heap order over counts.
+constexpr auto kHeapGreater = [](const auto& a, const auto& b) {
+  return a.packets > b.packets;
+};
+}  // namespace
+
+void SpaceSaving::replace_min_batch(std::span<const Candidate> misses) {
+  std::size_t i = 0;
+  for (; i < misses.size() && map_.size() < capacity_; ++i) {
+    const Candidate& c = misses[i];
+    Entry e;
+    e.tuple = c.tuple;
+    e.hash = c.hash;
+    e.count.packets = c.packets;
+    e.count.bytes = c.bytes;
+    // A duplicate hash within the batch folds into the earlier entry
+    // (record_burst keys by (hash, graph), so the same flow can appear
+    // once per graph).
+    const auto [it, inserted] = map_.emplace(c.hash, std::move(e));
+    if (!inserted) {
+      it->second.count.packets += c.packets;
+      it->second.count.bytes += c.bytes;
+    }
+  }
+  if (i == misses.size()) return;
+  // One exact min-heap build amortised over every replacement in the
+  // batch. No increments interleave, so the heap stays exact and the
+  // result is identical to running classic Space-Saving sample-by-sample:
+  // each newcomer displaces the then-current minimum and inherits its
+  // count as the error bound.
+  scratch_heap_.clear();
+  scratch_heap_.reserve(map_.size() + (misses.size() - i));
+  for (const auto& [hash, e] : map_) {
+    scratch_heap_.push_back({e.count.packets, hash});
+  }
+  std::make_heap(scratch_heap_.begin(), scratch_heap_.end(), kHeapGreater);
+  for (; i < misses.size(); ++i) {
+    const Candidate& c = misses[i];
+    if (increment(c.hash, c.packets, c.bytes)) continue;  // in-batch dup
+    std::pop_heap(scratch_heap_.begin(), scratch_heap_.end(), kHeapGreater);
+    const HeapSlot victim_slot = scratch_heap_.back();
+    scratch_heap_.pop_back();
+    // Recycle the victim's map node (no free + alloc per eviction — at a
+    // mouse-storm eviction rate the allocator churn dominates the sketch).
+    auto node = map_.extract(map_.find(victim_slot.hash));
+    Entry& e = node.mapped();
+    node.key() = c.hash;
+    e.tuple = c.tuple;
+    e.hash = c.hash;
+    e.error = e.count.packets;
+    e.count.packets += c.packets;
+    e.count.bytes += c.bytes;
+    scratch_heap_.push_back({e.count.packets, c.hash});
+    std::push_heap(scratch_heap_.begin(), scratch_heap_.end(), kHeapGreater);
+    map_.insert(std::move(node));
+  }
+}
+
+bool SpaceSaving::record(const FiveTuple& tuple, u64 hash, u64 packets,
+                         u64 bytes) {
+  if (packets == 0) return false;
+  if (increment(hash, packets, bytes)) return false;
+  const Candidate c{tuple, hash, packets, bytes};
+  replace_min_batch({&c, 1});
+  return true;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries() const {
+  std::vector<Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [hash, e] : map_) out.push_back(e);
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> merge_topk(
+    std::span<const std::vector<SpaceSaving::Entry>> tables,
+    std::size_t capacity) {
+  std::unordered_map<u64, SpaceSaving::Entry> merged;
+  for (const auto& table : tables) {
+    for (const SpaceSaving::Entry& e : table) {
+      auto [it, inserted] = merged.emplace(e.hash, e);
+      if (!inserted) {
+        it->second.count += e.count;
+        it->second.error += e.error;
+      }
+    }
+  }
+  std::vector<SpaceSaving::Entry> out;
+  out.reserve(merged.size());
+  for (const auto& [hash, e] : merged) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const SpaceSaving::Entry& a, const SpaceSaving::Entry& b) {
+              if (a.count.packets != b.count.packets) {
+                return a.count.packets > b.count.packets;
+              }
+              return a.hash < b.hash;  // deterministic tie-break
+            });
+  if (capacity != 0 && out.size() > capacity) out.resize(capacity);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HyperLogLog estimate.
+
+double HyperLogLog::estimate(const Registers& regs) noexcept {
+  constexpr double m = static_cast<double>(kRegisters);
+  constexpr double alpha = 0.7213 / (1.0 + 1.079 / m);  // m >= 128
+  double inv_sum = 0;
+  std::size_t zeros = 0;
+  for (const u8 r : regs) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros != 0) {
+    return m * std::log(m / static_cast<double>(zeros));  // linear counting
+  }
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Drop exemplars.
+
+void DropExemplarRing::record(DropReason reason, const char* stage,
+                              const FlowRef* flow, u64 when_ns) {
+  const std::scoped_lock lock(mu_);
+  DropExemplar& slot = ring_[next_];
+  slot.reason = reason;
+  slot.stage = stage != nullptr ? stage : "";
+  slot.when_ns = when_ns;
+  if (flow != nullptr) {
+    slot.tuple = flow->tuple;
+    slot.tuple_valid = flow->valid;
+  } else {
+    slot.tuple = FiveTuple{};
+    slot.tuple_valid = false;
+  }
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<DropExemplar> DropExemplarRing::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<DropExemplar> out;
+  const std::size_t n = std::min<u64>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest-first: with a full ring the oldest slot is `next_`.
+  const std::size_t start = total_ >= ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard accountant.
+
+ShardFlowAccountant::ShardFlowAccountant(std::size_t topk_capacity,
+                                         std::size_t graph_count,
+                                         std::size_t exemplar_capacity)
+    : topk_(topk_capacity),
+      graphs_(std::max<std::size_t>(1, graph_count)),
+      exemplars_(exemplar_capacity) {}
+
+void ShardFlowAccountant::record_burst(std::span<const FlowSample> samples) {
+  if (samples.empty()) return;
+  const std::scoped_lock lock(mu_);
+  miss_scratch_.clear();
+  for (const FlowSample& s : samples) {
+    if (s.packets == 0) continue;
+    packets_ += s.packets;
+    bytes_ += s.bytes;
+    if (s.graph != FlowSample::kNoGraph && s.graph < graphs_.size()) {
+      graphs_[s.graph].packets += s.packets;
+      graphs_[s.graph].bytes += s.bytes;
+    }
+    hll_.add(s.hash);
+    if (topk_.increment(s.hash, s.packets, s.bytes)) continue;
+    // Unmonitored flow: count it once and defer the Space-Saving
+    // replacement so one heap build serves the whole burst.
+    ++new_flows_;
+    miss_scratch_.push_back({s.tuple, s.hash, s.packets, s.bytes});
+  }
+  if (!miss_scratch_.empty()) topk_.replace_min_batch(miss_scratch_);
+}
+
+void ShardFlowAccountant::record_drop(DropReason reason, const char* stage,
+                                      const FlowRef* flow, u64 when_ns) {
+  drops_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  exemplars_.record(reason, stage, flow, when_ns);
+}
+
+ShardFlowSnapshot ShardFlowAccountant::snapshot() const {
+  ShardFlowSnapshot snap;
+  {
+    const std::scoped_lock lock(mu_);
+    snap.topk = topk_.entries();
+    snap.topk_capacity = topk_.capacity();
+    snap.hll = hll_.registers();
+    snap.packets = packets_;
+    snap.bytes = bytes_;
+    snap.new_flows = new_flows_;
+    snap.graphs.resize(graphs_.size());
+    for (std::size_t g = 0; g < graphs_.size(); ++g) {
+      snap.graphs[g].traffic = graphs_[g];
+    }
+  }
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    snap.drops[r] = drops_[r].load(std::memory_order_relaxed);
+  }
+  snap.exemplars = exemplars_.snapshot();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge.
+
+u64 ShardFlowSnapshot::total_drops() const noexcept {
+  u64 total = 0;
+  for (const u64 d : drops) total += d;
+  return total;
+}
+
+ShardFlowSnapshot& ShardFlowSnapshot::operator+=(
+    const ShardFlowSnapshot& other) {
+  const std::array<std::vector<SpaceSaving::Entry>, 2> tables = {
+      std::move(topk), other.topk};
+  topk_capacity = std::max(topk_capacity, other.topk_capacity);
+  topk = merge_topk(tables, topk_capacity);
+  for (std::size_t i = 0; i < HyperLogLog::kRegisters; ++i) {
+    hll[i] = std::max(hll[i], other.hll[i]);
+  }
+  packets += other.packets;
+  bytes += other.bytes;
+  new_flows += other.new_flows;
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    drops[r] += other.drops[r];
+  }
+  exemplars.insert(exemplars.end(), other.exemplars.begin(),
+                   other.exemplars.end());
+  if (graphs.size() < other.graphs.size()) {
+    graphs.resize(other.graphs.size());
+  }
+  for (std::size_t g = 0; g < other.graphs.size(); ++g) {
+    graphs[g] += other.graphs[g];
+  }
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering.
+
+double FlowReport::hh_top1_share() const noexcept {
+  if (total.topk.empty() || total.packets == 0) return 0.0;
+  const double share =
+      static_cast<double>(total.topk.front().count.packets) /
+      static_cast<double>(total.packets);
+  return share > 1.0 ? 1.0 : share;
+}
+
+namespace {
+
+void topk_json(std::ostringstream& out,
+               const std::vector<SpaceSaving::Entry>& entries, u64 packets,
+               std::size_t k) {
+  out << "[";
+  const std::size_t n = std::min(entries.size(), k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SpaceSaving::Entry& e = entries[i];
+    if (i > 0) out << ",";
+    const double share =
+        packets > 0 ? static_cast<double>(e.count.packets) /
+                          static_cast<double>(packets)
+                    : 0.0;
+    out << "{\"flow\":\"" << tuple_str(e.tuple, true)
+        << "\",\"packets\":" << e.count.packets
+        << ",\"bytes\":" << e.count.bytes << ",\"error\":" << e.error
+        << ",\"share\":" << fmt_double(share) << "}";
+  }
+  out << "]";
+}
+
+void drops_json(std::ostringstream& out,
+                const std::array<u64, kDropReasonCount>& drops) {
+  out << "{";
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    if (r > 0) out << ",";
+    out << "\"" << kReasonNames[r] << "\":" << drops[r];
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string FlowReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"wall_seconds\":" << fmt_double(wall_seconds)
+      << ",\"flows_active\":" << fmt_double(flows_active())
+      << ",\"new_flows\":" << total.new_flows
+      << ",\"flow_new_rate\":" << fmt_double(new_flow_rate())
+      << ",\"hh_top1_share\":" << fmt_double(hh_top1_share())
+      << ",\"packets\":" << total.packets << ",\"bytes\":" << total.bytes
+      << ",\"dropped\":" << total_drops()
+      << ",\"topk_capacity\":" << total.topk_capacity
+      << ",\"error_bound\":\"space-saving: entry over-counts by at most its "
+         "error; hll cardinality standard error 6.5%\",\"top\":";
+  topk_json(out, total.topk, total.packets, top_k);
+  out << ",\"drops\":";
+  drops_json(out, total.drops);
+  out << ",\"graphs\":[";
+  for (std::size_t g = 0; g < total.graphs.size(); ++g) {
+    const GraphFlowCounters& gc = total.graphs[g];
+    if (g > 0) out << ",";
+    out << "{\"graph\":" << g << ",\"packets\":" << gc.traffic.packets
+        << ",\"bytes\":" << gc.traffic.bytes << ",\"drops\":" << gc.drops
+        << ",\"p99_us\":"
+        << fmt_double(static_cast<double>(gc.latency.quantile(0.99)) / 1e3)
+        << ",\"latency_samples\":" << gc.latency.count() << "}";
+  }
+  out << "],\"exemplars\":[";
+  for (std::size_t i = 0; i < total.exemplars.size(); ++i) {
+    const DropExemplar& e = total.exemplars[i];
+    if (i > 0) out << ",";
+    out << "{\"flow\":\"" << tuple_str(e.tuple, e.tuple_valid)
+        << "\",\"stage\":\"" << escape(e.stage) << "\",\"reason\":\""
+        << drop_reason_name(e.reason) << "\",\"when_ns\":" << e.when_ns
+        << "}";
+  }
+  out << "],\"shards\":[";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Shard& sh = shards[s];
+    if (s > 0) out << ",";
+    out << "{\"name\":\"" << escape(sh.name)
+        << "\",\"packets\":" << sh.d.packets << ",\"bytes\":" << sh.d.bytes
+        << ",\"new_flows\":" << sh.d.new_flows
+        << ",\"dropped\":" << sh.d.total_drops() << ",\"drops\":";
+    drops_json(out, sh.d.drops);
+    out << ",\"top\":";
+    topk_json(out, sh.d.topk, sh.d.packets, top_k);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string FlowReport::to_text() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "flows_active=%.0f new_flows=%llu (%.1f/s) packets=%llu "
+                "bytes=%llu dropped=%llu top1_share=%.1f%%\n",
+                flows_active(),
+                static_cast<unsigned long long>(total.new_flows),
+                new_flow_rate(),
+                static_cast<unsigned long long>(total.packets),
+                static_cast<unsigned long long>(total.bytes),
+                static_cast<unsigned long long>(total_drops()),
+                hh_top1_share() * 100.0);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-4s %-34s %12s %14s %8s %7s\n", "#",
+                "flow", "packets", "bytes", "share%", "err");
+  out << line;
+  const std::size_t n = std::min(total.topk.size(), top_k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SpaceSaving::Entry& e = total.topk[i];
+    const double share =
+        total.packets > 0 ? 100.0 * static_cast<double>(e.count.packets) /
+                                static_cast<double>(total.packets)
+                          : 0.0;
+    std::snprintf(line, sizeof(line), "%-4zu %-34s %12llu %14llu %8.2f %7llu\n",
+                  i + 1, tuple_str(e.tuple, true).c_str(),
+                  static_cast<unsigned long long>(e.count.packets),
+                  static_cast<unsigned long long>(e.count.bytes), share,
+                  static_cast<unsigned long long>(e.error));
+    out << line;
+  }
+  out << "drops by reason:";
+  bool any = false;
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    if (total.drops[r] == 0) continue;
+    any = true;
+    std::snprintf(line, sizeof(line), " %s=%llu", kReasonNames[r],
+                  static_cast<unsigned long long>(total.drops[r]));
+    out << line;
+  }
+  out << (any ? "\n" : " none\n");
+  if (total.graphs.size() > 1 ||
+      (total.graphs.size() == 1 && total.graphs[0].drops > 0)) {
+    for (std::size_t g = 0; g < total.graphs.size(); ++g) {
+      const GraphFlowCounters& gc = total.graphs[g];
+      std::snprintf(line, sizeof(line),
+                    "graph%-3zu packets=%-10llu bytes=%-12llu drops=%-8llu "
+                    "p99=%.1fus\n",
+                    g, static_cast<unsigned long long>(gc.traffic.packets),
+                    static_cast<unsigned long long>(gc.traffic.bytes),
+                    static_cast<unsigned long long>(gc.drops),
+                    static_cast<double>(gc.latency.quantile(0.99)) / 1e3);
+      out << line;
+    }
+  }
+  for (const DropExemplar& e : total.exemplars) {
+    std::snprintf(line, sizeof(line), "exemplar %-34s stage=%s reason=%s\n",
+                  tuple_str(e.tuple, e.tuple_valid).c_str(),
+                  e.stage.c_str(), drop_reason_name(e.reason));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string FlowReport::to_prometheus() const {
+  std::ostringstream out;
+  out << "# TYPE nfp_flow_drops_total counter\n";
+  for (const Shard& sh : shards) {
+    for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+      out << "nfp_flow_drops_total{reason=\"" << kReasonNames[r]
+          << "\",shard=\"" << escape(sh.name) << "\"} " << sh.d.drops[r]
+          << "\n";
+    }
+  }
+  out << "# TYPE nfp_flow_packets_total counter\n";
+  for (const Shard& sh : shards) {
+    out << "nfp_flow_packets_total{shard=\"" << escape(sh.name) << "\"} "
+        << sh.d.packets << "\n";
+  }
+  out << "# TYPE nfp_flow_bytes_total counter\n";
+  for (const Shard& sh : shards) {
+    out << "nfp_flow_bytes_total{shard=\"" << escape(sh.name) << "\"} "
+        << sh.d.bytes << "\n";
+  }
+  out << "# TYPE nfp_flows_active gauge\nnfp_flows_active "
+      << fmt_double(flows_active()) << "\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Observatory.
+
+FlowObservatory::FlowObservatory(Options options)
+    : options_(std::move(options)),
+      probe_cache_(std::make_shared<ProbeCache>()) {
+  if (!options_.clock) options_.clock = [] { return mono_now_ns(); };
+  if (options_.top_k == 0) options_.top_k = 10;
+  baseline_ns_ = options_.clock();
+}
+
+void FlowObservatory::add_shard(std::string name, SnapshotFn fn) {
+  if (!fn) return;
+  const std::scoped_lock lock(mu_);
+  Source src;
+  src.name = std::move(name);
+  src.baseline = fn();
+  src.fn = std::move(fn);
+  sources_.push_back(std::move(src));
+}
+
+std::size_t FlowObservatory::shard_count() const {
+  const std::scoped_lock lock(mu_);
+  return sources_.size();
+}
+
+void FlowObservatory::reset_baseline() {
+  const std::scoped_lock lock(mu_);
+  for (Source& src : sources_) src.baseline = src.fn();
+  baseline_ns_ = options_.clock();
+}
+
+FlowReport FlowObservatory::report_locked() const {
+  FlowReport rep;
+  rep.top_k = options_.top_k;
+  const u64 now = options_.clock();
+  rep.wall_seconds =
+      static_cast<double>(saturating_sub(now, baseline_ns_)) / 1e9;
+  for (const Source& src : sources_) {
+    FlowReport::Shard sh;
+    sh.name = src.name;
+    sh.d = src.fn();
+    // Counters are reported as deltas against the baseline; the sketches
+    // (top-K table, HLL registers) stay cumulative — they have no
+    // subtraction — and the exemplar ring is filtered by timestamp.
+    sh.d.packets = saturating_sub(sh.d.packets, src.baseline.packets);
+    sh.d.bytes = saturating_sub(sh.d.bytes, src.baseline.bytes);
+    sh.d.new_flows = saturating_sub(sh.d.new_flows, src.baseline.new_flows);
+    for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+      sh.d.drops[r] = saturating_sub(sh.d.drops[r], src.baseline.drops[r]);
+    }
+    for (std::size_t g = 0; g < sh.d.graphs.size(); ++g) {
+      if (g < src.baseline.graphs.size()) {
+        const GraphFlowCounters& base = src.baseline.graphs[g];
+        sh.d.graphs[g].traffic.packets = saturating_sub(
+            sh.d.graphs[g].traffic.packets, base.traffic.packets);
+        sh.d.graphs[g].traffic.bytes =
+            saturating_sub(sh.d.graphs[g].traffic.bytes, base.traffic.bytes);
+        sh.d.graphs[g].drops = saturating_sub(sh.d.graphs[g].drops,
+                                              base.drops);
+        sh.d.graphs[g].latency =
+            hdr_delta(sh.d.graphs[g].latency, base.latency);
+      }
+    }
+    std::erase_if(sh.d.exemplars, [this](const DropExemplar& e) {
+      return e.when_ns < baseline_ns_;
+    });
+    rep.total += sh.d;
+    rep.shards.push_back(std::move(sh));
+  }
+  // Shard sections render their local top-K depth; the merged table keeps
+  // the largest per-shard capacity so the accuracy guarantee carries over.
+  return rep;
+}
+
+FlowReport FlowObservatory::report() const {
+  const std::scoped_lock lock(mu_);
+  return report_locked();
+}
+
+void FlowObservatory::register_probes(TimeseriesCollector& collector) {
+  // One report per collector tick, same contract as the latency
+  // observatory: the first probe sampled inside a 200ms window refreshes
+  // the shared cache (all probes run on the collector thread).
+  std::shared_ptr<ProbeCache> cache = probe_cache_;
+  auto refreshed = [this, cache]() -> const FlowReport& {
+    const u64 now = options_.clock();
+    if (cache->stamp_ns == 0 ||
+        saturating_sub(now, cache->stamp_ns) > 200ull * 1000 * 1000) {
+      cache->report = report();
+      // flow_new_rate is the between-refresh derivative, not the lifetime
+      // average: churny phases show up immediately.
+      const u64 cur = cache->report.total.new_flows;
+      if (cache->prev_stamp_ns != 0 && now > cache->prev_stamp_ns &&
+          cur >= cache->prev_new_flows) {
+        cache->new_flow_rate =
+            static_cast<double>(cur - cache->prev_new_flows) * 1e9 /
+            static_cast<double>(now - cache->prev_stamp_ns);
+      } else {
+        cache->new_flow_rate = 0;
+      }
+      cache->prev_new_flows = cur;
+      cache->prev_stamp_ns = now;
+      cache->stamp_ns = now;
+    }
+    return cache->report;
+  };
+  collector.add_probe("flows_active", {}, [refreshed] {
+    return refreshed().flows_active();
+  });
+  collector.add_probe("flow_new_rate", {}, [refreshed, cache] {
+    refreshed();
+    return cache->new_flow_rate;
+  });
+  collector.add_probe("hh_top1_share", {}, [refreshed] {
+    return refreshed().hh_top1_share();
+  });
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    collector.add_probe(
+        std::string("drops_") + kReasonNames[r] + "_total", {},
+        [refreshed, r] {
+          return static_cast<double>(refreshed().total.drops[r]);
+        });
+  }
+}
+
+}  // namespace nfp::telemetry

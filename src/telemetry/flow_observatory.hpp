@@ -1,0 +1,404 @@
+// Flow observatory: who the traffic is, where it is dropped, and what each
+// tenant graph receives.
+//
+// The scalability profiler (PR 6) attributes lost throughput and the
+// latency observatory (PR 7) lost microseconds; this layer attributes the
+// *traffic* itself — the missing axis behind NFP's traffic-steering story
+// (paper §4: the classifier steers flows across per-policy service graphs)
+// and the multi-tenant setting of the cloud-NFV follow-ups. Three signals:
+//
+//   * heavy hitters — a Space-Saving top-K table per shard keyed by the
+//     5-tuple, counting packets + bytes (PacketByteCount, the same unit as
+//     the Monitor NF). Space-Saving guarantees every flow with true count
+//     > N/K is present and each entry over-counts by at most its recorded
+//     `error` (bounded by N/K for N packets and K slots); tables merge
+//     associatively across shards by summing per-key counts — and because
+//     the director shards flows disjointly (RSS), the cross-shard merge of
+//     the per-shard tables is exactly the single-table result.
+//   * flow churn — active-flow cardinality via a 256-register HyperLogLog
+//     (standard error 1.04/sqrt(256) ≈ 6.5%, registers merge by max) plus a
+//     new-flow counter (a packet whose flow is absent from the shard's
+//     heavy-hitter table; exact until the table evicts, approximate after).
+//   * a drop-reason taxonomy — every packet the dataplane loses carries a
+//     DropReason (sum over reasons == dropped, exactly; a test enforces
+//     it), counted per shard and sampled into a bounded exemplar ring
+//     (5-tuple, stage, reason, timestamp) for "which flow was hit" triage.
+//
+// Plus per-service-graph (tenant) accounting: pps/bytes/drops and the p99
+// of the latency observatory's total stage, per graph steered by the
+// LiveClassificationTable.
+//
+// Recording contract: the shard worker aggregates packets thread-locally
+// into an open-addressed (flow, graph) table and folds whole epochs into
+// the shard's accountant under one uncontended mutex acquisition —
+// preferentially during idle streaks so the fold overlaps starvation
+// rather than displacing forwarding, with a ~64Ki-packet staleness
+// backstop under sustained saturation. The sketches never see per-packet
+// locking, and scrape threads touch the same mutex only at report time. Drop counters are relaxed atomics (drops are the cold
+// path). The director's flow hash is reused for every key, so accounting
+// adds no reparse; bench_hotpath_throughput's flow32-acct/noacct pair
+// gates the enabled cost at 5%.
+//
+// Surfaces: /flows.json, flows_active / flow_new_rate / hh_top1_share /
+// drops_<reason>_total probes (republished as Prometheus gauges), the
+// `nfp_cli top` flows panel and the `nfp_cli flows` zipf elephant/mice
+// workload.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "flow/flow_counters.hpp"
+#include "telemetry/latency_observatory.hpp"
+
+namespace nfp::telemetry {
+
+class TimeseriesCollector;
+
+// Why the dataplane lost a packet. kCount is the array bound.
+enum class DropReason : unsigned {
+  kRingFull = 0,     // director RX ring full under drop_on_ingest_backpressure
+  kPoolExhausted,    // packet-pool alloc/clone failure (fanout copies, feeds)
+  kNfVerdict,        // an NF (or the merge drop-resolution) said kDrop
+  kClassifierMiss,   // CT verdict was the drop graph (kDropGraph)
+  kMergeOverflow,    // merge accumulation failed (defensive; not reachable
+                     // today — MergeTable grows instead of dropping)
+  kShutdownDrain,    // frame offered while the plane was not running
+  kCount,
+};
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kCount);
+
+// Stable snake_case names used in JSON, tables and probe suffixes.
+const char* drop_reason_name(DropReason r) noexcept;
+
+// ---------------------------------------------------------------------------
+// Sketches.
+
+// Space-Saving heavy-hitter table (Metwally et al.): at most `capacity`
+// monitored flows; a new flow arriving at a full table replaces the current
+// minimum and inherits its count as `error`. Guarantees: every flow with
+// true count > N/capacity is present, and for every entry
+// true_count <= packets <= true_count + error. Single-threaded; the
+// accountant serializes access.
+class SpaceSaving {
+ public:
+  struct Entry {
+    FiveTuple tuple{};
+    u64 hash = 0;
+    PacketByteCount count;  // packets is the Space-Saving counter
+    u64 error = 0;          // max over-count inherited at replacement
+  };
+
+  explicit SpaceSaving(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    map_.reserve(capacity_ * 2);
+  }
+
+  // An unmonitored flow waiting to displace the table minimum.
+  struct Candidate {
+    FiveTuple tuple{};
+    u64 hash = 0;
+    u64 packets = 0;
+    u64 bytes = 0;
+  };
+
+  // True when the flow currently holds a slot (the new-flow heuristic).
+  bool contains(u64 hash) const { return map_.contains(hash); }
+
+  // Hit path: adds to an already-monitored flow. False when absent — the
+  // caller batches the miss into a replace_min_batch() call.
+  bool increment(u64 hash, u64 packets, u64 bytes) {
+    const auto it = map_.find(hash);
+    if (it == map_.end()) return false;
+    it->second.count.packets += packets;
+    it->second.count.bytes += bytes;
+    return true;
+  }
+
+  // Miss path: classic Space-Saving replacement for a batch of candidates
+  // — each fills a free slot or displaces the then-current minimum,
+  // inheriting its count as `error`. Batching lets one O(K) scratch-heap
+  // build serve every replacement of an epoch (exact sequential semantics:
+  // no increments interleave within a batch).
+  void replace_min_batch(std::span<const Candidate> misses);
+
+  // Returns true when the flow was not previously monitored. Convenience
+  // single-sample form of increment + replace_min_batch.
+  bool record(const FiveTuple& tuple, u64 hash, u64 packets, u64 bytes);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::vector<Entry> entries() const;  // unsorted
+
+ private:
+  struct HeapSlot {
+    u64 packets = 0;
+    u64 hash = 0;
+  };
+
+  std::size_t capacity_;
+  // Keyed by the 64-bit flow hash (a collision merges two flows into one
+  // entry — acceptable for a sketch, vanishing at these table sizes).
+  std::unordered_map<u64, Entry> map_;
+  std::vector<HeapSlot> scratch_heap_;  // rebuilt per replace_min_batch
+};
+
+// Sums entry lists by flow hash, sorts by descending packets and truncates
+// to `capacity` — the associative cross-shard merge. With disjoint key sets
+// (RSS sharding) this is exact.
+std::vector<SpaceSaving::Entry> merge_topk(
+    std::span<const std::vector<SpaceSaving::Entry>> tables,
+    std::size_t capacity);
+
+// 256-register HyperLogLog over the 64-bit flow hash: top 8 bits pick the
+// register, the leading-zero rank of the rest updates it. Standard error
+// 1.04/sqrt(256) ≈ 6.5%; registers merge by element-wise max.
+class HyperLogLog {
+ public:
+  static constexpr std::size_t kRegisters = 256;
+  using Registers = std::array<u8, kRegisters>;
+
+  void add(u64 hash) noexcept {
+    const std::size_t idx = static_cast<std::size_t>(hash >> 56);
+    const u64 rest = hash << 8;
+    const u8 rank =
+        rest == 0 ? 57 : static_cast<u8>(std::countl_zero(rest) + 1);
+    if (rank > regs_[idx]) regs_[idx] = rank;
+  }
+
+  const Registers& registers() const noexcept { return regs_; }
+
+  // Cardinality estimate with the standard small-range (linear counting)
+  // correction; the 64-bit hash makes large-range correction moot.
+  static double estimate(const Registers& regs) noexcept;
+
+ private:
+  Registers regs_{};
+};
+
+// ---------------------------------------------------------------------------
+// Drop exemplars.
+
+// One sampled drop: enough to answer "which flow, where, why, when".
+struct DropExemplar {
+  FiveTuple tuple{};
+  bool tuple_valid = false;
+  DropReason reason = DropReason::kNfVerdict;
+  std::string stage;  // "director", "feeder", "nf:firewall#2", "merger", ...
+  u64 when_ns = 0;    // mono_now_ns at the drop
+};
+
+// Bounded ring of recent drops, written from any dataplane thread (drops
+// are the cold path, so a plain mutex is fine) and snapshotted at scrape.
+class DropExemplarRing {
+ public:
+  explicit DropExemplarRing(std::size_t capacity = 64)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void record(DropReason reason, const char* stage, const FlowRef* flow,
+              u64 when_ns);
+  std::vector<DropExemplar> snapshot() const;  // oldest first
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DropExemplar> ring_;
+  std::size_t next_ = 0;
+  u64 total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Per-shard recording + scrape-time snapshots.
+
+// One packet's contribution, pre-aggregated per burst by the shard worker
+// (same-flow packets within a burst collapse into one sample).
+struct FlowSample {
+  FiveTuple tuple{};
+  u64 hash = 0;
+  u32 graph = kNoGraph;  // kNoGraph: no graph attribution (classifier drop)
+  u32 packets = 0;
+  u64 bytes = 0;
+  bool tuple_valid = false;
+
+  static constexpr u32 kNoGraph = ~u32{0};
+};
+
+// Per-graph (tenant) accounting: traffic in the shared counting unit plus
+// drops and the latency observatory's total-stage histogram for that
+// graph's pipelines.
+struct GraphFlowCounters {
+  PacketByteCount traffic;
+  u64 drops = 0;
+  HdrSnapshot latency;  // total stage; empty unless latency sampling is on
+
+  GraphFlowCounters& operator+=(const GraphFlowCounters& other) noexcept {
+    traffic += other.traffic;
+    drops += other.drops;
+    latency += other.latency;
+    return *this;
+  }
+};
+
+// Scrape-time aggregate for one shard. Mergeable across shards
+// (operator+=): counters add, HLL registers max, top-K tables merge by key.
+struct ShardFlowSnapshot {
+  std::vector<SpaceSaving::Entry> topk;
+  std::size_t topk_capacity = 0;
+  HyperLogLog::Registers hll{};
+  u64 packets = 0;
+  u64 bytes = 0;
+  u64 new_flows = 0;
+  std::array<u64, kDropReasonCount> drops{};
+  std::vector<DropExemplar> exemplars;
+  std::vector<GraphFlowCounters> graphs;
+
+  u64 total_drops() const noexcept;
+  ShardFlowSnapshot& operator+=(const ShardFlowSnapshot& other);
+};
+
+// The per-shard recording half: owned by the sharded dataplane, written by
+// the shard's worker (record_burst, one mutex acquisition per burst) and by
+// any thread that drops a packet (record_drop, atomics + exemplar ring).
+class ShardFlowAccountant {
+ public:
+  ShardFlowAccountant(std::size_t topk_capacity, std::size_t graph_count,
+                      std::size_t exemplar_capacity = 64);
+
+  // Folds one burst's deduped samples into the sketches. Worker thread.
+  void record_burst(std::span<const FlowSample> samples);
+
+  // Counts a drop and samples it into the exemplar ring. Any thread.
+  void record_drop(DropReason reason, const char* stage, const FlowRef* flow,
+                   u64 when_ns);
+
+  // Exemplar ring shared with this shard's pipelines (they record their
+  // own drop reasons but sample exemplars into the shard's ring).
+  DropExemplarRing& exemplars() noexcept { return exemplars_; }
+
+  u64 drops(DropReason r) const noexcept {
+    return drops_[static_cast<std::size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
+
+  // Sketch + counter snapshot (graphs carry traffic only; the dataplane
+  // folds pipeline drops and latency in on top).
+  ShardFlowSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  SpaceSaving topk_;
+  std::vector<SpaceSaving::Candidate> miss_scratch_;  // reused per burst
+  HyperLogLog hll_;
+  u64 packets_ = 0;
+  u64 bytes_ = 0;
+  u64 new_flows_ = 0;
+  std::vector<PacketByteCount> graphs_;
+  std::array<std::atomic<u64>, kDropReasonCount> drops_{};
+  DropExemplarRing exemplars_;
+};
+
+// ---------------------------------------------------------------------------
+// Report + observatory.
+
+struct FlowReport {
+  struct Shard {
+    std::string name;
+    ShardFlowSnapshot d;  // counters are deltas since baseline; sketches
+                          // are cumulative (sketches do not subtract)
+  };
+
+  std::vector<Shard> shards;
+  ShardFlowSnapshot total;  // cross-shard merge of the deltas
+  double wall_seconds = 0;
+  std::size_t top_k = 10;  // entries rendered in to_json/to_text
+
+  double flows_active() const noexcept {
+    return HyperLogLog::estimate(total.hll);
+  }
+  double new_flow_rate() const noexcept {
+    return wall_seconds > 0
+               ? static_cast<double>(total.new_flows) / wall_seconds
+               : 0.0;
+  }
+  // Fraction of all counted packets attributed to the top-1 flow.
+  double hh_top1_share() const noexcept;
+  u64 total_drops() const noexcept { return total.total_drops(); }
+
+  std::string to_json() const;
+  // Terminal rendering: top-K table, churn line, drop-reason table,
+  // per-graph accounting.
+  std::string to_text() const;
+  // Native exposition for the flow counters (the probe-derived gauges
+  // cover the rest): nfp_flow_drops_total{reason=...,shard=...} counters
+  // plus nfp_flow_packets_total / nfp_flow_bytes_total per shard.
+  std::string to_prometheus() const;
+};
+
+struct FlowObservatoryOptions {
+  std::size_t top_k = 10;          // rendered entries
+  std::function<u64()> clock;      // ns; defaults to mono_now_ns
+};
+
+// Registry of per-shard snapshot callbacks + a counter baseline, mirroring
+// LatencyObservatory: add_shard/reset_baseline/report serialize on an
+// internal mutex; callbacks read dataplane-owned state that is safe to
+// scrape mid-run.
+class FlowObservatory {
+ public:
+  using Options = FlowObservatoryOptions;
+  using SnapshotFn = std::function<ShardFlowSnapshot()>;
+
+  explicit FlowObservatory(Options options = {});
+
+  void add_shard(std::string name, SnapshotFn fn);
+  std::size_t shard_count() const;
+
+  // Re-zeroes the counter baseline (packets/bytes/new_flows/drops/graphs
+  // and the exemplar-time floor). Sketches are cumulative by nature. Call
+  // after start() so warm-up traffic is excluded.
+  void reset_baseline();
+
+  FlowReport report() const;
+  std::string to_json() const { return report().to_json(); }
+
+  // Publishes flows_active, flow_new_rate (per-second, between collector
+  // refreshes), hh_top1_share and drops_<reason>_total probes. One
+  // underlying report per collector tick via the shared 200ms cache.
+  void register_probes(TimeseriesCollector& collector);
+
+ private:
+  struct Source {
+    std::string name;
+    SnapshotFn fn;
+    ShardFlowSnapshot baseline;
+  };
+
+  struct ProbeCache {
+    FlowReport report;
+    u64 stamp_ns = 0;
+    double new_flow_rate = 0;  // between-refresh rate for the probe
+    u64 prev_new_flows = 0;
+    u64 prev_stamp_ns = 0;
+  };
+
+  FlowReport report_locked() const;
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::vector<Source> sources_;
+  u64 baseline_ns_ = 0;
+  std::shared_ptr<ProbeCache> probe_cache_;
+};
+
+}  // namespace nfp::telemetry

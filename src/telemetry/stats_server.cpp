@@ -19,6 +19,7 @@
 #include "telemetry/exporters.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/health_sampler.hpp"
+#include "telemetry/flow_observatory.hpp"
 #include "telemetry/latency_observatory.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scalability_profiler.hpp"
@@ -308,6 +309,15 @@ void register_standard_endpoints(StatsServer& server,
     server.handle("/latency.json", [latency] {
       return StatsServer::Response{200, "application/json",
                                    latency->to_json()};
+    });
+  }
+  if (sources.flows != nullptr) {
+    const FlowObservatory* flows = sources.flows;
+    // Internally synchronized; snapshot callbacks lock per-shard
+    // accountants only while copying.
+    server.handle("/flows.json", [flows] {
+      return StatsServer::Response{200, "application/json",
+                                   flows->to_json()};
     });
   }
   if (sources.tracer != nullptr) {

@@ -9,6 +9,7 @@
 //   GET /timeseries.json  TimeseriesCollector histories + derived rates
 //   GET /scalability.json per-shard lost-pps attribution (ScalabilityReport)
 //   GET /latency.json     stage-resolved tail-latency report (LatencyReport)
+//   GET /flows.json       heavy hitters, churn, drop taxonomy (FlowReport)
 //   GET /profile.json     critical-path attribution (CriticalPathReport)
 //   GET /recorder.json    flight-recorder window (most recent events)
 //   GET /trace.json       Chrome trace-event JSON (load in ui.perfetto.dev)
@@ -48,6 +49,7 @@ class Watchdog;
 class TimeseriesCollector;
 class ScalabilityProfiler;
 class LatencyObservatory;
+class FlowObservatory;
 
 class StatsServer {
  public:
@@ -114,6 +116,9 @@ struct EndpointSources {
   // Serves /latency.json (stage-resolved tail latency). Internally
   // synchronized like the profiler.
   const LatencyObservatory* latency = nullptr;
+  // Serves /flows.json (heavy hitters, flow churn, drop-reason taxonomy,
+  // per-graph tenant accounting). Internally synchronized.
+  const FlowObservatory* flows = nullptr;
   // Held by handlers that iterate structurally-mutable state; share it
   // with whatever thread creates new series / records spans.
   std::mutex* mu = nullptr;

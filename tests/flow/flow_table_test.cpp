@@ -1,0 +1,140 @@
+// Tests for the bounded LRU flow table: insert/lookup semantics, LRU
+// eviction at capacity, erase/clear, MRU iteration order, and a
+// differential check against std::unordered_map as the reference model
+// (while the table stays under capacity, the two must agree exactly).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "flow/flow_table.hpp"
+#include "packet/headers.hpp"
+
+namespace nfp {
+namespace {
+
+FiveTuple tuple(std::size_t flow) {
+  return FiveTuple{0x0A000000 + static_cast<u32>(flow),
+                   0x0B000000 + static_cast<u32>(flow % 7),
+                   static_cast<u16>(10'000 + flow),
+                   static_cast<u16>(80 + flow % 2), kProtoTcp};
+}
+
+u64 splitmix(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(FlowTableTest, InsertAndLookup) {
+  FlowTable<u64> table(16);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.peek(tuple(1)), nullptr);
+
+  table.get_or_create(tuple(1)) = 42;
+  ASSERT_NE(table.peek(tuple(1)), nullptr);
+  EXPECT_EQ(*table.peek(tuple(1)), 42u);
+  EXPECT_EQ(table.size(), 1u);
+
+  // get_or_create on an existing key returns the same slot.
+  table.get_or_create(tuple(1)) += 1;
+  EXPECT_EQ(*table.peek(tuple(1)), 43u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.evictions(), 0u);
+}
+
+TEST(FlowTableTest, EvictsLeastRecentlyUsedAtCapacity) {
+  FlowTable<u64> table(3);
+  table.get_or_create(tuple(0)) = 0;
+  table.get_or_create(tuple(1)) = 1;
+  table.get_or_create(tuple(2)) = 2;
+  // Touch flow 0 so flow 1 becomes the LRU victim.
+  table.get_or_create(tuple(0));
+  table.get_or_create(tuple(3)) = 3;
+
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.peek(tuple(1)), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(table.peek(tuple(0)), nullptr);
+  EXPECT_NE(table.peek(tuple(2)), nullptr);
+  EXPECT_NE(table.peek(tuple(3)), nullptr);
+}
+
+TEST(FlowTableTest, PeekDoesNotTouchLruOrder) {
+  FlowTable<u64> table(2);
+  table.get_or_create(tuple(0)) = 0;
+  table.get_or_create(tuple(1)) = 1;
+  // peek must not rescue flow 0 from eviction.
+  EXPECT_NE(table.peek(tuple(0)), nullptr);
+  table.get_or_create(tuple(2)) = 2;
+  EXPECT_EQ(table.peek(tuple(0)), nullptr);
+  EXPECT_NE(table.peek(tuple(1)), nullptr);
+}
+
+TEST(FlowTableTest, EraseAndClear) {
+  FlowTable<u64> table(8);
+  table.get_or_create(tuple(0)) = 0;
+  table.get_or_create(tuple(1)) = 1;
+  EXPECT_TRUE(table.erase(tuple(0)));
+  EXPECT_FALSE(table.erase(tuple(0)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.peek(tuple(0)), nullptr);
+
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.peek(tuple(1)), nullptr);
+}
+
+TEST(FlowTableTest, ForEachIteratesMostRecentFirst) {
+  FlowTable<u64> table(8);
+  table.get_or_create(tuple(0)) = 0;
+  table.get_or_create(tuple(1)) = 1;
+  table.get_or_create(tuple(2)) = 2;
+  table.get_or_create(tuple(1));  // touch: 1 becomes most recent
+
+  std::vector<u64> order;
+  table.for_each([&order](const FiveTuple&, const u64& v) {
+    order.push_back(v);
+  });
+  EXPECT_EQ(order, (std::vector<u64>{1, 2, 0}));
+}
+
+TEST(FlowTableTest, DifferentialAgainstUnorderedMap) {
+  // Under capacity the table must behave exactly like a plain map: a
+  // pseudo-random workload of inserts, increments and erases over a key
+  // space smaller than capacity never evicts, so the end states match.
+  constexpr std::size_t kKeys = 64;
+  FlowTable<u64> table(kKeys + 1);
+  std::unordered_map<u32, u64> model;
+
+  for (u64 i = 0; i < 20'000; ++i) {
+    const u64 r = splitmix(i);
+    const std::size_t f = r % kKeys;
+    if (r % 13 == 0) {
+      const bool erased = table.erase(tuple(f));
+      EXPECT_EQ(erased, model.erase(static_cast<u32>(f)) > 0) << "step " << i;
+    } else {
+      table.get_or_create(tuple(f)) += 1;
+      model[static_cast<u32>(f)] += 1;
+    }
+  }
+
+  EXPECT_EQ(table.evictions(), 0u);
+  EXPECT_EQ(table.size(), model.size());
+  for (const auto& [key, count] : model) {
+    const u64* got = table.peek(tuple(key));
+    ASSERT_NE(got, nullptr) << "flow " << key;
+    EXPECT_EQ(*got, count) << "flow " << key;
+  }
+  table.for_each([&model](const FiveTuple& key, const u64& count) {
+    const auto it = model.find(key.src_ip - 0x0A000000);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(it->second, count);
+  });
+}
+
+}  // namespace
+}  // namespace nfp

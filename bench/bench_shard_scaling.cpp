@@ -1,11 +1,17 @@
-// Sharded-dataplane scaling: aggregate wall-clock pps vs shard count.
+// Sharded-dataplane scaling: aggregate wall-clock pps vs shard count and
+// execution mode.
 //
 // Measures the full sharded path — flow-consistent director, per-shard
 // ingest rings, microflow-cache classification, pinned LivePipeline shards —
-// at 1/2/4/8 shards on two shapes:
+// at 1/2/4 shards in both execution modes on three shapes:
 //   par4   4 parallel monitors (copy fanout + 4-arrival merge per packet)
+//   seq4   4-hop monitor chain (pure hand-off cost — the shape where rtc's
+//          fused calls shed the most per-packet overhead)
 //   chain  vpn>monitor>lb sequential chain (per-packet AES — the compute-
 //          bound real-world case from the paper's §6.4 chains)
+// and modes:
+//   pipelined  thread-per-NF + rings + merger (the paper's deployment)
+//   rtc        fused run-to-completion on the shard worker's own core
 //
 // On a multi-core host the aggregate pps should grow near-linearly until
 // shards exceed cores; on a single-core container every shard time-slices
@@ -14,13 +20,14 @@
 //
 // Output: one table row and (with --json / NFP_BENCH_JSON) one JSON line
 // per series:
-//   {"bench":"shard_scaling","series":"par4/shards4","meta":{...},
+//   {"bench":"shard_scaling","series":"par4/rtc/shards4","meta":{...},
 //    "pps":...,"mf_hit_rate":...,"scaling_vs_1shard":...,
 //    "attribution":{"useful":...,...,"top_contention_source":"..."}}
-// The attribution block is the ScalabilityProfiler's aggregate bucket
-// shares for the run — the answer to *where* sub-linear series lost
-// their pps. scripts/check_hotpath_regression.py --bench shard_scaling
-// compares pps against bench/baselines/BENCH_shard_scaling.json in CI.
+// scaling_vs_1shard is relative to the same (shape, mode) at 1 shard. The
+// attribution block is the ScalabilityProfiler's aggregate bucket shares
+// for the run — the answer to *where* sub-linear series lost their pps.
+// scripts/check_hotpath_regression.py --bench shard_scaling compares pps
+// against bench/baselines/BENCH_shard_scaling.json in CI.
 //
 // Flags: --json, --packets=N (default 20000), --flows=N (default 256),
 //        --skew=uniform|zipf (flow-popularity model, default uniform).
@@ -64,6 +71,11 @@ ServiceGraph make_par4() {
   return bench::parallel_stage("monitor", 4, /*with_copy=*/true);
 }
 
+ServiceGraph make_seq4() {
+  return ServiceGraph::sequential(
+      "seq4", {"monitor", "monitor", "monitor", "monitor"});
+}
+
 ServiceGraph make_chain() {
   return ServiceGraph::sequential("chain", {"vpn", "monitor", "lb"});
 }
@@ -84,7 +96,7 @@ struct RunResult {
   std::string top_source;
 };
 
-RunResult run_series(const Shape& shape, std::size_t shards,
+RunResult run_series(const Shape& shape, ExecMode mode, std::size_t shards,
                      const std::vector<std::vector<u8>>& frames) {
   ShardedDataplaneOptions opts;
   opts.shards = shards;
@@ -92,6 +104,7 @@ RunResult run_series(const Shape& shape, std::size_t shards,
   opts.pipeline.magazine_size = 256;
   opts.pipeline.ring_depth = 1024;
   opts.pipeline.in_flight_window = 512;
+  opts.pipeline.exec_mode = mode;
   ShardedDataplane dp({shape.make()}, {}, opts);
 
   // Registered before start() (inside run()) so every accounting thread is
@@ -147,50 +160,58 @@ int main(int argc, char** argv) {
   const char* skew_name = skew == FlowSkew::kZipf ? "zipf" : "uniform";
 
   const auto frames = make_frames(packets, flows, skew);
-  const Shape shapes[] = {{"par4", make_par4}, {"chain", make_chain}};
-  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  const Shape shapes[] = {
+      {"par4", make_par4}, {"seq4", make_seq4}, {"chain", make_chain}};
+  const ExecMode modes[] = {ExecMode::kPipelined, ExecMode::kRtc};
+  const std::size_t shard_counts[] = {1, 2, 4};
 
   bench::print_header("Sharded dataplane scaling (aggregate wall-clock pps)");
   std::printf("online CPUs: %zu\n", online_cpu_count());
-  std::printf("%-16s %12s %10s %10s %8s   %-9s %s\n", "series", "pps",
+  std::printf("%-22s %12s %10s %10s %8s   %-9s %s\n", "series", "pps",
               "seconds", "mf_hit", "pinned", "scaling", "top contention");
 
   for (const Shape& shape : shapes) {
-    double base_pps = 0;
-    for (const std::size_t shards : shard_counts) {
-      const RunResult r = run_series(shape, shards, frames);
-      if (shards == 1) base_pps = r.pps;
-      const double scaling = base_pps > 0 ? r.pps / base_pps : 0;
-      char scale_buf[16];
-      std::snprintf(scale_buf, sizeof scale_buf, "%.2fx", scaling);
-      std::printf(
-          "%-16s %12.0f %10.3f %9.1f%% %8s   %-9s %s\n",
-          (std::string(shape.name) + "/shards" + std::to_string(shards))
-              .c_str(),
-          r.pps, r.seconds, r.mf_hit_rate * 100,
-          r.affinity_applied ? "yes" : "no", scale_buf,
-          r.top_source.empty() ? "-" : r.top_source.c_str());
-      if (json) {
+    for (const ExecMode mode : modes) {
+      const char* mode_name = exec_mode_name(mode);
+      double base_pps = 0;  // 1-shard pps of this (shape, mode)
+      for (const std::size_t shards : shard_counts) {
+        const RunResult r = run_series(shape, mode, shards, frames);
+        if (shards == 1) base_pps = r.pps;
+        const double scaling = base_pps > 0 ? r.pps / base_pps : 0;
+        char scale_buf[16];
+        std::snprintf(scale_buf, sizeof scale_buf, "%.2fx", scaling);
         std::printf(
-            "{\"bench\":\"shard_scaling\",\"series\":\"%s/shards%zu\","
-            "\"meta\":{\"bench\":\"shard_scaling\",\"timestamp\":\"%s\","
-            "\"knobs\":{\"shape\":\"%s\",\"shards\":%zu,\"flows\":%zu,"
-            "\"skew\":\"%s\",\"packets\":%zu,\"online_cpus\":%zu}},"
-            "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
-            "\"mf_hit_rate\":%.4f,\"affinity_applied\":%s,"
-            "\"scaling_vs_1shard\":%.3f,\"attribution\":{",
-            shape.name, shards, bench::iso8601_utc_now().c_str(), shape.name,
-            shards, flows, skew_name, packets, online_cpu_count(), r.pps,
-            static_cast<unsigned long long>(r.delivered), r.seconds,
-            r.mf_hit_rate, r.affinity_applied ? "true" : "false", scaling);
-        for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
-          std::printf("\"%s\":%.4f,",
-                      telemetry::cycle_bucket_name(
-                          static_cast<telemetry::CycleBucket>(b)),
-                      r.share[b]);
+            "%-22s %12.0f %10.3f %9.1f%% %8s   %-9s %s\n",
+            (std::string(shape.name) + "/" + mode_name + "/shards" +
+             std::to_string(shards))
+                .c_str(),
+            r.pps, r.seconds, r.mf_hit_rate * 100,
+            r.affinity_applied ? "yes" : "no", scale_buf,
+            r.top_source.empty() ? "-" : r.top_source.c_str());
+        if (json) {
+          std::printf(
+              "{\"bench\":\"shard_scaling\",\"series\":\"%s/%s/shards%zu\","
+              "\"meta\":{\"bench\":\"shard_scaling\",\"timestamp\":\"%s\","
+              "\"knobs\":{\"shape\":\"%s\",\"mode\":\"%s\",\"shards\":%zu,"
+              "\"flows\":%zu,\"skew\":\"%s\",\"packets\":%zu,"
+              "\"online_cpus\":%zu}},"
+              "\"pps\":%.1f,\"packets\":%llu,\"seconds\":%.4f,"
+              "\"mf_hit_rate\":%.4f,\"affinity_applied\":%s,"
+              "\"scaling_vs_1shard\":%.3f,\"attribution\":{",
+              shape.name, mode_name, shards, bench::iso8601_utc_now().c_str(),
+              shape.name, mode_name, shards, flows, skew_name, packets,
+              online_cpu_count(), r.pps,
+              static_cast<unsigned long long>(r.delivered), r.seconds,
+              r.mf_hit_rate, r.affinity_applied ? "true" : "false", scaling);
+          for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
+            std::printf("\"%s\":%.4f,",
+                        telemetry::cycle_bucket_name(
+                            static_cast<telemetry::CycleBucket>(b)),
+                        r.share[b]);
+          }
+          std::printf("\"top_contention_source\":\"%s\"}}\n",
+                      r.top_source.c_str());
         }
-        std::printf("\"top_contention_source\":\"%s\"}}\n",
-                    r.top_source.c_str());
       }
     }
   }

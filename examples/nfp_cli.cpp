@@ -124,6 +124,7 @@ int usage() {
                "[--flows=N]\n"
                "               [--skew=uniform|zipf] [--size=BYTES] "
                "[--serve=PORT]\n"
+               "               [--mode=pipelined|rtc|auto]\n"
                "       nfp_cli profile <policy-file> [--plane=nfp|onv|rtc] "
                "[--packets=N]\n"
                "               [--rate=PPS] [--size=BYTES] [--trace-every=N] "
@@ -135,10 +136,12 @@ int usage() {
                "[--packets=N]\n"
                "               [--flows=N] [--skew=uniform|zipf] "
                "[--size=BYTES] [--json]\n"
+               "               [--mode=pipelined|rtc|auto]\n"
                "       nfp_cli latency [policy-file] [--shards=N] "
                "[--packets=N] [--flows=N]\n"
                "               [--skew=uniform|zipf] [--size=BYTES] "
                "[--sample-every=N] [--json]\n"
+               "               [--mode=pipelined|rtc|auto]\n"
                "       nfp_cli flows [policy-file] [--shards=N] "
                "[--packets=N] [--flows=N]\n"
                "               [--skew=uniform|zipf] [--top=K] [--pool=N] "
@@ -424,6 +427,19 @@ bool flag_string(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+// Parses and validates a `--mode=` value — execution-mode selection shared
+// by live/scalability/latency. auto resolves per graph at pipeline
+// construction (sequential -> rtc, parallel -> pipelined).
+bool resolve_mode_flag(const std::string& text, ExecMode* out) {
+  if (const auto m = parse_exec_mode(text)) {
+    *out = *m;
+    return true;
+  }
+  std::fprintf(stderr, "unknown mode '%s' (pipelined|rtc|auto)\n",
+               text.c_str());
+  return false;
+}
+
 // Pass-all firewall factory shared by run/profile (synthetic ACL rules
 // would drop traffic-dependent subsets and obscure the per-component view).
 std::unique_ptr<NetworkFunction> pass_all_factory(const StageNf& nf) {
@@ -462,10 +478,10 @@ std::vector<std::vector<u8>> make_live_frames(u64 packets, u64 flows,
 void print_live_summary(ShardedDataplane& dp, const ShardedResult& res,
                         double seconds, u64 injected) {
   std::printf("live run: %llu frames, %zu shards (%zu online CPUs, "
-              "pinned=%s): delivered=%zu dropped=%llu",
+              "pinned=%s, mode=%s): delivered=%zu dropped=%llu",
               static_cast<unsigned long long>(injected), dp.shard_count(),
               online_cpu_count(), dp.affinity_applied() ? "yes" : "no",
-              res.outputs.size(),
+              exec_mode_name(dp.exec_mode()), res.outputs.size(),
               static_cast<unsigned long long>(res.dropped));
   if (seconds > 0) {
     std::printf(" %.0f pps", static_cast<double>(injected) / seconds);
@@ -509,6 +525,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 lat_every = 0;
   bool lat_every_set = false;
   std::string skew = "uniform";
+  std::string mode = "auto";
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
     if (flag_value(arg, "--lat-every", &lat_every)) {
@@ -518,7 +535,8 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
                flag_value(arg, "--flows", &flows) ||
                flag_value(arg, "--size", &frame_size) ||
                flag_value(arg, "--serve", &serve_port) ||
-               flag_string(arg, "--skew", &skew)) {
+               flag_string(arg, "--skew", &skew) ||
+               flag_string(arg, "--mode", &mode)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown live option '%s'\n", arg);
@@ -533,6 +551,8 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
     return usage();
   }
+  ExecMode exec_mode = ExecMode::kAuto;
+  if (!resolve_mode_flag(mode, &exec_mode)) return usage();
   if (packets == 0) packets = 1;
   if (flows == 0) flows = 1;
 
@@ -542,6 +562,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   ShardedDataplaneOptions opts;
   opts.shards = static_cast<std::size_t>(shards);
   opts.pipeline.latency_sample_every = static_cast<std::size_t>(lat_every);
+  opts.pipeline.exec_mode = exec_mode;
   ShardedDataplane dp({graph}, pass_all_factory, opts);
 
   if (serve_port == 0) {
@@ -570,6 +591,12 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   sampler.set_watchdog(&watchdog);
   dp.register_health(sampler, &watchdog);
 
+  // The resolved execution mode as a labeled one-hot gauge: dashboards and
+  // `nfp_cli top` read exec_mode_active{mode="..."} == 1 off /metrics.json.
+  registry
+      .gauge("exec_mode_active", {{"mode", exec_mode_name(dp.exec_mode())},
+                                  {"plane", "sharded"}})
+      .set(1);
   telemetry::Counter& injected =
       registry.counter("packets_injected_total", {{"plane", "sharded"}});
   telemetry::Counter& dropped_total =
@@ -636,11 +663,12 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", started.message().c_str());
     return 1;
   }
-  std::printf("live dataplane: %zu shards (%zu online CPUs) serving on "
-              "http://127.0.0.1:%u — /metrics /timeseries.json "
+  std::printf("live dataplane: %zu shards (%zu online CPUs, mode=%s) "
+              "serving on http://127.0.0.1:%u — /metrics /timeseries.json "
               "/scalability.json /latency.json /flows.json /healthz — "
               "`nfp_cli top --port=%u` for the dashboard, Ctrl-C to stop\n",
               dp.shard_count(), online_cpu_count(),
+              exec_mode_name(dp.exec_mode()),
               static_cast<unsigned>(server.port()),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
@@ -881,6 +909,9 @@ struct TopView {
   double drops_per_s = 0;
   double merge_wait_share = 0;
   u64 ticks = 0;
+  // Active execution mode from /metrics.json's exec_mode_active gauge;
+  // empty when the server does not publish one.
+  std::string exec_mode;
   std::map<std::string, double> util;       // component -> core_util
   std::map<std::string, double> p99_ns;     // nf -> nf_service_ns:p99
   std::map<std::string, double> p999_ns;    // nf -> nf_service_ns:p999
@@ -1061,6 +1092,9 @@ void render_top(const TopView& view, const std::string& health_body,
   std::printf("nfp top — 127.0.0.1:%llu   tick %llu   ",
               static_cast<unsigned long long>(port),
               static_cast<unsigned long long>(view.ticks));
+  if (!view.exec_mode.empty()) {
+    std::printf("mode %s   ", view.exec_mode.c_str());
+  }
   if (health_status == 200) {
     std::printf("healthy\n");
   } else {
@@ -1219,6 +1253,26 @@ int top_command(int argc, char** argv) {
       return 1;
     }
     TopView view = parse_top_view(doc.value());
+    // Optional: the active execution mode, published as the one-hot gauge
+    // exec_mode_active{mode="..."} == 1 on /metrics.json.
+    if (auto met = telemetry::http_get(static_cast<std::uint16_t>(port),
+                                       "/metrics.json");
+        met && met.value().status == 200) {
+      if (const auto mdoc = json::Value::parse(met.value().body); mdoc) {
+        if (const json::Value* gauges = mdoc.value().find("gauges");
+            gauges != nullptr && gauges->is_array()) {
+          for (const json::Value& g : gauges->items()) {
+            if (g.string_or("name", "") == "exec_mode_active" &&
+                g.number_or("value", 0) == 1.0) {
+              if (const json::Value* labels = g.find("labels");
+                  labels != nullptr) {
+                view.exec_mode = std::string(labels->string_or("mode", ""));
+              }
+            }
+          }
+        }
+      }
+    }
     // Optional: per-shard attribution. Older / non-sharded servers 404.
     if (auto scal = telemetry::http_get(static_cast<std::uint16_t>(port),
                                         "/scalability.json");
@@ -1302,6 +1356,7 @@ int scalability_command(int argc, char** argv) {
   u64 flows = 64;
   u64 frame_size = 256;
   std::string skew = "uniform";
+  std::string mode = "auto";
   bool want_json = false;
 
   // Optional policy file directly after the command; flags otherwise.
@@ -1331,7 +1386,8 @@ int scalability_command(int argc, char** argv) {
     } else if (flag_value(arg, "--packets", &packets) ||
                flag_value(arg, "--flows", &flows) ||
                flag_value(arg, "--size", &frame_size) ||
-               flag_string(arg, "--skew", &skew)) {
+               flag_string(arg, "--skew", &skew) ||
+               flag_string(arg, "--mode", &mode)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown scalability option '%s'\n", arg);
@@ -1342,6 +1398,8 @@ int scalability_command(int argc, char** argv) {
     std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
     return usage();
   }
+  ExecMode exec_mode = ExecMode::kAuto;
+  if (!resolve_mode_flag(mode, &exec_mode)) return usage();
   if (packets == 0) packets = 1;
   if (flows == 0) flows = 1;
 
@@ -1361,7 +1419,10 @@ int scalability_command(int argc, char** argv) {
   for (const std::size_t shards : shard_counts) {
     ShardedDataplaneOptions opts;
     opts.shards = shards;
+    opts.pipeline.exec_mode = exec_mode;
     ShardedDataplane dp({graph}, pass_all_factory, opts);
+    // The concrete mode (auto resolves per graph at construction).
+    const char* active_mode = exec_mode_name(dp.exec_mode());
 
     // Profiler before start() so perf_event inheritance covers the
     // dataplane threads; baseline after start() to exclude spawn cost.
@@ -1398,18 +1459,18 @@ int scalability_command(int argc, char** argv) {
         base_pps > 0 ? report.total_pps / base_pps : 0;
     if (want_json) {
       std::printf("{\"command\":\"scalability\",\"policy\":\"%s\","
-                  "\"shards\":%zu,\"packets\":%llu,\"flows\":%llu,"
-                  "\"skew\":\"%s\",\"online_cpus\":%zu,"
+                  "\"mode\":\"%s\",\"shards\":%zu,\"packets\":%llu,"
+                  "\"flows\":%llu,\"skew\":\"%s\",\"online_cpus\":%zu,"
                   "\"scaling_vs_first\":%.3f,\"report\":%s}\n",
-                  graph.name().c_str(), shards,
+                  graph.name().c_str(), active_mode, shards,
                   static_cast<unsigned long long>(packets),
                   static_cast<unsigned long long>(flows), skew.c_str(),
                   online_cpu_count(), scaling, report.to_json().c_str());
     } else {
-      std::printf("\n=== shards=%zu  (%.0f pps aggregate, %.2fx vs "
+      std::printf("\n=== shards=%zu mode=%s  (%.0f pps aggregate, %.2fx vs "
                   "shards=%zu) ===\n%s",
-                  shards, report.total_pps, scaling, shard_counts.front(),
-                  report.to_text().c_str());
+                  shards, active_mode, report.total_pps, scaling,
+                  shard_counts.front(), report.to_text().c_str());
     }
     std::fflush(stdout);
   }
@@ -1433,10 +1494,11 @@ ServiceGraph flatten_sequential(const ServiceGraph& graph) {
 int run_latency_plane(const ServiceGraph& graph,
                       const std::vector<std::vector<u8>>& frames,
                       std::size_t shards, std::size_t sample_every,
-                      telemetry::LatencyReport* out) {
+                      ExecMode exec_mode, telemetry::LatencyReport* out) {
   ShardedDataplaneOptions opts;
   opts.shards = shards;
   opts.pipeline.latency_sample_every = sample_every;
+  opts.pipeline.exec_mode = exec_mode;
   ShardedDataplane dp({graph}, pass_all_factory, opts);
 
   telemetry::LatencyObservatory::Options lat_options;
@@ -1593,6 +1655,7 @@ int latency_command(int argc, char** argv) {
   u64 frame_size = 256;
   u64 sample_every = 8;
   std::string skew = "uniform";
+  std::string mode = "auto";
   bool want_json = false;
 
   // Optional policy file directly after the command; the default workload
@@ -1618,7 +1681,8 @@ int latency_command(int argc, char** argv) {
                flag_value(arg, "--flows", &flows) ||
                flag_value(arg, "--size", &frame_size) ||
                flag_value(arg, "--sample-every", &sample_every) ||
-               flag_string(arg, "--skew", &skew)) {
+               flag_string(arg, "--skew", &skew) ||
+               flag_string(arg, "--mode", &mode)) {
       // parsed into the matching variable
     } else {
       std::fprintf(stderr, "unknown latency option '%s'\n", arg);
@@ -1629,6 +1693,8 @@ int latency_command(int argc, char** argv) {
     std::fprintf(stderr, "unknown skew '%s' (uniform|zipf)\n", skew.c_str());
     return usage();
   }
+  ExecMode exec_mode = ExecMode::kAuto;
+  if (!resolve_mode_flag(mode, &exec_mode)) return usage();
   if (packets == 0) packets = 1;
   if (flows == 0) flows = 1;
   if (shards == 0) shards = 1;
@@ -1647,12 +1713,12 @@ int latency_command(int argc, char** argv) {
   if (!want_json) {
     std::printf("latency experiment: '%s' (%s) vs sequential chain (%s), "
                 "%llu packets/plane, %llu flows, %s skew, %zu shards, "
-                "sampling 1/%llu flows\n",
+                "mode=%s, sampling 1/%llu flows\n",
                 graph.name().c_str(), graph.structure().c_str(),
                 chain.structure().c_str(),
                 static_cast<unsigned long long>(packets),
                 static_cast<unsigned long long>(flows), skew.c_str(),
-                static_cast<std::size_t>(shards),
+                static_cast<std::size_t>(shards), mode.c_str(),
                 static_cast<unsigned long long>(sample_every));
   }
 
@@ -1660,13 +1726,13 @@ int latency_command(int argc, char** argv) {
   telemetry::LatencyReport par_rep;
   if (const int rc = run_latency_plane(
           chain, frames, static_cast<std::size_t>(shards),
-          static_cast<std::size_t>(sample_every), &seq_rep);
+          static_cast<std::size_t>(sample_every), exec_mode, &seq_rep);
       rc != 0) {
     return rc;
   }
   if (const int rc = run_latency_plane(
           graph, frames, static_cast<std::size_t>(shards),
-          static_cast<std::size_t>(sample_every), &par_rep);
+          static_cast<std::size_t>(sample_every), exec_mode, &par_rep);
       rc != 0) {
     return rc;
   }
@@ -1688,13 +1754,15 @@ int latency_command(int argc, char** argv) {
   if (want_json) {
     std::printf("{\"command\":\"latency\",\"policy\":\"%s\","
                 "\"structure\":\"%s\",\"chain_structure\":\"%s\","
+                "\"mode\":\"%s\","
                 "\"shards\":%zu,\"packets\":%llu,\"flows\":%llu,"
                 "\"skew\":\"%s\",\"sample_every\":%llu,"
                 "\"sequential\":%s,\"parallel\":%s,"
                 "\"reduction_pct\":{\"p50\":%.1f,\"p99\":%.1f,"
                 "\"p999\":%.1f,\"mean\":%.1f}}\n",
                 graph.name().c_str(), graph.structure().c_str(),
-                chain.structure().c_str(), static_cast<std::size_t>(shards),
+                chain.structure().c_str(), mode.c_str(),
+                static_cast<std::size_t>(shards),
                 static_cast<unsigned long long>(packets),
                 static_cast<unsigned long long>(flows), skew.c_str(),
                 static_cast<unsigned long long>(sample_every),

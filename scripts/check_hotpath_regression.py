@@ -7,9 +7,22 @@ Usage:
       --current current.jsonl [--threshold 0.7] [--bench hotpath_throughput]
   check_hotpath_regression.py --merge-min run1.jsonl run2.jsonl ... > baseline.json
   check_hotpath_regression.py --overhead current.jsonl [--overhead-threshold 0.05]
+  check_hotpath_regression.py --burst-monotonic current.jsonl
 
 --bench selects which bench's rows to read (default hotpath_throughput;
-shard_scaling for bench_shard_scaling output).
+shard_scaling for bench_shard_scaling output). shard_scaling series are
+named `<shape>/<mode>/shards<N>` (e.g. par4/rtc/shards2) where mode is the
+execution mode — `pipelined` (thread-per-NF + rings + merger) or `rtc`
+(fused run-to-completion) — so each mode carries its own baseline and a
+regression in either path is caught independently.
+
+--burst-monotonic is a warn-level sanity gate on one hotpath run: for every
+`<base>/burst32` / `<base>/burst64` series pair, print WARN when the larger
+burst is slower. Burst 64 amortises ring and magazine hand-offs over twice
+the packets, so it should never lose to burst 32 except through scheduler
+noise — a consistent inversion usually means a batching path picked up
+per-packet work. Noise on small CI hosts is real, so this mode always
+exits 0; it flags, it does not fail.
 
 --overhead gates instrumentation cost: for every `<base>-acct` /
 `<base>-noacct` pair in one run of bench_hotpath_throughput, fail when the
@@ -92,7 +105,41 @@ def main():
                         help="check acct/noacct series pairs in one run")
     parser.add_argument("--overhead-threshold", type=float, default=0.05,
                         help="max tolerated accounting overhead (fraction)")
+    parser.add_argument("--burst-monotonic", metavar="RUN",
+                        help="warn when a burst64 series is slower than its "
+                             "burst32 sibling (always exits 0)")
     args = parser.parse_args()
+
+    if args.burst_monotonic:
+        current = load_series(args.burst_monotonic, args.bench)
+        pairs = []
+        for name in sorted(current):
+            if not name.endswith("/burst32"):
+                continue
+            sibling = name[: -len("32")] + "64"
+            if sibling in current:
+                pairs.append((name, sibling))
+        if not pairs:
+            print(f"error: no burst32/burst64 series pairs in "
+                  f"{args.burst_monotonic}", file=sys.stderr)
+            return 2
+        warned = 0
+        for b32_name, b64_name in pairs:
+            b32 = current[b32_name]["pps"]
+            b64 = current[b64_name]["pps"]
+            ratio = b64 / b32 if b32 > 0 else float("inf")
+            status = "ok" if ratio >= 1.0 else "WARN: burst64 slower"
+            print(f"{b64_name:24s} burst32={b32:12.0f} burst64={b64:12.0f} "
+                  f"ratio={ratio:5.2f}  {status}")
+            if ratio < 1.0:
+                warned += 1
+        if warned:
+            print(f"\n{warned}/{len(pairs)} shapes lose throughput at the "
+                  f"larger burst (warn-only: scheduler noise on small hosts "
+                  f"makes this gate advisory)")
+        else:
+            print(f"\nall {len(pairs)} shapes monotone in burst size")
+        return 0
 
     if args.overhead:
         current = load_series_lines(args.overhead, args.bench)

@@ -1,0 +1,54 @@
+// Per-segment fanout plan, shared by the pipelined LivePipeline and the
+// fused RtcExecutor.
+//
+// Entering a segment means distributing one upstream packet to the
+// segment's NFs: versions >= 2 with at least one consumer get a copy (full
+// or header-only per the segment's copy mask, the paper's §5.2 Header-Only
+// Copying), and versions shared by several NFs carry extra references.
+// Resolving that copy list and the per-version reference counts once at
+// construction keeps the per-packet path free of counting loops — both
+// executors walk the same precomputed plan.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/service_graph.hpp"
+
+namespace nfp {
+
+struct FanoutPlan {
+  struct Copy {
+    u8 version = 0;
+    bool full = false;
+  };
+  std::vector<Copy> copies;     // versions >= 2 with consumers
+  std::vector<u32> extra_refs;  // [version] -> consumers - 1
+  std::vector<u8> nf_version;   // [nf index] -> version consumed
+};
+
+inline FanoutPlan build_fanout_plan(const Segment& seg) {
+  FanoutPlan plan;
+  const auto versions = static_cast<std::size_t>(seg.num_versions);
+  std::vector<u32> consumers(versions + 1, 0);
+  for (const StageNf& nf : seg.nfs) {
+    const auto v = static_cast<std::size_t>(nf.version);
+    if (v >= 1 && v <= versions) ++consumers[v];
+    plan.nf_version.push_back(
+        static_cast<u8>(std::clamp<std::size_t>(v, 1, versions)));
+  }
+  plan.extra_refs.assign(versions + 1, 0);
+  for (std::size_t v = 1; v <= versions; ++v) {
+    if (consumers[v] == 0) continue;
+    plan.extra_refs[v] = consumers[v] - 1;
+    if (v >= 2) {
+      plan.copies.push_back(FanoutPlan::Copy{
+          static_cast<u8>(v),
+          seg.version_needs_full_copy(static_cast<u8>(v))});
+    }
+  }
+  return plan;
+}
+
+}  // namespace nfp

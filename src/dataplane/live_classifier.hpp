@@ -28,6 +28,7 @@
 #include "common/hash.hpp"
 #include "common/types.hpp"
 #include "flow/flow_table.hpp"
+#include "telemetry/owned_counter.hpp"
 
 namespace nfp {
 
@@ -112,8 +113,11 @@ class LiveClassificationTable {
 };
 
 // Per-shard exact-match microflow cache over the CT verdict. Owned and
-// touched by exactly one shard worker; the hit/miss counters are atomics
-// only so telemetry probes can read them from the sampler thread.
+// touched by exactly one shard worker; the hit/miss counters are
+// single-writer OwnedCounters — the worker bumps a plain shadow and
+// publishes with one relaxed store, so the per-packet hit path carries no
+// lock-prefixed RMW and each counter sits on its own cacheline, private to
+// the shard until a telemetry scrape folds it.
 class MicroflowCache {
  public:
   explicit MicroflowCache(const LiveClassificationTable& ct,
@@ -124,20 +128,19 @@ class MicroflowCache {
   std::size_t classify(const FiveTuple& flow) {
     const std::size_t* cached = table_.peek(flow);
     if (cached != nullptr) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.increment();
       // Refresh LRU position without a second hash walk being observable to
       // callers; get_or_create on a present key is the splice-only path.
       return table_.get_or_create(flow);
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.increment();
     // The miss path crosses into the mutex-guarded shared CT — the slow
     // path whose latency the scalability profiler attributes. Misses are
     // rare (first packet of a flow / post-invalidation), so two clock
     // reads here cost nothing on the steady-state path.
     const u64 t0 = telemetry::mono_now_ns();
     const std::size_t verdict = ct_.classify(flow);
-    miss_ns_.fetch_add(telemetry::mono_now_ns() - t0,
-                       std::memory_order_relaxed);
+    miss_ns_.add(telemetry::mono_now_ns() - t0);
     table_.get_or_create(flow) = verdict;
     return verdict;
   }
@@ -148,23 +151,17 @@ class MicroflowCache {
     const u64 v = ct_.version();
     if (v != seen_version_) {
       table_.clear();
-      ++invalidations_;
+      invalidations_.increment();
       seen_version_ = v;
     }
   }
 
-  u64 hits() const noexcept {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  u64 misses() const noexcept {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  u64 hits() const noexcept { return hits_.read(); }
+  u64 misses() const noexcept { return misses_.read(); }
   // Cumulative wall time the owning worker spent inside CT lookups on the
   // miss path (lock wait + rule scan).
-  u64 miss_ns() const noexcept {
-    return miss_ns_.load(std::memory_order_relaxed);
-  }
-  u64 invalidations() const noexcept { return invalidations_; }
+  u64 miss_ns() const noexcept { return miss_ns_.read(); }
+  u64 invalidations() const noexcept { return invalidations_.read(); }
   u64 evictions() const noexcept { return table_.evictions(); }
   std::size_t size() const noexcept { return table_.size(); }
   std::size_t capacity() const noexcept { return table_.capacity(); }
@@ -173,13 +170,15 @@ class MicroflowCache {
   const LiveClassificationTable& ct_;
   FlowTable<std::size_t> table_;
   u64 seen_version_ = 0;
-  u64 invalidations_ = 0;
-  // Own cacheline: the worker bumps these per packet while sampler/server
-  // threads read them; unaligned they share a line with the FlowTable's
-  // LRU bookkeeping and every telemetry scrape steals it from the worker.
-  alignas(kCacheLineSize) std::atomic<u64> hits_{0};
-  std::atomic<u64> misses_{0};
-  std::atomic<u64> miss_ns_{0};
+  // Worker-written, scrape-read; each on its own line (OwnedCounter is
+  // alignas(kCacheLineSize)) so a sampler read pulls one counter's line
+  // instead of stealing the FlowTable's LRU bookkeeping from the worker.
+  // invalidations_ included: it was previously a plain u64 read racily by
+  // sampler probes.
+  telemetry::OwnedCounter hits_;
+  telemetry::OwnedCounter misses_;
+  telemetry::OwnedCounter miss_ns_;
+  telemetry::OwnedCounter invalidations_;
 };
 
 // Parses the IPv4 5-tuple out of a raw Ethernet frame (the director needs

@@ -8,6 +8,7 @@
 #include "dataplane/live_classifier.hpp"
 #include "dataplane/merge_ops.hpp"
 #include "dataplane/merge_table.hpp"
+#include "dataplane/rtc_executor.hpp"
 #include "packet/packet_view.hpp"
 #include "ring/backoff.hpp"
 #include "telemetry/health_sampler.hpp"
@@ -17,6 +18,22 @@ namespace nfp {
 namespace {
 inline u64 sat_sub(u64 a, u64 b) noexcept { return a >= b ? a - b : 0; }
 }  // namespace
+
+const char* exec_mode_name(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kPipelined: return "pipelined";
+    case ExecMode::kRtc: return "rtc";
+    case ExecMode::kAuto: return "auto";
+  }
+  return "pipelined";
+}
+
+std::optional<ExecMode> parse_exec_mode(std::string_view name) noexcept {
+  if (name == "pipelined") return ExecMode::kPipelined;
+  if (name == "rtc") return ExecMode::kRtc;
+  if (name == "auto") return ExecMode::kAuto;
+  return std::nullopt;
+}
 
 LivePipeline::LivePipeline(
     ServiceGraph graph,
@@ -44,6 +61,24 @@ LivePipeline::LivePipeline(
   opts_.in_flight_window = std::clamp<std::size_t>(opts_.in_flight_window, 1,
                                                    opts_.ring_depth / 2);
 
+  // Resolve the execution mode. compat exists to reproduce the old
+  // pipelined hot path, so it pins the mode; auto fuses sequential graphs
+  // (rings would only add hand-off cost between single-consumer hops) and
+  // keeps parallel graphs pipelined, where cross-thread execution is the
+  // paper's actual mechanism.
+  if (opts_.per_packet_compat) {
+    opts_.exec_mode = ExecMode::kPipelined;
+  } else if (opts_.exec_mode == ExecMode::kAuto) {
+    opts_.exec_mode = graph_.is_sequential() ? ExecMode::kRtc
+                                             : ExecMode::kPipelined;
+  }
+  if (opts_.exec_mode == ExecMode::kRtc) {
+    rtc_ = std::make_unique<RtcExecutor>(graph_, factory, opts_, pool_,
+                                         &mag_refill_total_,
+                                         &mag_flush_total_);
+    return;
+  }
+
   int instance = 0;
   for (Segment& seg : graph_.segments()) {
     std::vector<LiveNf> nfs;
@@ -63,28 +98,10 @@ LivePipeline::LivePipeline(
       nfs.push_back(std::move(nf));
     }
     segments_.push_back(std::move(nfs));
-
     // Fanout plan: resolve the segment's copy list and reference counts
-    // once, instead of a vector + count_if per packet in enter_segment.
-    FanoutPlan plan;
-    const auto versions = static_cast<std::size_t>(seg.num_versions);
-    std::vector<u32> consumers(versions + 1, 0);
-    for (const StageNf& nf : seg.nfs) {
-      const auto v = static_cast<std::size_t>(nf.version);
-      if (v >= 1 && v <= versions) ++consumers[v];
-      plan.nf_version.push_back(
-          static_cast<u8>(std::clamp<std::size_t>(v, 1, versions)));
-    }
-    plan.extra_refs.assign(versions + 1, 0);
-    for (std::size_t v = 1; v <= versions; ++v) {
-      if (consumers[v] == 0) continue;
-      plan.extra_refs[v] = consumers[v] - 1;
-      if (v >= 2) {
-        plan.copies.push_back(FanoutPlan::Copy{
-            static_cast<u8>(v), seg.version_needs_full_copy(static_cast<u8>(v))});
-      }
-    }
-    fanout_.push_back(std::move(plan));
+    // once (fanout_plan.hpp, shared with RtcExecutor), instead of a
+    // vector + count_if per packet in enter_segment.
+    fanout_.push_back(build_fanout_plan(seg));
   }
   if (opts_.cycle_accounting) {
     for (auto& seg : segments_) {
@@ -512,6 +529,25 @@ void LivePipeline::merger_loop() {
   }
 }
 
+NetworkFunction* LivePipeline::nf(std::size_t segment, std::size_t index) {
+  if (rtc_ != nullptr) return rtc_->nf(segment, index);
+  return segments_.at(segment).at(index).impl.get();
+}
+
+u64 LivePipeline::dropped_by(telemetry::DropReason reason) const {
+  if (rtc_ != nullptr) return rtc_->dropped_by(reason);
+  return drop_reasons_[static_cast<std::size_t>(reason)].load(
+      std::memory_order_relaxed);
+}
+
+void LivePipeline::set_drop_exemplar_ring(telemetry::DropExemplarRing* ring) {
+  if (rtc_ != nullptr) {
+    rtc_->set_drop_exemplar_ring(ring);
+    return;
+  }
+  drop_exemplars_ = ring;
+}
+
 const LivePipeline::LiveNf* LivePipeline::worker_nf(std::size_t w) const {
   std::size_t i = 0;
   for (const auto& seg : segments_) {
@@ -523,6 +559,10 @@ const LivePipeline::LiveNf* LivePipeline::worker_nf(std::size_t w) const {
 }
 
 std::size_t LivePipeline::worker_count() const {
+  // RTC mode spawns no threads: there is nothing to heartbeat-watch here
+  // (in the sharded dataplane the shard worker's own heartbeat covers the
+  // inline execution).
+  if (rtc_ != nullptr) return 0;
   std::size_t n = 0;
   for (const auto& seg : segments_) n += seg.size();
   return n + 1;  // + merger
@@ -559,16 +599,19 @@ std::size_t LivePipeline::ring_depth_out(std::size_t w) const {
 }
 
 u64 LivePipeline::dropped_so_far() {
+  if (rtc_ != nullptr) return rtc_->dropped_so_far();
   const std::scoped_lock lock(result_mu_);
   return result_.dropped;
 }
 
 u64 LivePipeline::delivered_so_far() {
+  if (rtc_ != nullptr) return rtc_->delivered_so_far();
   const std::scoped_lock lock(result_mu_);
   return result_.outputs.size();
 }
 
 telemetry::ShardScalabilitySnapshot LivePipeline::scalability_snapshot() {
+  if (rtc_ != nullptr) return rtc_->scalability_snapshot();
   telemetry::ShardScalabilitySnapshot snap;
   auto fold = [&snap](const telemetry::CycleCounters* cycles) {
     if (cycles == nullptr) return;
@@ -596,6 +639,7 @@ telemetry::ShardScalabilitySnapshot LivePipeline::scalability_snapshot() {
 }
 
 telemetry::ShardLatencySnapshot LivePipeline::latency_snapshot() const {
+  if (rtc_ != nullptr) return rtc_->latency_snapshot();
   telemetry::ShardLatencySnapshot snap;
   auto fold = [&snap](const telemetry::StageLatencyBlock* block) {
     if (block == nullptr) return;
@@ -615,6 +659,7 @@ telemetry::ShardLatencySnapshot LivePipeline::latency_snapshot() const {
 }
 
 u64 LivePipeline::feeder_wait_ns() const {
+  if (rtc_ != nullptr) return rtc_->feeder_wait_ns();
   if (feeder_cycles_ == nullptr) return 0;
   u64 total = 0;
   for (std::size_t b = 0; b < telemetry::kCycleBucketCount; ++b) {
@@ -680,6 +725,7 @@ void LivePipeline::register_health(telemetry::HealthSampler& sampler,
 }
 
 Status LivePipeline::start() {
+  if (rtc_ != nullptr) return rtc_->start();
   RunState expected = RunState::kNew;
   if (!state_.compare_exchange_strong(expected, RunState::kRunning,
                                       std::memory_order_acq_rel)) {
@@ -701,6 +747,7 @@ Status LivePipeline::start() {
 }
 
 bool LivePipeline::feed(std::span<const u8> frame) {
+  if (rtc_ != nullptr) return rtc_->feed(frame);
   // Standalone sampling: no flow hash at this layer, so sample by pid.
   u64 origin = 0;
   if (opts_.latency_sample_every != 0 &&
@@ -712,6 +759,7 @@ bool LivePipeline::feed(std::span<const u8> frame) {
 
 bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns,
                                 const FlowRef* flow) {
+  if (rtc_ != nullptr) return rtc_->feed_stamped(frame, origin_ns, flow);
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
     return false;
   }
@@ -785,6 +833,7 @@ bool LivePipeline::feed_stamped(std::span<const u8> frame, u64 origin_ns,
 }
 
 LiveResult LivePipeline::drain() {
+  if (rtc_ != nullptr) return rtc_->drain();
   if (state_.load(std::memory_order_acquire) != RunState::kRunning) {
     LiveResult bad;
     bad.status = Status::error(

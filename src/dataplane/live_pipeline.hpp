@@ -29,12 +29,15 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/status.hpp"
+#include "dataplane/fanout_plan.hpp"
 #include "graph/service_graph.hpp"
 #include "nfs/nf.hpp"
 #include "packet/packet_magazine.hpp"
@@ -46,10 +49,32 @@
 
 namespace nfp {
 
+class RtcExecutor;
+
 namespace telemetry {
 class HealthSampler;
 class Watchdog;
 }  // namespace telemetry
+
+// How the compiled graph executes on the live dataplane:
+//   kPipelined  one thread per NF plus a merger, connected by SPSC burst
+//               rings — the paper's one-container-per-core deployment and
+//               the mode every PR up to now ran exclusively;
+//   kRtc        fused run-to-completion — the caller's thread walks the
+//               graph inline per packet (RtcExecutor): sequential hops are
+//               direct calls, parallel segments fused branch-sequences
+//               with an inline merge. No rings, no merger thread;
+//   kAuto       resolved per graph at construction: sequential graphs take
+//               kRtc (a pure win — the rings only added hand-off cost),
+//               graphs with parallel segments keep kPipelined, whose
+//               cross-thread execution is the paper's actual latency
+//               mechanism. DESIGN.md "Execution modes" has the full rule.
+enum class ExecMode : u8 { kPipelined = 0, kRtc = 1, kAuto = 2 };
+
+// "pipelined" / "rtc" / "auto" (kAuto only appears pre-resolution).
+const char* exec_mode_name(ExecMode mode) noexcept;
+// Parses the CLI spelling; nullopt for anything else.
+std::optional<ExecMode> parse_exec_mode(std::string_view name) noexcept;
 
 struct LiveResult {
   // Delivered packets in merger-completion order, as raw frames.
@@ -87,6 +112,10 @@ struct LivePipelineOptions {
   // Unsampled packets pay one zero-check branch per hop; sampled ones two
   // clock reads per NF hop (bench's lat32-acct/noacct pair gates the cost).
   std::size_t latency_sample_every = 0;
+  // Execution mode (see ExecMode above). kAuto resolves at construction;
+  // exec_mode() reports the resolved choice. per_packet_compat forces
+  // kPipelined — compat exists to reproduce the old pipelined hot path.
+  ExecMode exec_mode = ExecMode::kPipelined;
 };
 
 class LivePipeline {
@@ -132,11 +161,11 @@ class LivePipeline {
                     const FlowRef* flow = nullptr);
   LiveResult drain();
 
-  NetworkFunction* nf(std::size_t segment, std::size_t index) {
-    return segments_.at(segment).at(index).impl.get();
-  }
+  NetworkFunction* nf(std::size_t segment, std::size_t index);
 
   const LivePipelineOptions& options() const noexcept { return opts_; }
+  // The resolved execution mode (never kAuto after construction).
+  ExecMode exec_mode() const noexcept { return opts_.exec_mode; }
 
   // Health-instrumentation surface. Workers are indexed NFs-in-graph-order
   // first, then the merger last; all reads are safe from a sampler thread
@@ -157,16 +186,11 @@ class LivePipeline {
   // result also tags exactly one DropReason, so the sum over reasons
   // equals dropped_so_far() once the pipeline is drained (the flow
   // observatory's taxonomy invariant).
-  u64 dropped_by(telemetry::DropReason reason) const {
-    return drop_reasons_[static_cast<std::size_t>(reason)].load(
-        std::memory_order_relaxed);
-  }
+  u64 dropped_by(telemetry::DropReason reason) const;
   // Optional sink for sampled drop exemplars (5-tuple, stage, reason,
   // timestamp); the sharded dataplane points every pipeline of a shard at
   // the shard's ring. Call before start().
-  void set_drop_exemplar_ring(telemetry::DropExemplarRing* ring) {
-    drop_exemplars_ = ring;
-  }
+  void set_drop_exemplar_ring(telemetry::DropExemplarRing* ring);
   // Allocator-pressure counters: batch refills/flushes between the
   // per-thread magazines and the shared pool, and detected refcount
   // underflows. Exported via register_health for `nfp_cli top`.
@@ -244,19 +268,6 @@ class LivePipeline {
     std::unique_ptr<telemetry::StageLatencyBlock> lat_block;
   };
 
-  // Per-segment fanout plan, resolved once at construction (which versions
-  // need a copy, whether it is a full copy, and how many extra references
-  // each version carries) so enter_segment does no per-packet counting.
-  struct FanoutPlan {
-    struct Copy {
-      u8 version = 0;
-      bool full = false;
-    };
-    std::vector<Copy> copies;          // versions >= 2 with consumers
-    std::vector<u32> extra_refs;       // [version] -> consumers - 1
-    std::vector<u8> nf_version;        // [nf index] -> version consumed
-  };
-
   // Builds a thread's magazine wired to this pipeline's counters (and the
   // compat mutex in per-packet mode).
   PacketMagazine make_magazine();
@@ -298,6 +309,12 @@ class LivePipeline {
   ServiceGraph graph_;
   LivePipelineOptions opts_;
   PacketPool pool_;
+  // Set when the resolved mode is kRtc: the fused executor replaces the
+  // thread/ring machinery below wholesale (segments_ stays empty, no
+  // threads spawn) and every lifecycle/telemetry call delegates to it. The
+  // pool and magazine counters are shared, so health probes read the same
+  // cells in both modes.
+  std::unique_ptr<RtcExecutor> rtc_;
   std::vector<std::vector<LiveNf>> segments_;
   std::vector<FanoutPlan> fanout_;
   std::thread merger_thread_;

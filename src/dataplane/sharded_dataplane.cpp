@@ -121,9 +121,9 @@ ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
     sh.ring = std::make_unique<SpscRing<Packet*>>(opts_.ingest_ring_depth);
     sh.cache =
         std::make_unique<MicroflowCache>(ct_, opts_.microflow_capacity);
-    sh.received = std::make_unique<std::atomic<u64>>(0);
+    sh.received = std::make_unique<telemetry::OwnedCounter>();
     sh.heartbeat_ns = std::make_unique<std::atomic<u64>>(0);
-    sh.busy_ns = std::make_unique<std::atomic<u64>>(0);
+    sh.busy_ns = std::make_unique<telemetry::OwnedCounter>();
     sh.flows = std::make_unique<telemetry::ShardFlowAccountant>(
         opts_.heavy_hitter_capacity, graphs_.size(),
         opts_.drop_exemplar_capacity);
@@ -138,7 +138,7 @@ ShardedDataplane::ShardedDataplane(std::vector<ServiceGraph> graphs,
       sh.pipelines.push_back(
           std::make_unique<LivePipeline>(graphs_[g], factory, popts));
       sh.pipelines.back()->set_drop_exemplar_ring(&sh.flows->exemplars());
-      sh.graph_counts.push_back(std::make_unique<std::atomic<u64>>(0));
+      sh.graph_counts.push_back(std::make_unique<telemetry::OwnedCounter>());
     }
   }
 }
@@ -258,7 +258,7 @@ bool ShardedDataplane::feed(std::span<const u8> frame) {
                                    std::memory_order_relaxed);
     }
   }
-  sh.received->fetch_add(1, std::memory_order_relaxed);
+  sh.received->increment();
   return true;
 }
 
@@ -339,7 +339,7 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
         sh.ingest_pool->release(pkt);
         continue;
       }
-      sh.graph_counts[g]->fetch_add(1, std::memory_order_relaxed);
+      sh.graph_counts[g]->increment();
       if (opts_.flow_accounting &&
           !acc.add(flow, pkt->length(), static_cast<u32>(g))) {
         acc.flush(*sh.flows);
@@ -359,7 +359,7 @@ void ShardedDataplane::worker_loop(std::size_t shard_idx) {
     beat = telemetry::mono_now_ns();
     // busy_ns now spans the whole busy iteration (pop included — it is
     // work); the same interval feeds the useful bucket.
-    sh.busy_ns->fetch_add(beat - iter_start, std::memory_order_relaxed);
+    sh.busy_ns->add(beat - iter_start);
     acct.lap(beat, telemetry::CycleBucket::kUseful);
   }
 }
@@ -459,15 +459,15 @@ u64 ShardedDataplane::shard_misses(std::size_t s) const {
 }
 
 u64 ShardedDataplane::shard_received(std::size_t s) const {
-  return shards_.at(s).received->load(std::memory_order_relaxed);
+  return shards_.at(s).received->read();
 }
 
 u64 ShardedDataplane::shard_graph_count(std::size_t s, std::size_t g) const {
-  return shards_.at(s).graph_counts.at(g)->load(std::memory_order_relaxed);
+  return shards_.at(s).graph_counts.at(g)->read();
 }
 
 u64 ShardedDataplane::shard_busy_ns(std::size_t s) const {
-  return shards_.at(s).busy_ns->load(std::memory_order_relaxed);
+  return shards_.at(s).busy_ns->read();
 }
 
 u64 ShardedDataplane::shard_delivered(std::size_t s) {

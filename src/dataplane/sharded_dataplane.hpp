@@ -43,6 +43,7 @@
 #include "packet/packet_pool.hpp"
 #include "ring/spsc_ring.hpp"
 #include "telemetry/flow_observatory.hpp"
+#include "telemetry/owned_counter.hpp"
 
 namespace nfp {
 
@@ -132,6 +133,13 @@ class ShardedDataplane {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t graph_count() const noexcept { return graphs_.size(); }
 
+  // The execution mode graph g's pipelines resolved to (identical across
+  // shards — every shard runs the same graph under the same options). With
+  // exec_mode == kAuto in the options this reports the concrete choice.
+  ExecMode exec_mode(std::size_t g = 0) const {
+    return shards_.at(0).pipelines.at(g)->exec_mode();
+  }
+
   // True once every pin attempt across shard workers and pipeline threads
   // succeeded (requires pin_threads and a started dataplane; false in
   // containers that deny sched_setaffinity).
@@ -203,11 +211,17 @@ class ShardedDataplane {
     // Flow sketches + drop taxonomy; always present (drop reasons are not
     // optional), sketch recording gated by opts_.flow_accounting.
     std::unique_ptr<telemetry::ShardFlowAccountant> flows;
-    // Heap-allocated atomics: Shard lives in a vector.
-    std::unique_ptr<std::atomic<u64>> received;
+    // Heap-allocated (Shard lives in a vector; atomics are immovable).
+    // The hot progress counters are single-writer — received by the
+    // director, busy_ns/graph_counts by the shard worker — so they are
+    // OwnedCounters: plain shadow bump + relaxed publish instead of a
+    // lock-prefixed RMW per packet, each on its own cacheline so a scrape
+    // never steals a line the writer is about to dirty. heartbeat_ns stays
+    // a bare atomic: it is already a plain store per iteration.
+    std::unique_ptr<telemetry::OwnedCounter> received;
     std::unique_ptr<std::atomic<u64>> heartbeat_ns;
-    std::unique_ptr<std::atomic<u64>> busy_ns;
-    std::vector<std::unique_ptr<std::atomic<u64>>> graph_counts;
+    std::unique_ptr<telemetry::OwnedCounter> busy_ns;
+    std::vector<std::unique_ptr<telemetry::OwnedCounter>> graph_counts;
     // Cycle accounting (null when pipeline.cycle_accounting is off):
     // `cycles` is written by the shard worker, `director_cycles` by the
     // director when it waits on this shard's pool/ring — separate blocks,

@@ -195,11 +195,15 @@ class PacketPool {
   // a pop-repush of the same head slot cannot ABA a concurrent chain walk.
   alignas(kCacheLineSize) std::atomic<u64> free_head_{0};
   alignas(kCacheLineSize) std::atomic<std::size_t> free_count_{0};
-  // Diagnostic counters on their own line: free_count_ is hammered by
-  // every alloc/free batch, and the cold counters would otherwise ride
-  // (and bounce) that same cacheline for every telemetry read.
+  // Diagnostic counters each on their own line: free_count_ is hammered by
+  // every alloc/free batch, and the cold underflow counter would otherwise
+  // ride (and bounce) that same cacheline for every telemetry read.
+  // cas_retry_total_ is separated from underflow_total_ too — it is bumped
+  // on every lost head CAS, i.e. precisely when multiple threads are
+  // already fighting over the pool, the worst moment to share a line with
+  // a telemetry-read counter.
   alignas(kCacheLineSize) std::atomic<u64> underflow_total_{0};
-  std::atomic<u64> cas_retry_total_{0};
+  alignas(kCacheLineSize) std::atomic<u64> cas_retry_total_{0};
 };
 
 // Length in bytes of the region copied by Header-Only Copying. The paper

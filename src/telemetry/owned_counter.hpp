@@ -1,0 +1,40 @@
+// Single-writer, cacheline-private counter for hot-path telemetry.
+//
+// The sharded dataplane's per-packet counters (microflow hits, per-graph
+// classification tallies, director dispatch counts) are each written by
+// exactly one thread but read by sampler / profiler / stats-server threads.
+// A plain std::atomic fetch_add is a lock-prefixed RMW on every packet even
+// when uncontended; this counter keeps a plain shadow the owner bumps and
+// publishes it with one relaxed store (a plain MOV on x86). Readers load
+// the published value — monotone and tear-free, exactly as strong as the
+// relaxed fetch_add it replaces, without the RMW in the packet loop.
+//
+// alignas keeps each counter (shadow + published value) on its own line, so
+// a scrape pulls one line from the owner instead of invalidating neighbors
+// — the per-shard aggregated-at-scrape-time pattern of ROADMAP item 2.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace nfp::telemetry {
+
+class alignas(kCacheLineSize) OwnedCounter {
+ public:
+  // Owner thread only.
+  void add(u64 delta) noexcept {
+    shadow_ += delta;
+    value_.store(shadow_, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  // Any thread.
+  u64 read() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  u64 shadow_ = 0;
+  std::atomic<u64> value_{0};
+};
+
+}  // namespace nfp::telemetry

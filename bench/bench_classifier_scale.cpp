@@ -1,0 +1,188 @@
+// Classifier scaling: tuple-space search vs the linear scan it replaced.
+//
+// The paper's Classification Table is consulted on every microflow-cache
+// miss; this bench measures that lookup at 1k / 10k / 100k masked rules on
+// both the hit path (flows that match some rule) and the miss path (flows
+// matching nothing — the worst case, which must examine every candidate).
+// The old priority-ordered linear scan is kept (LinearCtScan) as the
+// baseline series, so the same binary both proves the speedup and
+// differential-checks the verdicts before timing anything.
+//
+// Expected shape: the linear series degrade ~linearly with rule count; the
+// tuple-space series stay near-flat because a lookup is bounded by the
+// distinct mask-signature count (56 here), not the rule count, with the
+// priority and LPM-prefix prunes cutting most tuples before they are
+// hashed. CI asserts miss/tuple at 100k rules is >= 20x miss/linear and
+// that tuple-space growth 1k -> 100k stays sublinear.
+//
+// The tuple-space series time LiveClassificationTable::classify — epoch
+// guard, acquire load and snapshot search — i.e. the real read path a shard
+// worker pays, not a bare data-structure probe.
+//
+// Output: one table row and (with --json / NFP_BENCH_JSON) one JSON line
+// per series:
+//   {"bench":"classifier_scale","series":"miss/tuple/rules100k",
+//    "meta":{...},"pps":<lookups per second>,"ns_per_lookup":...}
+// scripts/check_hotpath_regression.py --bench classifier_scale compares
+// the pps values against bench/baselines/BENCH_classifier_scale.json.
+//
+// Flags: --json, --max-rules=N (skip scales above N; local quick runs).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "dataplane/live_classifier.hpp"
+#include "dataplane/tuple_space_classifier.hpp"
+
+namespace nfp {
+namespace {
+
+constexpr std::size_t kGraphs = 4;
+constexpr u64 kRuleSeed = 7;
+
+// Flows that match some rule: take a random rule and fill every bit its
+// mask wildcards with noise, so the probe exercises real masking.
+std::vector<FiveTuple> make_hit_flows(const std::vector<CtRule>& rules,
+                                      std::size_t count, u64 seed) {
+  Rng rng(seed);
+  std::vector<FiveTuple> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const CtRule& r = rules[rng.bounded(rules.size())];
+    FiveTuple t;
+    t.src_ip = (r.src_ip & r.src_mask) |
+               (static_cast<u32>(rng.next()) & ~r.src_mask);
+    t.dst_ip = (r.dst_ip & r.dst_mask) |
+               (static_cast<u32>(rng.next()) & ~r.dst_mask);
+    t.src_port = r.match_src_port ? r.src_port
+                                  : static_cast<u16>(rng.bounded(65'536));
+    t.dst_port = r.match_dst_port ? r.dst_port
+                                  : static_cast<u16>(rng.bounded(65'536));
+    t.proto = r.match_proto ? r.proto : u8{6};
+    flows.push_back(t);
+  }
+  return flows;
+}
+
+// Flows that match nothing: every synthetic rule constrains src to within
+// 10.0.0.0/8, so 192.168/16 sources walk the entire candidate space.
+std::vector<FiveTuple> make_miss_flows(std::size_t count, u64 seed) {
+  Rng rng(seed);
+  std::vector<FiveTuple> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FiveTuple t;
+    t.src_ip = 0xC0A80000u | static_cast<u32>(rng.bounded(65'536));
+    t.dst_ip = 0x08080000u | static_cast<u32>(rng.bounded(65'536));
+    t.src_port = static_cast<u16>(rng.bounded(65'536));
+    t.dst_port = static_cast<u16>(rng.bounded(65'536));
+    t.proto = 6;
+    flows.push_back(t);
+  }
+  return flows;
+}
+
+struct Series {
+  double pps = 0;
+  double ns_per_lookup = 0;
+  u64 checksum = 0;  // defeats dead-code elimination; printed in meta
+};
+
+template <typename Classifier>
+Series time_lookups(const Classifier& classifier,
+                    const std::vector<FiveTuple>& flows, u64 lookups) {
+  u64 checksum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < lookups; ++i) {
+    checksum += classifier.classify(flows[i % flows.size()]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  Series s;
+  s.checksum = checksum;
+  s.pps = seconds > 0 ? static_cast<double>(lookups) / seconds : 0;
+  s.ns_per_lookup = s.pps > 0 ? 1e9 / s.pps : 0;
+  return s;
+}
+
+void emit(bool json, const std::string& series, std::size_t rule_count,
+          std::size_t tuple_count, const Series& s) {
+  std::printf("%-24s %14.0f %12.1f\n", series.c_str(), s.pps,
+              s.ns_per_lookup);
+  if (json) {
+    std::printf("{\"bench\":\"classifier_scale\",\"series\":\"%s\","
+                "\"meta\":{\"rules\":%zu,\"tuples\":%zu,\"checksum\":%llu,"
+                "\"timestamp\":\"%s\"},"
+                "\"pps\":%.0f,\"ns_per_lookup\":%.1f}\n",
+                series.c_str(), rule_count, tuple_count,
+                static_cast<unsigned long long>(s.checksum),
+                bench::iso8601_utc_now().c_str(), s.pps, s.ns_per_lookup);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace nfp
+
+int main(int argc, char** argv) {
+  using namespace nfp;
+  const bool json = bench::json_enabled(argc, argv);
+  std::size_t max_rules = 100'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-rules=", 12) == 0) {
+      max_rules = std::strtoull(argv[i] + 12, nullptr, 10);
+    }
+  }
+
+  bench::print_header("Classifier scaling: tuple-space vs linear scan");
+  std::printf("%-24s %14s %12s\n", "series", "lookups/s", "ns/lookup");
+
+  const std::size_t scales[] = {1'000, 10'000, 100'000};
+  for (const std::size_t rule_count : scales) {
+    if (rule_count > max_rules) continue;
+    const std::string suffix =
+        "/rules" + std::to_string(rule_count / 1'000) + "k";
+    const auto rules = synthetic_ct_rules(rule_count, kRuleSeed, kGraphs);
+
+    LiveClassificationTable tuple_table(kGraphs);
+    tuple_table.add_rules(rules);
+    LinearCtScan linear(kGraphs);
+    linear.add_rules(rules);
+
+    const auto hit_flows = make_hit_flows(rules, 4'096, 11);
+    const auto miss_flows = make_miss_flows(4'096, 13);
+
+    // Differential guard before timing: the optimized path must agree with
+    // the reference on every probe flow, drop verdicts included.
+    for (const auto& flows : {hit_flows, miss_flows}) {
+      for (const FiveTuple& f : flows) {
+        if (tuple_table.classify(f) != linear.classify(f)) {
+          std::fprintf(stderr, "BUG: verdict mismatch at %zu rules\n",
+                       rule_count);
+          return 1;
+        }
+      }
+    }
+
+    // The linear scan at 100k rules runs ~three orders of magnitude
+    // slower; scale its lookup count down so the bench stays a smoke test.
+    const u64 tuple_lookups = 400'000;
+    const u64 linear_lookups =
+        std::max<u64>(2'000, 50'000'000 / rule_count);
+
+    emit(json, "hit/tuple" + suffix, rule_count, tuple_table.tuple_count(),
+         time_lookups(tuple_table, hit_flows, tuple_lookups));
+    emit(json, "hit/linear" + suffix, rule_count, tuple_table.tuple_count(),
+         time_lookups(linear, hit_flows, linear_lookups));
+    emit(json, "miss/tuple" + suffix, rule_count, tuple_table.tuple_count(),
+         time_lookups(tuple_table, miss_flows, tuple_lookups));
+    emit(json, "miss/linear" + suffix, rule_count,
+         tuple_table.tuple_count(),
+         time_lookups(linear, miss_flows, linear_lookups));
+  }
+  return 0;
+}

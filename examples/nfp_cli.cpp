@@ -53,6 +53,11 @@
 //                      utilization and stage latency live
 //   --lat-every=N      sample every-Nth flow for stage latency (default 8
 //                      under --serve, 0 = off otherwise)
+//   --scenario=NAME    named traffic preset instead of the generated wave:
+//                      bursty | elephant-mice | syn-flood | ddos (ddos also
+//                      installs a CT drop rule for the attack subnet)
+//   --rules=N          preload N synthetic masked CT rules (classifier
+//                      scale testing; verdicts beyond graph range clamp)
 //
 // `profile` options (in addition to --packets/--rate/--size/--json):
 //   --plane=nfp|onv|rtc  which dataplane to profile (default nfp; onv/rtc
@@ -105,6 +110,8 @@
 #include "telemetry/scalability_profiler.hpp"
 #include "telemetry/stats_server.hpp"
 #include "telemetry/timeseries.hpp"
+#include "dataplane/tuple_space_classifier.hpp"
+#include "trafficgen/scenarios.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 namespace {
@@ -124,7 +131,8 @@ int usage() {
                "[--flows=N]\n"
                "               [--skew=uniform|zipf] [--size=BYTES] "
                "[--serve=PORT]\n"
-               "               [--mode=pipelined|rtc|auto]\n"
+               "               [--mode=pipelined|rtc|auto] "
+               "[--scenario=NAME] [--rules=N]\n"
                "       nfp_cli profile <policy-file> [--plane=nfp|onv|rtc] "
                "[--packets=N]\n"
                "               [--rate=PPS] [--size=BYTES] [--trace-every=N] "
@@ -516,6 +524,28 @@ void print_live_summary(ShardedDataplane& dp, const ShardedResult& res,
   }
 }
 
+// Sums the per-reason drop taxonomy over every shard and prints the
+// non-zero reasons — the line that shows a ddos scenario's attack share
+// dying at classification time (classifier_miss) rather than in an NF.
+void print_drop_reasons(ShardedDataplane& dp) {
+  std::array<u64, telemetry::kDropReasonCount> totals{};
+  for (std::size_t s = 0; s < dp.shard_count(); ++s) {
+    const telemetry::ShardFlowSnapshot snap = dp.flow_snapshot(s);
+    for (std::size_t r = 0; r < totals.size(); ++r) totals[r] += snap.drops[r];
+  }
+  std::printf("drop reasons:");
+  bool any = false;
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    if (totals[r] == 0) continue;
+    any = true;
+    std::printf(" %s=%llu",
+                telemetry::drop_reason_name(
+                    static_cast<telemetry::DropReason>(r)),
+                static_cast<unsigned long long>(totals[r]));
+  }
+  std::printf("%s\n", any ? "" : " none");
+}
+
 int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 shards = 0;
   u64 packets = 20'000;
@@ -523,9 +553,11 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   u64 frame_size = 256;
   u64 serve_port = 0;
   u64 lat_every = 0;
+  u64 synth_rules = 0;
   bool lat_every_set = false;
   std::string skew = "uniform";
   std::string mode = "auto";
+  std::string scenario_name;
   for (int i = 3; i < argc; ++i) {
     const char* arg = argv[i];
     if (flag_value(arg, "--lat-every", &lat_every)) {
@@ -535,7 +567,9 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
                flag_value(arg, "--flows", &flows) ||
                flag_value(arg, "--size", &frame_size) ||
                flag_value(arg, "--serve", &serve_port) ||
+               flag_value(arg, "--rules", &synth_rules) ||
                flag_string(arg, "--skew", &skew) ||
+               flag_string(arg, "--scenario", &scenario_name) ||
                flag_string(arg, "--mode", &mode)) {
       // parsed into the matching variable
     } else {
@@ -556,8 +590,26 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   if (packets == 0) packets = 1;
   if (flows == 0) flows = 1;
 
-  const auto frames =
-      make_live_frames(packets, flows, skew == "zipf", frame_size);
+  std::optional<Scenario> scenario;
+  if (!scenario_name.empty()) {
+    scenario = make_scenario(scenario_name, packets, 42);
+    if (!scenario) {
+      std::fprintf(stderr, "unknown scenario '%s' (", scenario_name.c_str());
+      const auto names = scenario_names();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        std::fprintf(stderr, "%s%s", i == 0 ? "" : "|", names[i].c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return usage();
+    }
+  }
+  std::vector<std::vector<u8>> frames;
+  if (scenario) {
+    frames.reserve(scenario->frames.size());
+    for (const auto& f : scenario->frames) frames.push_back(f.bytes);
+  } else {
+    frames = make_live_frames(packets, flows, skew == "zipf", frame_size);
+  }
 
   ShardedDataplaneOptions opts;
   opts.shards = static_cast<std::size_t>(shards);
@@ -565,9 +617,52 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
   opts.pipeline.exec_mode = exec_mode;
   ShardedDataplane dp({graph}, pass_all_factory, opts);
 
+  if (synth_rules > 0) {
+    dp.add_rules(
+        synthetic_ct_rules(static_cast<std::size_t>(synth_rules), 42,
+                           dp.graph_count()));
+    std::printf("preloaded %llu synthetic CT rules (%zu tuple-space masks)\n",
+                static_cast<unsigned long long>(synth_rules),
+                dp.classifier_tuple_count());
+  }
+  if (scenario && scenario->has_attack_subnet) {
+    // The scrubbing rule the scenario metadata asks for: everything from
+    // the attack subnet dies at classification time, before any NF runs.
+    CtRule drop;
+    drop.src_ip = scenario->attack_subnet;
+    drop.src_mask = scenario->attack_mask;
+    drop.priority = 1'000'000;  // outranks every synthetic filler rule
+    drop.graph = LiveClassificationTable::kDropGraph;
+    dp.add_rule(drop);
+  }
+  if (scenario) {
+    std::printf("scenario '%s': %s (%llu frames, ~%zu flows)\n",
+                scenario->name.c_str(), scenario->summary.c_str(),
+                static_cast<unsigned long long>(scenario->frames.size()),
+                scenario->flows);
+  }
+
   if (serve_port == 0) {
     const auto t0 = std::chrono::steady_clock::now();
-    const ShardedResult res = dp.run(frames);
+    ShardedResult res;
+    if (scenario) {
+      // Paced replay: honor the preset's inter-frame gaps (sleeping only
+      // for the macroscopic off-periods; sub-millisecond gaps are noise
+      // next to scheduler latency).
+      if (const Status st = dp.start(); !st.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", st.message().c_str());
+        return 1;
+      }
+      for (const auto& f : scenario->frames) {
+        if (f.gap_ns >= 1'000'000) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(f.gap_ns));
+        }
+        dp.feed({f.bytes.data(), f.bytes.size()});
+      }
+      res = dp.drain();
+    } else {
+      res = dp.run(frames);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     if (!res.status.is_ok()) {
       std::fprintf(stderr, "error: %s\n", res.status.message().c_str());
@@ -576,6 +671,7 @@ int live_dataplane(const ServiceGraph& graph, int argc, char** argv) {
     print_live_summary(dp, res,
                        std::chrono::duration<double>(t1 - t0).count(),
                        frames.size());
+    if (scenario || synth_rules > 0) print_drop_reasons(dp);
     return 0;
   }
 

@@ -10,7 +10,10 @@ Usage:
   check_hotpath_regression.py --burst-monotonic current.jsonl
 
 --bench selects which bench's rows to read (default hotpath_throughput;
-shard_scaling for bench_shard_scaling output). shard_scaling series are
+shard_scaling for bench_shard_scaling output, classifier_scale for
+bench_classifier_scale output — its series are named
+`<hit|miss>/<tuple|linear>/rules<N>k` and pps is classifier lookups per
+second). shard_scaling series are
 named `<shape>/<mode>/shards<N>` (e.g. par4/rtc/shards2) where mode is the
 execution mode — `pipelined` (thread-per-NF + rings + merger) or `rtc`
 (fused run-to-completion) — so each mode carries its own baseline and a

@@ -1,0 +1,88 @@
+// Epoch-based reclamation (EBR) for read-mostly snapshot structures.
+//
+// The pattern it serves: a writer builds an immutable snapshot, publishes
+// it through a raw `std::atomic<const T*>` (release store), and must free
+// the previous snapshot — but only once no reader can still be inside it.
+// Readers wrap each access in an `EpochDomain::Guard`; writers call
+// `synchronize()` after unpublishing, which returns once every reader that
+// was pinned before the call has unpinned. Readers never lock, never spin
+// and never write any shared line except their own cacheline-private slot;
+// writers (rare, off the hot path) absorb the whole cost of waiting.
+//
+// Memory-ordering contract (the part correctness hangs on):
+//
+//   reader:  slot.pinned = epoch (relaxed)
+//            atomic_thread_fence(seq_cst)              ... (A)
+//            p = live.load(acquire)  -> use *p
+//            slot.pinned = 0 (release)
+//
+//   writer:  live.store(next, release)
+//            epoch.fetch_add(1)
+//            atomic_thread_fence(seq_cst)              ... (B)
+//            for each slot: wait until pinned == 0 || pinned >= new epoch
+//            delete old
+//
+// The seq_cst fences order the reader's pin against the writer's scan the
+// way a Dekker store-load pair requires: if A precedes B in the global
+// seq_cst order, the scan observes the pin (with an epoch below the new
+// one) and waits; if B precedes A, the reader's `live.load` is bound to
+// observe `next` and the old snapshot was never reachable from that guard.
+// Either way the writer cannot free a snapshot a reader still holds. The
+// unpin's release store pairing with the scan's acquire load is what makes
+// the reader's last access happen-before the delete.
+//
+// Thread slots register themselves on a guard's first use from a thread and
+// return to a reuse pool at thread exit; the slot list only ever grows to
+// the high-water mark of concurrently live threads.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+struct EpochSlot;
+
+class EpochDomain {
+ public:
+  // Pins the calling thread for the guard's lifetime. Nestable: inner
+  // guards on the same thread reuse the outer pin (an older pinned epoch
+  // is strictly more conservative, so reusing it is always safe).
+  class Guard {
+   public:
+    Guard() : Guard(global()) {}
+    explicit Guard(EpochDomain& domain);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochSlot* slot_;
+  };
+
+  // The process-wide domain; snapshot tables share it (a grace period only
+  // ever over-waits when domains are shared, never under-waits).
+  static EpochDomain& global();
+
+  // Grace period: returns once every guard pinned before the call has been
+  // destroyed. Call after unpublishing an object, before freeing it. May
+  // block (bounded by the longest concurrent reader section, which for
+  // classifier lookups is sub-microsecond); never called on a read path.
+  void synchronize();
+
+  // Current epoch (diagnostics/tests).
+  u64 epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EpochSlot* slot_for_current_thread();
+
+  alignas(kCacheLineSize) std::atomic<u64> epoch_{1};
+  // Push-only registry of per-thread slots; nodes are never freed, exited
+  // threads' slots go back to a reuse pool via EpochSlot::in_use.
+  alignas(kCacheLineSize) std::atomic<EpochSlot*> head_{nullptr};
+};
+
+}  // namespace nfp

@@ -1,51 +1,86 @@
 #include "dataplane/live_classifier.hpp"
 
-#include <algorithm>
+#include <utility>
 
+#include "common/epoch.hpp"
 #include "packet/headers.hpp"
 
 namespace nfp {
 
+LiveClassificationTable::LiveClassificationTable(std::size_t graph_count)
+    : graph_count_(graph_count == 0 ? 1 : graph_count) {
+  snap_ = TupleSpaceClassifier::build(exact_, rules_, graph_count_);
+  live_.store(snap_.get(), std::memory_order_release);
+}
+
+LiveClassificationTable::~LiveClassificationTable() = default;
+
+std::shared_ptr<const TupleSpaceClassifier>
+LiveClassificationTable::publish_locked() {
+  auto next = TupleSpaceClassifier::build(exact_, rules_, graph_count_);
+  auto retired = std::exchange(snap_, std::move(next));
+  live_.store(snap_.get(), std::memory_order_release);
+  return retired;
+}
+
 void LiveClassificationTable::add_exact(const FiveTuple& flow,
                                         std::size_t graph) {
+  std::shared_ptr<const TupleSpaceClassifier> retired;
   {
-    const std::scoped_lock lock(mu_);
-    exact_[flow] = clamp_graph(graph);
+    const std::scoped_lock lock(writer_mu_);
+    exact_[flow] = graph;  // build() clamps
+    retired = publish_locked();
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
+  // Grace period: no reader can still be inside `retired` once this
+  // returns, so its destruction below is safe without reader locks.
+  EpochDomain::global().synchronize();
 }
 
 void LiveClassificationTable::add_rule(CtRule rule) {
-  rule.graph = clamp_graph(rule.graph);
+  std::shared_ptr<const TupleSpaceClassifier> retired;
   {
-    const std::scoped_lock lock(mu_);
+    const std::scoped_lock lock(writer_mu_);
     rules_.push_back(rule);
-    std::stable_sort(rules_.begin(), rules_.end(),
-                     [](const CtRule& a, const CtRule& b) {
-                       return a.priority > b.priority;
-                     });
+    retired = publish_locked();
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
+  EpochDomain::global().synchronize();
+}
+
+void LiveClassificationTable::add_rules(std::vector<CtRule> rules) {
+  if (rules.empty()) return;
+  std::shared_ptr<const TupleSpaceClassifier> retired;
+  {
+    const std::scoped_lock lock(writer_mu_);
+    rules_.insert(rules_.end(), rules.begin(), rules.end());
+    retired = publish_locked();
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  EpochDomain::global().synchronize();
 }
 
 std::size_t LiveClassificationTable::classify(const FiveTuple& flow) const {
-  const std::scoped_lock lock(mu_);
-  const auto it = exact_.find(flow);
-  if (it != exact_.end()) return it->second;
-  for (const CtRule& rule : rules_) {  // sorted by descending priority
-    if (rule.matches(flow)) return rule.graph;
-  }
-  return 0;
+  // Pin an epoch so the writer's grace period covers us, then search the
+  // snapshot the acquire load observes. No lock, no shared-line write
+  // beyond the thread's own epoch slot.
+  const EpochDomain::Guard guard;
+  return live_.load(std::memory_order_acquire)->classify(flow);
 }
 
 std::size_t LiveClassificationTable::exact_entries() const {
-  const std::scoped_lock lock(mu_);
+  const std::scoped_lock lock(writer_mu_);
   return exact_.size();
 }
 
 std::size_t LiveClassificationTable::rule_entries() const {
-  const std::scoped_lock lock(mu_);
+  const std::scoped_lock lock(writer_mu_);
   return rules_.size();
+}
+
+std::size_t LiveClassificationTable::tuple_count() const {
+  const std::scoped_lock lock(writer_mu_);
+  return snap_->tuple_count();
 }
 
 std::optional<FiveTuple> parse_five_tuple(
@@ -56,11 +91,19 @@ std::optional<FiveTuple> parse_five_tuple(
   if (eth.ether_type() != kEtherTypeIpv4) return std::nullopt;
   const Ipv4View ip(base + kEthHeaderLen);
   if (ip.version() != 4) return std::nullopt;
+  // IHL in [5, 15]: options widen the header, anything below 5 is garbage.
   const std::size_t ip_len = ip.header_len();
-  if (ip_len < kIpv4HeaderLen ||
-      frame.size() < kEthHeaderLen + ip_len + 4) {
-    return std::nullopt;
-  }
+  if (ip_len < kIpv4HeaderLen) return std::nullopt;
+  // The full IP header (options included) must fit inside the frame.
+  if (frame.size() < kEthHeaderLen + ip_len + 4) return std::nullopt;
+  // The datagram's own length must cover header + the 4 port bytes we read;
+  // otherwise those bytes are Ethernet padding, not L4 data. And the
+  // datagram must not claim more bytes than the frame actually carries.
+  const std::size_t total_len = ip.total_length();
+  if (total_len < ip_len + 4) return std::nullopt;
+  if (total_len > frame.size() - kEthHeaderLen) return std::nullopt;
+  // Non-first fragments carry payload bytes where ports would be.
+  if ((ip.flags_fragment() & 0x1FFF) != 0) return std::nullopt;
   FiveTuple t;
   t.src_ip = ip.src_ip();
   t.dst_ip = ip.dst_ip();

@@ -1,32 +1,36 @@
 // Live multi-graph classification (paper §5.1) for the sharded dataplane.
 //
 // The compiler's Classification Table steers each flow into one of the
-// service graphs deployed on a server. The simulated dataplane consults an
-// exact-match map per packet; at live speeds that full lookup — exact rules
-// first, then a priority-ordered masked-rule scan — is the expensive slow
-// path, so every shard puts an exact-match *microflow cache* in front of it
-// (the role OVS's EMC plays in front of its megaflow classifier): the first
-// packet of a flow pays the full classification, every later packet is one
-// bounded-LRU hash lookup, O(1) amortized.
+// service graphs deployed on a server. Every shard puts an exact-match
+// *microflow cache* in front of the shared table (the role OVS's EMC plays
+// in front of its megaflow classifier): the first packet of a flow pays the
+// full classification, every later packet is one bounded-LRU hash lookup.
 //
-// Concurrency: the table is shared by all shard workers. classify() and the
-// rule mutators serialize on an internal mutex — acceptable because workers
-// only call classify() on a microflow-cache miss. Rule mutations bump a
-// version counter that shard workers poll (relaxed) once per burst; on a
-// change each worker clears its own cache, so stale verdicts never outlive
-// the burst that observed the bump.
+// The shared table itself is a tuple-space classifier behind an epoch-
+// published snapshot (tuple_space_classifier.hpp): classify() takes no lock
+// — it pins an epoch guard, acquire-loads the current immutable snapshot
+// and searches it, so concurrent cache-missing workers never serialize and
+// a rule mutation never stalls the read path. Mutators serialize on a
+// writer mutex, rebuild the snapshot off the hot path, publish it with one
+// release store and retire the old snapshot after an epoch grace period.
+//
+// Rule mutations still bump a version counter that shard workers poll
+// (relaxed) once per burst; on a change each worker clears its own cache,
+// so stale verdicts never outlive the burst that observed the bump. That
+// contract is unchanged from the mutex-guarded table this replaces.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "common/types.hpp"
+#include "dataplane/tuple_space_classifier.hpp"
 #include "flow/flow_table.hpp"
 #include "telemetry/owned_counter.hpp"
 
@@ -36,56 +40,39 @@ namespace telemetry {
 u64 mono_now_ns() noexcept;  // health_sampler.hpp
 }  // namespace telemetry
 
-// One masked Classification Table rule (the live analogue of the compiler's
-// CtEntry match spec): every enabled predicate must hold. mask == 0
-// wildcards an address; the port/proto predicates are opt-in flags.
-struct CtRule {
-  u32 src_ip = 0;
-  u32 src_mask = 0;
-  u32 dst_ip = 0;
-  u32 dst_mask = 0;
-  u16 src_port = 0;
-  bool match_src_port = false;
-  u16 dst_port = 0;
-  bool match_dst_port = false;
-  u8 proto = 0;
-  bool match_proto = false;
-  int priority = 0;          // higher wins among matching rules
-  std::size_t graph = 0;     // verdict: index of the service graph
-
-  bool matches(const FiveTuple& t) const noexcept {
-    if ((t.src_ip & src_mask) != (src_ip & src_mask)) return false;
-    if ((t.dst_ip & dst_mask) != (dst_ip & dst_mask)) return false;
-    if (match_src_port && t.src_port != src_port) return false;
-    if (match_dst_port && t.dst_port != dst_port) return false;
-    if (match_proto && t.proto != proto) return false;
-    return true;
-  }
-};
-
 class LiveClassificationTable {
  public:
   // Sentinel verdict: drop the flow at classification time (a CT drop rule
   // — the DDoS-scrubbing use in the paper's policy examples). Shard workers
   // count these under DropReason::kClassifierMiss.
-  static constexpr std::size_t kDropGraph = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kDropGraph = kCtDropGraph;
 
-  explicit LiveClassificationTable(std::size_t graph_count = 1)
-      : graph_count_(graph_count == 0 ? 1 : graph_count) {}
+  explicit LiveClassificationTable(std::size_t graph_count = 1);
+  ~LiveClassificationTable();
+  LiveClassificationTable(const LiveClassificationTable&) = delete;
+  LiveClassificationTable& operator=(const LiveClassificationTable&) = delete;
 
   // Exact 5-tuple rule (mirrors NfpDataplane::add_flow_rule). Out-of-range
   // graph indices clamp to graph 0, matching the "unmatched flows take
   // graph 0" default.
   void add_exact(const FiveTuple& flow, std::size_t graph);
-  // Masked rule; matched after the exact rules, highest priority first.
+  // Masked rule; matched after the exact rules, highest priority first,
+  // insertion order breaking priority ties.
   void add_rule(CtRule rule);
+  // Bulk insert: one snapshot rebuild and one grace period for the whole
+  // batch — the path that makes 100k-rule loads O(N), not O(N^2).
+  void add_rules(std::vector<CtRule> rules);
 
   // Full classification: exact match, then best masked rule, else graph 0.
+  // Lock-free: epoch guard + one acquire load of the published snapshot.
   std::size_t classify(const FiveTuple& flow) const;
 
   std::size_t graph_count() const noexcept { return graph_count_; }
   std::size_t exact_entries() const;
   std::size_t rule_entries() const;
+  // Distinct mask signatures in the live snapshot — what a miss-path
+  // lookup is linear in.
+  std::size_t tuple_count() const;
 
   // Monotone generation stamp; bumped by every rule mutation. Shard workers
   // compare it (relaxed) against their cache's stamp once per burst and
@@ -95,20 +82,22 @@ class LiveClassificationTable {
   }
 
  private:
-  std::size_t clamp_graph(std::size_t g) const noexcept {
-    if (g == kDropGraph) return g;  // the drop verdict survives clamping
-    return g < graph_count_ ? g : 0;
-  }
+  // Rebuilds and publishes a snapshot from exact_/rules_; returns the
+  // retired snapshot so the caller can drop it after the grace period,
+  // outside the writer lock. Requires writer_mu_ held.
+  [[nodiscard]] std::shared_ptr<const TupleSpaceClassifier> publish_locked();
 
   const std::size_t graph_count_;
-  // The table is the one structure every shard touches: version_ is polled
-  // (relaxed) once per burst by every worker, and mu_ is locked by every
-  // microflow miss. Each gets its own cacheline so a miss-path lock on one
-  // shard does not invalidate the version poll line of all the others —
-  // exactly the cross-shard bouncing ROADMAP item 2 names.
-  alignas(kCacheLineSize) mutable std::mutex mu_;
-  std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> exact_;
-  std::vector<CtRule> rules_;  // kept sorted by descending priority
+  // Writer-side state: the mutex only ever serializes mutators (and
+  // cold stats reads of the authoritative maps); classify() never takes it.
+  alignas(kCacheLineSize) mutable std::mutex writer_mu_;
+  ExactCtMap exact_;
+  std::vector<CtRule> rules_;  // authoritative, in insertion order
+  std::shared_ptr<const TupleSpaceClassifier> snap_;  // owns what live_ aims at
+  // Read-path line: the published snapshot pointer, alone on its cacheline
+  // so writer-side churn never invalidates the line readers spin on.
+  alignas(kCacheLineSize) std::atomic<const TupleSpaceClassifier*> live_{
+      nullptr};
   alignas(kCacheLineSize) std::atomic<u64> version_{0};
 };
 
@@ -126,18 +115,19 @@ class MicroflowCache {
 
   // Classifies through the cache; O(1) amortized per packet.
   std::size_t classify(const FiveTuple& flow) {
-    const std::size_t* cached = table_.peek(flow);
-    if (cached != nullptr) {
+    // Single-probe hit path: touch() finds, refreshes the LRU position and
+    // hands back the verdict in one hash walk (the old peek/get_or_create
+    // pair walked the table twice per hit).
+    if (const std::size_t* cached = table_.touch(flow)) {
       hits_.increment();
-      // Refresh LRU position without a second hash walk being observable to
-      // callers; get_or_create on a present key is the splice-only path.
-      return table_.get_or_create(flow);
+      return *cached;
     }
     misses_.increment();
-    // The miss path crosses into the mutex-guarded shared CT — the slow
-    // path whose latency the scalability profiler attributes. Misses are
-    // rare (first packet of a flow / post-invalidation), so two clock
-    // reads here cost nothing on the steady-state path.
+    // The miss path crosses into the shared CT — lock-free now, but still
+    // the slow path (tuple walk + possible snapshot-pin fence) whose
+    // latency the scalability profiler attributes. Misses are rare (first
+    // packet of a flow / post-invalidation), so two clock reads here cost
+    // nothing on the steady-state path.
     const u64 t0 = telemetry::mono_now_ns();
     const std::size_t verdict = ct_.classify(flow);
     miss_ns_.add(telemetry::mono_now_ns() - t0);
@@ -159,7 +149,7 @@ class MicroflowCache {
   u64 hits() const noexcept { return hits_.read(); }
   u64 misses() const noexcept { return misses_.read(); }
   // Cumulative wall time the owning worker spent inside CT lookups on the
-  // miss path (lock wait + rule scan).
+  // miss path (snapshot pin + tuple walk).
   u64 miss_ns() const noexcept { return miss_ns_.read(); }
   u64 invalidations() const noexcept { return invalidations_.read(); }
   u64 evictions() const noexcept { return table_.evictions(); }
@@ -183,7 +173,9 @@ class MicroflowCache {
 
 // Parses the IPv4 5-tuple out of a raw Ethernet frame (the director needs
 // it before any Packet object exists). Returns nullopt for frames that are
-// not IPv4/TCP/UDP — callers treat those as one anonymous flow.
+// not IPv4/TCP/UDP, are truncated anywhere a field would be read, carry a
+// bad IHL, or are non-first fragments (their L4 bytes belong to some other
+// packet's payload). Callers treat rejects as one anonymous flow.
 std::optional<FiveTuple> parse_five_tuple(std::span<const u8> frame) noexcept;
 
 }  // namespace nfp

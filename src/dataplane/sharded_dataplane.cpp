@@ -159,6 +159,14 @@ void ShardedDataplane::add_flow_rule(const FiveTuple& flow,
 
 void ShardedDataplane::add_rule(const CtRule& rule) { ct_.add_rule(rule); }
 
+void ShardedDataplane::add_rules(std::vector<CtRule> rules) {
+  ct_.add_rules(std::move(rules));
+}
+
+std::size_t ShardedDataplane::classifier_tuple_count() const {
+  return ct_.tuple_count();
+}
+
 std::size_t ShardedDataplane::shard_for(std::span<const u8> frame) const {
   // Non-IP frames hash a default tuple: one consistent "anonymous" flow.
   FiveTuple t;

@@ -116,6 +116,10 @@ class ShardedDataplane {
   // (workers observe the version bump and invalidate their caches).
   void add_flow_rule(const FiveTuple& flow, std::size_t graph);
   void add_rule(const CtRule& rule);
+  // Bulk variant: one classifier-snapshot rebuild for the whole batch.
+  void add_rules(std::vector<CtRule> rules);
+  // Distinct mask signatures in the live classifier snapshot.
+  std::size_t classifier_tuple_count() const;
 
   // Streaming lifecycle, mirroring LivePipeline: start() spawns the shard
   // workers and their pipelines (once per instance), feed() dispatches one

@@ -43,6 +43,16 @@ class FlowTable {
     return lru_.begin()->second;
   }
 
+  // Lookup that refreshes the LRU position on a hit; nullptr when absent.
+  // One hash walk — the hit path of a cache built on this table should be
+  // touch(), not peek() followed by get_or_create().
+  Value* touch(const FiveTuple& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+  }
+
   // Lookup without touching LRU order; nullptr when absent.
   const Value* peek(const FiveTuple& key) const {
     const auto it = map_.find(key);

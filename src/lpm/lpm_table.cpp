@@ -36,6 +36,18 @@ std::optional<u32> LpmTable::lookup(u32 addr) const {
   return best;
 }
 
+u64 LpmTable::match_length_mask(u32 addr) const {
+  u64 mask = 0;
+  const Node* node = root_.get();
+  if (node->next_hop) mask |= 1;  // the length-0 (default) prefix
+  for (u8 depth = 0; depth < 32 && node != nullptr; ++depth) {
+    const unsigned bit = (addr >> (31 - depth)) & 1;
+    node = node->child[bit].get();
+    if (node != nullptr && node->next_hop) mask |= u64{1} << (depth + 1);
+  }
+  return mask;
+}
+
 bool LpmTable::remove(u32 prefix, u8 prefix_len) {
   Node* node = root_.get();
   for (u8 depth = 0; depth < prefix_len; ++depth) {

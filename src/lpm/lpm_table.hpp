@@ -27,6 +27,13 @@ class LpmTable {
   // Longest-prefix lookup; nullopt when nothing matches (no default route).
   std::optional<u32> lookup(u32 addr) const;
 
+  // Bitmask of prefix lengths at which `addr` matches a stored entry: bit L
+  // (0..32) is set when a length-L prefix on addr's path holds a value. One
+  // trie walk answers "which prefix widths could possibly match this
+  // address" for every width at once — the tuple-space classifier uses it
+  // to skip whole mask groups without probing their hash tables.
+  u64 match_length_mask(u32 addr) const;
+
   // Removes the exact prefix entry; returns whether it existed.
   bool remove(u32 prefix, u8 prefix_len);
 

@@ -61,6 +61,7 @@ class Ipv4View {
   u8 tos() const noexcept { return p_[1]; }
   u16 total_length() const noexcept { return load_be16(p_ + 2); }
   u16 identification() const noexcept { return load_be16(p_ + 4); }
+  u16 flags_fragment() const noexcept { return load_be16(p_ + 6); }
   u8 ttl() const noexcept { return p_[8]; }
   u8 protocol() const noexcept { return p_[9]; }
   u16 checksum() const noexcept { return load_be16(p_ + 10); }

@@ -1,0 +1,156 @@
+#include "trafficgen/scenarios.hpp"
+
+#include "common/rng.hpp"
+#include "packet/builder.hpp"
+#include "packet/headers.hpp"
+#include "packet/packet_pool.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+
+namespace {
+
+// Shared frame factory: builds one frame through the same packet builder
+// the generator uses, then copies it out of the (tiny) pool.
+class FrameFactory {
+ public:
+  FrameFactory() : pool_(4) {}
+
+  std::vector<u8> make(const FiveTuple& tuple, std::size_t frame_size) {
+    PacketSpec spec;
+    spec.tuple = tuple;
+    spec.frame_size = frame_size;
+    Packet* p = build_packet(pool_, spec);
+    std::vector<u8> bytes(p->data(), p->data() + p->length());
+    pool_.release(p);
+    return bytes;
+  }
+
+ private:
+  PacketPool pool_;
+};
+
+// The deterministic flow-index -> 5-tuple mapping of the generator, reused
+// so scenario flows land in the same address space live runs already use.
+FiveTuple legit_tuple(std::size_t flow) {
+  return TrafficGenerator::flow_tuple(flow);
+}
+
+Scenario make_bursty(u64 packets, u64 seed) {
+  Scenario s;
+  s.name = "bursty";
+  s.summary = "on/off bursts: 512 back-to-back frames, ~2 ms silent gaps";
+  s.flows = 64;
+  Rng rng(seed);
+  FrameFactory factory;
+  s.frames.reserve(packets);
+  for (u64 i = 0; i < packets; ++i) {
+    ScenarioFrame f;
+    // First frame of each burst pays the off-period; the rest are
+    // back-to-back (small per-frame gap ≈ line rate).
+    f.gap_ns = (i != 0 && i % 512 == 0) ? 2'000'000 : 50;
+    f.bytes = factory.make(legit_tuple(rng.bounded(s.flows)), 256);
+    s.frames.push_back(std::move(f));
+  }
+  return s;
+}
+
+Scenario make_elephant_mice(u64 packets, u64 seed) {
+  Scenario s;
+  s.name = "elephant-mice";
+  s.summary =
+      "zipf(s=1.2) flow mix: 8 elephants at 1450 B, 248 mice flows at 64 B";
+  s.flows = 256;
+  sim::Simulator sim;
+  PacketPool pool(4);
+  TrafficConfig cfg;
+  cfg.flows = s.flows;
+  cfg.flow_skew = FlowSkew::kZipf;
+  cfg.zipf_s = 1.2;
+  cfg.seed = seed;
+  TrafficGenerator gen(sim, pool, cfg);
+  FrameFactory factory;
+  s.frames.reserve(packets);
+  for (u64 i = 0; i < packets; ++i) {
+    const std::size_t flow = gen.next_flow();
+    ScenarioFrame f;
+    f.gap_ns = 1'000;
+    f.bytes = factory.make(gen.flow_tuple(flow), flow < 8 ? 1450 : 64);
+    s.frames.push_back(std::move(f));
+  }
+  return s;
+}
+
+Scenario make_syn_flood(u64 packets, u64 seed) {
+  Scenario s;
+  s.name = "syn-flood";
+  s.summary = "flow churn: every 64 B TCP frame opens a fresh 5-tuple";
+  s.flows = packets;  // by construction: one flow per packet
+  sim::Simulator sim;
+  PacketPool pool(4);
+  TrafficConfig cfg;
+  cfg.flow_churn = true;
+  cfg.seed = seed;
+  TrafficGenerator gen(sim, pool, cfg);
+  FrameFactory factory;
+  s.frames.reserve(packets);
+  for (u64 i = 0; i < packets; ++i) {
+    ScenarioFrame f;
+    f.gap_ns = 200;
+    FiveTuple t = gen.flow_tuple(gen.next_flow());
+    t.proto = kProtoTcp;  // a flood is all SYNs, never the UDP stripe
+    f.bytes = factory.make(t, 64);
+    s.frames.push_back(std::move(f));
+  }
+  return s;
+}
+
+Scenario make_ddos(u64 packets, u64 seed) {
+  Scenario s;
+  s.name = "ddos";
+  s.summary =
+      "~30% attack traffic from 203.0.113.0/24 mixed into 256 legit flows";
+  s.flows = 256;
+  s.has_attack_subnet = true;
+  s.attack_subnet = 0xCB007100;  // 203.0.113.0
+  s.attack_mask = 0xFFFFFF00;    // /24
+  Rng rng(seed);
+  FrameFactory factory;
+  s.frames.reserve(packets);
+  for (u64 i = 0; i < packets; ++i) {
+    ScenarioFrame f;
+    f.gap_ns = 500;
+    if (rng.bounded(100) < 30) {
+      // Attack: randomized hosts/ports inside the subnet, all aimed at one
+      // victim — the shape a CT drop rule scrubs wholesale.
+      FiveTuple t;
+      t.src_ip = s.attack_subnet | static_cast<u32>(rng.bounded(256));
+      t.dst_ip = legit_tuple(0).dst_ip;
+      t.src_port = static_cast<u16>(1024 + rng.bounded(60'000));
+      t.dst_port = 80;
+      t.proto = kProtoTcp;
+      f.bytes = factory.make(t, 64);
+    } else {
+      f.bytes = factory.make(legit_tuple(rng.bounded(s.flows)), 256);
+    }
+    s.frames.push_back(std::move(f));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"bursty", "elephant-mice", "syn-flood", "ddos"};
+}
+
+std::optional<Scenario> make_scenario(std::string_view name, u64 packets,
+                                      u64 seed) {
+  if (name == "bursty") return make_bursty(packets, seed);
+  if (name == "elephant-mice") return make_elephant_mice(packets, seed);
+  if (name == "syn-flood") return make_syn_flood(packets, seed);
+  if (name == "ddos") return make_ddos(packets, seed);
+  return std::nullopt;
+}
+
+}  // namespace nfp

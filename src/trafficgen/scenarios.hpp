@@ -1,0 +1,54 @@
+// Named traffic scenarios for `nfp_cli live --scenario=`.
+//
+// Each preset reproduces one of the traffic shapes the paper's evaluation
+// leans on, prebuilt as raw Ethernet frames plus an inter-frame gap so the
+// CLI can replay them open-loop against the sharded dataplane:
+//
+//   bursty        on/off bursts — queue build-up and drain, the tail-latency
+//                 shape §6.2 measures under
+//   elephant-mice zipf flow mix where the few hottest flows carry near-MTU
+//                 frames and the long tail sends mice (Benson et al. shape)
+//   syn-flood     pure flow churn: every packet opens a fresh 5-tuple, so
+//                 every flow cache misses — worst case for the classifier
+//   ddos          ~30% of traffic from one attack subnet; carries subnet
+//                 metadata so the CLI installs a CT drop rule and the run
+//                 demonstrates classification-time scrubbing
+//
+// The scenarios only *describe* traffic (frames + metadata); wiring drop
+// rules or drains is the caller's job, keeping trafficgen free of dataplane
+// dependencies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nfp {
+
+struct ScenarioFrame {
+  std::vector<u8> bytes;
+  u64 gap_ns = 0;  // idle time to wait before injecting this frame
+};
+
+struct Scenario {
+  std::string name;
+  std::string summary;           // one-line description for the CLI banner
+  std::vector<ScenarioFrame> frames;
+  std::size_t flows = 0;         // distinct 5-tuples the preset emits
+  // ddos only: the subnet the caller should install a drop rule for.
+  bool has_attack_subnet = false;
+  u32 attack_subnet = 0;
+  u32 attack_mask = 0;
+};
+
+// Names accepted by make_scenario, in presentation order.
+std::vector<std::string> scenario_names();
+
+// Builds `packets` frames of the named preset; nullopt for unknown names.
+std::optional<Scenario> make_scenario(std::string_view name, u64 packets,
+                                      u64 seed);
+
+}  // namespace nfp

@@ -70,6 +70,7 @@ std::size_t TrafficGenerator::next_size() {
 }
 
 std::size_t TrafficGenerator::next_flow() {
+  if (config_.flow_churn) return static_cast<std::size_t>(churn_counter_++);
   if (zipf_cdf_.empty()) {
     return static_cast<std::size_t>(rng_.bounded(config_.flows));
   }
@@ -80,7 +81,7 @@ std::size_t TrafficGenerator::next_flow() {
                                static_cast<std::ptrdiff_t>(config_.flows) - 1));
 }
 
-FiveTuple TrafficGenerator::flow_tuple(std::size_t flow) const {
+FiveTuple TrafficGenerator::flow_tuple(std::size_t flow) {
   FiveTuple t;
   t.src_ip = 0x0A100000 + static_cast<u32>(flow % 251);
   t.dst_ip = 0x0A200000 + static_cast<u32>(flow % 127);

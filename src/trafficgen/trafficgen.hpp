@@ -41,6 +41,10 @@ struct TrafficConfig {
   std::size_t flows = 64;           // distinct 5-tuples
   FlowSkew flow_skew = FlowSkew::kUniform;
   double zipf_s = 1.0;              // skew exponent (kZipf only)
+  // Flow churn: every next_flow() draw returns a never-seen flow index
+  // (SYN-flood shape — each packet opens a fresh 5-tuple), defeating any
+  // flow cache. Overrides the popularity model; `flows` is ignored.
+  bool flow_churn = false;
   double rate_pps = 100'000;        // injection rate
   u64 packets = 10'000;             // total packets to inject
   u64 seed = 42;
@@ -73,9 +77,10 @@ class TrafficGenerator {
   Packet* make_packet(PacketPool& pool, std::size_t flow, std::size_t size);
 
   // The deterministic 5-tuple of flow index `flow` (what make_packet stamps
-  // into the headers); exposed so benches and shard tests can predict
-  // dispatch without parsing frames back.
-  FiveTuple flow_tuple(std::size_t flow) const;
+  // into the headers); exposed so benches, shard tests and scenario presets
+  // can predict dispatch without parsing frames back. Static: the mapping
+  // is a pure function of the index.
+  static FiveTuple flow_tuple(std::size_t flow);
 
   u64 generated() const noexcept { return generated_; }
   u64 backpressure_retries() const noexcept { return backpressure_retries_; }
@@ -98,6 +103,7 @@ class TrafficGenerator {
   std::vector<double> zipf_cdf_;
   u64 generated_ = 0;
   u64 backpressure_retries_ = 0;
+  u64 churn_counter_ = 0;  // next fresh flow index under flow_churn
   // Resolved from config_.metrics (null when metrics are off).
   telemetry::Counter* m_generated_ = nullptr;
   telemetry::Counter* m_retries_ = nullptr;

@@ -2,8 +2,11 @@
 // front of it, and raw-frame 5-tuple parsing.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "dataplane/live_classifier.hpp"
 #include "packet/builder.hpp"
+#include "packet/headers.hpp"
 #include "packet/packet_pool.hpp"
 
 namespace nfp {
@@ -118,6 +121,110 @@ TEST(LiveClassifier, RejectsTruncatedAndNonIpFrames) {
   arp[12] = 0x08;
   arp[13] = 0x06;  // EtherType ARP
   EXPECT_FALSE(parse_five_tuple({arp.data(), arp.size()}).has_value());
+}
+
+// A syntactically valid Eth/IPv4/TCP frame the hardening tests then bend
+// one field at a time.
+std::vector<u8> valid_frame(u8 ihl = 5) {
+  PacketPool pool(2);
+  PacketSpec spec;
+  spec.tuple = FiveTuple{0x0A0B0C0D, 0x01020304, 4321, 443, kProtoTcp};
+  spec.frame_size = 96;
+  Packet* p = build_packet(pool, spec);
+  std::vector<u8> frame(p->data(), p->data() + p->length());
+  pool.release(p);
+  if (ihl != 5) {
+    // Widen the header with (ihl-5)*4 option bytes: shift the L4 part
+    // right and fix version/IHL + total_length accordingly.
+    const std::size_t extra = (std::size_t{ihl} - 5) * 4;
+    const std::size_t l4_at = kEthHeaderLen + kIpv4HeaderLen;
+    frame.insert(frame.begin() + static_cast<std::ptrdiff_t>(l4_at), extra,
+                 u8{0x01});  // NOP options
+    Ipv4View ip(frame.data() + kEthHeaderLen);
+    ip.set_version_ihl(4, ihl);
+    ip.set_total_length(
+        static_cast<u16>(frame.size() - kEthHeaderLen));
+  }
+  return frame;
+}
+
+TEST(LiveClassifier, ParsesFrameWithIpv4Options) {
+  auto frame = valid_frame(/*ihl=*/7);  // 8 option bytes
+  const auto parsed = parse_five_tuple({frame.data(), frame.size()});
+  ASSERT_TRUE(parsed.has_value());
+  // Ports must come from beyond the options, not from inside them.
+  EXPECT_EQ(parsed->src_ip, 0x0A0B0C0Du);
+  EXPECT_EQ(parsed->src_port, 4321u);
+  EXPECT_EQ(parsed->dst_port, 443u);
+}
+
+TEST(LiveClassifier, RejectsBadIhlAndTruncatedDatagrams) {
+  {
+    auto frame = valid_frame();
+    Ipv4View(frame.data() + kEthHeaderLen).set_version_ihl(4, 4);  // ihl < 5
+    EXPECT_FALSE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+  }
+  {
+    // IHL claims options the frame doesn't carry.
+    auto frame = valid_frame();
+    frame.resize(kEthHeaderLen + kIpv4HeaderLen + 2);
+    Ipv4View(frame.data() + kEthHeaderLen).set_version_ihl(4, 15);
+    EXPECT_FALSE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+  }
+  {
+    // total_length too small for header + ports: the "L4 bytes" present in
+    // the frame are Ethernet padding, not TCP data.
+    auto frame = valid_frame();
+    Ipv4View(frame.data() + kEthHeaderLen).set_total_length(20);
+    EXPECT_FALSE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+  }
+  {
+    // total_length claims more bytes than the frame carries.
+    auto frame = valid_frame();
+    Ipv4View(frame.data() + kEthHeaderLen).set_total_length(60'000);
+    EXPECT_FALSE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+  }
+}
+
+TEST(LiveClassifier, RejectsNonFirstFragments) {
+  auto frame = valid_frame();
+  // Fragment offset 8: the bytes at the L4 position belong to the middle
+  // of some other packet's payload.
+  Ipv4View(frame.data() + kEthHeaderLen).set_flags_fragment(8);
+  EXPECT_FALSE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+  // First fragment (offset 0, MF set) still parses: its L4 header is real.
+  Ipv4View(frame.data() + kEthHeaderLen).set_flags_fragment(0x2000);
+  EXPECT_TRUE(parse_five_tuple({frame.data(), frame.size()}).has_value());
+}
+
+TEST(LiveClassifier, FuzzedMalformedFramesNeverCrashOrFalselyParse) {
+  // Deterministic structure fuzz: start from a valid frame, smash a few
+  // random bytes and random truncations. parse_five_tuple must never read
+  // out of bounds (ASan/valgrind-visible) and must return nullopt whenever
+  // the frame can't hold the fields it reports.
+  u64 state = 0x5EED;
+  const auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ull;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int round = 0; round < 2'000; ++round) {
+    auto frame = valid_frame();
+    const std::size_t cut = next() % (frame.size() + 1);
+    frame.resize(cut);
+    for (int hits = static_cast<int>(next() % 8); hits > 0; --hits) {
+      if (frame.empty()) break;
+      frame[next() % frame.size()] = static_cast<u8>(next());
+    }
+    const auto parsed = parse_five_tuple({frame.data(), frame.size()});
+    if (parsed.has_value()) {
+      // Anything accepted must have had room for Ethernet + full IP header
+      // + 4 port bytes.
+      ASSERT_GE(frame.size(), kEthHeaderLen + kIpv4HeaderLen + 4);
+    }
+  }
 }
 
 }  // namespace

@@ -156,6 +156,71 @@ TEST(ShardedDataplane, MultiGraphClassificationSteersFlows) {
   EXPECT_EQ(g1, 120u);
 }
 
+TEST(ShardedDataplane, MaskedRulesSteerModeInvariantlyThroughCache) {
+  // Masked CT rules (the tuple-space path, not exact entries) steering
+  // into a dropping graph: the delivered multiset must be identical in
+  // both execution modes and the microflow cache must still absorb the
+  // steady state — the contract the classifier rewrite has to preserve.
+  const auto drop_factory =
+      [](const StageNf& nf) -> std::unique_ptr<NetworkFunction> {
+    if (nf.name == "firewall") {
+      AclTable acl;
+      acl.set_default_action(AclAction::kDrop);
+      return std::make_unique<Firewall>(std::move(acl));
+    }
+    return make_builtin_nf(nf.name);
+  };
+  const std::size_t kFlows = 12;
+  const auto frames = make_flow_frames(2'400, kFlows);
+
+  const auto run_mode = [&](ExecMode mode) {
+    ShardedDataplaneOptions opts;
+    opts.shards = 2;
+    opts.pipeline.exec_mode = mode;
+    std::vector<ServiceGraph> graphs;
+    graphs.push_back(compile_chain({"monitor"}));
+    graphs.push_back(compile_chain({"firewall"}));
+    ShardedDataplane dp(std::move(graphs), drop_factory, opts);
+    // Wide low-priority rule keeps the whole test subnet on graph 0; a
+    // narrower higher-priority port rule overrides it into the dropping
+    // graph — the verdict depends on priority order, not just matching.
+    CtRule keep;
+    keep.src_ip = 0x0A300000;
+    keep.src_mask = 0xFFFF0000;
+    keep.priority = 1;
+    keep.graph = 0;
+    CtRule drop;
+    drop.match_dst_port = true;
+    drop.dst_port = 444;
+    drop.priority = 5;
+    drop.graph = 1;
+    dp.add_rules({keep, drop});
+
+    ShardedResult res = dp.run(frames);
+    EXPECT_TRUE(res.status.is_ok());
+    const u64 hits = dp.microflow_hits();
+    const u64 misses = dp.microflow_misses();
+    EXPECT_EQ(hits + misses, frames.size());
+    EXPECT_GE(static_cast<double>(hits) / static_cast<double>(hits + misses),
+              0.9);
+    std::vector<std::vector<u8>> outputs = std::move(res.outputs);
+    std::sort(outputs.begin(), outputs.end());
+    return outputs;
+  };
+
+  const auto pipelined = run_mode(ExecMode::kPipelined);
+  const auto rtc = run_mode(ExecMode::kRtc);
+  // dst_port 444 hits flows with index % 3 == 1: 4 of 12 flows, uniformly
+  // round-robined -> exactly a third of the frames die in graph 1.
+  EXPECT_EQ(pipelined.size(), 1'600u);
+  EXPECT_EQ(pipelined, rtc);
+  for (const auto& frame : pipelined) {
+    const auto tuple = parse_five_tuple({frame.data(), frame.size()});
+    ASSERT_TRUE(tuple.has_value());
+    EXPECT_NE(tuple->dst_port, 444u) << "flow escaped the masked drop rule";
+  }
+}
+
 TEST(ShardedDataplane, MicroflowCacheAbsorbsSteadyState) {
   const std::size_t kFlows = 32;
   const auto frames = make_flow_frames(3200, kFlows);

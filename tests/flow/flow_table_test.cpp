@@ -74,6 +74,29 @@ TEST(FlowTableTest, PeekDoesNotTouchLruOrder) {
   EXPECT_NE(table.peek(tuple(1)), nullptr);
 }
 
+TEST(FlowTableTest, TouchReturnsValueAndRefreshesLruInOneProbe) {
+  FlowTable<u64> table(3);
+  EXPECT_EQ(table.touch(tuple(1)), nullptr);  // miss: no insert, no evict
+  EXPECT_EQ(table.size(), 0u);
+
+  table.get_or_create(tuple(1)) = 11;
+  table.get_or_create(tuple(2)) = 22;
+  table.get_or_create(tuple(3)) = 33;
+
+  u64* hit = table.touch(tuple(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 11u);
+  *hit = 111;  // the pointer is writable (cache refresh in place)
+
+  // The touch moved flow 1 to MRU: inserting one more evicts flow 2, the
+  // now-least-recent entry, not flow 1.
+  table.get_or_create(tuple(4)) = 44;
+  EXPECT_EQ(table.peek(tuple(2)), nullptr);
+  ASSERT_NE(table.peek(tuple(1)), nullptr);
+  EXPECT_EQ(*table.peek(tuple(1)), 111u);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
 TEST(FlowTableTest, EraseAndClear) {
   FlowTable<u64> table(8);
   table.get_or_create(tuple(0)) = 0;

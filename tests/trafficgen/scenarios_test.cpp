@@ -1,0 +1,107 @@
+// Tests for the named traffic scenarios behind `nfp_cli live --scenario=`
+// and the flow-churn generator mode they build on.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dataplane/live_classifier.hpp"
+#include "trafficgen/scenarios.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace nfp {
+namespace {
+
+TEST(TrafficScenarios, EveryNamedScenarioBuildsRequestedFrameCount) {
+  for (const std::string& name : scenario_names()) {
+    const auto s = make_scenario(name, 500, 1);
+    ASSERT_TRUE(s.has_value()) << name;
+    EXPECT_EQ(s->name, name);
+    EXPECT_EQ(s->frames.size(), 500u) << name;
+    EXPECT_FALSE(s->summary.empty()) << name;
+    for (const auto& f : s->frames) {
+      EXPECT_GE(f.bytes.size(), 64u) << name;
+      // Every scenario frame must be classifiable traffic.
+      EXPECT_TRUE(
+          parse_five_tuple({f.bytes.data(), f.bytes.size()}).has_value())
+          << name;
+    }
+  }
+  EXPECT_FALSE(make_scenario("no-such-preset", 10, 1).has_value());
+}
+
+TEST(TrafficScenarios, BurstyAlternatesBackToBackAndOffGaps) {
+  const auto s = make_scenario("bursty", 1'200, 1);
+  ASSERT_TRUE(s.has_value());
+  u64 long_gaps = 0;
+  for (std::size_t i = 1; i < s->frames.size(); ++i) {
+    if (s->frames[i].gap_ns >= 1'000'000) ++long_gaps;
+  }
+  // 1200 frames at 512 per burst: exactly two burst boundaries.
+  EXPECT_EQ(long_gaps, 2u);
+}
+
+TEST(TrafficScenarios, ElephantMiceCorrelatesSizeWithRank) {
+  const auto s = make_scenario("elephant-mice", 2'000, 1);
+  ASSERT_TRUE(s.has_value());
+  u64 big = 0;
+  u64 small = 0;
+  for (const auto& f : s->frames) {
+    if (f.bytes.size() >= 1'000) {
+      ++big;
+    } else {
+      ++small;
+    }
+  }
+  // Zipf s=1.2 over 256 flows: the 8 elephant ranks carry most packets,
+  // but both classes must be present.
+  EXPECT_GT(big, 0u);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(big, small / 4);
+}
+
+TEST(TrafficScenarios, SynFloodNeverRepeatsAFlow) {
+  const auto s = make_scenario("syn-flood", 1'000, 1);
+  ASSERT_TRUE(s.has_value());
+  std::unordered_set<u64> seen;
+  for (const auto& f : s->frames) {
+    const auto t = parse_five_tuple({f.bytes.data(), f.bytes.size()});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->proto, kProtoTcp);
+    const u64 key = (u64{t->src_ip} << 32) ^ (u64{t->dst_ip} << 16) ^
+                    (u64{t->src_port} << 8) ^ t->dst_port;
+    EXPECT_TRUE(seen.insert(key).second) << "repeated flow";
+  }
+}
+
+TEST(TrafficScenarios, DdosCarriesAttackSubnetAndMixesTraffic) {
+  const auto s = make_scenario("ddos", 2'000, 1);
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(s->has_attack_subnet);
+  EXPECT_EQ(s->attack_subnet, 0xCB007100u);
+  EXPECT_EQ(s->attack_mask, 0xFFFFFF00u);
+  u64 attack = 0;
+  for (const auto& f : s->frames) {
+    const auto t = parse_five_tuple({f.bytes.data(), f.bytes.size()});
+    ASSERT_TRUE(t.has_value());
+    if ((t->src_ip & s->attack_mask) == s->attack_subnet) ++attack;
+  }
+  // ~30% nominal; allow generous slack for the seeded draw.
+  EXPECT_GT(attack, s->frames.size() / 5);
+  EXPECT_LT(attack, s->frames.size() / 2);
+}
+
+TEST(TrafficScenarios, FlowChurnConfigDrawsEverFreshIndices) {
+  sim::Simulator sim;
+  PacketPool pool(2);
+  TrafficConfig cfg;
+  cfg.flow_churn = true;
+  cfg.flows = 4;  // ignored under churn
+  TrafficGenerator gen(sim, pool, cfg);
+  std::unordered_set<std::size_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.next_flow()).second);
+  }
+}
+
+}  // namespace
+}  // namespace nfp
